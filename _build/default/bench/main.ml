@@ -1,0 +1,151 @@
+(* SimBench benchmark harness.
+
+   Usage:
+     bench/main.exe                 - regenerate every paper table/figure
+     bench/main.exe fig3 fig7       - selected experiments only
+     bench/main.exe --quick [...]   - cheap settings (CI smoke)
+     bench/main.exe --bechamel      - Bechamel micro-benchmarks of the
+                                      engine hot paths (one Test per suite
+                                      category, plus workloads)
+
+   Every experiment prints the same rows/series the paper reports; see
+   EXPERIMENTS.md for the expected shapes and the recorded run. *)
+
+(* ablation configs share the scale/repeats of the main experiments *)
+let abl (config : Sb_report.Experiments.config) =
+  {
+    Sb_report.Ablations.scale = config.Sb_report.Experiments.scale;
+    repeats = config.Sb_report.Experiments.repeats;
+  }
+
+let experiments =
+  [
+    ("fig2", fun config -> Sb_report.Experiments.fig2 ~config ());
+    ("fig3", fun config -> Sb_report.Experiments.fig3 ~config ());
+    ("fig4", fun _ -> Sb_report.Experiments.fig4 ());
+    ("fig5", fun _ -> Sb_report.Experiments.fig5 ());
+    ("fig6", fun config -> Sb_report.Experiments.fig6 ~config ());
+    ("fig7", fun config -> Sb_report.Experiments.fig7 ~config ());
+    ("fig8", fun config -> Sb_report.Experiments.fig8 ~config ());
+    ("ext", fun config -> Sb_report.Experiments.extensions ~config ());
+    ("abl-chain", fun config -> Sb_report.Ablations.chaining ~config:(abl config) ());
+    ("abl-tlb", fun config -> Sb_report.Ablations.page_cache ~config:(abl config) ());
+    ("abl-opt", fun config -> Sb_report.Ablations.optimiser ~config:(abl config) ());
+    ("abl-vmexit", fun config -> Sb_report.Ablations.vm_exit ~config:(abl config) ());
+    ("abl-predecode", fun config -> Sb_report.Ablations.predecode ~config:(abl config) ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let arch = Sb_isa.Arch_sig.Sba in
+  let support = Simbench.Engines.support arch in
+  (* iteration counts chosen so the timed kernel dominates the ~20ms of
+     per-run machine construction and guest assembly *)
+  let run_bench engine bench ~iters =
+    Staged.stage (fun () ->
+        ignore (Simbench.Harness.run ~iters ~support ~engine bench))
+  in
+  let engine_test label engine bench ~iters =
+    Test.make ~name:label (run_bench engine bench ~iters)
+  in
+  let dbt = Simbench.Engines.dbt arch in
+  let interp = Simbench.Engines.interp arch in
+  Test.make_grouped ~name:"simbench"
+    [
+      Test.make_grouped ~name:"code-generation"
+        [
+          engine_test "small-blocks/dbt" dbt Simbench.Suite.small_blocks ~iters:2_000;
+          engine_test "small-blocks/interp" interp Simbench.Suite.small_blocks
+            ~iters:2_000;
+        ];
+      Test.make_grouped ~name:"control-flow"
+        [
+          engine_test "intra-direct/dbt" dbt Simbench.Suite.intra_page_direct
+            ~iters:100_000;
+          engine_test "intra-direct/interp" interp Simbench.Suite.intra_page_direct
+            ~iters:100_000;
+        ];
+      Test.make_grouped ~name:"exceptions"
+        [
+          engine_test "syscall/dbt" dbt Simbench.Suite.system_call ~iters:50_000;
+          engine_test "syscall/interp" interp Simbench.Suite.system_call ~iters:50_000;
+        ];
+      Test.make_grouped ~name:"memory"
+        [
+          engine_test "hot/dbt" dbt Simbench.Suite.hot_memory_access ~iters:50_000;
+          engine_test "hot/interp" interp Simbench.Suite.hot_memory_access ~iters:50_000;
+        ];
+      Test.make_grouped ~name:"workloads"
+        [
+          Test.make ~name:"sjeng/dbt"
+            (Staged.stage (fun () ->
+                 ignore
+                   (Sb_workloads.Workloads.run ~iters:50 ~support ~engine:dbt
+                      Sb_workloads.Workloads.sjeng)));
+        ];
+    ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      Printf.printf "## %s\n" measure;
+      Hashtbl.iter
+        (fun name o ->
+          match Analyze.OLS.estimates o with
+          | Some [ est ] -> Printf.printf "%-45s %14.2f ns/run\n" name est
+          | _ -> Printf.printf "%-45s (no estimate)\n" name)
+        tbl)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let bechamel = List.mem "--bechamel" args in
+  let selected =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  if bechamel then run_bechamel ()
+  else begin
+    let config =
+      if quick then Sb_report.Experiments.quick_config
+      else Sb_report.Experiments.default_config
+    in
+    let to_run =
+      match selected with
+      | [] -> experiments
+      | names ->
+        List.filter_map
+          (fun name ->
+            match List.assoc_opt name experiments with
+            | Some f -> Some (name, f)
+            | None ->
+              Printf.eprintf "unknown experiment %S (have: %s)\n" name
+                (String.concat ", " (List.map fst experiments));
+              None)
+          names
+    in
+    List.iter
+      (fun (name, f) ->
+        Printf.printf "=== %s ===\n%!" name;
+        let t0 = Unix.gettimeofday () in
+        print_string (f config);
+        Printf.printf "\n[%s generated in %.1fs]\n\n%!" name
+          (Unix.gettimeofday () -. t0))
+      to_run
+  end

@@ -1,0 +1,398 @@
+(* SimBench command-line interface.
+
+   Subcommands:
+     list        enumerate benchmarks, engines, workloads and DBT versions
+     run         run one benchmark on one engine
+     suite       run the full suite on one engine and print the table
+     workload    run one SPEC-analog workload
+     report      regenerate paper figures (same drivers as bench/main.exe) *)
+
+open Cmdliner
+
+let arch_conv =
+  let parse = function
+    | "sba" | "sba32" | "arm" -> Ok Sb_isa.Arch_sig.Sba
+    | "vlx" | "vlx32" | "x86" -> Ok Sb_isa.Arch_sig.Vlx
+    | s -> Error (`Msg (Printf.sprintf "unknown architecture %S (sba|vlx)" s))
+  in
+  let print ppf a = Format.pp_print_string ppf (Sb_isa.Arch_sig.arch_id_name a) in
+  Arg.conv (parse, print)
+
+let arch_arg =
+  Arg.(
+    value
+    & opt arch_conv Sb_isa.Arch_sig.Sba
+    & info [ "a"; "arch" ] ~docv:"ARCH" ~doc:"Guest architecture: sba (ARM analog) or vlx (x86 analog).")
+
+let engine_of_string arch s =
+  match String.split_on_char '@' s with
+  | [ "interp" ] -> Ok (Simbench.Engines.interp arch)
+  | [ "dbt" ] -> Ok (Simbench.Engines.dbt arch)
+  | [ "detailed" ] | [ "gem5" ] -> Ok (Simbench.Engines.detailed arch)
+  | [ "virt" ] | [ "kvm" ] -> Ok (Simbench.Engines.virt arch)
+  | [ "native" ] | [ "hw" ] -> Ok (Simbench.Engines.native arch)
+  | [ "dbt"; version ] -> (
+    match Sb_dbt.Version.find version with
+    | Some config -> Ok (Simbench.Engines.dbt_configured arch config)
+    | None -> Error (Printf.sprintf "unknown DBT version %S" version))
+  | _ -> Error (Printf.sprintf "unknown engine %S" s)
+
+let engine_arg =
+  Arg.(
+    value & opt string "dbt"
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Engine: interp, dbt, detailed, virt, native, or dbt@VERSION (e.g. \
+           dbt@v2.0.0).")
+
+let scale_arg =
+  Arg.(
+    value & opt int Simbench.Harness.default_scale
+    & info [ "scale" ] ~docv:"N" ~doc:"Divide Figure 3 iteration counts by N.")
+
+let iters_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "iters" ] ~docv:"N" ~doc:"Exact iteration count (overrides --scale).")
+
+let print_outcome (o : Simbench.Harness.outcome) =
+  Printf.printf "%-28s %-18s iters=%-9d kernel=%.4fs total=%.4fs insns=%d density=%.4f\n"
+    o.Simbench.Harness.bench_name o.Simbench.Harness.engine_name
+    o.Simbench.Harness.iters o.Simbench.Harness.kernel_seconds
+    o.Simbench.Harness.result.Sb_sim.Run_result.wall_seconds
+    o.Simbench.Harness.kernel_insns
+    (Simbench.Harness.density o)
+
+let with_engine arch engine_name f =
+  match engine_of_string arch engine_name with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok engine -> f engine
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let action () =
+    print_endline "Benchmarks (Figure 3):";
+    List.iter
+      (fun b ->
+        Printf.printf "  %-28s %-20s %s\n" b.Simbench.Bench.name
+          (Simbench.Category.name b.Simbench.Bench.category)
+          b.Simbench.Bench.description)
+      Simbench.Suite.all;
+    print_endline "\nExtension benchmarks (beyond the paper's 18):";
+    List.iter
+      (fun b ->
+        Printf.printf "  %-28s %-20s %s\n" b.Simbench.Bench.name
+          (Simbench.Category.name b.Simbench.Bench.category)
+          b.Simbench.Bench.description)
+      Simbench.Suite_ext.all;
+    print_endline "\nEngines: interp | dbt | detailed | virt | native | dbt@VERSION";
+    print_endline "\nDBT versions:";
+    Printf.printf "  %s\n" (String.concat ", " Sb_dbt.Version.names);
+    print_endline "\nWorkloads (SPEC analogs):";
+    List.iter
+      (fun w ->
+        Printf.printf "  %-12s (%s)\n" w.Sb_workloads.Workloads.name
+          w.Sb_workloads.Workloads.spec_name)
+      Sb_workloads.Workloads.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"Enumerate benchmarks, engines and workloads.")
+    Term.(const action $ const ())
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let bench_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name from Figure 3.")
+  in
+  let counters_arg =
+    Arg.(
+      value & flag
+      & info [ "counters" ] ~doc:"Print the kernel-phase perf counters.")
+  in
+  let action arch engine_name bench_name scale iters counters =
+    let found =
+      match Simbench.Suite.find bench_name with
+      | Some _ as b -> b
+      | None -> Simbench.Suite_ext.find bench_name
+    in
+    match found with
+    | None ->
+      Printf.eprintf "unknown benchmark %S; try the list command\n" bench_name;
+      1
+    | Some bench ->
+      with_engine arch engine_name (fun engine ->
+          let support = Simbench.Engines.support arch in
+          let o = Simbench.Harness.run ~scale ?iters ~support ~engine bench in
+          print_outcome o;
+          if counters then begin
+            match o.Simbench.Harness.result.Sb_sim.Run_result.kernel_perf with
+            | Some kp ->
+              print_endline "kernel-phase counters:";
+              List.iter
+                (fun (c, v) ->
+                  Printf.printf "  %-24s %d\n" (Sb_sim.Perf.to_string c) v)
+                (Sb_sim.Perf.to_alist kp)
+            | None -> print_endline "no kernel perf snapshot"
+          end;
+          0)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one benchmark on one engine.")
+    Term.(
+      const action $ arch_arg $ engine_arg $ bench_arg $ scale_arg $ iters_arg
+      $ counters_arg)
+
+(* ---- suite ---- *)
+
+let suite_cmd =
+  let action arch engine_name scale =
+    with_engine arch engine_name (fun engine ->
+        let support = Simbench.Engines.support arch in
+        List.iter
+          (fun bench ->
+            print_outcome (Simbench.Harness.run ~scale ~support ~engine bench))
+          Simbench.Suite.all;
+        0)
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"Run the full 18-benchmark suite on one engine.")
+    Term.(const action $ arch_arg $ engine_arg $ scale_arg)
+
+(* ---- workload ---- *)
+
+let workload_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload name (e.g. sjeng, mcf).")
+  in
+  let iters_arg =
+    Arg.(value & opt int 40 & info [ "iters" ] ~docv:"N" ~doc:"Kernel passes.")
+  in
+  let action arch engine_name name iters =
+    match Sb_workloads.Workloads.find name with
+    | None ->
+      Printf.eprintf "unknown workload %S; try the list command\n" name;
+      1
+    | Some w ->
+      with_engine arch engine_name (fun engine ->
+          let support = Simbench.Engines.support arch in
+          print_outcome (Sb_workloads.Workloads.run ~iters ~support ~engine w);
+          0)
+  in
+  Cmd.v (Cmd.info "workload" ~doc:"Run one SPEC-analog workload on one engine.")
+    Term.(const action $ arch_arg $ engine_arg $ name_arg $ iters_arg)
+
+(* ---- disasm ---- *)
+
+let disasm_cmd =
+  let bench_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"Benchmark whose assembled image to disassemble.")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "limit" ] ~docv:"BYTES" ~doc:"How many bytes to disassemble.")
+  in
+  let action arch bench_name limit =
+    let found =
+      match Simbench.Suite.find bench_name with
+      | Some _ as b -> b
+      | None -> Simbench.Suite_ext.find bench_name
+    in
+    match found with
+    | None ->
+      Printf.eprintf "unknown benchmark %S\n" bench_name;
+      1
+    | Some bench ->
+      let support = Simbench.Engines.support arch in
+      let program =
+        Simbench.Rt.program ~support ~platform:Simbench.Platform.sbp_ref ~bench
+      in
+      let image = program.Sb_asm.Program.image in
+      let base = program.Sb_asm.Program.base in
+      let read8 a =
+        let i = a - base in
+        if i >= 0 && i < Bytes.length image then Char.code (Bytes.get image i) else 0
+      in
+      let arch_mod : (module Sb_isa.Arch_sig.ARCH) =
+        match arch with
+        | Sb_isa.Arch_sig.Sba -> (module Sb_arch_sba.Arch)
+        | Sb_isa.Arch_sig.Vlx -> (module Sb_arch_vlx.Arch)
+      in
+      Printf.printf "%s on %s: image %d bytes, entry 0x%x\n\n" bench_name
+        (Sb_isa.Arch_sig.arch_id_name arch)
+        (Bytes.length image) program.Sb_asm.Program.entry;
+      List.iter
+        (fun (name, a) -> Printf.printf "%08x <%s>\n" a name)
+        (List.filteri (fun i _ -> i < 12) program.Sb_asm.Program.symbols);
+      print_newline ();
+      print_string
+        (Sb_isa.Disasm.dump ~arch:arch_mod ~read8 ~base
+           ~len:(min limit (Bytes.length image)));
+      0
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a benchmark's assembled guest image.")
+    Term.(const action $ arch_arg $ bench_arg $ limit_arg)
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 25 & info [ "seeds" ] ~docv:"N" ~doc:"Random programs to try.")
+  in
+  let action arch seeds =
+    let engines = Sb_verify.Verify.default_engines arch in
+    Printf.printf "verifying %d random programs across %d engines (%s)...\n%!"
+      seeds (List.length engines)
+      (Sb_isa.Arch_sig.arch_id_name arch);
+    match Sb_verify.Verify.random_sweep ~arch ~engines ~seeds () with
+    | [] ->
+      Printf.printf "OK: all engines agree on all %d programs\n" seeds;
+      0
+    | divergences ->
+      List.iter
+        (fun (d : Sb_verify.Verify.divergence) ->
+          Printf.printf "DIVERGENCE seed=%s: %s vs %s: %s\n"
+            (match d.Sb_verify.Verify.seed with Some s -> string_of_int s | None -> "?")
+            d.Sb_verify.Verify.reference_engine d.Sb_verify.Verify.diverging_engine
+            d.Sb_verify.Verify.detail)
+        divergences;
+      1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Differentially verify all engines on randomized guest programs.")
+    Term.(const action $ arch_arg $ seeds_arg)
+
+(* ---- debug ---- *)
+
+let debug_cmd =
+  let bench_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"Benchmark to debug.")
+  in
+  let break_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "break" ] ~docv:"LABEL" ~doc:"Break at this program label.")
+  in
+  let steps_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "steps" ] ~docv:"N" ~doc:"Single-steps to trace after the break.")
+  in
+  let action arch engine_name bench_name break steps =
+    let found =
+      match Simbench.Suite.find bench_name with
+      | Some _ as b -> b
+      | None -> Simbench.Suite_ext.find bench_name
+    in
+    match found with
+    | None ->
+      Printf.eprintf "unknown benchmark %S\n" bench_name;
+      1
+    | Some bench ->
+      with_engine arch engine_name (fun engine ->
+          let support = Simbench.Engines.support arch in
+          let platform = Simbench.Platform.sbp_ref in
+          let program = Simbench.Rt.program ~support ~platform ~bench in
+          let machine = Simbench.Platform.machine platform () in
+          Sb_mem.Benchdev.set_iters machine.Sb_sim.Machine.benchdev 10;
+          Sb_sim.Machine.load_program machine program;
+          let arch_mod : (module Sb_isa.Arch_sig.ARCH) =
+            match arch with
+            | Sb_isa.Arch_sig.Sba -> (module Sb_arch_sba.Arch)
+            | Sb_isa.Arch_sig.Vlx -> (module Sb_arch_vlx.Arch)
+          in
+          let dbg = Sb_sim.Debugger.create ~engine ~arch:arch_mod machine in
+          (match break with
+          | Some label -> (
+            match Sb_asm.Program.symbol_opt program label with
+            | Some addr ->
+              Sb_sim.Debugger.add_breakpoint dbg addr;
+              (match Sb_sim.Debugger.continue_ dbg with
+              | Sb_sim.Debugger.Breakpoint addr ->
+                Printf.printf "breakpoint hit at 0x%x after %d instructions\n\n"
+                  addr
+                  (Sb_sim.Debugger.instructions_retired dbg)
+              | _ -> Printf.printf "never reached %s\n" label)
+            | None -> Printf.printf "no such label %S; known labels:\n%s\n" label
+                (String.concat ", " (List.map fst program.Sb_asm.Program.symbols)))
+          | None -> ());
+          for _ = 1 to steps do
+            Printf.printf "%s\n"
+              (Sb_sim.Debugger.disassemble_here ~count:1 dbg);
+            ignore (Sb_sim.Debugger.step dbg)
+          done;
+          print_newline ();
+          print_string (Sb_sim.Debugger.dump_registers dbg);
+          0)
+  in
+  Cmd.v
+    (Cmd.info "debug"
+       ~doc:"Single-step a benchmark under a debugger with breakpoints.")
+    Term.(const action $ arch_arg $ engine_arg $ bench_arg $ break_arg $ steps_arg)
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let figs_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FIG" ~doc:"Figures to regenerate (fig2..fig8); all by default.")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Cheap settings for a smoke run.")
+  in
+  let action quick figs =
+    let config =
+      if quick then Sb_report.Experiments.quick_config
+      else Sb_report.Experiments.default_config
+    in
+    let all =
+      [
+        ("fig2", fun () -> Sb_report.Experiments.fig2 ~config ());
+        ("fig3", fun () -> Sb_report.Experiments.fig3 ~config ());
+        ("fig4", fun () -> Sb_report.Experiments.fig4 ());
+        ("fig5", fun () -> Sb_report.Experiments.fig5 ());
+        ("fig6", fun () -> Sb_report.Experiments.fig6 ~config ());
+        ("fig7", fun () -> Sb_report.Experiments.fig7 ~config ());
+        ("fig8", fun () -> Sb_report.Experiments.fig8 ~config ());
+      ]
+    in
+    let selected = if figs = [] then List.map fst all else figs in
+    List.fold_left
+      (fun code name ->
+        match List.assoc_opt name all with
+        | Some f ->
+          print_endline (f ());
+          code
+        | None ->
+          Printf.eprintf "unknown figure %S\n" name;
+          1)
+      0 selected
+  in
+  Cmd.v (Cmd.info "report" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const action $ quick_arg $ figs_arg)
+
+let () =
+  let doc = "SimBench: targeted micro-benchmarks for full-system simulators" in
+  let info = Cmd.info "simbench" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info
+       [
+         list_cmd; run_cmd; suite_cmd; workload_cmd; disasm_cmd; verify_cmd;
+         debug_cmd; report_cmd;
+       ]))

@@ -1,0 +1,1 @@
+examples/compare_engines.ml: List Printf Sb_isa Sb_util Simbench

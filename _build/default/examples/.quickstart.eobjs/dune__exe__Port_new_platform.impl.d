@@ -1,0 +1,1 @@
+examples/port_new_platform.ml: List Option Printf Sb_isa Sb_sim Simbench

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Char Format List Printf Sb_arch_sba Sb_asm Sb_isa Sb_sim Simbench String

@@ -1,0 +1,1 @@
+examples/sandbox_detect.ml: List Printf Sb_isa Simbench

@@ -1,0 +1,1 @@
+examples/version_bisect.ml: List Option Printf Sb_isa Sb_util Sb_workloads Simbench

@@ -1,0 +1,91 @@
+(* "We might also investigate the use of SimBench-like kernels for sandbox
+   detection."  — the paper's closing sentence, implemented.
+
+     dune exec examples/sandbox_detect.exe
+
+   The observation: each execution technology has a timing *fingerprint*
+   over the SimBench operations, independent of absolute machine speed.
+   Trap-and-emulate virtualization makes device access catastrophically
+   expensive relative to arithmetic; a DBT makes self-modifying code
+   expensive; a detailed model is uniformly slow per instruction.  A guest
+   that can time its own operations can therefore tell what is running it.
+
+   This example plays both sides: it fingerprints each engine with
+   normalized per-operation costs, then classifies engines it is not told
+   the identity of. *)
+
+let arch = Sb_isa.Arch_sig.Sba
+let support = Simbench.Engines.support arch
+
+(* seconds per tested operation, best of 3 *)
+let per_op engine bench ~iters =
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let o = Simbench.Harness.run ~iters ~support ~engine bench in
+    best := min !best (o.Simbench.Harness.kernel_seconds /. float_of_int o.Simbench.Harness.tested_ops)
+  done;
+  !best
+
+type fingerprint = {
+  io_vs_alu : float;   (* device access cost over hot-memory cost *)
+  smc_vs_alu : float;  (* self-modifying-code cost over hot-memory cost *)
+  undef_vs_svc : float;(* undefined-instruction cost over system-call cost *)
+  hot_ns : float;      (* absolute per-op cost of the hot loop *)
+}
+
+let fingerprint engine =
+  let hot = per_op engine Simbench.Suite.hot_memory_access ~iters:8_000 in
+  let io = per_op engine Simbench.Suite.memory_mapped_device ~iters:8_000 in
+  let smc = per_op engine Simbench.Suite.small_blocks ~iters:600 in
+  let undef = per_op engine Simbench.Suite.undefined_instruction ~iters:6_000 in
+  let svc = per_op engine Simbench.Suite.system_call ~iters:6_000 in
+  {
+    io_vs_alu = io /. hot;
+    smc_vs_alu = smc /. hot;
+    undef_vs_svc = undef /. svc;
+    hot_ns = hot *. 1e9;
+  }
+
+(* Classification rules, in the order a guest would apply them.  The
+   thresholds are scale-free ratios except the last, which needs a
+   calibration constant (a real detector would calibrate against a known
+   physical machine, as timing side channels do). *)
+let classify ~native_hot_ns fp =
+  if fp.io_vs_alu > 40. && fp.undef_vs_svc > 5. then
+    "virtualized (trap-and-emulate: I/O and undef trap to a hypervisor)"
+  else if fp.io_vs_alu > 40. then
+    "virtualized or emulated I/O"
+  else if fp.smc_vs_alu > 25. then
+    "DBT simulator (self-modifying code forces retranslation)"
+  else if fp.hot_ns > 3.5 *. native_hot_ns then
+    "detailed simulator (uniformly slow per instruction)"
+  else if fp.hot_ns > 1.7 *. native_hot_ns then
+    "interpreter"
+  else "bare metal (or a very good simulator)"
+
+let () =
+  let engines =
+    [
+      ("QEMU-DBT", Simbench.Engines.dbt arch);
+      ("SimIt-ARM", Simbench.Engines.interp arch);
+      ("Gem5", Simbench.Engines.detailed arch);
+      ("QEMU-KVM", Simbench.Engines.virt arch);
+      ("Hardware", Simbench.Engines.native arch);
+    ]
+  in
+  (* calibrate the absolute scale on the known-native machine *)
+  let native_hot_ns =
+    min
+      (fingerprint (Simbench.Engines.native arch)).hot_ns
+      (fingerprint (Simbench.Engines.native arch)).hot_ns
+  in
+  Printf.printf "calibration: native hot-loop cost = %.1f ns/op\n\n" native_hot_ns;
+  Printf.printf "%-10s %10s %10s %10s %10s  verdict\n" "engine" "io/alu" "smc/alu"
+    "undef/svc" "hot ns";
+  List.iter
+    (fun (name, engine) ->
+      let fp = fingerprint engine in
+      Printf.printf "%-10s %10.1f %10.1f %10.1f %10.1f  %s\n" name fp.io_vs_alu
+        fp.smc_vs_alu fp.undef_vs_svc fp.hot_ns
+        (classify ~native_hot_ns fp))
+    engines

@@ -1,0 +1,1 @@
+lib/arch_sba/arch.ml: Decode Insn Sb_isa

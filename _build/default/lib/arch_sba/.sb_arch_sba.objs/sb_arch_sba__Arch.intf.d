@@ -1,0 +1,1 @@
+lib/arch_sba/arch.mli: Sb_isa

@@ -1,0 +1,1 @@
+lib/arch_sba/decode.ml: Opcodes Sb_isa Sb_util Uop

@@ -1,0 +1,1 @@
+lib/arch_sba/decode.mli: Sb_isa

@@ -1,0 +1,1 @@
+lib/arch_sba/insn.ml: Bytes Int32 Opcodes Printf Sb_asm Sb_isa

@@ -1,0 +1,1 @@
+lib/arch_sba/insn.mli: Sb_asm Sb_isa

@@ -1,0 +1,1 @@
+lib/arch_sba/opcodes.ml: Sb_isa

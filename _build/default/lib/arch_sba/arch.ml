@@ -1,0 +1,7 @@
+let name = "sba32"
+let id = Sb_isa.Arch_sig.Sba
+let nregs = 16
+let sp_reg = Insn.sp
+let link_reg = Insn.lr
+let max_insn_bytes = 4
+let decode = Decode.decode

@@ -1,0 +1,120 @@
+open Sb_isa
+
+let lr = 14
+
+let undef ~addr = Uop.make_decoded ~addr ~length:4 [ Uop.Undef ]
+
+let alu_rr op ~w =
+  let rd = (w lsr 22) land 15 in
+  let rn = (w lsr 18) land 15 in
+  let rm = (w lsr 14) land 15 in
+  Uop.Alu { op; rd = Some rd; rn = Reg rn; rm = Reg rm; set_flags = false }
+
+let alu_ri op ~w =
+  let rd = (w lsr 22) land 15 in
+  let rn = (w lsr 18) land 15 in
+  let imm = Sb_util.U32.to_signed (Sb_util.U32.sign_extend ~bits:14 w) in
+  Uop.Alu { op; rd = Some rd; rn = Reg rn; rm = Imm imm; set_flags = false }
+
+let mem_fields w =
+  let rd = (w lsr 22) land 15 in
+  let rn = (w lsr 18) land 15 in
+  let offset = Sb_util.U32.to_signed (Sb_util.U32.sign_extend ~bits:14 w) in
+  (rd, rn, offset)
+
+let branch_target ~addr ~w ~bits =
+  let words = Sb_util.U32.to_signed (Sb_util.U32.sign_extend ~bits w) in
+  (addr + (words * 4)) land 0xFFFF_FFFF
+
+let decode_word ~addr w =
+  let open Opcodes in
+  let op = (w lsr 26) land 0x3F in
+  let one uop = Uop.make_decoded ~addr ~length:4 [ uop ] in
+  if op = nop then one Uop.Nop
+  else if op = halt then one Uop.Halt
+  else if op = wfi then one Uop.Wfi
+  else if op = add then one (alu_rr Uop.Add ~w)
+  else if op = addi then one (alu_ri Uop.Add ~w)
+  else if op = sub then one (alu_rr Uop.Sub ~w)
+  else if op = subi then one (alu_ri Uop.Sub ~w)
+  else if op = and_ then one (alu_rr Uop.And_ ~w)
+  else if op = orr then one (alu_rr Uop.Orr ~w)
+  else if op = xor then one (alu_rr Uop.Xor ~w)
+  else if op = lsl_ then one (alu_rr Uop.Lsl ~w)
+  else if op = lsli then one (alu_ri Uop.Lsl ~w)
+  else if op = lsr_ then one (alu_rr Uop.Lsr ~w)
+  else if op = lsri then one (alu_ri Uop.Lsr ~w)
+  else if op = asr_ then one (alu_rr Uop.Asr ~w)
+  else if op = asri then one (alu_ri Uop.Asr ~w)
+  else if op = mul then one (alu_rr Uop.Mul ~w)
+  else if op = movw then
+    let rd = (w lsr 22) land 15 in
+    one (Uop.Alu { op = Orr; rd = Some rd; rn = Imm 0; rm = Imm (w land 0xFFFF); set_flags = false })
+  else if op = movt then
+    let rd = (w lsr 22) land 15 in
+    let high = (w land 0xFFFF) lsl 16 in
+    Uop.make_decoded ~addr ~length:4
+      [
+        Uop.Alu { op = And_; rd = Some rd; rn = Reg rd; rm = Imm 0xFFFF; set_flags = false };
+        Uop.Alu { op = Orr; rd = Some rd; rn = Reg rd; rm = Imm high; set_flags = false };
+      ]
+  else if op = mov then
+    let rd = (w lsr 22) land 15 in
+    let rm = (w lsr 14) land 15 in
+    one (Uop.Alu { op = Orr; rd = Some rd; rn = Reg rm; rm = Imm 0; set_flags = false })
+  else if op = cmp then
+    let rn = (w lsr 18) land 15 in
+    let rm = (w lsr 14) land 15 in
+    one (Uop.Alu { op = Sub; rd = None; rn = Reg rn; rm = Reg rm; set_flags = true })
+  else if op = cmpi then
+    let rn = (w lsr 18) land 15 in
+    let imm = Sb_util.U32.to_signed (Sb_util.U32.sign_extend ~bits:14 w) in
+    one (Uop.Alu { op = Sub; rd = None; rn = Reg rn; rm = Imm imm; set_flags = true })
+  else if op = b then
+    one (Uop.Branch { cond = Always; target = Direct (branch_target ~addr ~w ~bits:26); link = None })
+  else if op = bl then
+    one (Uop.Branch { cond = Always; target = Direct (branch_target ~addr ~w ~bits:26); link = Some lr })
+  else if op = bcc then (
+    match cond_of_bits ((w lsr 22) land 15) with
+    | Some cond ->
+      one (Uop.Branch { cond; target = Direct (branch_target ~addr ~w ~bits:22); link = None })
+    | None -> undef ~addr)
+  else if op = br then
+    one (Uop.Branch { cond = Always; target = Indirect ((w lsr 14) land 15); link = None })
+  else if op = blr then
+    one (Uop.Branch { cond = Always; target = Indirect ((w lsr 14) land 15); link = Some lr })
+  else if op = ldr then
+    let rd, rn, offset = mem_fields w in
+    one (Uop.Load { width = W32; rd; base = Reg rn; offset; user = false })
+  else if op = str then
+    let rs, rn, offset = mem_fields w in
+    one (Uop.Store { width = W32; rs; base = Reg rn; offset; user = false })
+  else if op = ldrb then
+    let rd, rn, offset = mem_fields w in
+    one (Uop.Load { width = W8; rd; base = Reg rn; offset; user = false })
+  else if op = strb then
+    let rs, rn, offset = mem_fields w in
+    one (Uop.Store { width = W8; rs; base = Reg rn; offset; user = false })
+  else if op = ldrt then
+    let rd, rn, offset = mem_fields w in
+    one (Uop.Load { width = W32; rd; base = Reg rn; offset; user = true })
+  else if op = strt then
+    let rs, rn, offset = mem_fields w in
+    one (Uop.Store { width = W32; rs; base = Reg rn; offset; user = true })
+  else if op = svc then one (Uop.Svc (w land 0xFFFF))
+  else if op = eret then one Uop.Eret
+  else if op = mrc then
+    one (Uop.Cop_read { rd = (w lsr 22) land 15; creg = w land 0xFF })
+  else if op = mcr then
+    one (Uop.Cop_write { creg = w land 0xFF; src = Reg ((w lsr 22) land 15) })
+  else if op = tlbi then one (Uop.Tlb_inv_page ((w lsr 14) land 15))
+  else if op = tlbiall then one Uop.Tlb_inv_all
+  else undef ~addr
+
+let decode ~fetch8 ~addr =
+  let b0 = fetch8 addr in
+  let b1 = fetch8 (addr + 1) in
+  let b2 = fetch8 (addr + 2) in
+  let b3 = fetch8 (addr + 3) in
+  let w = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
+  decode_word ~addr w

@@ -1,0 +1,9 @@
+(** SBA-32 decoder: one 32-bit word into micro-ops. *)
+
+val decode_word : addr:int -> int -> Sb_isa.Uop.decoded
+(** [decode_word ~addr w] decodes the instruction word [w] fetched from
+    virtual address [addr] (needed to resolve PC-relative branch targets).
+    Unallocated encodings produce {!Sb_isa.Uop.Undef}. *)
+
+val decode : fetch8:(int -> int) -> addr:int -> Sb_isa.Uop.decoded
+(** {!Sb_isa.Arch_sig.ARCH}-shaped entry point. *)

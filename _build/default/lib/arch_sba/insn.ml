@@ -1,0 +1,154 @@
+type reg = int
+
+type operand2 = Rm of reg | Imm of int
+
+type insn =
+  | Nop
+  | Halt
+  | Wfi
+  | Add of reg * reg * operand2
+  | Sub of reg * reg * operand2
+  | And_ of reg * reg * reg
+  | Orr of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Lsl of reg * reg * operand2
+  | Lsr of reg * reg * operand2
+  | Asr of reg * reg * operand2
+  | Mul of reg * reg * reg
+  | Movw of reg * int
+  | Movt of reg * int
+  | Movw_sym of reg * string
+  | Movt_sym of reg * string
+  | Mov of reg * reg
+  | Cmp of reg * operand2
+  | B of string
+  | Bl of string
+  | Bcc of Sb_isa.Uop.cond * string
+  | Br of reg
+  | Blr of reg
+  | Ldr of reg * reg * int
+  | Str of reg * reg * int
+  | Ldrb of reg * reg * int
+  | Strb of reg * reg * int
+  | Ldrt of reg * reg * int
+  | Strt of reg * reg * int
+  | Svc of int
+  | Eret
+  | Udf
+  | Mrc of reg * int
+  | Mcr of int * reg
+  | Tlbi of reg
+  | Tlbiall
+
+let sp = 13
+let lr = 14
+
+let li rd v =
+  let v = v land 0xFFFF_FFFF in
+  let low = v land 0xFFFF in
+  let high = v lsr 16 in
+  if high = 0 then [ Movw (rd, low) ] else [ Movw (rd, low); Movt (rd, high) ]
+
+let la rd label = [ Movw_sym (rd, label); Movt_sym (rd, label) ]
+
+let asm_error fmt = Printf.ksprintf (fun s -> raise (Sb_asm.Assembler.Error s)) fmt
+
+let check_reg r = if r < 0 || r > 15 then asm_error "register r%d out of range" r
+
+let check_imm14 v =
+  if v < -8192 || v > 8191 then asm_error "immediate %d exceeds simm14" v
+
+let check_imm16 v =
+  if v < 0 || v > 0xFFFF then asm_error "immediate %d exceeds imm16" v
+
+(* field builders *)
+let op_field op = op lsl 26
+let rd_field r = check_reg r; r lsl 22
+let rn_field r = check_reg r; r lsl 18
+let rm_field r = check_reg r; r lsl 14
+let imm14_field v = check_imm14 v; v land 0x3FFF
+let imm16_field v = check_imm16 v; v land 0xFFFF
+
+let branch_offset ~pc ~target ~bits =
+  if (target - pc) land 3 <> 0 then
+    asm_error "branch target 0x%x misaligned relative to 0x%x" target pc;
+  let words = (target - pc) asr 2 in
+  let limit = 1 lsl (bits - 1) in
+  if words < -limit || words >= limit then
+    asm_error "branch displacement %d words exceeds %d bits" words bits;
+  words land ((1 lsl bits) - 1)
+
+let alu_rr op rd rn rm = op_field op lor rd_field rd lor rn_field rn lor rm_field rm
+
+let alu_ri op rd rn imm = op_field op lor rd_field rd lor rn_field rn lor imm14_field imm
+
+let alu op_r op_i rd rn = function
+  | Rm rm -> alu_rr op_r rd rn rm
+  | Imm v -> alu_ri op_i rd rn v
+
+let mem_insn op rd rn offset =
+  op_field op lor rd_field rd lor rn_field rn lor imm14_field offset
+
+let encode_word ~resolve ~pc insn =
+  let open Opcodes in
+  match insn with
+  | Nop -> op_field nop
+  | Halt -> op_field halt
+  | Wfi -> op_field wfi
+  | Add (rd, rn, o2) -> alu add addi rd rn o2
+  | Sub (rd, rn, o2) -> alu sub subi rd rn o2
+  | And_ (rd, rn, rm) -> alu_rr and_ rd rn rm
+  | Orr (rd, rn, rm) -> alu_rr orr rd rn rm
+  | Xor (rd, rn, rm) -> alu_rr xor rd rn rm
+  | Lsl (rd, rn, o2) -> alu lsl_ lsli rd rn o2
+  | Lsr (rd, rn, o2) -> alu lsr_ lsri rd rn o2
+  | Asr (rd, rn, o2) -> alu asr_ asri rd rn o2
+  | Mul (rd, rn, rm) -> alu_rr mul rd rn rm
+  | Movw (rd, v) -> op_field movw lor rd_field rd lor imm16_field v
+  | Movt (rd, v) -> op_field movt lor rd_field rd lor imm16_field v
+  | Movw_sym (rd, name) ->
+    op_field movw lor rd_field rd lor imm16_field (resolve name land 0xFFFF)
+  | Movt_sym (rd, name) ->
+    op_field movt lor rd_field rd lor imm16_field ((resolve name lsr 16) land 0xFFFF)
+  | Mov (rd, rm) -> op_field mov lor rd_field rd lor rm_field rm
+  | Cmp (rn, Rm rm) -> op_field cmp lor rn_field rn lor rm_field rm
+  | Cmp (rn, Imm v) -> op_field cmpi lor rn_field rn lor imm14_field v
+  | B name -> op_field b lor branch_offset ~pc ~target:(resolve name) ~bits:26
+  | Bl name -> op_field bl lor branch_offset ~pc ~target:(resolve name) ~bits:26
+  | Bcc (cond, name) ->
+    op_field bcc
+    lor (cond_to_bits cond lsl 22)
+    lor branch_offset ~pc ~target:(resolve name) ~bits:22
+  | Br rm -> op_field br lor rm_field rm
+  | Blr rm -> op_field blr lor rm_field rm
+  | Ldr (rd, rn, off) -> mem_insn ldr rd rn off
+  | Str (rs, rn, off) -> mem_insn str rs rn off
+  | Ldrb (rd, rn, off) -> mem_insn ldrb rd rn off
+  | Strb (rs, rn, off) -> mem_insn strb rs rn off
+  | Ldrt (rd, rn, off) -> mem_insn ldrt rd rn off
+  | Strt (rs, rn, off) -> mem_insn strt rs rn off
+  | Svc v -> op_field svc lor imm16_field v
+  | Eret -> op_field eret
+  | Udf -> op_field udf
+  | Mrc (rd, creg) ->
+    if creg < 0 || creg > 0xFF then asm_error "coprocessor register %d" creg;
+    op_field mrc lor rd_field rd lor creg
+  | Mcr (creg, rs) ->
+    if creg < 0 || creg > 0xFF then asm_error "coprocessor register %d" creg;
+    op_field mcr lor rd_field rs lor creg
+  | Tlbi rm -> op_field tlbi lor rm_field rm
+  | Tlbiall -> op_field tlbiall
+
+module Encoder = struct
+  type nonrec insn = insn
+
+  let size _ = 4
+
+  let encode ~resolve ~pc insn =
+    let word = encode_word ~resolve ~pc insn in
+    let buf = Bytes.create 4 in
+    Bytes.set_int32_le buf 0 (Int32.of_int word);
+    Bytes.to_string buf
+end
+
+module Asm = Sb_asm.Assembler.Make (Encoder)

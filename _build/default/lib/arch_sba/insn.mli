@@ -1,0 +1,73 @@
+(** SBA-32 instruction set: assembler-facing type and binary encoder.
+
+    SBA-32 is a 32-bit fixed-width RISC ISA modelled on ARMv5's system
+    architecture: 16 general registers (r13 = stack pointer and r14 = link
+    register by convention), kernel/user modes, vectored exceptions,
+    coprocessor system registers, TLB maintenance operations and
+    non-privileged load/store (LDRT/STRT). *)
+
+type reg = int
+(** 0..15. *)
+
+type operand2 = Rm of reg | Imm of int
+(** Second ALU operand: register, or signed 14-bit immediate. *)
+
+type insn =
+  | Nop
+  | Halt
+  | Wfi
+  | Add of reg * reg * operand2
+  | Sub of reg * reg * operand2
+  | And_ of reg * reg * reg
+  | Orr of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Lsl of reg * reg * operand2
+  | Lsr of reg * reg * operand2
+  | Asr of reg * reg * operand2
+  | Mul of reg * reg * reg
+  | Movw of reg * int  (** rd := zero-extended imm16 *)
+  | Movt of reg * int  (** rd\[31:16\] := imm16 *)
+  | Movw_sym of reg * string  (** rd := label & 0xFFFF *)
+  | Movt_sym of reg * string  (** rd\[31:16\] := label >> 16 *)
+  | Mov of reg * reg
+  | Cmp of reg * operand2
+  | B of string
+  | Bl of string
+  | Bcc of Sb_isa.Uop.cond * string
+  | Br of reg
+  | Blr of reg
+  | Ldr of reg * reg * int   (** rd, \[rn, #simm14\] *)
+  | Str of reg * reg * int   (** rs, \[rn, #simm14\] *)
+  | Ldrb of reg * reg * int
+  | Strb of reg * reg * int
+  | Ldrt of reg * reg * int  (** non-privileged load *)
+  | Strt of reg * reg * int  (** non-privileged store *)
+  | Svc of int
+  | Eret
+  | Udf
+  | Mrc of reg * int  (** rd := coprocessor\[creg\] *)
+  | Mcr of int * reg  (** coprocessor\[creg\] := rs *)
+  | Tlbi of reg
+  | Tlbiall
+
+val sp : reg
+val lr : reg
+
+val li : reg -> int -> insn list
+(** Load an arbitrary 32-bit constant (MOVW, plus MOVT when needed). *)
+
+val la : reg -> string -> insn list
+(** Load a label's address (MOVW_sym + MOVT_sym). *)
+
+val encode_word : resolve:(string -> int) -> pc:int -> insn -> int
+(** The 32-bit encoding; raises {!Sb_asm.Assembler.Error} on out-of-range
+    operands or branch displacements. *)
+
+module Encoder : Sb_asm.Assembler.ENCODER with type insn = insn
+
+module Asm : sig
+  val assemble :
+    ?base:int -> ?entry:string -> insn Sb_asm.Assembler.item list -> Sb_asm.Program.t
+
+  val layout : ?base:int -> insn Sb_asm.Assembler.item list -> (string * int) list
+end

@@ -1,0 +1,62 @@
+(* Opcode assignments for SBA-32 (bits [31:26] of the instruction word).
+   Unallocated opcodes decode to the architecturally undefined instruction. *)
+
+let nop = 0x00
+let halt = 0x01
+let add = 0x02
+let addi = 0x03
+let sub = 0x04
+let subi = 0x05
+let and_ = 0x06
+let orr = 0x07
+let xor = 0x08
+let lsl_ = 0x09
+let lsli = 0x0A
+let lsr_ = 0x0B
+let lsri = 0x0C
+let asr_ = 0x0D
+let asri = 0x0E
+let mul = 0x0F
+let movw = 0x10
+let movt = 0x11
+let mov = 0x12
+let cmp = 0x13
+let cmpi = 0x14
+let b = 0x15
+let bl = 0x16
+let bcc = 0x17
+let br = 0x18
+let blr = 0x19
+let ldr = 0x1A
+let str = 0x1B
+let ldrb = 0x1C
+let strb = 0x1D
+let ldrt = 0x1E
+let strt = 0x1F
+let svc = 0x20
+let eret = 0x21
+let mrc = 0x22
+let mcr = 0x23
+let tlbi = 0x24
+let tlbiall = 0x25
+let wfi = 0x26
+let udf = 0x3F
+
+let cond_to_bits = function
+  | Sb_isa.Uop.Always -> 0
+  | Eq -> 1
+  | Ne -> 2
+  | Lt -> 3
+  | Ge -> 4
+  | Ltu -> 5
+  | Geu -> 6
+
+let cond_of_bits = function
+  | 0 -> Some Sb_isa.Uop.Always
+  | 1 -> Some Eq
+  | 2 -> Some Ne
+  | 3 -> Some Lt
+  | 4 -> Some Ge
+  | 5 -> Some Ltu
+  | 6 -> Some Geu
+  | _ -> None

@@ -1,0 +1,1 @@
+lib/arch_vlx/arch.ml: Decode Insn Sb_isa

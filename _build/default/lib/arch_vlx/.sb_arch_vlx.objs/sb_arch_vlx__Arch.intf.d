@@ -1,0 +1,1 @@
+lib/arch_vlx/arch.mli: Sb_isa

@@ -1,0 +1,1 @@
+lib/arch_vlx/decode.ml: Insn Sb_isa Sb_util Uop

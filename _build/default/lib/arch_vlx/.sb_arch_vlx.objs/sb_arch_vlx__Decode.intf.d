@@ -1,0 +1,1 @@
+lib/arch_vlx/decode.mli: Sb_isa

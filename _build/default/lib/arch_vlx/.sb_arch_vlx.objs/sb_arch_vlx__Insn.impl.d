@@ -1,0 +1,1 @@
+lib/arch_vlx/insn.ml: Bytes Char Int32 Printf Sb_asm Sb_isa String

@@ -1,0 +1,1 @@
+lib/arch_vlx/insn.mli: Sb_asm Sb_isa

@@ -1,0 +1,7 @@
+let name = "vlx32"
+let id = Sb_isa.Arch_sig.Vlx
+let nregs = 8
+let sp_reg = Insn.sp
+let link_reg = Insn.lr
+let max_insn_bytes = 6
+let decode = Decode.decode

@@ -1,0 +1,3 @@
+(** VLX-32 as an engine-pluggable architecture. *)
+
+include Sb_isa.Arch_sig.ARCH

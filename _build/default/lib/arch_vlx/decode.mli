@@ -1,0 +1,6 @@
+(** VLX-32 decoder: variable-length byte stream into micro-ops. *)
+
+val decode : fetch8:(int -> int) -> addr:int -> Sb_isa.Uop.decoded
+(** Unknown opcode bytes decode to a one-byte {!Sb_isa.Uop.Undef};
+    the canonical two-byte [0x0F 0x0B] pair decodes to a two-byte one, so
+    handlers can skip UD2 by advancing two bytes (as on x86). *)

@@ -1,0 +1,169 @@
+type reg = int
+
+type insn =
+  | Nop
+  | Halt
+  | Wfi
+  | Alu_rr of Sb_isa.Uop.alu_op * reg * reg * reg
+  | Alu_ri of Sb_isa.Uop.alu_op * reg * reg * int
+  | Movi of reg * int
+  | Movi_sym of reg * string
+  | Mov of reg * reg
+  | Cmp_rr of reg * reg
+  | Cmp_ri of reg * int
+  | Jmp of string
+  | Call of string
+  | Jcc of Sb_isa.Uop.cond * string
+  | Jmp_r of reg
+  | Call_r of reg
+  | Load of reg * reg * int
+  | Store of reg * reg * int
+  | Loadb of reg * reg * int
+  | Storeb of reg * reg * int
+  | Svc of int
+  | Eret
+  | Ud2
+  | Cpr of reg * int
+  | Cpw of int * reg
+  | Copreset
+  | Tlbi of reg
+  | Tlbiall
+
+let sp = 5
+let lr = 6
+
+let li rd v = [ Movi (rd, v land 0xFFFF_FFFF) ]
+let la rd label = [ Movi_sym (rd, label) ]
+
+let size = function
+  | Nop | Halt | Wfi | Eret | Tlbiall | Copreset -> 1
+  | Ud2 | Mov _ | Cmp_rr _ | Jmp_r _ | Call_r _ | Svc _ | Tlbi _ -> 2
+  | Alu_rr _ | Cpr _ | Cpw _ -> 3
+  | Load _ | Store _ | Loadb _ | Storeb _ -> 4
+  | Jmp _ | Call _ -> 5
+  | Alu_ri _ | Movi _ | Movi_sym _ | Cmp_ri _ | Jcc _ -> 6
+
+let asm_error fmt = Printf.ksprintf (fun s -> raise (Sb_asm.Assembler.Error s)) fmt
+
+let check_reg r = if r < 0 || r > 7 then asm_error "register r%d out of range" r
+
+let alu_index = function
+  | Sb_isa.Uop.Add -> 0
+  | Sub -> 1
+  | And_ -> 2
+  | Orr -> 3
+  | Xor -> 4
+  | Lsl -> 5
+  | Lsr -> 6
+  | Asr -> 7
+  | Mul -> 8
+
+let alu_of_index = function
+  | 0 -> Some Sb_isa.Uop.Add
+  | 1 -> Some Sub
+  | 2 -> Some And_
+  | 3 -> Some Orr
+  | 4 -> Some Xor
+  | 5 -> Some Lsl
+  | 6 -> Some Lsr
+  | 7 -> Some Asr
+  | 8 -> Some Mul
+  | _ -> None
+
+let cond_to_byte = function
+  | Sb_isa.Uop.Always -> 0
+  | Eq -> 1
+  | Ne -> 2
+  | Lt -> 3
+  | Ge -> 4
+  | Ltu -> 5
+  | Geu -> 6
+
+let cond_of_byte = function
+  | 0 -> Some Sb_isa.Uop.Always
+  | 1 -> Some Eq
+  | 2 -> Some Ne
+  | 3 -> Some Lt
+  | 4 -> Some Ge
+  | 5 -> Some Ltu
+  | 6 -> Some Geu
+  | _ -> None
+
+let regs_byte a b =
+  check_reg a;
+  check_reg b;
+  Char.chr ((a lsl 4) lor b)
+
+let imm32_bytes v =
+  let buf = Bytes.create 4 in
+  Bytes.set_int32_le buf 0 (Int32.of_int v);
+  Bytes.to_string buf
+
+let imm16_bytes v =
+  if v < -32768 || v > 32767 then asm_error "offset %d exceeds simm16" v;
+  let buf = Bytes.create 2 in
+  Bytes.set_int16_le buf 0 v;
+  Bytes.to_string buf
+
+let byte n = String.make 1 (Char.chr (n land 0xFF))
+
+(* Relative displacements are measured from the end of the instruction,
+   x86-style. *)
+let rel32 ~pc ~len ~target = imm32_bytes ((target - (pc + len)) land 0xFFFF_FFFF)
+
+let encode ~resolve ~pc insn =
+  let len = size insn in
+  match insn with
+  | Nop -> byte 0x00
+  | Halt -> byte 0x01
+  | Wfi -> byte 0x02
+  | Alu_rr (op, rd, rn, rm) ->
+    check_reg rm;
+    byte (0x10 + alu_index op) ^ String.make 1 (regs_byte rd rn) ^ byte rm
+  | Alu_ri (op, rd, rn, imm) ->
+    byte (0x20 + alu_index op) ^ String.make 1 (regs_byte rd rn) ^ imm32_bytes imm
+  | Movi (rd, imm) -> byte 0x30 ^ String.make 1 (regs_byte rd 0) ^ imm32_bytes imm
+  | Movi_sym (rd, name) ->
+    byte 0x30 ^ String.make 1 (regs_byte rd 0) ^ imm32_bytes (resolve name)
+  | Mov (rd, rm) -> byte 0x31 ^ String.make 1 (regs_byte rd rm)
+  | Cmp_rr (rn, rm) -> byte 0x32 ^ String.make 1 (regs_byte rn rm)
+  | Cmp_ri (rn, imm) -> byte 0x33 ^ String.make 1 (regs_byte rn 0) ^ imm32_bytes imm
+  | Jmp name -> byte 0x40 ^ rel32 ~pc ~len ~target:(resolve name)
+  | Call name -> byte 0x41 ^ rel32 ~pc ~len ~target:(resolve name)
+  | Jcc (cond, name) ->
+    byte 0x42 ^ byte (cond_to_byte cond) ^ rel32 ~pc ~len ~target:(resolve name)
+  | Jmp_r rm ->
+    check_reg rm;
+    byte 0x43 ^ byte rm
+  | Call_r rm ->
+    check_reg rm;
+    byte 0x44 ^ byte rm
+  | Load (rd, rn, off) -> byte 0x50 ^ String.make 1 (regs_byte rd rn) ^ imm16_bytes off
+  | Store (rs, rn, off) -> byte 0x51 ^ String.make 1 (regs_byte rs rn) ^ imm16_bytes off
+  | Loadb (rd, rn, off) -> byte 0x52 ^ String.make 1 (regs_byte rd rn) ^ imm16_bytes off
+  | Storeb (rs, rn, off) -> byte 0x53 ^ String.make 1 (regs_byte rs rn) ^ imm16_bytes off
+  | Svc imm ->
+    if imm < 0 || imm > 0xFF then asm_error "svc immediate %d exceeds imm8" imm;
+    byte 0x60 ^ byte imm
+  | Eret -> byte 0x61
+  | Ud2 -> byte 0x0F ^ byte 0x0B
+  | Cpr (rd, creg) ->
+    if creg < 0 || creg > 0xFF then asm_error "coprocessor register %d" creg;
+    byte 0x62 ^ String.make 1 (regs_byte rd 0) ^ byte creg
+  | Cpw (creg, rs) ->
+    if creg < 0 || creg > 0xFF then asm_error "coprocessor register %d" creg;
+    byte 0x63 ^ String.make 1 (regs_byte rs 0) ^ byte creg
+  | Copreset -> byte 0x66
+  | Tlbi rm ->
+    check_reg rm;
+    byte 0x64 ^ byte rm
+  | Tlbiall -> byte 0x65
+
+module Encoder = struct
+  type nonrec insn = insn
+
+  let size = size
+  let encode = encode
+end
+
+module Asm = Sb_asm.Assembler.Make (Encoder)

@@ -1,0 +1,1 @@
+lib/asm/assembler.ml: Bytes Int32 List Printf Program String

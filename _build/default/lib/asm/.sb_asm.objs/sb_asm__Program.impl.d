@@ -1,0 +1,1 @@
+lib/asm/program.ml: Bytes List

@@ -1,0 +1,90 @@
+type 'insn item =
+  | Label of string
+  | Insn of 'insn
+  | Word of int
+  | Word_sym of string
+  | Byte_string of string
+  | Align of int
+  | Org of int
+  | Space of int
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+module type ENCODER = sig
+  type insn
+
+  val size : insn -> int
+  val encode : resolve:(string -> int) -> pc:int -> insn -> string
+end
+
+module Make (E : ENCODER) = struct
+  let item_size pc = function
+    | Label _ -> 0
+    | Insn i -> E.size i
+    | Word _ | Word_sym _ -> 4
+    | Byte_string s -> String.length s
+    | Align n ->
+      if n <= 0 || n land (n - 1) <> 0 then
+        error "Align %d: not a positive power of two" n
+      else (n - (pc land (n - 1))) land (n - 1)
+    | Org target ->
+      if target < pc then error "Org 0x%x: location counter already at 0x%x" target pc
+      else target - pc
+    | Space n -> if n < 0 then error "Space %d: negative" n else n
+
+  let layout ?(base = 0) items =
+    let pc = ref base in
+    let symbols = ref [] in
+    List.iter
+      (fun item ->
+        (match item with
+        | Label name ->
+          if List.mem_assoc name !symbols then error "duplicate label %S" name;
+          symbols := (name, !pc) :: !symbols
+        | _ -> ());
+        pc := !pc + item_size !pc item)
+      items;
+    List.rev !symbols
+
+  let assemble ?(base = 0) ?entry items =
+    let symbols = layout ~base items in
+    let resolve name =
+      match List.assoc_opt name symbols with
+      | Some addr -> addr
+      | None -> error "undefined label %S" name
+    in
+    let total =
+      List.fold_left (fun pc item -> pc + item_size pc item) base items - base
+    in
+    let image = Bytes.make total '\000' in
+    let pc = ref base in
+    let emit_string s =
+      Bytes.blit_string s 0 image (!pc - base) (String.length s);
+      pc := !pc + String.length s
+    in
+    let emit_word v =
+      Bytes.set_int32_le image (!pc - base) (Int32.of_int v);
+      pc := !pc + 4
+    in
+    List.iter
+      (fun item ->
+        match item with
+        | Label _ -> ()
+        | Insn i ->
+          let encoded = E.encode ~resolve ~pc:!pc i in
+          if String.length encoded <> E.size i then
+            error "encoder size mismatch at 0x%x: declared %d, produced %d" !pc
+              (E.size i) (String.length encoded);
+          emit_string encoded
+        | Word v -> emit_word v
+        | Word_sym name -> emit_word (resolve name)
+        | Byte_string s -> emit_string s
+        | Align _ | Org _ | Space _ -> pc := !pc + item_size !pc item)
+      items;
+    let entry =
+      match entry with Some name -> resolve name | None -> base
+    in
+    { Program.base; image; entry; symbols }
+end

@@ -1,0 +1,42 @@
+(** Generic two-pass assembler.
+
+    The assembler is parametric in the instruction encoder, so both guest
+    ISAs share the same label-resolution, alignment and layout machinery.
+    Pass one computes label addresses from instruction sizes; pass two
+    encodes with a resolver. *)
+
+type 'insn item =
+  | Label of string
+  | Insn of 'insn
+  | Word of int               (** 32-bit little-endian literal *)
+  | Word_sym of string        (** 32-bit literal holding a label's address *)
+  | Byte_string of string     (** raw bytes *)
+  | Align of int              (** pad with zeros to the given power-of-two *)
+  | Org of int                (** advance the location counter to an absolute
+                                  address (never backwards) *)
+  | Space of int              (** zero-filled gap *)
+
+exception Error of string
+
+module type ENCODER = sig
+  type insn
+
+  val size : insn -> int
+  (** Encoded size in bytes; must not depend on label values. *)
+
+  val encode : resolve:(string -> int) -> pc:int -> insn -> string
+  (** Produce exactly [size insn] bytes.  [resolve] raises {!Error} on an
+      undefined label. *)
+end
+
+module Make (E : ENCODER) : sig
+  val assemble : ?base:int -> ?entry:string -> E.insn item list -> Program.t
+  (** [assemble ~base ~entry items] lays the items out starting at [base]
+      (default 0) and sets the program entry point to label [entry]
+      (default: [base]).  Raises {!Error} on duplicate or undefined labels,
+      backwards [Org], or encoder size mismatches. *)
+
+  val layout : ?base:int -> E.insn item list -> (string * int) list
+  (** Label addresses only (pass one), for tests and code generators that
+      need to reason about placement. *)
+end

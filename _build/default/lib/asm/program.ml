@@ -1,0 +1,15 @@
+type t = {
+  base : int;
+  image : Bytes.t;
+  entry : int;
+  symbols : (string * int) list;
+}
+
+let symbol t name =
+  match List.assoc_opt name t.symbols with
+  | Some addr -> addr
+  | None -> raise Not_found
+
+let symbol_opt t name = List.assoc_opt name t.symbols
+
+let size t = Bytes.length t.image

@@ -1,0 +1,15 @@
+(** An assembled guest program image. *)
+
+type t = {
+  base : int;  (** load address of the first image byte *)
+  image : Bytes.t;
+  entry : int;  (** initial PC *)
+  symbols : (string * int) list;
+}
+
+val symbol : t -> string -> int
+(** Raises [Not_found] when the label does not exist. *)
+
+val symbol_opt : t -> string -> int option
+
+val size : t -> int

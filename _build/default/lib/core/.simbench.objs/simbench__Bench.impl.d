@@ -1,0 +1,1 @@
+lib/core/bench.ml: Category Pasm Platform Sb_sim Support

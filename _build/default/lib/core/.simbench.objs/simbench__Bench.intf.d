@@ -1,0 +1,1 @@
+lib/core/bench.mli: Category Pasm Platform Sb_sim Support

@@ -1,0 +1,1 @@
+lib/core/engines.ml: Sb_arch_sba Sb_arch_vlx Sb_dbt Sb_detailed Sb_interp Sb_isa Sb_sim Sb_virt Sba_support Support Vlx_support

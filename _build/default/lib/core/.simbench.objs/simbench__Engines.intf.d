@@ -1,0 +1,1 @@
+lib/core/engines.mli: Sb_dbt Sb_interp Sb_isa Sb_sim Support

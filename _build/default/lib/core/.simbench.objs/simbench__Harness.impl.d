@@ -1,0 +1,1 @@
+lib/core/harness.ml: Bench Format List Platform Printf Rt Sb_mem Sb_sim Suite Support Unix

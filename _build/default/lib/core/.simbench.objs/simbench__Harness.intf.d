@@ -1,0 +1,1 @@
+lib/core/harness.mli: Bench Platform Sb_sim Support

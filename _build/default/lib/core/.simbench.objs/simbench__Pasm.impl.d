@@ -1,0 +1,1 @@
+lib/core/pasm.ml: Format Printf Sb_isa

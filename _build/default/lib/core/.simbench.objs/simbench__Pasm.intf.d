@@ -1,0 +1,1 @@
+lib/core/pasm.mli: Format Sb_isa

@@ -1,0 +1,1 @@
+lib/core/rt.ml: Bench List Pasm Platform Sb_isa Sb_mmu Sb_sim Support

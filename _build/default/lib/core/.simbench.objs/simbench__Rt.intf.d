@@ -1,0 +1,1 @@
+lib/core/rt.mli: Bench Pasm Platform Sb_asm Support

@@ -1,0 +1,1 @@
+lib/core/sba_support.ml: List Pasm Printf Sb_arch_sba Sb_asm Sb_isa

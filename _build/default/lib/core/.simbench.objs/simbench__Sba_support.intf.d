@@ -1,0 +1,1 @@
+lib/core/sba_support.mli: Support

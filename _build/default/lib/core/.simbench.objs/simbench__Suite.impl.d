@@ -1,0 +1,1 @@
+lib/core/suite.ml: Bench Category List Pasm Platform Printf Rt Sb_isa Sb_sim String Support

@@ -1,0 +1,1 @@
+lib/core/suite_ext.ml: Bench Category List Pasm Platform Printf Sb_isa Sb_mmu Sb_sim String Support

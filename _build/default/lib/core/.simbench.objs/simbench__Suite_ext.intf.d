@@ -1,0 +1,1 @@
+lib/core/suite_ext.mli: Bench

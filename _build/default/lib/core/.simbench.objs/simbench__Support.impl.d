@@ -1,0 +1,1 @@
+lib/core/support.ml: Pasm Sb_asm Sb_isa

@@ -1,0 +1,1 @@
+lib/core/vlx_support.ml: List Pasm Printf Sb_arch_vlx Sb_asm Sb_isa

@@ -1,0 +1,1 @@
+lib/core/vlx_support.mli: Support

@@ -1,0 +1,21 @@
+type body = {
+  setup : Pasm.op list;
+  kernel : Pasm.op list;
+  cleanup : Pasm.op list;
+  functions : Pasm.op list;
+  handlers : (Sb_sim.Exn.vector * Pasm.op list) list;
+  needs_irqs : bool;
+}
+
+let empty_body =
+  { setup = []; kernel = []; cleanup = []; functions = []; handlers = []; needs_irqs = false }
+
+type t = {
+  name : string;
+  category : Category.t;
+  description : string;
+  default_iters : int;
+  ops_per_iter : int;
+  platform_specific : bool;
+  body : support:Support.t -> platform:Platform.t -> body;
+}

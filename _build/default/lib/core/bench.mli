@@ -1,0 +1,37 @@
+(** A SimBench benchmark definition.
+
+    Benchmarks follow the paper's three-phase structure: a setup phase, a
+    timed kernel executed for a configurable number of iterations, and a
+    cleanup phase.  Only the kernel is timed — the runtime ({!Rt}) signals
+    the phase boundaries to the harness through the bench device.
+
+    Register conventions inside benchmark code (see {!Pasm}): [v4] is the
+    runtime's iteration counter, [v3] is exception-handler scratch, and the
+    runtime clobbers [v0] and [v3] between setup and the kernel, so values
+    that must survive from setup into the kernel live in [v1]/[v2]. *)
+
+type body = {
+  setup : Pasm.op list;
+  kernel : Pasm.op list;  (** one iteration of the timed kernel *)
+  cleanup : Pasm.op list;
+  functions : Pasm.op list;
+      (** additional code/data (call chains, rewritten blocks, pointer
+          tables) placed after the main control flow *)
+  handlers : (Sb_sim.Exn.vector * Pasm.op list) list;
+      (** exception-handler overrides; unhandled vectors report failure *)
+  needs_irqs : bool;
+}
+
+val empty_body : body
+
+type t = {
+  name : string;
+  category : Category.t;
+  description : string;
+  default_iters : int;
+      (** the Figure 3 iteration count (scaled down by the harness) *)
+  ops_per_iter : int;
+      (** tested operations per kernel iteration, for op-density reporting *)
+  platform_specific : bool;  (** the dagger marker in Figure 3 *)
+  body : support:Support.t -> platform:Platform.t -> body;
+}

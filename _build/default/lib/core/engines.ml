@@ -1,0 +1,84 @@
+type arch = Sb_isa.Arch_sig.arch_id
+
+module Interp_sba = Sb_interp.Interp.Make (Sb_arch_sba.Arch)
+module Interp_vlx = Sb_interp.Interp.Make (Sb_arch_vlx.Arch)
+module Dbt_sba = Sb_dbt.Dbt.Make (Sb_arch_sba.Arch)
+module Dbt_vlx = Sb_dbt.Dbt.Make (Sb_arch_vlx.Arch)
+module Detailed_sba = Sb_detailed.Detailed.Make (Sb_arch_sba.Arch)
+module Detailed_vlx = Sb_detailed.Detailed.Make (Sb_arch_vlx.Arch)
+module Virt_sba = Sb_virt.Virt.Make_virt (Sb_arch_sba.Arch)
+module Virt_vlx = Sb_virt.Virt.Make_virt (Sb_arch_vlx.Arch)
+module Native_sba = Sb_virt.Virt.Make_native (Sb_arch_sba.Arch)
+module Native_vlx = Sb_virt.Virt.Make_native (Sb_arch_vlx.Arch)
+
+let pick arch ~sba ~vlx =
+  match arch with Sb_isa.Arch_sig.Sba -> sba | Sb_isa.Arch_sig.Vlx -> vlx
+
+let interp arch : Sb_sim.Engine.t =
+  pick arch ~sba:(module Interp_sba : Sb_sim.Engine.ENGINE) ~vlx:(module Interp_vlx)
+
+let dbt arch : Sb_sim.Engine.t =
+  pick arch ~sba:(module Dbt_sba : Sb_sim.Engine.ENGINE) ~vlx:(module Dbt_vlx)
+
+let detailed arch : Sb_sim.Engine.t =
+  pick arch ~sba:(module Detailed_sba : Sb_sim.Engine.ENGINE) ~vlx:(module Detailed_vlx)
+
+let virt arch : Sb_sim.Engine.t =
+  pick arch ~sba:(module Virt_sba : Sb_sim.Engine.ENGINE) ~vlx:(module Virt_vlx)
+
+let native arch : Sb_sim.Engine.t =
+  pick arch ~sba:(module Native_sba : Sb_sim.Engine.ENGINE) ~vlx:(module Native_vlx)
+
+let dbt_configured arch config : Sb_sim.Engine.t =
+  match arch with
+  | Sb_isa.Arch_sig.Sba ->
+    (module Sb_dbt.Dbt.Make_configured
+              (Sb_arch_sba.Arch)
+              (struct
+                let config = config
+              end))
+  | Sb_isa.Arch_sig.Vlx ->
+    (module Sb_dbt.Dbt.Make_configured
+              (Sb_arch_vlx.Arch)
+              (struct
+                let config = config
+              end))
+
+let dbt_version arch name =
+  match Sb_dbt.Version.find name with
+  | Some config -> dbt_configured arch config
+  | None -> raise Not_found
+
+let interp_configured arch config : Sb_sim.Engine.t =
+  match arch with
+  | Sb_isa.Arch_sig.Sba ->
+    (module Sb_interp.Interp.Make_configured
+              (Sb_arch_sba.Arch)
+              (struct
+                let config = config
+              end))
+  | Sb_isa.Arch_sig.Vlx ->
+    (module Sb_interp.Interp.Make_configured
+              (Sb_arch_vlx.Arch)
+              (struct
+                let config = config
+              end))
+
+let paper_set arch =
+  match arch with
+  | Sb_isa.Arch_sig.Sba ->
+    [
+      ("QEMU-DBT", dbt arch);
+      ("SimIt-ARM", interp arch);
+      ("Gem5", detailed arch);
+      ("QEMU-KVM", virt arch);
+      ("Hardware", native arch);
+    ]
+  | Sb_isa.Arch_sig.Vlx ->
+    (* the paper's x86 table has no SimIt or Gem5 columns *)
+    [ ("QEMU-DBT", dbt arch); ("QEMU-KVM", virt arch); ("Hardware", native arch) ]
+
+let all_arches = [ Sb_isa.Arch_sig.Sba; Sb_isa.Arch_sig.Vlx ]
+
+let support arch : Support.t =
+  pick arch ~sba:(module Sba_support : Support.SUPPORT) ~vlx:(module Vlx_support)

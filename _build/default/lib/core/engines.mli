@@ -1,0 +1,32 @@
+(** Engine registry: every execution engine instantiated for both guest
+    ISAs, plus DBT engines configured for arbitrary version configurations.
+
+    Paper-role naming: [dbt] plays QEMU-DBT, [interp] plays SimIt-ARM,
+    [detailed] plays Gem5, [virt] plays QEMU-KVM, [native] plays the
+    hardware baseline. *)
+
+type arch = Sb_isa.Arch_sig.arch_id
+
+val interp : arch -> Sb_sim.Engine.t
+val dbt : arch -> Sb_sim.Engine.t
+val detailed : arch -> Sb_sim.Engine.t
+val virt : arch -> Sb_sim.Engine.t
+val native : arch -> Sb_sim.Engine.t
+
+val dbt_configured : arch -> Sb_dbt.Config.t -> Sb_sim.Engine.t
+(** A DBT engine with an explicit configuration (used by the version sweep
+    and the ablation benches). *)
+
+val dbt_version : arch -> string -> Sb_sim.Engine.t
+(** By {!Sb_dbt.Version} release name; raises [Not_found] on an unknown
+    name. *)
+
+val interp_configured : arch -> Sb_interp.Interp.Config.t -> Sb_sim.Engine.t
+
+val paper_set : arch -> (string * Sb_sim.Engine.t) list
+(** The Figure 7 column set, labelled with the paper's platform names. *)
+
+val all_arches : arch list
+
+val support : arch -> Support.t
+(** The matching architecture support package. *)

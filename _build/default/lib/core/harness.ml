@@ -1,0 +1,68 @@
+type outcome = {
+  bench_name : string;
+  engine_name : string;
+  arch_name : string;
+  iters : int;
+  scale : int;
+  result : Sb_sim.Run_result.t;
+  kernel_seconds : float;
+  kernel_insns : int;
+  tested_ops : int;
+}
+
+exception Benchmark_failed of string
+
+let default_scale = 20_000
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Benchmark_failed s)) fmt
+
+let run ?(platform = Platform.sbp_ref) ?(scale = default_scale) ?iters ~support
+    ~engine bench =
+  let (module S : Support.SUPPORT) = support in
+  let iters =
+    match iters with
+    | Some n -> max 1 n
+    | None -> max 10 (bench.Bench.default_iters / scale)
+  in
+  let machine = Platform.machine platform ~now:Unix.gettimeofday () in
+  Sb_mem.Benchdev.set_iters machine.Sb_sim.Machine.benchdev iters;
+  let program = Rt.program ~support ~platform ~bench in
+  Sb_sim.Machine.load_program machine program;
+  let result = Sb_sim.Engine.run engine machine in
+  let engine_name = result.Sb_sim.Run_result.engine in
+  (match result.Sb_sim.Run_result.stop with
+  | Sb_sim.Run_result.Halted -> ()
+  | stop ->
+    fail "%s on %s stopped early (%s)" bench.Bench.name engine_name
+      (Format.asprintf "%a" Sb_sim.Run_result.pp_stop stop));
+  if result.Sb_sim.Run_result.exit_code <> 0 then
+    fail "%s on %s: guest reported exit code 0x%x" bench.Bench.name engine_name
+      result.Sb_sim.Run_result.exit_code;
+  let kernel_seconds =
+    match result.Sb_sim.Run_result.kernel_seconds with
+    | Some s -> s
+    | None -> fail "%s on %s: kernel phase never signalled" bench.Bench.name engine_name
+  in
+  let kernel_insns =
+    match Sb_sim.Run_result.kernel_insns result with
+    | Some n -> n
+    | None -> fail "%s on %s: no kernel perf snapshot" bench.Bench.name engine_name
+  in
+  {
+    bench_name = bench.Bench.name;
+    engine_name;
+    arch_name = S.name;
+    iters;
+    scale;
+    result;
+    kernel_seconds;
+    kernel_insns;
+    tested_ops = iters * bench.Bench.ops_per_iter;
+  }
+
+let density outcome =
+  if outcome.kernel_insns = 0 then nan
+  else float_of_int outcome.tested_ops /. float_of_int outcome.kernel_insns
+
+let run_suite ?platform ?scale ~support ~engine () =
+  List.map (fun bench -> run ?platform ?scale ~support ~engine bench) Suite.all

@@ -1,0 +1,50 @@
+(** SimBench harness: runs one benchmark on one engine and reports the
+    paper's measurement triple — kernel run time, iteration count, and the
+    counters behind the operation-density metric.
+
+    Iteration counts default to Figure 3's values divided by [scale]
+    (simulators-in-a-simulator run slower than real hardware); both the
+    scaled count and the scale are recorded so results are reported
+    "with run time and iteration counts", as the paper requires. *)
+
+type outcome = {
+  bench_name : string;
+  engine_name : string;
+  arch_name : string;
+  iters : int;
+  scale : int;
+  result : Sb_sim.Run_result.t;
+  kernel_seconds : float;
+  kernel_insns : int;
+  tested_ops : int;
+}
+
+exception Benchmark_failed of string
+(** The guest reported failure (non-zero exit), did not halt, or never
+    signalled its kernel phase. *)
+
+val default_scale : int
+(** 20000: Figure 3 iteration counts divided by this keep a full-suite,
+    all-engine sweep within interactive time. *)
+
+val run :
+  ?platform:Platform.t ->
+  ?scale:int ->
+  ?iters:int ->
+  support:Support.t ->
+  engine:Sb_sim.Engine.t ->
+  Bench.t ->
+  outcome
+(** [iters] overrides the scaled default entirely. *)
+
+val density : outcome -> float
+(** Tested operations per kernel instruction (the Figure 3 metric). *)
+
+val run_suite :
+  ?platform:Platform.t ->
+  ?scale:int ->
+  support:Support.t ->
+  engine:Sb_sim.Engine.t ->
+  unit ->
+  outcome list
+(** All 18 benchmarks in Figure 3 order. *)

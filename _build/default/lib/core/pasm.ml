@@ -1,0 +1,107 @@
+type reg = int
+
+let v0 = 0
+let v1 = 1
+let v2 = 2
+let v3 = 3
+let v4 = 4
+let sp = 5
+let lr = 6
+
+type operand = R of reg | I of int
+
+type width = W8 | W32
+
+type op =
+  | L of string
+  | Li of reg * int
+  | La of reg * string
+  | Mov of reg * reg
+  | Alu of Sb_isa.Uop.alu_op * reg * reg * operand
+  | Cmp of reg * operand
+  | Br of Sb_isa.Uop.cond * string
+  | Jmp of string
+  | Jmp_reg of reg
+  | Call of string
+  | Call_reg of reg
+  | Ret
+  | Load of width * reg * reg * int
+  | Store of width * reg * reg * int
+  | Load_user of reg * reg * int
+  | Store_user of reg * reg * int
+  | Syscall
+  | Undef
+  | Eret
+  | Nop
+  | Halt
+  | Wfi
+  | Cop_read of reg * int
+  | Cop_write of int * reg
+  | Cop_write_lr of int
+  | Cop_safe_read of reg
+  | Tlb_inv_page of reg
+  | Tlb_inv_all
+  | Raw_word of int
+  | Word_sym of string
+  | Align of int
+  | Org of int
+  | Space of int
+
+let reg_name r =
+  if r <= 4 then Printf.sprintf "v%d" r
+  else if r = sp then "sp"
+  else if r = lr then "lr"
+  else Printf.sprintf "v?%d" r
+
+let operand_name = function
+  | R r -> reg_name r
+  | I i -> Printf.sprintf "#%d" i
+
+let pp ppf op =
+  let p fmt = Format.fprintf ppf fmt in
+  match op with
+  | L s -> p "%s:" s
+  | Li (r, v) -> p "li %s, 0x%x" (reg_name r) v
+  | La (r, s) -> p "la %s, %s" (reg_name r) s
+  | Mov (a, b) -> p "mov %s, %s" (reg_name a) (reg_name b)
+  | Alu (o, d, a, b) ->
+    p "alu.%s %s, %s, %s"
+      (match o with
+      | Sb_isa.Uop.Add -> "add"
+      | Sub -> "sub"
+      | And_ -> "and"
+      | Orr -> "orr"
+      | Xor -> "xor"
+      | Lsl -> "lsl"
+      | Lsr -> "lsr"
+      | Asr -> "asr"
+      | Mul -> "mul")
+      (reg_name d) (reg_name a) (operand_name b)
+  | Cmp (r, o) -> p "cmp %s, %s" (reg_name r) (operand_name o)
+  | Br (_, s) -> p "bcc %s" s
+  | Jmp s -> p "jmp %s" s
+  | Jmp_reg r -> p "jmp %s" (reg_name r)
+  | Call s -> p "call %s" s
+  | Call_reg r -> p "call %s" (reg_name r)
+  | Ret -> p "ret"
+  | Load (_, d, b, o) -> p "load %s, [%s+%d]" (reg_name d) (reg_name b) o
+  | Store (_, s, b, o) -> p "store %s, [%s+%d]" (reg_name s) (reg_name b) o
+  | Load_user (d, b, o) -> p "load.user %s, [%s+%d]" (reg_name d) (reg_name b) o
+  | Store_user (s, b, o) -> p "store.user %s, [%s+%d]" (reg_name s) (reg_name b) o
+  | Syscall -> p "syscall"
+  | Undef -> p "undef"
+  | Eret -> p "eret"
+  | Nop -> p "nop"
+  | Halt -> p "halt"
+  | Wfi -> p "wfi"
+  | Cop_read (r, c) -> p "cop.read %s, cp%d" (reg_name r) c
+  | Cop_write (c, r) -> p "cop.write cp%d, %s" c (reg_name r)
+  | Cop_write_lr c -> p "cop.write cp%d, lr" c
+  | Cop_safe_read r -> p "cop.safe %s" (reg_name r)
+  | Tlb_inv_page r -> p "tlbi %s" (reg_name r)
+  | Tlb_inv_all -> p "tlbiall"
+  | Raw_word w -> p ".word 0x%x" w
+  | Word_sym s -> p ".word %s" s
+  | Align n -> p ".align %d" n
+  | Org a -> p ".org 0x%x" a
+  | Space n -> p ".space %d" n

@@ -1,0 +1,68 @@
+(** Portable benchmark assembly.
+
+    SimBench benchmarks are written once, against this small portable
+    instruction set, and lowered to each guest ISA by an architecture
+    support package ({!Sba_support}, {!Vlx_support}) — the OCaml analog of
+    the paper's "benchmarks in standards-compliant C, architecture specifics
+    in support packages" structure.  Porting the suite to a new guest ISA
+    means writing one lowering, not touching any benchmark.
+
+    Register model: five virtual registers [v0..v4] (narrow enough to fit
+    the smallest guest register file), plus [sp] and [lr].  Conventions used
+    by the runtime and benchmark bodies:
+    - [v4] is the runtime's iteration counter — kernels must preserve it;
+    - [v3] is the exception-handler scratch register — kernels must not keep
+      a live value in it across a faulting operation. *)
+
+type reg = int
+
+val v0 : reg
+val v1 : reg
+val v2 : reg
+val v3 : reg
+val v4 : reg
+val sp : reg
+val lr : reg
+
+type operand = R of reg | I of int
+
+type width = W8 | W32
+
+type op =
+  | L of string  (** label *)
+  | Li of reg * int
+  | La of reg * string
+  | Mov of reg * reg
+  | Alu of Sb_isa.Uop.alu_op * reg * reg * operand
+  | Cmp of reg * operand
+  | Br of Sb_isa.Uop.cond * string
+  | Jmp of string
+  | Jmp_reg of reg
+  | Call of string
+  | Call_reg of reg
+  | Ret  (** jump through [lr] *)
+  | Load of width * reg * reg * int   (** rd, \[rn + #off\] *)
+  | Store of width * reg * reg * int  (** rs, \[rn + #off\] *)
+  | Load_user of reg * reg * int
+      (** non-privileged load; lowered to [Nop] on ISAs without one *)
+  | Store_user of reg * reg * int
+  | Syscall
+  | Undef
+  | Eret
+  | Nop
+  | Halt
+  | Wfi
+  | Cop_read of reg * int
+  | Cop_write of int * reg
+  | Cop_write_lr of int  (** coprocessor\[creg\] := lr (the unwind handler) *)
+  | Cop_safe_read of reg
+      (** the architecture's side-effect-free coprocessor access *)
+  | Tlb_inv_page of reg
+  | Tlb_inv_all
+  | Raw_word of int
+  | Word_sym of string
+  | Align of int
+  | Org of int
+  | Space of int
+
+val pp : Format.formatter -> op -> unit

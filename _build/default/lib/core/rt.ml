@@ -1,0 +1,181 @@
+open Pasm
+
+let page_size = 4096
+let section_size = 1 lsl Sb_mmu.Pte.section_shift
+
+(* Bench-device register offsets. *)
+let phase_off = 0x0
+let exit_off = 0x4
+let iters_off = 0xC
+
+(* Store a constant to a device register; clobbers v0 and v3. *)
+let dev_store ~base ~off value =
+  [ Li (v0, base); Li (v3, value); Store (W32, v3, v0, off) ]
+
+(* Write one host-computed page-table word; clobbers v0 and v3. *)
+let poke ~addr value = [ Li (v0, addr); Li (v3, value); Store (W32, v3, v0, 0) ]
+
+let build_page_tables (p : Platform.t) =
+  let l1 = p.Platform.page_table_base in
+  let l1_slot va = l1 + (Sb_mmu.Pte.l1_index va * 4) in
+  (* identity sections covering RAM, kernel-only, executable *)
+  let ram_sections = (p.Platform.ram_size + section_size - 1) / section_size in
+  let ram_entries =
+    List.concat
+      (List.init ram_sections (fun i ->
+           let pa = i * section_size in
+           poke ~addr:(l1_slot pa)
+             (Sb_mmu.Pte.encode_section ~pa_base:pa ~ap:Sb_mmu.Access.Ap.kernel_only
+                ~xn:false)))
+  in
+  (* one section mapping the device windows, kernel-only, never executable *)
+  let device_entry =
+    poke
+      ~addr:(l1_slot p.Platform.device_section_va)
+      (Sb_mmu.Pte.encode_section ~pa_base:p.Platform.device_section_va
+         ~ap:Sb_mmu.Access.Ap.kernel_only ~xn:true)
+  in
+  (* the cold region: page-mapped VA span aliasing the scratch pages, built
+     by a guest loop over the L2 tables *)
+  let l2 = p.Platform.l2_table_base in
+  let pages = p.Platform.cold_region_pages in
+  let l2_tables = (pages + 1023) / 1024 in
+  let l1_entries_for_cold =
+    List.concat
+      (List.init l2_tables (fun i ->
+           poke
+             ~addr:(l1_slot (p.Platform.cold_region_va + (i * section_size)))
+             (Sb_mmu.Pte.encode_table ~l2_base:(l2 + (i * page_size)))))
+  in
+  let first_pa = p.Platform.scratch_base in
+  let first_entry =
+    Sb_mmu.Pte.encode_page ~pa_base:first_pa ~ap:Sb_mmu.Access.Ap.kernel_only ~xn:true
+  in
+  let wrap = p.Platform.scratch_pages in
+  let cold_fill =
+    (* v0 slot pointer, v1 entry value, v2 remaining, v3 wrap counter *)
+    [
+      Li (v0, l2);
+      Li (v1, first_entry);
+      Li (v2, pages);
+      Li (v3, wrap);
+      L "rt_cold_fill";
+      Store (W32, v1, v0, 0);
+      Alu (Sb_isa.Uop.Add, v0, v0, I 4);
+      Alu (Sb_isa.Uop.Add, v1, v1, I page_size);
+      Alu (Sb_isa.Uop.Sub, v3, v3, I 1);
+      Cmp (v3, I 0);
+      Br (Sb_isa.Uop.Ne, "rt_cold_no_wrap");
+      Alu (Sb_isa.Uop.Sub, v1, v1, I (wrap * page_size));
+      Li (v3, wrap);
+      L "rt_cold_no_wrap";
+      Alu (Sb_isa.Uop.Sub, v2, v2, I 1);
+      Cmp (v2, I 0);
+      Br (Sb_isa.Uop.Ne, "rt_cold_fill");
+    ]
+  in
+  (* the user page: its own L2 table, one user-RW entry *)
+  let user_l2 = l2 + (l2_tables * page_size) in
+  let user_entries =
+    poke
+      ~addr:(l1_slot p.Platform.user_page_va)
+      (Sb_mmu.Pte.encode_table ~l2_base:user_l2)
+    @ poke
+        ~addr:(user_l2 + (Sb_mmu.Pte.l2_index p.Platform.user_page_va * 4))
+        (Sb_mmu.Pte.encode_page ~pa_base:p.Platform.scratch_base
+           ~ap:Sb_mmu.Access.Ap.user_full ~xn:true)
+  in
+  ram_entries @ device_entry @ l1_entries_for_cold @ cold_fill @ user_entries
+
+let enable_irqs =
+  [
+    Li (v3, 3);
+    (* kernel mode, IRQs enabled *)
+    Cop_write (Sb_isa.Cregs.spsr, v3);
+    La (v3, "rt_irqs_on");
+    Cop_write (Sb_isa.Cregs.elr, v3);
+    Eret;
+    L "rt_irqs_on";
+  ]
+
+let wrap_irq_handler body =
+  [
+    Cop_write (Sb_isa.Cregs.tpidr0, v0);
+    Cop_write (Sb_isa.Cregs.tpidr1, v3);
+  ]
+  @ body
+  @ [
+      Cop_read (v0, Sb_isa.Cregs.tpidr0);
+      Cop_read (v3, Sb_isa.Cregs.tpidr1);
+      Eret;
+    ]
+
+let vector_order =
+  [
+    Sb_sim.Exn.Reset;
+    Sb_sim.Exn.Undefined;
+    Sb_sim.Exn.Syscall;
+    Sb_sim.Exn.Prefetch_abort;
+    Sb_sim.Exn.Data_abort;
+    Sb_sim.Exn.Irq;
+  ]
+
+let handler_label vector = "rt_h_" ^ Sb_sim.Exn.vector_name vector
+
+let program ~support ~platform ~bench =
+  let (module S : Support.SUPPORT) = support in
+  let p = platform in
+  let body = bench.Bench.body ~support ~platform in
+  let bench_base = p.Platform.bench_base in
+  let handlers =
+    List.concat_map
+      (fun vector ->
+        let code =
+          match List.assoc_opt vector body.Bench.handlers with
+          | Some code -> code
+          | None -> (
+            match vector with
+            | Sb_sim.Exn.Reset -> [ Jmp "_start" ]
+            | _ -> [ Jmp "rt_fail" ])
+        in
+        (L (handler_label vector) :: code))
+      vector_order
+  in
+  let vectors =
+    [ Align 8; L "rt_vectors" ]
+    @ List.concat_map
+        (fun vector -> [ Jmp (handler_label vector); Align 8 ])
+        vector_order
+  in
+  let ops =
+    [ L "_start" ]
+    (* vectors first so that faults during setup already report cleanly *)
+    @ [ La (v0, "rt_vectors"); Cop_write (Sb_isa.Cregs.vbar, v0) ]
+    @ [ Li (sp, p.Platform.stack_top) ]
+    @ build_page_tables p
+    @ [ Li (v0, p.Platform.page_table_base); Cop_write (Sb_isa.Cregs.ttbr, v0) ]
+    @ [ Li (v0, 1); Cop_write (Sb_isa.Cregs.sctlr, v0) ]
+    @ body.Bench.setup
+    @ (if body.Bench.needs_irqs then enable_irqs else [])
+    (* fetch the harness-provided iteration count into v4 *)
+    @ [ Li (v0, bench_base); Load (W32, v4, v0, iters_off) ]
+    @ dev_store ~base:bench_base ~off:phase_off 1
+    @ [ L "rt_kloop" ]
+    @ body.Bench.kernel
+    @ [
+        Alu (Sb_isa.Uop.Sub, v4, v4, I 1);
+        Cmp (v4, I 0);
+        Br (Sb_isa.Uop.Ne, "rt_kloop");
+      ]
+    @ dev_store ~base:bench_base ~off:phase_off 2
+    @ body.Bench.cleanup
+    @ dev_store ~base:bench_base ~off:exit_off 0
+    @ [ Halt ]
+    @ [ L "rt_fail" ]
+    @ dev_store ~base:bench_base ~off:exit_off 0xDEAD
+    @ [ Halt ]
+    @ body.Bench.functions
+    @ handlers
+    @ vectors
+  in
+  S.assemble ~base:p.Platform.code_base ~entry:"_start" ops

@@ -1,0 +1,27 @@
+(** The SimBench bare-metal runtime ("crt0").
+
+    Builds the complete guest program around a benchmark body: exception
+    vectors and default handlers, guest-built page tables (identity sections
+    for RAM and devices, a large page-mapped region for the memory
+    benchmarks, and a user-accessible page), MMU enablement, the
+    iteration-count fetch from the bench device, and the three-phase
+    structure with phase signalling.  Mirrors the paper's architecture
+    support package responsibilities: "bringing the machine out of reset,
+    managing the MMU and caches". *)
+
+val program :
+  support:Support.t -> platform:Platform.t -> bench:Bench.t -> Sb_asm.Program.t
+(** Assemble the full bootable image for one benchmark. *)
+
+val build_page_tables : Platform.t -> Pasm.op list
+(** The guest code that constructs the page tables (exposed for tests). *)
+
+val enable_irqs : Pasm.op list
+(** ERET trampoline that switches CPU IRQs on while staying in kernel
+    mode. *)
+
+val wrap_irq_handler : Pasm.op list -> Pasm.op list
+(** Bank [v0] and [v3] into the TPIDR scratch registers around an IRQ
+    handler body and append the exception return.  Interrupt handlers must
+    use this (or preserve every register themselves): asynchronous
+    interrupts can arrive while any register is live. *)

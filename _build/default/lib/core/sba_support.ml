@@ -1,0 +1,87 @@
+module SI = Sb_arch_sba.Insn
+open Sb_asm.Assembler
+
+let name = "sba32"
+let arch_id = Sb_isa.Arch_sig.Sba
+let nonpriv_supported = true
+let undef_skip_bytes = 4
+let load_skip_bytes = 4
+let store_skip_bytes = 4
+
+let scratch = 10
+
+let reg r =
+  if r <= 4 then r
+  else if r = Pasm.sp then 13
+  else if r = Pasm.lr then 14
+  else invalid_arg (Printf.sprintf "Sba_support: virtual register %d" r)
+
+let insns is = List.map (fun i -> Insn i) is
+
+let fits_imm14 i = i >= -8192 && i <= 8191
+
+let alu_rr op d a b =
+  match op with
+  | Sb_isa.Uop.Add -> SI.Add (d, a, SI.Rm b)
+  | Sub -> SI.Sub (d, a, SI.Rm b)
+  | And_ -> SI.And_ (d, a, b)
+  | Orr -> SI.Orr (d, a, b)
+  | Xor -> SI.Xor (d, a, b)
+  | Lsl -> SI.Lsl (d, a, SI.Rm b)
+  | Lsr -> SI.Lsr (d, a, SI.Rm b)
+  | Asr -> SI.Asr (d, a, SI.Rm b)
+  | Mul -> SI.Mul (d, a, b)
+
+let alu_ri op d a i =
+  match op with
+  | Sb_isa.Uop.Add when fits_imm14 i -> [ SI.Add (d, a, SI.Imm i) ]
+  | Sub when fits_imm14 i -> [ SI.Sub (d, a, SI.Imm i) ]
+  | Lsl when fits_imm14 i -> [ SI.Lsl (d, a, SI.Imm i) ]
+  | Lsr when fits_imm14 i -> [ SI.Lsr (d, a, SI.Imm i) ]
+  | Asr when fits_imm14 i -> [ SI.Asr (d, a, SI.Imm i) ]
+  | op -> SI.li scratch i @ [ alu_rr op d a scratch ]
+
+let lower_op (op : Pasm.op) : SI.insn item list =
+  match op with
+  | Pasm.L s -> [ Label s ]
+  | Pasm.Li (r, v) -> insns (SI.li (reg r) v)
+  | Pasm.La (r, s) -> insns (SI.la (reg r) s)
+  | Pasm.Mov (a, b) -> insns [ SI.Mov (reg a, reg b) ]
+  | Pasm.Alu (o, d, a, Pasm.R b) -> insns [ alu_rr o (reg d) (reg a) (reg b) ]
+  | Pasm.Alu (o, d, a, Pasm.I i) -> insns (alu_ri o (reg d) (reg a) i)
+  | Pasm.Cmp (r, Pasm.R b) -> insns [ SI.Cmp (reg r, SI.Rm (reg b)) ]
+  | Pasm.Cmp (r, Pasm.I i) ->
+    if fits_imm14 i then insns [ SI.Cmp (reg r, SI.Imm i) ]
+    else insns (SI.li scratch i @ [ SI.Cmp (reg r, SI.Rm scratch) ])
+  | Pasm.Br (c, s) -> insns [ SI.Bcc (c, s) ]
+  | Pasm.Jmp s -> insns [ SI.B s ]
+  | Pasm.Jmp_reg r -> insns [ SI.Br (reg r) ]
+  | Pasm.Call s -> insns [ SI.Bl s ]
+  | Pasm.Call_reg r -> insns [ SI.Blr (reg r) ]
+  | Pasm.Ret -> insns [ SI.Br 14 ]
+  | Pasm.Load (Pasm.W32, d, b, off) -> insns [ SI.Ldr (reg d, reg b, off) ]
+  | Pasm.Load (Pasm.W8, d, b, off) -> insns [ SI.Ldrb (reg d, reg b, off) ]
+  | Pasm.Store (Pasm.W32, s, b, off) -> insns [ SI.Str (reg s, reg b, off) ]
+  | Pasm.Store (Pasm.W8, s, b, off) -> insns [ SI.Strb (reg s, reg b, off) ]
+  | Pasm.Load_user (d, b, off) -> insns [ SI.Ldrt (reg d, reg b, off) ]
+  | Pasm.Store_user (s, b, off) -> insns [ SI.Strt (reg s, reg b, off) ]
+  | Pasm.Syscall -> insns [ SI.Svc 0 ]
+  | Pasm.Undef -> insns [ SI.Udf ]
+  | Pasm.Eret -> insns [ SI.Eret ]
+  | Pasm.Nop -> insns [ SI.Nop ]
+  | Pasm.Halt -> insns [ SI.Halt ]
+  | Pasm.Wfi -> insns [ SI.Wfi ]
+  | Pasm.Cop_read (r, c) -> insns [ SI.Mrc (reg r, c) ]
+  | Pasm.Cop_write (c, r) -> insns [ SI.Mcr (c, reg r) ]
+  | Pasm.Cop_write_lr c -> insns [ SI.Mcr (c, 14) ]
+  | Pasm.Cop_safe_read r -> insns [ SI.Mrc (reg r, Sb_isa.Cregs.dacr) ]
+  | Pasm.Tlb_inv_page r -> insns [ SI.Tlbi (reg r) ]
+  | Pasm.Tlb_inv_all -> insns [ SI.Tlbiall ]
+  | Pasm.Raw_word w -> [ Word w ]
+  | Pasm.Word_sym s -> [ Word_sym s ]
+  | Pasm.Align n -> [ Align n ]
+  | Pasm.Org a -> [ Org a ]
+  | Pasm.Space n -> [ Space n ]
+
+let assemble ?base ?entry ops =
+  SI.Asm.assemble ?base ?entry (List.concat_map lower_op ops)

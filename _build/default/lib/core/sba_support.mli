@@ -1,0 +1,3 @@
+(** SBA-32 architecture support package: lowers {!Pasm} to SBA-32. *)
+
+include Support.SUPPORT

@@ -1,0 +1,30 @@
+(** Architecture support package interface.
+
+    One of these per guest ISA: it lowers the portable benchmark assembly
+    ({!Pasm}) to the ISA and reports the architecture-specific constants the
+    runtime's exception handlers need (how many bytes to skip over a faulted
+    load or an undefined instruction). *)
+
+module type SUPPORT = sig
+  val name : string
+  val arch_id : Sb_isa.Arch_sig.arch_id
+
+  val nonpriv_supported : bool
+  (** false lowers [Load_user]/[Store_user] to [Nop], as on the paper's x86
+      port. *)
+
+  val undef_skip_bytes : int
+  (** encoded size of the canonical undefined instruction *)
+
+  val load_skip_bytes : int
+  (** encoded size of the word-load instruction (data-abort handler skip) *)
+
+  val store_skip_bytes : int
+
+  val assemble :
+    ?base:int -> ?entry:string -> Pasm.op list -> Sb_asm.Program.t
+end
+
+type t = (module SUPPORT)
+
+let name (module S : SUPPORT) = S.name

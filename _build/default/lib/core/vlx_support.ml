@@ -1,0 +1,59 @@
+module VI = Sb_arch_vlx.Insn
+open Sb_asm.Assembler
+
+let name = "vlx32"
+let arch_id = Sb_isa.Arch_sig.Vlx
+let nonpriv_supported = false
+let undef_skip_bytes = 2 (* UD2 *)
+let load_skip_bytes = 4
+let store_skip_bytes = 4
+
+let reg r =
+  if r <= 4 then r
+  else if r = Pasm.sp then VI.sp
+  else if r = Pasm.lr then VI.lr
+  else invalid_arg (Printf.sprintf "Vlx_support: virtual register %d" r)
+
+let insns is = List.map (fun i -> Insn i) is
+
+let lower_op (op : Pasm.op) : VI.insn item list =
+  match op with
+  | Pasm.L s -> [ Label s ]
+  | Pasm.Li (r, v) -> insns (VI.li (reg r) v)
+  | Pasm.La (r, s) -> insns (VI.la (reg r) s)
+  | Pasm.Mov (a, b) -> insns [ VI.Mov (reg a, reg b) ]
+  | Pasm.Alu (o, d, a, Pasm.R b) -> insns [ VI.Alu_rr (o, reg d, reg a, reg b) ]
+  | Pasm.Alu (o, d, a, Pasm.I i) -> insns [ VI.Alu_ri (o, reg d, reg a, i) ]
+  | Pasm.Cmp (r, Pasm.R b) -> insns [ VI.Cmp_rr (reg r, reg b) ]
+  | Pasm.Cmp (r, Pasm.I i) -> insns [ VI.Cmp_ri (reg r, i) ]
+  | Pasm.Br (c, s) -> insns [ VI.Jcc (c, s) ]
+  | Pasm.Jmp s -> insns [ VI.Jmp s ]
+  | Pasm.Jmp_reg r -> insns [ VI.Jmp_r (reg r) ]
+  | Pasm.Call s -> insns [ VI.Call s ]
+  | Pasm.Call_reg r -> insns [ VI.Call_r (reg r) ]
+  | Pasm.Ret -> insns [ VI.Jmp_r VI.lr ]
+  | Pasm.Load (Pasm.W32, d, b, off) -> insns [ VI.Load (reg d, reg b, off) ]
+  | Pasm.Load (Pasm.W8, d, b, off) -> insns [ VI.Loadb (reg d, reg b, off) ]
+  | Pasm.Store (Pasm.W32, s, b, off) -> insns [ VI.Store (reg s, reg b, off) ]
+  | Pasm.Store (Pasm.W8, s, b, off) -> insns [ VI.Storeb (reg s, reg b, off) ]
+  | Pasm.Load_user _ | Pasm.Store_user _ -> insns [ VI.Nop ]
+  | Pasm.Syscall -> insns [ VI.Svc 0 ]
+  | Pasm.Undef -> insns [ VI.Ud2 ]
+  | Pasm.Eret -> insns [ VI.Eret ]
+  | Pasm.Nop -> insns [ VI.Nop ]
+  | Pasm.Halt -> insns [ VI.Halt ]
+  | Pasm.Wfi -> insns [ VI.Wfi ]
+  | Pasm.Cop_read (r, c) -> insns [ VI.Cpr (reg r, c) ]
+  | Pasm.Cop_write (c, r) -> insns [ VI.Cpw (c, reg r) ]
+  | Pasm.Cop_write_lr c -> insns [ VI.Cpw (c, VI.lr) ]
+  | Pasm.Cop_safe_read _ -> insns [ VI.Copreset ]
+  | Pasm.Tlb_inv_page r -> insns [ VI.Tlbi (reg r) ]
+  | Pasm.Tlb_inv_all -> insns [ VI.Tlbiall ]
+  | Pasm.Raw_word w -> [ Word w ]
+  | Pasm.Word_sym s -> [ Word_sym s ]
+  | Pasm.Align n -> [ Align n ]
+  | Pasm.Org a -> [ Org a ]
+  | Pasm.Space n -> [ Space n ]
+
+let assemble ?base ?entry ops =
+  VI.Asm.assemble ?base ?entry (List.concat_map lower_op ops)

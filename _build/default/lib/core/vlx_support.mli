@@ -1,0 +1,7 @@
+(** VLX-32 architecture support package: lowers {!Pasm} to VLX-32.
+
+    VLX has no non-privileged access instructions, so [Load_user] and
+    [Store_user] lower to [Nop] — the Nonprivileged Access benchmark is a
+    no-op on this architecture, exactly as on the paper's x86 port. *)
+
+include Support.SUPPORT

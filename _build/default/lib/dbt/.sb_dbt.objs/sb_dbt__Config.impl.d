@@ -1,0 +1,1 @@
+lib/dbt/config.ml:

@@ -1,0 +1,1 @@
+lib/dbt/dbt.ml: Alu_eval Arch_sig Array Bool Bytes Char Config Cop Cpu Cregs Exn Hashtbl Ir List Machine Page_cache Perf Printf Run_result Runner Sb_isa Sb_mem Sb_mmu Sb_sim Sb_util Uop

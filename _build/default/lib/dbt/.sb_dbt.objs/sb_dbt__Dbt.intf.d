@@ -1,0 +1,1 @@
+lib/dbt/dbt.mli: Config Sb_isa Sb_sim

@@ -1,0 +1,1 @@
+lib/dbt/ir.ml: Array List Sb_isa Sb_sim Uop

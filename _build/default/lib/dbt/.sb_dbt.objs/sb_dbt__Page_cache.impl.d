@@ -1,0 +1,1 @@
+lib/dbt/page_cache.ml: Array Printf

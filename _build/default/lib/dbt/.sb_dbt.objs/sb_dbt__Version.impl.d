@@ -1,0 +1,1 @@
+lib/dbt/version.ml: Config List

@@ -1,0 +1,1 @@
+lib/dbt/version.mli: Config

@@ -1,0 +1,44 @@
+type t = {
+  opt_passes : int;
+  emission_work : int;
+  max_block_insns : int;
+  chain_direct : bool;
+  chain_across_pages : bool;
+  chain_verify_work : int;
+  mem_helper_layers : int;
+  walk_extra_work : int;
+  exception_sync_work : int;
+  data_fault_fast_path : bool;
+  tlb_entries : int;
+  tlb_l2_entries : int;
+  lazy_tlb_flush : bool;
+}
+
+let baseline =
+  {
+    opt_passes = 0;
+    emission_work = 320;
+    max_block_insns = 32;
+    chain_direct = true;
+    chain_across_pages = false;
+    chain_verify_work = 0;
+    mem_helper_layers = 0;
+    walk_extra_work = 6;
+    exception_sync_work = 2;
+    data_fault_fast_path = false;
+    tlb_entries = 256;
+    tlb_l2_entries = 1024;
+    lazy_tlb_flush = false;
+  }
+
+let default =
+  {
+    baseline with
+    opt_passes = 3;
+    lazy_tlb_flush = true;
+    chain_verify_work = 6;
+    mem_helper_layers = 3;
+    walk_extra_work = 24;
+    exception_sync_work = 7;
+    data_fault_fast_path = true;
+  }

@@ -1,0 +1,43 @@
+(** DBT engine tuning knobs.
+
+    Each knob corresponds to an implementation mechanism that really changed
+    across the QEMU releases the paper sweeps (Figures 2, 6, 8).  The
+    {!Version} module maps release names to configurations; benches can also
+    sweep individual knobs for the ablation studies listed in DESIGN.md. *)
+
+type t = {
+  opt_passes : int;
+      (** how many optimiser passes run over the block IR (0..4); more passes
+          cost translation time and improve emitted code *)
+  emission_work : int;
+      (** per-micro-op host-code emission cost units: models the dominant
+          cost of real DBT code generation (instruction selection, register
+          assignment, machine-code encoding into the code buffer) *)
+  max_block_insns : int;  (** basic-block length cap *)
+  chain_direct : bool;  (** chain blocks across direct branches *)
+  chain_across_pages : bool;
+  chain_verify_work : int;
+      (** extra consistency checks performed on every chain follow (later
+          QEMU versions added safety checks on the hot dispatch path) *)
+  mem_helper_layers : int;
+      (** extra call indirection wrapped around every memory helper *)
+  walk_extra_work : int;
+      (** per-walk page-table-format disambiguation work: the paper notes
+          QEMU's support for many architecture variants "mak\[es\] page table
+          lookups quite complex" compared to SimIt-ARM's single-version MMU *)
+  exception_sync_work : int;
+      (** CPU-state synchronisation passes performed on every exception and
+          interrupt entry *)
+  data_fault_fast_path : bool;
+      (** skip the sync work for data aborts (the v2.5.0-rc0 improvement) *)
+  tlb_entries : int;  (** first-level page-cache entries (power of two) *)
+  tlb_l2_entries : int;  (** second-level page cache; 0 disables it *)
+  lazy_tlb_flush : bool;
+      (** flush the page cache by bumping a generation instead of clearing *)
+}
+
+val default : t
+(** The contemporary configuration (matches the newest version entry). *)
+
+val baseline : t
+(** The v1.7.0-era configuration. *)

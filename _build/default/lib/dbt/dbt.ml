@@ -1,0 +1,823 @@
+open Sb_isa
+open Sb_sim
+
+let page_shift = 12
+let page_size = 1 lsl page_shift
+let page_mask = page_size - 1
+let u32_mask = 0xFFFF_FFFF
+
+module Make_configured
+    (A : Arch_sig.ARCH) (C : sig
+      val config : Config.t
+    end) =
+struct
+  let cfg = C.config
+
+  let name = Printf.sprintf "dbt-%s" A.name
+
+  let features =
+    [
+      ("Execution Model", "DBT");
+      ( "Memory Access",
+        if cfg.Config.tlb_l2_entries > 0 then "Multi-level Page Cache"
+        else "Single Level Page Cache" );
+      ("Code Generation", "Block-based");
+      ( "Control Flow",
+        if cfg.Config.chain_direct then "Block Cache + Chaining" else "Block Cache" );
+      ("Interrupts", "Block Boundaries");
+      ("Synchronous Exceptions", "Side Exit");
+      ("Undefined Instruction", "Translated");
+    ]
+
+  exception Guest_fault of {
+    vector : Exn.vector;
+    cause : int;
+    far : int option;
+    return_addr : int;
+    retired : int;  (* instructions of the current block fully retired *)
+  }
+
+  exception Smc_restart of { resume_va : int; retired : int }
+
+  exception Stop of Run_result.stop_reason
+
+  exception Stop_in_block of { reason : Run_result.stop_reason; retired : int }
+
+  type block = {
+    key : int;
+    va : int;
+    end_va : int;
+    mmu_on : bool;
+    ops : (unit -> unit) array;
+    insns : int;
+    uops_total : int;
+    page : int;  (* physical page of the first byte *)
+    page2 : int;  (* physical page of the last byte, or -1 *)
+    chain_out : bool;
+    mutable valid : bool;
+    mutable chain_a : (block * int) option;  (* target, chain generation *)
+    mutable chain_b : (block * int) option;
+  }
+
+  type ctx = {
+    machine : Machine.t;
+    cpu : Cpu.t;
+    bus : Sb_mem.Bus.t;
+    perf : Perf.t;
+    pcache : Page_cache.t;
+    cache : (int, block) Hashtbl.t;
+    by_page : (int, block list ref) Hashtbl.t;
+    code_pages : Bytes.t;
+    shadow_regs : int array;
+    shadow_cop : int array;
+    mutable sync_token : int;
+    mutable cur_page : int;
+    mutable cur_page2 : int;
+    mutable timer_backlog : int;
+    mutable chain_gen : int;
+        (* bumped on any event that may change va->pa mappings (TTBR/SCTLR
+           writes, TLB maintenance); stale chains are ignored, exactly like
+           QEMU flushing its tb_jmp_cache on tlb_flush *)
+  }
+
+  let make_ctx machine perf =
+    let ram_pages = (Sb_mem.Bus.ram_size machine.Machine.bus + page_mask) / page_size in
+    {
+      machine;
+      cpu = machine.Machine.cpu;
+      bus = machine.Machine.bus;
+      perf;
+      pcache =
+        Page_cache.create ~l1_entries:cfg.Config.tlb_entries
+          ~l2_entries:cfg.Config.tlb_l2_entries ~lazy_flush:cfg.Config.lazy_tlb_flush;
+      cache = Hashtbl.create 1024;
+      by_page = Hashtbl.create 64;
+      code_pages = Bytes.make ((ram_pages + 7) / 8) '\000';
+      shadow_regs = Array.make 16 0;
+      shadow_cop = Array.make Cregs.count 0;
+      sync_token = 0;
+      cur_page = -1;
+      cur_page2 = -1;
+      timer_backlog = 0;
+      chain_gen = 0;
+    }
+
+  (* ---------------- state sync (exception entry cost model) ------------- *)
+
+  let sync_state ctx =
+    for _ = 1 to cfg.Config.exception_sync_work do
+      Array.blit ctx.cpu.Cpu.regs 0 ctx.shadow_regs 0 16;
+      Array.blit ctx.cpu.Cpu.cop 0 ctx.shadow_cop 0 Cregs.count;
+      ctx.sync_token <- (ctx.sync_token + ctx.shadow_regs.(0) + ctx.shadow_cop.(0)) land max_int
+    done
+
+  let chain_verify ctx (blk : block) =
+    for _ = 1 to cfg.Config.chain_verify_work do
+      ctx.sync_token <-
+        (ctx.sync_token + blk.key + Bool.to_int blk.valid) land max_int
+    done
+
+  (* ---------------- faults -------------------------------------------- *)
+
+  let data_fault ~iaddr ~retired ~kind ~va fault =
+    let cause = Exn.Cause.of_fault ~kind fault in
+    match kind with
+    | Sb_mmu.Access.Execute ->
+      raise
+        (Guest_fault
+           { vector = Exn.Prefetch_abort; cause; far = Some va; return_addr = iaddr; retired })
+    | Sb_mmu.Access.Read | Sb_mmu.Access.Write ->
+      raise
+        (Guest_fault
+           { vector = Exn.Data_abort; cause; far = Some va; return_addr = iaddr; retired })
+
+  let bus_fault ~iaddr ~retired ~kind ~va =
+    let vector =
+      match kind with
+      | Sb_mmu.Access.Execute -> Exn.Prefetch_abort
+      | Sb_mmu.Access.Read | Sb_mmu.Access.Write -> Exn.Data_abort
+    in
+    raise
+      (Guest_fault
+         {
+           vector;
+           cause = Exn.Cause.bus_error;
+           far = Some va;
+           return_addr = iaddr;
+           retired;
+         })
+
+  let walker_read32 ctx pa =
+    try Sb_mem.Bus.read32 ctx.bus pa with Sb_mem.Bus.Fault _ -> 0
+
+  (* Slow path: L2 probe, then a table walk filling the cache. *)
+  let translate_slow ctx ~va ~kind ~priv ~iaddr ~retired =
+    let vpn = va lsr page_shift in
+    let asid = ctx.cpu.Cpu.cop.(Cregs.asid) in
+    let entry =
+      match Page_cache.lookup_l2 ctx.pcache ~vpn ~asid with
+      | Some e ->
+        Perf.incr ctx.perf Perf.Tlb_hit;
+        e
+      | None -> (
+        Perf.incr ctx.perf Perf.Tlb_miss;
+        Perf.incr ctx.perf Perf.Mmu_walks;
+        (* page-table-format disambiguation: QEMU-style multi-variant MMU *)
+        for step = 1 to cfg.Config.walk_extra_work * 4 do
+          ctx.sync_token <-
+            (ctx.sync_token + ((va lsr (step land 31)) lxor step)) land max_int
+        done;
+        let ttbr = ctx.cpu.Cpu.cop.(Cregs.ttbr) in
+        match Sb_mmu.Walker.walk ~read32:(walker_read32 ctx) ~ttbr ~va with
+        | Error fault -> data_fault ~iaddr ~retired ~kind ~va fault
+        | Ok m ->
+          Perf.add ctx.perf Perf.Walk_levels m.Sb_mmu.Walker.levels;
+          let e =
+            {
+              Page_cache.vpn;
+              ppn = m.Sb_mmu.Walker.pa_page lsr page_shift;
+              ap = m.Sb_mmu.Walker.ap;
+              xn = m.Sb_mmu.Walker.xn;
+              asid;
+            }
+          in
+          Page_cache.insert ctx.pcache e;
+          e)
+    in
+    if Sb_mmu.Access.Ap.permits ~ap:entry.Page_cache.ap ~xn:entry.Page_cache.xn kind priv
+    then (entry.Page_cache.ppn lsl page_shift) lor (va land page_mask)
+    else data_fault ~iaddr ~retired ~kind ~va Sb_mmu.Access.Permission
+
+  let translate ctx ~va ~kind ~priv ~iaddr ~retired =
+    if not (Cpu.mmu_enabled ctx.cpu) then va
+    else
+      let vpn = va lsr page_shift in
+      match Page_cache.lookup_l1 ctx.pcache ~vpn ~asid:ctx.cpu.Cpu.cop.(Cregs.asid) with
+      | Some e ->
+        Perf.incr ctx.perf Perf.Tlb_hit;
+        if Sb_mmu.Access.Ap.permits ~ap:e.Page_cache.ap ~xn:e.Page_cache.xn kind priv
+        then (e.Page_cache.ppn lsl page_shift) lor (va land page_mask)
+        else data_fault ~iaddr ~retired ~kind ~va Sb_mmu.Access.Permission
+      | None -> translate_slow ctx ~va ~kind ~priv ~iaddr ~retired
+
+  (* ---------------- code-page bitmap and block invalidation ------------ *)
+
+  let code_bit_get ctx ppage =
+    Char.code (Bytes.get ctx.code_pages (ppage lsr 3)) land (1 lsl (ppage land 7)) <> 0
+
+  let code_bit_set ctx ppage =
+    let i = ppage lsr 3 in
+    Bytes.set ctx.code_pages i
+      (Char.chr (Char.code (Bytes.get ctx.code_pages i) lor (1 lsl (ppage land 7))))
+
+  let code_bit_clear ctx ppage =
+    let i = ppage lsr 3 in
+    Bytes.set ctx.code_pages i
+      (Char.chr (Char.code (Bytes.get ctx.code_pages i) land lnot (1 lsl (ppage land 7))))
+
+  let invalidate_page ctx ppage =
+    (match Hashtbl.find_opt ctx.by_page ppage with
+    | Some blocks ->
+      List.iter
+        (fun blk ->
+          blk.valid <- false;
+          blk.chain_a <- None;
+          blk.chain_b <- None;
+          Hashtbl.remove ctx.cache blk.key)
+        !blocks;
+      Hashtbl.remove ctx.by_page ppage
+    | None -> ());
+    code_bit_clear ctx ppage;
+    Perf.incr ctx.perf Perf.Smc_invalidations
+
+  (* ---------------- physical access helpers --------------------------- *)
+
+  let read_phys ctx ~iaddr ~retired ~va width pa =
+    if Sb_mem.Bus.is_ram ctx.bus pa then
+      let ram = Sb_mem.Bus.ram ctx.bus in
+      match width with
+      | Uop.W8 -> Sb_mem.Phys_mem.read8 ram pa
+      | Uop.W16 -> Sb_mem.Phys_mem.read16 ram pa
+      | Uop.W32 -> Sb_mem.Phys_mem.read32 ram pa
+    else begin
+      Perf.incr ctx.perf Perf.Io_reads;
+      try
+        match width with
+        | Uop.W8 -> Sb_mem.Bus.read8 ctx.bus pa
+        | Uop.W16 -> Sb_mem.Bus.read16 ctx.bus pa
+        | Uop.W32 -> Sb_mem.Bus.read32 ctx.bus pa
+      with Sb_mem.Bus.Fault _ -> bus_fault ~iaddr ~retired ~kind:Sb_mmu.Access.Read ~va
+    end
+
+  let write_phys ctx ~iaddr ~retired ~resume_va ~va width pa v =
+    if Sb_mem.Bus.is_ram ctx.bus pa then begin
+      let ram = Sb_mem.Bus.ram ctx.bus in
+      (match width with
+      | Uop.W8 -> Sb_mem.Phys_mem.write8 ram pa v
+      | Uop.W16 -> Sb_mem.Phys_mem.write16 ram pa v
+      | Uop.W32 -> Sb_mem.Phys_mem.write32 ram pa v);
+      let ppage = pa lsr page_shift in
+      if code_bit_get ctx ppage then begin
+        invalidate_page ctx ppage;
+        (* if we clobbered the running block's own pages, stop executing its
+           stale tail and restart dispatch after this store *)
+        if ppage = ctx.cur_page || ppage = ctx.cur_page2 then
+          raise (Smc_restart { resume_va; retired = retired + 1 })
+      end
+    end
+    else begin
+      Perf.incr ctx.perf Perf.Io_writes;
+      try
+        match width with
+        | Uop.W8 -> Sb_mem.Bus.write8 ctx.bus pa v
+        | Uop.W16 -> Sb_mem.Bus.write16 ctx.bus pa v
+        | Uop.W32 -> Sb_mem.Bus.write32 ctx.bus pa v
+      with Sb_mem.Bus.Fault _ -> bus_fault ~iaddr ~retired ~kind:Sb_mmu.Access.Write ~va
+    end
+
+  (* ---------------- emission ------------------------------------------ *)
+
+  let rec wrap_layers n f = if n <= 0 then f else wrap_layers (n - 1) (fun () -> f ())
+
+  let undef_fault ~iva ~iidx () =
+    raise
+      (Guest_fault
+         {
+           vector = Exn.Undefined;
+           cause = Exn.Cause.undefined;
+           far = None;
+           return_addr = iva;
+           retired = iidx;
+         })
+
+  let emit_alu ctx ~set_flags ~op ~rd ~rn ~rm =
+    let cpu = ctx.cpu in
+    let regs = cpu.Cpu.regs in
+    if set_flags then begin
+      let read_rn = match rn with Uop.Reg r -> (fun () -> regs.(r)) | Uop.Imm v -> (fun () -> v land u32_mask) in
+      let read_rm = match rm with Uop.Reg r -> (fun () -> regs.(r)) | Uop.Imm v -> (fun () -> v land u32_mask) in
+      match rd with
+      | Some rd ->
+        fun () ->
+          let result, n, z, c, v = Alu_eval.eval_flags op (read_rn ()) (read_rm ()) in
+          cpu.Cpu.flag_n <- n;
+          cpu.Cpu.flag_z <- z;
+          cpu.Cpu.flag_c <- c;
+          cpu.Cpu.flag_v <- v;
+          regs.(rd) <- result
+      | None ->
+        fun () ->
+          let _, n, z, c, v = Alu_eval.eval_flags op (read_rn ()) (read_rm ()) in
+          cpu.Cpu.flag_n <- n;
+          cpu.Cpu.flag_z <- z;
+          cpu.Cpu.flag_c <- c;
+          cpu.Cpu.flag_v <- v
+    end
+    else
+      match rd with
+      | None -> fun () -> ()
+      | Some rd -> (
+        (* specialised forms: this is where translated code beats the
+           interpreter's fully-generic dispatch *)
+        match (op, rn, rm) with
+        | Uop.Orr, Uop.Imm 0, Uop.Imm v | Uop.Orr, Uop.Imm v, Uop.Imm 0 ->
+          let v = v land u32_mask in
+          fun () -> regs.(rd) <- v
+        | Uop.Orr, Uop.Reg r, Uop.Imm 0 -> fun () -> regs.(rd) <- regs.(r)
+        | Uop.Add, Uop.Reg r, Uop.Imm v ->
+          fun () -> regs.(rd) <- (regs.(r) + v) land u32_mask
+        | Uop.Sub, Uop.Reg r, Uop.Imm v ->
+          fun () -> regs.(rd) <- (regs.(r) - v) land u32_mask
+        | Uop.Add, Uop.Reg a, Uop.Reg b ->
+          fun () -> regs.(rd) <- (regs.(a) + regs.(b)) land u32_mask
+        | Uop.Sub, Uop.Reg a, Uop.Reg b ->
+          fun () -> regs.(rd) <- (regs.(a) - regs.(b)) land u32_mask
+        | Uop.And_, Uop.Reg a, Uop.Reg b -> fun () -> regs.(rd) <- regs.(a) land regs.(b)
+        | Uop.And_, Uop.Reg a, Uop.Imm v -> fun () -> regs.(rd) <- regs.(a) land v
+        | Uop.Orr, Uop.Reg a, Uop.Reg b -> fun () -> regs.(rd) <- regs.(a) lor regs.(b)
+        | Uop.Orr, Uop.Reg a, Uop.Imm v ->
+          let v = v land u32_mask in
+          fun () -> regs.(rd) <- regs.(a) lor v
+        | Uop.Xor, Uop.Reg a, Uop.Reg b -> fun () -> regs.(rd) <- regs.(a) lxor regs.(b)
+        | Uop.Xor, Uop.Reg a, Uop.Imm v ->
+          let v = v land u32_mask in
+          fun () -> regs.(rd) <- regs.(a) lxor v
+        | Uop.Mul, Uop.Reg a, Uop.Reg b ->
+          fun () -> regs.(rd) <- (regs.(a) * regs.(b)) land u32_mask
+        | Uop.Mul, Uop.Reg a, Uop.Imm v ->
+          let v = v land u32_mask in
+          fun () -> regs.(rd) <- (regs.(a) * v) land u32_mask
+        | Uop.Lsl, Uop.Reg a, Uop.Imm v ->
+          let v = v land 0xFF in
+          if v >= 32 then fun () -> regs.(rd) <- 0
+          else fun () -> regs.(rd) <- (regs.(a) lsl v) land u32_mask
+        | Uop.Lsr, Uop.Reg a, Uop.Imm v ->
+          let v = v land 0xFF in
+          if v >= 32 then fun () -> regs.(rd) <- 0
+          else fun () -> regs.(rd) <- regs.(a) lsr v
+        | Uop.Asr, Uop.Reg a, Uop.Imm v ->
+          let v = min 31 (v land 0xFF) in
+          fun () -> regs.(rd) <- Sb_util.U32.of_int (Sb_util.U32.to_signed regs.(a) asr v)
+        | Uop.Lsl, Uop.Reg a, Uop.Reg b ->
+          fun () -> regs.(rd) <- Sb_util.U32.shift_left regs.(a) (regs.(b) land 0xFF)
+        | Uop.Lsr, Uop.Reg a, Uop.Reg b ->
+          fun () -> regs.(rd) <- Sb_util.U32.shift_right_logical regs.(a) (regs.(b) land 0xFF)
+        | _ ->
+          let read_rn = match rn with Uop.Reg r -> (fun () -> regs.(r)) | Uop.Imm v -> (fun () -> v land u32_mask) in
+          let read_rm = match rm with Uop.Reg r -> (fun () -> regs.(r)) | Uop.Imm v -> (fun () -> v land u32_mask) in
+          fun () -> regs.(rd) <- Alu_eval.eval op (read_rn ()) (read_rm ()))
+
+  let emit_load ctx ~mmu_on ~iva ~iidx ~width ~rd ~base ~offset ~user =
+    let cpu = ctx.cpu in
+    let regs = cpu.Cpu.regs in
+    let perf = ctx.perf in
+    let read_base =
+      match base with
+      | Uop.Reg r -> fun () -> regs.(r)
+      | Uop.Imm v -> fun () -> v land u32_mask
+    in
+    let body =
+      if not mmu_on then (fun () ->
+        Perf.incr perf Perf.Loads;
+        if user then Perf.incr perf Perf.User_accesses;
+        let va = (read_base () + offset) land u32_mask in
+        regs.(rd) <- read_phys ctx ~iaddr:iva ~retired:iidx ~va width va)
+      else fun () ->
+        Perf.incr perf Perf.Loads;
+        if user then Perf.incr perf Perf.User_accesses;
+        let va = (read_base () + offset) land u32_mask in
+        let priv = if user then Sb_mmu.Access.User else cpu.Cpu.mode in
+        let vpn = va lsr page_shift in
+        let pa =
+          match
+            Page_cache.lookup_l1 ctx.pcache ~vpn ~asid:cpu.Cpu.cop.(Cregs.asid)
+          with
+          | Some e
+            when Sb_mmu.Access.Ap.permits ~ap:e.Page_cache.ap ~xn:e.Page_cache.xn
+                   Sb_mmu.Access.Read priv ->
+            Perf.incr perf Perf.Tlb_hit;
+            (e.Page_cache.ppn lsl page_shift) lor (va land page_mask)
+          | _ ->
+            translate_slow ctx ~va ~kind:Sb_mmu.Access.Read ~priv ~iaddr:iva
+              ~retired:iidx
+        in
+        regs.(rd) <- read_phys ctx ~iaddr:iva ~retired:iidx ~va width pa
+    in
+    wrap_layers cfg.Config.mem_helper_layers body
+
+  let emit_store ctx ~mmu_on ~iva ~ilen ~iidx ~width ~rs ~base ~offset ~user =
+    let cpu = ctx.cpu in
+    let regs = cpu.Cpu.regs in
+    let perf = ctx.perf in
+    let resume_va = iva + ilen in
+    let read_base =
+      match base with
+      | Uop.Reg r -> fun () -> regs.(r)
+      | Uop.Imm v -> fun () -> v land u32_mask
+    in
+    let body =
+      if not mmu_on then (fun () ->
+        Perf.incr perf Perf.Stores;
+        if user then Perf.incr perf Perf.User_accesses;
+        let va = (read_base () + offset) land u32_mask in
+        write_phys ctx ~iaddr:iva ~retired:iidx ~resume_va ~va width va regs.(rs))
+      else fun () ->
+        Perf.incr perf Perf.Stores;
+        if user then Perf.incr perf Perf.User_accesses;
+        let va = (read_base () + offset) land u32_mask in
+        let priv = if user then Sb_mmu.Access.User else cpu.Cpu.mode in
+        let vpn = va lsr page_shift in
+        let pa =
+          match
+            Page_cache.lookup_l1 ctx.pcache ~vpn ~asid:cpu.Cpu.cop.(Cregs.asid)
+          with
+          | Some e
+            when Sb_mmu.Access.Ap.permits ~ap:e.Page_cache.ap ~xn:e.Page_cache.xn
+                   Sb_mmu.Access.Write priv ->
+            Perf.incr perf Perf.Tlb_hit;
+            (e.Page_cache.ppn lsl page_shift) lor (va land page_mask)
+          | _ ->
+            translate_slow ctx ~va ~kind:Sb_mmu.Access.Write ~priv ~iaddr:iva
+              ~retired:iidx
+        in
+        write_phys ctx ~iaddr:iva ~retired:iidx ~resume_va ~va width pa regs.(rs)
+    in
+    wrap_layers cfg.Config.mem_helper_layers body
+
+  let emit_branch ctx ~iva ~ilen ~cond ~target ~link =
+    let cpu = ctx.cpu in
+    let regs = cpu.Cpu.regs in
+    let perf = ctx.perf in
+    let ret = (iva + ilen) land u32_mask in
+    let do_link =
+      match link with
+      | Some l -> fun () -> regs.(l) <- ret
+      | None -> fun () -> ()
+    in
+    let counter =
+      match target with
+      | Uop.Direct _ -> Perf.Branch_direct
+      | Uop.Indirect _ -> Perf.Branch_indirect
+    in
+    let set_pc =
+      match target with
+      | Uop.Direct t -> fun () -> cpu.Cpu.pc <- t
+      | Uop.Indirect r -> fun () -> cpu.Cpu.pc <- regs.(r)
+    in
+    match cond with
+    | Uop.Always ->
+      fun () ->
+        Perf.incr perf counter;
+        Perf.incr perf Perf.Branch_taken;
+        do_link ();
+        set_pc ()
+    | _ ->
+      let test =
+        match cond with
+        | Uop.Always -> fun () -> true
+        | Uop.Eq -> fun () -> cpu.Cpu.flag_z
+        | Uop.Ne -> fun () -> not cpu.Cpu.flag_z
+        | Uop.Lt -> fun () -> cpu.Cpu.flag_n <> cpu.Cpu.flag_v
+        | Uop.Ge -> fun () -> cpu.Cpu.flag_n = cpu.Cpu.flag_v
+        | Uop.Ltu -> fun () -> not cpu.Cpu.flag_c
+        | Uop.Geu -> fun () -> cpu.Cpu.flag_c
+      in
+      fun () ->
+        Perf.incr perf counter;
+        if test () then begin
+          Perf.incr perf Perf.Branch_taken;
+          do_link ();
+          set_pc ()
+        end
+
+  let emit_uop ctx ~mmu_on ~iva ~ilen ~iidx uop =
+    let cpu = ctx.cpu in
+    let regs = cpu.Cpu.regs in
+    let perf = ctx.perf in
+    match uop with
+    | Uop.Nop -> fun () -> ()
+    | Uop.Alu { op; rd; rn; rm; set_flags } -> emit_alu ctx ~set_flags ~op ~rd ~rn ~rm
+    | Uop.Load { width; rd; base; offset; user } ->
+      emit_load ctx ~mmu_on ~iva ~iidx ~width ~rd ~base ~offset ~user
+    | Uop.Store { width; rs; base; offset; user } ->
+      emit_store ctx ~mmu_on ~iva ~ilen ~iidx ~width ~rs ~base ~offset ~user
+    | Uop.Branch { cond; target; link } -> emit_branch ctx ~iva ~ilen ~cond ~target ~link
+    | Uop.Svc _ ->
+      fun () ->
+        raise
+          (Guest_fault
+             {
+               vector = Exn.Syscall;
+               cause = Exn.Cause.syscall;
+               far = None;
+               return_addr = (iva + ilen) land u32_mask;
+               retired = iidx;
+             })
+    | Uop.Undef -> undef_fault ~iva ~iidx
+    | Uop.Eret -> fun () -> Exn.eret cpu
+    | Uop.Cop_read { rd; creg } ->
+      if creg < 0 || creg >= Cregs.count then undef_fault ~iva ~iidx
+      else fun () ->
+        Perf.incr perf Perf.Cop_reads;
+        regs.(rd) <- cpu.Cpu.cop.(creg)
+    | Uop.Cop_write { creg; src } ->
+      if creg < 0 || creg >= Cregs.count then undef_fault ~iva ~iidx
+      else
+        let read_src =
+          match src with
+          | Uop.Reg r -> fun () -> regs.(r)
+          | Uop.Imm v -> fun () -> v land u32_mask
+        in
+        fun () ->
+          Perf.incr perf Perf.Cop_writes;
+          (match Cop.write cpu ~creg ~value:(read_src ()) with
+          | Ok Cop.No_effect -> ()
+          | Ok Cop.Asid_changed ->
+            (* tagged page cache: entries of other address spaces persist;
+               chains stay valid because blocks are keyed physically *)
+            ()
+          | Ok Cop.Translation_changed ->
+            Page_cache.flush ctx.pcache;
+            ctx.chain_gen <- ctx.chain_gen + 1
+          | Error `Undefined -> undef_fault ~iva ~iidx ())
+    | Uop.Tlb_inv_page r ->
+      fun () ->
+        Perf.incr perf Perf.Tlb_inv_page_ops;
+        Page_cache.invalidate_page ctx.pcache
+          ~vpn:(regs.(r) lsr page_shift)
+          ~asid:cpu.Cpu.cop.(Cregs.asid);
+        ctx.chain_gen <- ctx.chain_gen + 1
+    | Uop.Tlb_inv_all ->
+      fun () ->
+        Perf.incr perf Perf.Tlb_flush_ops;
+        Page_cache.flush ctx.pcache;
+        ctx.chain_gen <- ctx.chain_gen + 1
+    | Uop.Wfi ->
+      fun () -> (
+        match Runner.wait_for_interrupt ctx.machine ~perf with
+        | `Wake -> ()
+        | `Deadlock ->
+          raise (Stop_in_block { reason = Run_result.Wfi_deadlock; retired = iidx }))
+    | Uop.Halt ->
+      fun () -> raise (Stop_in_block { reason = Run_result.Halted; retired = iidx })
+
+  (* ---------------- translation --------------------------------------- *)
+
+  let trans_fetch8 ctx ~iaddr a =
+    let pa =
+      translate ctx ~va:a ~kind:Sb_mmu.Access.Execute ~priv:ctx.cpu.Cpu.mode
+        ~iaddr ~retired:0
+    in
+    if Sb_mem.Bus.is_ram ctx.bus pa then
+      Sb_mem.Phys_mem.read8 (Sb_mem.Bus.ram ctx.bus) pa
+    else bus_fault ~iaddr ~retired:0 ~kind:Sb_mmu.Access.Execute ~va:a
+
+  let ends_in_direct_or_fallthrough (decodeds : Uop.decoded list) =
+    (* decodeds is in reverse order (head = last decoded) *)
+    match decodeds with
+    | [] -> false
+    | last :: _ -> (
+      match List.rev last.Uop.uops with
+      | Uop.Branch { target = Uop.Direct _; _ } :: _ -> true
+      | Uop.Branch { target = Uop.Indirect _; _ } :: _ -> false
+      | (Uop.Svc _ | Uop.Undef | Uop.Eret | Uop.Wfi | Uop.Halt) :: _ -> false
+      | _ -> true (* length cap, page end, or translation-affecting op *))
+
+  let translate_block ctx va =
+    Perf.incr ctx.perf Perf.Blocks_translated;
+    (* fixed per-block cost: TB allocation, prologue/epilogue emission,
+       direct-jump stub patching *)
+    for unit = 1 to cfg.Config.emission_work * 6 do
+      ctx.sync_token <- (ctx.sync_token + (va lxor (unit * 0x5851))) land max_int
+    done;
+    let mmu_on = Cpu.mmu_enabled ctx.cpu in
+    let start_page_va = va lsr page_shift in
+    let rec decode_loop acc cur count =
+      if count >= cfg.Config.max_block_insns then acc
+      else if count > 0 && cur lsr page_shift <> start_page_va then acc
+      else begin
+        let d = A.decode ~fetch8:(trans_fetch8 ctx ~iaddr:cur) ~addr:cur in
+        Perf.incr ctx.perf Perf.Decodes;
+        let acc = d :: acc in
+        if d.Uop.terminates_block then acc
+        else decode_loop acc (cur + d.Uop.length) (count + 1)
+      end
+    in
+    let rev_decodeds = decode_loop [] va 0 in
+    let chain_out = ends_in_direct_or_fallthrough rev_decodeds in
+    let decodeds = List.rev rev_decodeds in
+    let ir = Ir.of_decoded decodeds in
+    let passes_run = Ir.run ~passes:cfg.Config.opt_passes ir in
+    Perf.add ctx.perf Perf.Opt_passes_run passes_run;
+    let end_va =
+      match rev_decodeds with
+      | last :: _ -> (last.Uop.addr + last.Uop.length) land u32_mask
+      | [] -> va
+    in
+    (* emit *)
+    let ops = ref [] in
+    let uops_total = ref 0 in
+    Array.iteri
+      (fun iidx (insn : Ir.insn) ->
+        List.iter
+          (fun uop ->
+            incr uops_total;
+            (* host machine-code emission: select, encode and write the
+               "code bytes" for this micro-op into the code buffer *)
+            for unit = 1 to cfg.Config.emission_work do
+              ctx.sync_token <-
+                (ctx.sync_token + (insn.Ir.va lxor (unit * 0x9E37))) land max_int
+            done;
+            ops :=
+              emit_uop ctx ~mmu_on ~iva:insn.Ir.va ~ilen:insn.Ir.len ~iidx uop
+              :: !ops)
+          insn.Ir.uops)
+      ir;
+    let ops = Array.of_list (List.rev !ops) in
+    (* physical placement for invalidation *)
+    let start_pa =
+      translate ctx ~va ~kind:Sb_mmu.Access.Execute ~priv:ctx.cpu.Cpu.mode ~iaddr:va
+        ~retired:0
+    in
+    let last_byte_va = end_va - 1 in
+    let end_pa =
+      if last_byte_va lsr page_shift = va lsr page_shift then
+        (start_pa land lnot page_mask) lor (last_byte_va land page_mask)
+      else
+        translate ctx ~va:last_byte_va ~kind:Sb_mmu.Access.Execute
+          ~priv:ctx.cpu.Cpu.mode ~iaddr:va ~retired:0
+    in
+    let page = start_pa lsr page_shift in
+    let page2 =
+      let p2 = end_pa lsr page_shift in
+      if p2 = page then -1 else p2
+    in
+    let key = (start_pa lsl 1) lor Bool.to_int mmu_on in
+    let blk =
+      {
+        key;
+        va;
+        end_va;
+        mmu_on;
+        ops;
+        insns = Array.length ir;
+        uops_total = !uops_total;
+        page;
+        page2;
+        chain_out;
+        valid = true;
+        chain_a = None;
+        chain_b = None;
+      }
+    in
+    let register ppage =
+      if Sb_mem.Bus.is_ram ctx.bus (ppage lsl page_shift) then begin
+        (match Hashtbl.find_opt ctx.by_page ppage with
+        | Some blocks -> blocks := blk :: !blocks
+        | None -> Hashtbl.add ctx.by_page ppage (ref [ blk ]));
+        code_bit_set ctx ppage
+      end
+    in
+    register page;
+    if page2 >= 0 then register page2;
+    Hashtbl.replace ctx.cache key blk;
+    blk
+
+  let lookup_translate ctx va =
+    Perf.incr ctx.perf Perf.Block_lookups;
+    let mmu_on = Cpu.mmu_enabled ctx.cpu in
+    let pa =
+      translate ctx ~va ~kind:Sb_mmu.Access.Execute ~priv:ctx.cpu.Cpu.mode ~iaddr:va
+        ~retired:0
+    in
+    if not (Sb_mem.Bus.is_ram ctx.bus pa) then
+      bus_fault ~iaddr:va ~retired:0 ~kind:Sb_mmu.Access.Execute ~va;
+    let key = (pa lsl 1) lor Bool.to_int mmu_on in
+    match Hashtbl.find_opt ctx.cache key with
+    | Some blk when blk.valid && blk.va = va -> blk
+    | Some _ ->
+      Hashtbl.remove ctx.cache key;
+      translate_block ctx va
+    | None -> translate_block ctx va
+
+  (* ---------------- dispatch loop -------------------------------------- *)
+
+  let chain_candidate ctx (lb : block) pc mmu_on =
+    let matches = function
+      | Some (b, gen) when gen = ctx.chain_gen && b.valid && b.va = pc && b.mmu_on = mmu_on ->
+        Some b
+      | _ -> None
+    in
+    match matches lb.chain_a with
+    | Some _ as hit -> hit
+    | None -> matches lb.chain_b
+
+  let chain_install ctx (lb : block) (b : block) =
+    let same_page = lb.va lsr page_shift = b.va lsr page_shift in
+    if lb.chain_out && (same_page || cfg.Config.chain_across_pages) then begin
+      lb.chain_b <- lb.chain_a;
+      lb.chain_a <- Some (b, ctx.chain_gen)
+    end
+
+  let deliver ctx ~vector ~cause ~far ~return_addr =
+    Perf.incr ctx.perf Perf.Exceptions_total;
+    (match vector with
+    | Exn.Data_abort ->
+      Perf.incr ctx.perf Perf.Data_abort;
+      (* without the fast path, a data abort reconstructs the full CPU state
+         from the translated-code context (the expensive pre-v2.5.0-rc0
+         recovery the paper's off-scale Data-Fault improvement removed) *)
+      if not cfg.Config.data_fault_fast_path then
+        for _ = 1 to 8 do
+          sync_state ctx
+        done
+    | Exn.Prefetch_abort ->
+      Perf.incr ctx.perf Perf.Prefetch_abort;
+      sync_state ctx
+    | Exn.Undefined ->
+      Perf.incr ctx.perf Perf.Undef_insn;
+      sync_state ctx
+    | Exn.Syscall ->
+      Perf.incr ctx.perf Perf.Svc_taken;
+      sync_state ctx
+    | Exn.Irq ->
+      Perf.incr ctx.perf Perf.Irq_taken;
+      sync_state ctx
+    | Exn.Reset -> ());
+    Exn.enter ctx.cpu vector ~return_addr ?far ~cause ()
+
+  let retire ctx n =
+    Perf.add ctx.perf Perf.Insns n;
+    ctx.timer_backlog <- ctx.timer_backlog + n;
+    if ctx.timer_backlog >= 64 then begin
+      Sb_mem.Timer.advance ctx.machine.Machine.timer ctx.timer_backlog;
+      ctx.timer_backlog <- 0
+    end
+
+  let execute ctx ~max_insns =
+    let cpu = ctx.cpu in
+    let last : block option ref = ref None in
+    try
+      while Perf.get ctx.perf Perf.Insns < max_insns do
+        if Machine.irq_pending ctx.machine then begin
+          sync_state ctx;
+          deliver ctx ~vector:Exn.Irq ~cause:Exn.Cause.irq ~far:None
+            ~return_addr:cpu.Cpu.pc;
+          last := None
+        end
+        else begin
+          try
+            let pc = cpu.Cpu.pc in
+            let blk =
+              match !last with
+              | Some lb when cfg.Config.chain_direct && lb.chain_out -> (
+                match chain_candidate ctx lb pc (Cpu.mmu_enabled cpu) with
+                | Some b ->
+                  Perf.incr ctx.perf Perf.Chain_follows;
+                  chain_verify ctx b;
+                  b
+                | None ->
+                  let b = lookup_translate ctx pc in
+                  chain_install ctx lb b;
+                  b)
+              | _ -> lookup_translate ctx pc
+            in
+            ctx.cur_page <- blk.page;
+            ctx.cur_page2 <- blk.page2;
+            cpu.Cpu.pc <- blk.end_va;
+            let ops = blk.ops in
+            for i = 0 to Array.length ops - 1 do
+              (Array.unsafe_get ops i) ()
+            done;
+            retire ctx blk.insns;
+            Perf.add ctx.perf Perf.Uops blk.uops_total;
+            last := Some blk
+          with
+          | Guest_fault { vector; cause; far; return_addr; retired } ->
+            retire ctx retired;
+            deliver ctx ~vector ~cause ~far ~return_addr;
+            last := None
+          | Smc_restart { resume_va; retired } ->
+            retire ctx retired;
+            cpu.Cpu.pc <- resume_va;
+            last := None
+          | Stop_in_block { reason; retired } ->
+            retire ctx retired;
+            raise (Stop reason)
+        end
+      done;
+      Run_result.Insn_limit
+    with Stop reason -> reason
+
+  let run ?(max_insns = Runner.default_max_insns) machine =
+    let perf = Perf.create () in
+    let ctx = make_ctx machine perf in
+    Runner.wrap ~name ~machine ~perf ~execute:(fun () -> execute ctx ~max_insns)
+end
+
+module Make (A : Arch_sig.ARCH) =
+  Make_configured
+    (A)
+    (struct
+      let config = Config.default
+    end)

@@ -1,0 +1,20 @@
+(** Dynamic binary translation engine (the QEMU analog).
+
+    Figure 4 row: block-based code generation, multi-level page cache,
+    block-cache + block-chaining control flow, interrupts at block
+    boundaries, synchronous exceptions as side exits, undefined instructions
+    translated to side exits.
+
+    Guest basic blocks are decoded into IR, optimised
+    ({!Ir}), and emitted as arrays of closures over the machine state — the
+    OCaml analog of TCG emission.  Blocks are cached by physical address and
+    translation regime, chained across direct branches, and invalidated by
+    physical page when the guest writes to translated code. *)
+
+module Make_configured
+    (A : Sb_isa.Arch_sig.ARCH) (C : sig
+      val config : Config.t
+    end) : Sb_sim.Engine.ENGINE
+
+module Make (A : Sb_isa.Arch_sig.ARCH) : Sb_sim.Engine.ENGINE
+(** [Make] uses {!Config.default}. *)

@@ -1,0 +1,89 @@
+open Sb_isa
+
+type insn = { va : int; len : int; mutable uops : Uop.t list }
+
+type t = insn array
+
+let of_decoded decodeds =
+  Array.of_list
+    (List.map
+       (fun (d : Uop.decoded) -> { va = d.Uop.addr; len = d.Uop.length; uops = d.Uop.uops })
+       decodeds)
+
+let subst consts = function
+  | Uop.Reg r as operand -> (
+    match consts.(r) with Some v -> Uop.Imm v | None -> operand)
+  | Uop.Imm _ as operand -> operand
+
+let const_prop ir =
+  let consts = Array.make 16 None in
+  let kill r = consts.(r) <- None in
+  let rewrite_uop insn uop =
+    match uop with
+    | Uop.Alu { op; rd; rn; rm; set_flags } -> (
+      let rn = subst consts rn in
+      let rm = subst consts rm in
+      match (rd, rn, rm, set_flags) with
+      | Some rd', Uop.Imm a, Uop.Imm b, false ->
+        (* fully-known result: fold to a constant move *)
+        let v = Sb_sim.Alu_eval.eval op a b in
+        consts.(rd') <- Some v;
+        Uop.Alu { op = Uop.Orr; rd; rn = Uop.Imm 0; rm = Uop.Imm v; set_flags = false }
+      | _ ->
+        (match rd with Some rd' -> kill rd' | None -> ());
+        Uop.Alu { op; rd; rn; rm; set_flags })
+    | Uop.Load { width; rd; base; offset; user } ->
+      let base = subst consts base in
+      kill rd;
+      Uop.Load { width; rd; base; offset; user }
+    | Uop.Store { width; rs; base; offset; user } ->
+      Uop.Store { width; rs; base = subst consts base; offset; user }
+    | Uop.Branch { cond; target = _; link } ->
+      (match link with
+      | Some l ->
+        if cond = Uop.Always then consts.(l) <- Some (insn.va + insn.len)
+        else kill l
+      | None -> ());
+      uop
+    | Uop.Cop_read { rd; _ } ->
+      kill rd;
+      uop
+    | Uop.Cop_write { creg; src } -> Uop.Cop_write { creg; src = subst consts src }
+    | Uop.Nop | Uop.Svc _ | Uop.Undef | Uop.Eret | Uop.Tlb_inv_page _
+    | Uop.Tlb_inv_all | Uop.Wfi | Uop.Halt ->
+      uop
+  in
+  Array.iter (fun insn -> insn.uops <- List.map (rewrite_uop insn) insn.uops) ir
+
+let nop_elim ir =
+  Array.iter
+    (fun insn -> insn.uops <- List.filter (fun u -> u <> Uop.Nop) insn.uops)
+    ir
+
+let peephole ir =
+  let simplify = function
+    | Uop.Alu { op; rd = Some rd; rn = Uop.Reg rn; rm = Uop.Imm 0; set_flags = false }
+      when op = Uop.Add || op = Uop.Sub || op = Uop.Orr || op = Uop.Xor
+           || op = Uop.Lsl || op = Uop.Lsr || op = Uop.Asr ->
+      if rd = rn then Uop.Nop
+      else
+        Uop.Alu
+          { op = Uop.Orr; rd = Some rd; rn = Uop.Reg rn; rm = Uop.Imm 0; set_flags = false }
+    | Uop.Alu { op = Uop.Mul; rd = Some rd; rn; rm = Uop.Imm 1; set_flags = false } ->
+      Uop.Alu { op = Uop.Orr; rd = Some rd; rn; rm = Uop.Imm 0; set_flags = false }
+    | Uop.Alu { op = Uop.Mul; rd = Some rd; rm = Uop.Imm 0; set_flags = false; _ } ->
+      Uop.Alu
+        { op = Uop.Orr; rd = Some rd; rn = Uop.Imm 0; rm = Uop.Imm 0; set_flags = false }
+    | u -> u
+  in
+  Array.iter (fun insn -> insn.uops <- List.map simplify insn.uops) ir;
+  nop_elim ir
+
+let pipeline = [ ("const-prop", const_prop); ("nop-elim", nop_elim); ("peephole", peephole); ("const-prop-2", const_prop) ]
+
+let pass_names = List.map fst pipeline
+
+let run ~passes ir =
+  let n = max 0 (min passes (List.length pipeline)) in
+  List.iteri (fun i (_, pass) -> if i < n then pass ir) pipeline;
+  n

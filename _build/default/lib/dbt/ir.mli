@@ -1,0 +1,42 @@
+(** Block IR and the translation-time optimiser.
+
+    A block is decoded into an array of per-instruction micro-op lists; the
+    optimiser rewrites micro-ops in place.  Every pass is {e architecturally
+    transparent}: the final register file, flags and memory effects are
+    identical with and without optimisation (the cross-engine equivalence
+    property tests enforce this), only the work done by the emitted code
+    changes. *)
+
+type insn = {
+  va : int;
+  len : int;
+  mutable uops : Sb_isa.Uop.t list;
+}
+
+type t = insn array
+
+val of_decoded : Sb_isa.Uop.decoded list -> t
+(** Decoded instructions in program order. *)
+
+val pass_names : string list
+(** The optimiser pipeline in order; [run ~passes:n] runs the first [n]. *)
+
+val run : passes:int -> t -> int
+(** Runs up to [passes] passes (clamped to the pipeline length); returns the
+    number actually run. *)
+
+(** Individual passes, exposed for unit tests. *)
+
+val const_prop : t -> unit
+(** Forward constant propagation and folding over the register file within
+    the block (folds MOVW/MOVT pairs, immediate ALU chains, and literal
+    address computations). *)
+
+val nop_elim : t -> unit
+(** Remove [Nop] micro-ops (the instruction slot remains, so retired-
+    instruction counting is unchanged). *)
+
+val peephole : t -> unit
+(** Strength-reduce identities: [add rd, rn, #0] becomes a register move,
+    moves to self are dropped, multiplies by 0/1 simplify — only where flags
+    are not written. *)

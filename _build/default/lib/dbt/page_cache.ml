@@ -1,0 +1,88 @@
+type entry = { vpn : int; ppn : int; ap : int; xn : bool; asid : int }
+
+type slot = { e : entry; gen : int }
+
+type t = {
+  l1 : slot option array;
+  l1_mask : int;
+  l2 : slot option array;  (* empty array when disabled *)
+  l2_mask : int;
+  lazy_flush : bool;
+  mutable gen : int;
+  mutable last_flush_cost : int;
+}
+
+let check_pow2 what n =
+  if n <= 0 || n land (n - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Page_cache: %s must be a positive power of two" what)
+
+let create ~l1_entries ~l2_entries ~lazy_flush =
+  check_pow2 "l1_entries" l1_entries;
+  if l2_entries <> 0 then check_pow2 "l2_entries" l2_entries;
+  {
+    l1 = Array.make l1_entries None;
+    l1_mask = l1_entries - 1;
+    l2 = Array.make l2_entries None;
+    l2_mask = l2_entries - 1;
+    lazy_flush;
+    gen = 0;
+    last_flush_cost = 0;
+  }
+
+let mix ~vpn ~asid = vpn lxor (asid * 0x9E3779B1)
+
+let lookup_l1 t ~vpn ~asid =
+  match t.l1.(mix ~vpn ~asid land t.l1_mask) with
+  | Some { e; gen } when e.vpn = vpn && e.asid = asid && gen = t.gen -> Some e
+  | _ -> None
+
+let insert t e =
+  t.l1.(mix ~vpn:e.vpn ~asid:e.asid land t.l1_mask) <- Some { e; gen = t.gen }
+
+let lookup_l2 t ~vpn ~asid =
+  if Array.length t.l2 = 0 then None
+  else
+    match t.l2.(mix ~vpn ~asid land t.l2_mask) with
+    | Some { e; gen } when e.vpn = vpn && e.asid = asid && gen = t.gen ->
+      insert t e;
+      Some e
+    | _ -> None
+
+let demote t e =
+  if Array.length t.l2 > 0 then
+    t.l2.(mix ~vpn:e.vpn ~asid:e.asid land t.l2_mask) <- Some { e; gen = t.gen }
+
+(* On L1 conflict the displaced entry moves to L2; callers use [insert]
+   directly after a walk, so wire the demotion here. *)
+let insert t e =
+  let i = mix ~vpn:e.vpn ~asid:e.asid land t.l1_mask in
+  (match t.l1.(i) with
+  | Some { e = old; gen } when gen = t.gen && (old.vpn <> e.vpn || old.asid <> e.asid) ->
+    demote t old
+  | _ -> ());
+  insert t e
+
+let invalidate_page t ~vpn ~asid =
+  let i1 = mix ~vpn ~asid land t.l1_mask in
+  (match t.l1.(i1) with
+  | Some { e; _ } when e.vpn = vpn && e.asid = asid -> t.l1.(i1) <- None
+  | _ -> ());
+  if Array.length t.l2 > 0 then begin
+    let i2 = mix ~vpn ~asid land t.l2_mask in
+    match t.l2.(i2) with
+    | Some { e; _ } when e.vpn = vpn && e.asid = asid -> t.l2.(i2) <- None
+    | _ -> ()
+  end
+
+let flush t =
+  if t.lazy_flush then begin
+    t.gen <- t.gen + 1;
+    t.last_flush_cost <- 0
+  end
+  else begin
+    Array.fill t.l1 0 (Array.length t.l1) None;
+    Array.fill t.l2 0 (Array.length t.l2) None;
+    t.last_flush_cost <- Array.length t.l1 + Array.length t.l2
+  end
+
+let flush_cost t = t.last_flush_cost

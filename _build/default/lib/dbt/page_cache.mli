@@ -1,0 +1,27 @@
+(** The DBT's multi-level software page cache ("softmmu TLB").
+
+    Level 1 is a small direct-mapped array probed inline by emitted code;
+    level 2 is an optional larger victim cache probed by the slow-path
+    helper before falling back to a hardware-style table walk.  Flushes can
+    be eager (clear the arrays) or lazy (bump a generation tag), matching
+    the [lazy_tlb_flush] knob. *)
+
+type entry = { vpn : int; ppn : int; ap : int; xn : bool; asid : int }
+
+type t
+
+val create : l1_entries:int -> l2_entries:int -> lazy_flush:bool -> t
+
+val lookup_l1 : t -> vpn:int -> asid:int -> entry option
+(** The inline fast path. *)
+
+val lookup_l2 : t -> vpn:int -> asid:int -> entry option
+(** Slow-path probe; on a hit the entry is promoted to L1. *)
+
+val insert : t -> entry -> unit
+val invalidate_page : t -> vpn:int -> asid:int -> unit
+val flush : t -> unit
+
+val flush_cost : t -> int
+(** Entries actually cleared by the last flush (0 under lazy flushing) —
+    exposed for tests and the ablation bench. *)

@@ -1,0 +1,1 @@
+lib/detailed/cache_model.mli:

@@ -1,0 +1,1 @@
+lib/detailed/detailed.ml: Alu_eval Arch_sig Array Cache_model Cop Cpu Cregs Event_queue Exn List Machine Perf Printf Run_result Runner Sb_isa Sb_mem Sb_mmu Sb_sim Sb_util Uop

@@ -1,0 +1,1 @@
+lib/detailed/detailed.mli: Sb_isa Sb_sim

@@ -1,0 +1,1 @@
+lib/detailed/event_queue.mli:

@@ -1,0 +1,44 @@
+type t = {
+  tags : int array;
+  line_shift : int;
+  index_mask : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ~size_bytes ~line_bytes =
+  let check what n =
+    if n <= 0 || n land (n - 1) <> 0 then
+      invalid_arg (Printf.sprintf "Cache_model: %s must be a power of two" what)
+  in
+  check "size_bytes" size_bytes;
+  check "line_bytes" line_bytes;
+  let lines = size_bytes / line_bytes in
+  {
+    tags = Array.make lines (-1);
+    line_shift = log2 line_bytes;
+    index_mask = lines - 1;
+    hits = 0;
+    misses = 0;
+  }
+
+let access t pa =
+  let line = pa lsr t.line_shift in
+  let index = line land t.index_mask in
+  if t.tags.(index) = line then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    t.tags.(index) <- line;
+    false
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+let flush t = Array.fill t.tags 0 (Array.length t.tags) (-1)

@@ -1,0 +1,14 @@
+(** Direct-mapped cache timing model (tags only — data flows through the
+    functional path; the model just decides hit or miss latency). *)
+
+type t
+
+val create : size_bytes:int -> line_bytes:int -> t
+(** Both sizes must be powers of two. *)
+
+val access : t -> int -> bool
+(** [access t pa] is [true] on hit; a miss fills the line. *)
+
+val hits : t -> int
+val misses : t -> int
+val flush : t -> unit

@@ -1,0 +1,70 @@
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable seq : int;
+}
+
+let create () = { heap = [||]; size = 0; seq = 0 }
+
+let is_empty t = t.size = 0
+let length t = t.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t entry =
+  let capacity = Array.length t.heap in
+  if t.size >= capacity then begin
+    let bigger = Array.make (max 16 (capacity * 2)) entry in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end
+
+let rec sift_up heap i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before heap.(i) heap.(parent) then begin
+      let tmp = heap.(parent) in
+      heap.(parent) <- heap.(i);
+      heap.(i) <- tmp;
+      sift_up heap parent
+    end
+  end
+
+let rec sift_down heap size i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < size && before heap.(left) heap.(!smallest) then smallest := left;
+  if right < size && before heap.(right) heap.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = heap.(!smallest) in
+    heap.(!smallest) <- heap.(i);
+    heap.(i) <- tmp;
+    sift_down heap size !smallest
+  end
+
+let schedule t ~time payload =
+  let entry = { time; seq = t.seq; payload } in
+  t.seq <- t.seq + 1;
+  grow t entry;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t.heap (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t.heap t.size 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let clear t =
+  t.size <- 0;
+  t.seq <- 0

@@ -1,0 +1,16 @@
+(** Discrete-event queue for the detailed timing model: a binary min-heap of
+    (time, event) pairs.  Ties execute in insertion order, which keeps the
+    pipeline stages of one instruction ordered. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val schedule : 'a t -> time:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Earliest event, or [None] when empty. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Sb_isa Sb_sim

@@ -1,0 +1,30 @@
+(** Fast interpreter engine (the SimIt-ARM analog).
+
+    Implementation techniques, mirroring the paper's Figure 4 row:
+    - execution model: pre-decoded interpretation (a per-physical-page
+      decode cache avoids re-decoding hot code);
+    - memory access: single-level page cache (one unified software TLB);
+    - no code generation;
+    - control flow: interpreted (every branch re-enters the dispatch loop);
+    - interrupts checked at instruction boundaries;
+    - synchronous exceptions interpreted directly.
+
+    Self-modifying code is handled with a per-page code bitmap: a store to a
+    page holding pre-decoded instructions drops that page's decode cache. *)
+
+module Make (A : Sb_isa.Arch_sig.ARCH) : Sb_sim.Engine.ENGINE
+
+module Config : sig
+  type t = {
+    tlb_entries : int;      (** unified TLB size (power of two) *)
+    predecode : bool;       (** false degrades to decode-every-time *)
+  }
+
+  val default : t
+end
+
+module Make_configured (A : Sb_isa.Arch_sig.ARCH) (C : sig
+  val config : Config.t
+end) : Sb_sim.Engine.ENGINE
+(** Ablation entry point: the TLB-geometry and pre-decode sweeps build
+    engines with non-default configurations. *)

@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Arch_sig Buffer Char Format List Printf String Uop

@@ -1,0 +1,1 @@
+lib/isa/uop.ml: Format List Printf Sb_util

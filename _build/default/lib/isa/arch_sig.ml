@@ -1,0 +1,30 @@
+(** Guest-architecture signature.
+
+    An architecture is exactly a decoder into the shared micro-op IR plus a
+    handful of register-file conventions.  Engines are functors over this
+    signature, so adding a guest ISA retargets all five engines at once. *)
+
+type arch_id = Sba | Vlx
+
+let arch_id_name = function Sba -> "sba32" | Vlx -> "vlx32"
+
+module type ARCH = sig
+  val name : string
+  val id : arch_id
+
+  val nregs : int
+  val sp_reg : int
+  val link_reg : int
+
+  val max_insn_bytes : int
+  (** Upper bound on encoded instruction length; engines use it to reason
+      about page-crossing fetches. *)
+
+  val decode : fetch8:(int -> int) -> addr:int -> Uop.decoded
+  (** Decode one instruction at virtual address [addr].  [fetch8 a] returns
+      the byte at virtual address [a] and may raise the engine's fetch-fault
+      exception, which [decode] must let escape untouched.  Undefined
+      encodings decode to a {!Uop.Undef} micro-op (never an error), so the
+      undefined-instruction exception is raised architecturally at execute
+      time. *)
+end

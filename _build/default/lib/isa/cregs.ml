@@ -1,0 +1,32 @@
+let sctlr = 0
+let ttbr = 1
+let vbar = 2
+let dacr = 3
+let far = 4
+let esr = 5
+let elr = 6
+let spsr = 7
+let cpuid = 8
+let fpctl = 9
+let tpidr0 = 10
+let tpidr1 = 11
+let asid = 12
+let count = 13
+
+let name = function
+  | 0 -> "SCTLR"
+  | 1 -> "TTBR"
+  | 2 -> "VBAR"
+  | 3 -> "DACR"
+  | 4 -> "FAR"
+  | 5 -> "ESR"
+  | 6 -> "ELR"
+  | 7 -> "SPSR"
+  | 8 -> "CPUID"
+  | 9 -> "FPCTL"
+  | 10 -> "TPIDR0"
+  | 11 -> "TPIDR1"
+  | 12 -> "ASID"
+  | n -> Printf.sprintf "CP%d" n
+
+let sctlr_mmu_enable = 1

@@ -1,0 +1,56 @@
+(** Coprocessor (system control) register numbering, shared by both guest
+    ISAs and all engines. *)
+
+(** Register indices. *)
+
+val sctlr : int
+(** System control; bit 0 enables the MMU. *)
+
+val ttbr : int
+(** Translation table base (physical, 4 KiB aligned). *)
+
+val vbar : int
+(** Exception vector base. *)
+
+val dacr : int
+(** Domain access control — the architecturally "safe" register the
+    Coprocessor Access benchmark reads (no side effects, never optimised to a
+    constant because it is writable). *)
+
+val far : int
+(** Fault address register. *)
+
+val esr : int
+(** Exception syndrome (cause code). *)
+
+val elr : int
+(** Exception link register: return address for [ERET]. *)
+
+val spsr : int
+(** Saved program status. *)
+
+val cpuid : int
+(** Read-only implementation identifier. *)
+
+val fpctl : int
+(** Floating-point/coprocessor control; VLX's COPRESET writes 0 here. *)
+
+val tpidr0 : int
+(** Software thread-ID / scratch registers (as on ARM): interrupt handlers
+    bank live general registers here, since asynchronous interrupts may hit
+    while any general register is live. *)
+
+val tpidr1 : int
+
+val asid : int
+(** Address-space identifier (the ARM ASID / x86 PCID analog the paper
+    defers to future work).  Translations cached in tagged TLBs are keyed
+    by it, so switching address spaces needs no TLB flush. *)
+
+val count : int
+(** Number of architected coprocessor registers. *)
+
+val name : int -> string
+
+val sctlr_mmu_enable : int
+(** Bit mask within SCTLR. *)

@@ -1,0 +1,33 @@
+type line = { addr : int; bytes : string; text : string }
+
+let render_uops uops =
+  String.concat "; " (List.map (fun u -> Format.asprintf "%a" Uop.pp u) uops)
+
+let decode_range ~arch ~read8 ~base ~len =
+  let (module A : Arch_sig.ARCH) = arch in
+  let stop = base + len in
+  let rec go addr acc =
+    if addr >= stop then List.rev acc
+    else begin
+      let d = A.decode ~fetch8:read8 ~addr in
+      let length = max 1 d.Uop.length in
+      let bytes = String.init length (fun i -> Char.chr (read8 (addr + i) land 0xFF)) in
+      let line = { addr; bytes; text = render_uops d.Uop.uops } in
+      go (addr + length) (line :: acc)
+    end
+  in
+  go base []
+
+let pp_line ppf { addr; bytes; text } =
+  let hex =
+    String.concat "" (List.init (String.length bytes) (fun i ->
+        Printf.sprintf "%02x" (Char.code bytes.[i])))
+  in
+  Format.fprintf ppf "%08x  %-12s  %s" addr hex text
+
+let dump ~arch ~read8 ~base ~len =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun line -> Buffer.add_string buf (Format.asprintf "%a\n" pp_line line))
+    (decode_range ~arch ~read8 ~base ~len);
+  Buffer.contents buf

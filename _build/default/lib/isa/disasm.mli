@@ -1,0 +1,27 @@
+(** Generic disassembler: walks an image with an architecture's decoder and
+    renders one line per instruction (address, raw bytes, micro-ops).
+
+    Used by the CLI's [disasm] subcommand and handy when debugging
+    benchmark code generation. *)
+
+type line = {
+  addr : int;
+  bytes : string;  (** raw encoded bytes *)
+  text : string;   (** rendered micro-ops *)
+}
+
+val decode_range :
+  arch:(module Arch_sig.ARCH) ->
+  read8:(int -> int) ->
+  base:int ->
+  len:int ->
+  line list
+(** Decode [len] bytes starting at [base].  The walk is linear (no control
+    flow following); data words disassemble as whatever they decode to,
+    like any flat disassembler. *)
+
+val pp_line : Format.formatter -> line -> unit
+
+val dump :
+  arch:(module Arch_sig.ARCH) -> read8:(int -> int) -> base:int -> len:int -> string
+(** The whole range as text. *)

@@ -1,0 +1,1 @@
+lib/mem/benchdev.ml: Array Device Sys

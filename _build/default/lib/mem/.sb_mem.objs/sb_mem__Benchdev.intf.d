@@ -1,0 +1,1 @@
+lib/mem/benchdev.mli: Device

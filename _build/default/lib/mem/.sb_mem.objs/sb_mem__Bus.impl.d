@@ -1,0 +1,1 @@
+lib/mem/bus.ml: Array Device List Phys_mem Printf

@@ -1,0 +1,1 @@
+lib/mem/bus.mli: Device Phys_mem

@@ -1,0 +1,1 @@
+lib/mem/devid.ml: Device

@@ -1,0 +1,1 @@
+lib/mem/intc.ml: Device

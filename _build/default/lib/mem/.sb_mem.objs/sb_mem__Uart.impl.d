@@ -1,0 +1,1 @@
+lib/mem/uart.ml: Buffer Char Device

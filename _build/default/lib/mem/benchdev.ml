@@ -1,0 +1,76 @@
+type phase = Setup | Kernel | Cleanup
+
+type t = {
+  now : unit -> float;
+  mutable phase : phase;
+  mutable kernel_start : float option;
+  mutable kernel_end : float option;
+  mutable iters : int;
+  mutable args : int array;
+  mutable ops : int;
+  mutable exit_code : int option;
+  mutable on_phase : phase -> unit;
+}
+
+let create ?(now = fun () -> Sys.time ()) () =
+  {
+    now;
+    phase = Setup;
+    kernel_start = None;
+    kernel_end = None;
+    iters = 0;
+    args = [| 0; 0 |];
+    ops = 0;
+    exit_code = None;
+    on_phase = ignore;
+  }
+
+let set_iters t n = t.iters <- n
+let set_on_phase t f = t.on_phase <- f
+let set_arg t i v = t.args.(i) <- v
+
+let phase t = t.phase
+let kernel_started_at t = t.kernel_start
+let op_count t = t.ops
+let exit_code t = t.exit_code
+let exited t = t.exit_code <> None
+
+let kernel_seconds t =
+  match (t.kernel_start, t.kernel_end) with
+  | Some a, Some b -> Some (b -. a)
+  | _ -> None
+
+let reset t =
+  t.phase <- Setup;
+  t.kernel_start <- None;
+  t.kernel_end <- None;
+  t.ops <- 0;
+  t.exit_code <- None
+
+let phase_code = function Setup -> 0 | Kernel -> 1 | Cleanup -> 2
+
+let device t =
+  let read32 = function
+    | 0x0 -> phase_code t.phase
+    | 0xC -> t.iters
+    | 0x10 -> t.args.(0)
+    | 0x14 -> t.args.(1)
+    | _ -> 0
+  in
+  let write32 offset v =
+    match offset with
+    | 0x0 ->
+      (match v with
+      | 1 ->
+        t.phase <- Kernel;
+        t.kernel_start <- Some (t.now ())
+      | 2 ->
+        t.phase <- Cleanup;
+        t.kernel_end <- Some (t.now ())
+      | _ -> t.phase <- Setup);
+      t.on_phase t.phase
+    | 0x4 -> t.exit_code <- Some v
+    | 0x8 -> t.ops <- t.ops + v
+    | _ -> ()
+  in
+  { Device.name = "bench"; read32; write32 }

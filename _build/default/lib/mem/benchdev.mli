@@ -1,0 +1,44 @@
+(** Harness/semihosting device.
+
+    SimBench benchmarks run in three phases; only the kernel phase is timed.
+    The guest signals phase transitions by writing the PHASE register, and
+    this device timestamps the writes with a host clock supplied by the
+    harness.  It also carries the iteration count into the guest and an exit
+    code out of it.
+
+    Register map (byte offsets):
+    - [0x0] PHASE: write 1 = kernel start, 2 = kernel end; read back.
+    - [0x4] EXIT: write records the exit code and requests halt.
+    - [0x8] OPCOUNT: write adds the value to the tested-operation counter.
+    - [0xC] ITERS: read returns the harness-provided iteration count.
+    - [0x10] ARG0, [0x14] ARG1: extra harness-provided parameters. *)
+
+type t
+
+type phase = Setup | Kernel | Cleanup
+
+val create : ?now:(unit -> float) -> unit -> t
+(** [now] defaults to [Sys.time]-independent monotonic-ish wall clock
+    injected by the harness; tests can supply a fake clock. *)
+
+val device : t -> Device.t
+
+val set_iters : t -> int -> unit
+
+val set_on_phase : t -> (phase -> unit) -> unit
+(** Install a callback fired on every PHASE write, after the timestamp is
+    recorded.  Engines use it to snapshot perf counters at kernel-phase
+    boundaries without polling. *)
+
+val set_arg : t -> int -> int -> unit
+(** [set_arg t i v] with [i] in 0..1. *)
+
+val phase : t -> phase
+val kernel_seconds : t -> float option
+(** Wall-clock duration between the kernel-start and kernel-end writes. *)
+
+val kernel_started_at : t -> float option
+val op_count : t -> int
+val exit_code : t -> int option
+val exited : t -> bool
+val reset : t -> unit

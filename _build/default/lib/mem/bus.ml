@@ -1,0 +1,101 @@
+type window = { base : int; size : int; dev : Device.t }
+
+type t = {
+  ram : Phys_mem.t;
+  ram_size : int;
+  windows : window array;
+  mutable dev_accesses : int;
+}
+
+exception Fault of int
+
+let overlaps a_base a_size b_base b_size =
+  a_base < b_base + b_size && b_base < a_base + a_size
+
+let create ~ram windows =
+  let ram_size = Phys_mem.size ram in
+  let check (base, size, dev) =
+    if base land 3 <> 0 || size land 3 <> 0 || size <= 0 then
+      invalid_arg
+        (Printf.sprintf "Bus.create: window %s is not word-aligned" dev.Device.name);
+    if overlaps base size 0 ram_size then
+      invalid_arg
+        (Printf.sprintf "Bus.create: window %s overlaps RAM" dev.Device.name)
+  in
+  List.iter check windows;
+  let rec check_pairs = function
+    | [] -> ()
+    | (base, size, dev) :: rest ->
+      List.iter
+        (fun (base', size', dev') ->
+          if overlaps base size base' size' then
+            invalid_arg
+              (Printf.sprintf "Bus.create: windows %s and %s overlap"
+                 dev.Device.name dev'.Device.name))
+        rest;
+      check_pairs rest
+  in
+  check_pairs windows;
+  let windows =
+    Array.of_list (List.map (fun (base, size, dev) -> { base; size; dev }) windows)
+  in
+  { ram; ram_size; windows; dev_accesses = 0 }
+
+let ram t = t.ram
+let ram_size t = t.ram_size
+let is_ram t addr = addr >= 0 && addr < t.ram_size
+
+let find_window t addr =
+  let n = Array.length t.windows in
+  let rec loop i =
+    if i >= n then raise (Fault addr)
+    else
+      let w = t.windows.(i) in
+      if addr >= w.base && addr < w.base + w.size then w else loop (i + 1)
+  in
+  loop 0
+
+let dev_read32 t addr =
+  let w = find_window t addr in
+  t.dev_accesses <- t.dev_accesses + 1;
+  w.dev.Device.read32 ((addr - w.base) land lnot 3) land 0xFFFF_FFFF
+
+let dev_write32 t addr v =
+  let w = find_window t addr in
+  t.dev_accesses <- t.dev_accesses + 1;
+  w.dev.Device.write32 ((addr - w.base) land lnot 3) (v land 0xFFFF_FFFF)
+
+let read32 t addr =
+  if addr >= 0 && addr < t.ram_size then Phys_mem.read32 t.ram addr
+  else dev_read32 t addr
+
+let read16 t addr =
+  if addr >= 0 && addr < t.ram_size then Phys_mem.read16 t.ram addr
+  else (dev_read32 t addr lsr (8 * (addr land 2))) land 0xFFFF
+
+let read8 t addr =
+  if addr >= 0 && addr < t.ram_size then Phys_mem.read8 t.ram addr
+  else (dev_read32 t addr lsr (8 * (addr land 3))) land 0xFF
+
+let write32 t addr v =
+  if addr >= 0 && addr < t.ram_size then Phys_mem.write32 t.ram addr v
+  else dev_write32 t addr v
+
+let write16 t addr v =
+  if addr >= 0 && addr < t.ram_size then Phys_mem.write16 t.ram addr v
+  else
+    (* read-modify-write of the containing register *)
+    let shift = 8 * (addr land 2) in
+    let old = dev_read32 t addr in
+    let merged = old land lnot (0xFFFF lsl shift) lor ((v land 0xFFFF) lsl shift) in
+    dev_write32 t addr merged
+
+let write8 t addr v =
+  if addr >= 0 && addr < t.ram_size then Phys_mem.write8 t.ram addr v
+  else
+    let shift = 8 * (addr land 3) in
+    let old = dev_read32 t addr in
+    let merged = old land lnot (0xFF lsl shift) lor ((v land 0xFF) lsl shift) in
+    dev_write32 t addr merged
+
+let device_accesses t = t.dev_accesses

@@ -1,0 +1,31 @@
+(** System bus: routes physical accesses to RAM or device windows.
+
+    RAM occupies [0, ram_size); device windows live above it.  Accesses that
+    hit neither raise [Fault], which engines convert into the architectural
+    data/prefetch abort. *)
+
+type t
+
+exception Fault of int
+(** Physical address that hit no mapping. *)
+
+val create : ram:Phys_mem.t -> (int * int * Device.t) list -> t
+(** [create ~ram windows] where each window is [(base, size, device)].
+    Window bases and sizes must be 4-byte aligned and must not overlap RAM
+    or each other; violations raise [Invalid_argument]. *)
+
+val ram : t -> Phys_mem.t
+val ram_size : t -> int
+
+val is_ram : t -> int -> bool
+(** True when the address lies in RAM (the fast path engines may inline). *)
+
+val read8 : t -> int -> int
+val read16 : t -> int -> int
+val read32 : t -> int -> int
+val write8 : t -> int -> int -> unit
+val write16 : t -> int -> int -> unit
+val write32 : t -> int -> int -> unit
+
+val device_accesses : t -> int
+(** Total accesses routed to device windows since creation. *)

@@ -1,0 +1,11 @@
+type t = {
+  name : string;
+  read32 : int -> int;
+  write32 : int -> int -> unit;
+}
+
+let rom ~name regs =
+  let read32 offset =
+    match List.assoc_opt offset regs with Some v -> v | None -> 0
+  in
+  { name; read32; write32 = (fun _ _ -> ()) }

@@ -1,0 +1,15 @@
+(** Memory-mapped device interface.
+
+    Devices expose 32-bit registers at word-aligned offsets within their bus
+    window.  Sub-word accesses are synthesised by the bus from whole-register
+    reads/writes, which matches the behaviour of simple SoC peripherals. *)
+
+type t = {
+  name : string;
+  read32 : int -> int;  (** [read32 offset] — offset is relative to the window base. *)
+  write32 : int -> int -> unit;  (** [write32 offset value]. *)
+}
+
+val rom : name:string -> (int * int) list -> t
+(** A read-only register file: association list of offset to constant value.
+    Writes are ignored; unknown offsets read as 0. *)

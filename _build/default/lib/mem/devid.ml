@@ -1,0 +1,40 @@
+type t = {
+  mutable scratch : int;
+  mutable led : int;
+  mutable led_writes : int;
+  mutable accesses : int;
+}
+
+let id_value = 0x53426E63 (* "SBnc" *)
+
+let create () = { scratch = 0; led = 0; led_writes = 0; accesses = 0 }
+
+let access_count t = t.accesses
+let led_writes t = t.led_writes
+
+let reset t =
+  t.scratch <- 0;
+  t.led <- 0;
+  t.led_writes <- 0;
+  t.accesses <- 0
+
+let device t =
+  let read32 offset =
+    t.accesses <- t.accesses + 1;
+    match offset with
+    | 0x0 -> id_value
+    | 0x4 -> t.scratch
+    | 0x8 -> t.led
+    | 0xC -> t.accesses
+    | _ -> 0
+  in
+  let write32 offset v =
+    t.accesses <- t.accesses + 1;
+    match offset with
+    | 0x4 -> t.scratch <- v
+    | 0x8 ->
+      t.led <- v;
+      t.led_writes <- t.led_writes + 1
+    | _ -> ()
+  in
+  { Device.name = "devid"; read32; write32 }

@@ -1,0 +1,21 @@
+(** The "safe device" used by the Memory Mapped Device benchmark: a register
+    block whose ID register can be read with no side effects and negligible
+    evaluation cost, exactly what the paper prescribes for measuring the base
+    cost of an I/O access.
+
+    Register map (byte offsets):
+    - [0x0] ID: constant device identifier (read-only).
+    - [0x4] SCRATCH: read/write scratch word.
+    - [0x8] LED: read/write; writes count as LED toggles.
+    - [0xC] ACCESS_COUNT: total accesses to this block (read-only). *)
+
+type t
+
+val id_value : int
+
+val create : unit -> t
+val device : t -> Device.t
+
+val access_count : t -> int
+val led_writes : t -> int
+val reset : t -> unit

@@ -1,0 +1,40 @@
+type t = {
+  mutable pending : int;
+  mutable enable : int;
+  mutable acks : int;
+}
+
+let softint_line = 0
+let timer_line = 1
+
+let create () = { pending = 0; enable = 0; acks = 0 }
+
+let raise_line t line = t.pending <- t.pending lor (1 lsl line)
+
+let asserted t = t.pending land t.enable <> 0
+
+let pending t = t.pending
+let enabled t = t.enable
+let irq_delivered t = t.acks
+
+let reset t =
+  t.pending <- 0;
+  t.enable <- 0;
+  t.acks <- 0
+
+let device t =
+  let read32 = function
+    | 0x0 -> t.pending
+    | 0x4 -> t.enable
+    | _ -> 0
+  in
+  let write32 offset v =
+    match offset with
+    | 0x4 -> t.enable <- v land 0xFFFF_FFFF
+    | 0x8 -> t.pending <- t.pending lor v
+    | 0xC ->
+      t.pending <- t.pending land lnot v;
+      t.acks <- t.acks + 1
+    | _ -> ()
+  in
+  { Device.name = "intc"; read32; write32 }

@@ -1,0 +1,32 @@
+(** Interrupt controller with software-generated interrupts.
+
+    32 interrupt lines.  Line 0 is reserved for software-generated interrupts
+    (the External Software Interrupt benchmark), line 1 for the timer.
+
+    Register map (byte offsets):
+    - [0x0] PENDING: bitmask of pending lines (read-only).
+    - [0x4] ENABLE: bitmask of enabled lines (read/write).
+    - [0x8] SOFTINT_SET: write a bitmask to raise those lines.
+    - [0xC] ACK: write a bitmask to clear those pending lines. *)
+
+type t
+
+val softint_line : int
+val timer_line : int
+
+val create : unit -> t
+val device : t -> Device.t
+
+val raise_line : t -> int -> unit
+(** Hardware-side interrupt injection (used by e.g. the timer). *)
+
+val asserted : t -> bool
+(** True when any enabled line is pending: the CPU IRQ input. *)
+
+val pending : t -> int
+val enabled : t -> int
+
+val irq_delivered : t -> int
+(** Count of ACK writes — used as the delivered-interrupt perf counter. *)
+
+val reset : t -> unit

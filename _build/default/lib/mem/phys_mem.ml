@@ -1,0 +1,44 @@
+type t = { data : Bytes.t; size : int }
+
+exception Out_of_range of int
+
+let create ~size = { data = Bytes.make size '\000'; size }
+
+let size t = t.size
+
+let check t addr width =
+  if addr < 0 || addr + width > t.size then raise (Out_of_range addr)
+
+let read8 t addr =
+  check t addr 1;
+  Char.code (Bytes.unsafe_get t.data addr)
+
+let read16 t addr =
+  check t addr 2;
+  Bytes.get_uint16_le t.data addr
+
+let read32 t addr =
+  check t addr 4;
+  Int32.to_int (Bytes.get_int32_le t.data addr) land 0xFFFF_FFFF
+
+let write8 t addr v =
+  check t addr 1;
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF))
+
+let write16 t addr v =
+  check t addr 2;
+  Bytes.set_uint16_le t.data addr (v land 0xFFFF)
+
+let write32 t addr v =
+  check t addr 4;
+  Bytes.set_int32_le t.data addr (Int32.of_int v)
+
+let load t ~addr image =
+  check t addr (Bytes.length image);
+  Bytes.blit image 0 t.data addr (Bytes.length image)
+
+let blit_out t ~addr ~len =
+  check t addr len;
+  Bytes.sub t.data addr len
+
+let clear t = Bytes.fill t.data 0 t.size '\000'

@@ -1,0 +1,31 @@
+(** Guest physical memory: a flat little-endian byte array.
+
+    All addresses are physical byte addresses starting at 0.  Accesses out of
+    range raise [Out_of_range]; the bus maps only valid RAM addresses here,
+    so in a correctly configured machine this exception indicates a simulator
+    bug rather than a guest fault. *)
+
+type t
+
+exception Out_of_range of int
+
+val create : size:int -> t
+(** Fresh zero-filled memory of [size] bytes. *)
+
+val size : t -> int
+
+val read8 : t -> int -> int
+val read16 : t -> int -> int
+val read32 : t -> int -> int
+
+val write8 : t -> int -> int -> unit
+val write16 : t -> int -> int -> unit
+val write32 : t -> int -> int -> unit
+
+val load : t -> addr:int -> Bytes.t -> unit
+(** Copy an image into memory at [addr]. *)
+
+val blit_out : t -> addr:int -> len:int -> Bytes.t
+(** Copy [len] bytes starting at [addr] out of memory. *)
+
+val clear : t -> unit

@@ -1,0 +1,43 @@
+type t = {
+  on_fire : unit -> unit;
+  mutable count : int;
+  mutable compare : int;
+  mutable irq_enabled : bool;
+  mutable armed : bool;
+}
+
+let create ~on_fire =
+  { on_fire; count = 0; compare = 0; irq_enabled = false; armed = false }
+
+let advance t n =
+  t.count <- t.count + n;
+  if t.armed && t.irq_enabled && t.count >= t.compare then begin
+    t.armed <- false;
+    t.on_fire ()
+  end
+
+let count t = t.count
+
+let reset t =
+  t.count <- 0;
+  t.compare <- 0;
+  t.irq_enabled <- false;
+  t.armed <- false
+
+let device t =
+  let read32 = function
+    | 0x0 -> t.count land 0xFFFF_FFFF
+    | 0x4 -> t.compare
+    | 0x8 -> if t.irq_enabled then 1 else 0
+    | _ -> 0
+  in
+  let write32 offset v =
+    match offset with
+    | 0x0 -> t.count <- v
+    | 0x4 ->
+      t.compare <- v;
+      t.armed <- true
+    | 0x8 -> t.irq_enabled <- v land 1 = 1
+    | _ -> ()
+  in
+  { Device.name = "timer"; read32; write32 }

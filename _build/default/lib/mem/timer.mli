@@ -1,0 +1,21 @@
+(** Count-up timer driven by retired instructions.
+
+    The machine advances the timer as instructions retire; when the count
+    passes COMPARE with interrupts enabled in CTRL, the timer raises its
+    interrupt-controller line once (re-armed by writing COMPARE again).
+
+    Register map (byte offsets):
+    - [0x0] COUNT: current count (read; write resets to the written value).
+    - [0x4] COMPARE: match value (write re-arms).
+    - [0x8] CTRL: bit 0 enables interrupt generation. *)
+
+type t
+
+val create : on_fire:(unit -> unit) -> t
+val device : t -> Device.t
+
+val advance : t -> int -> unit
+(** Add retired-instruction ticks; may fire the interrupt callback. *)
+
+val count : t -> int
+val reset : t -> unit

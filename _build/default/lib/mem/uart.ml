@@ -1,0 +1,20 @@
+type t = { buf : Buffer.t }
+
+let create () = { buf = Buffer.create 256 }
+
+let contents t = Buffer.contents t.buf
+let tx_count t = Buffer.length t.buf
+let reset t = Buffer.clear t.buf
+
+let device t =
+  let read32 = function
+    | 0x4 -> 1 (* always ready *)
+    | 0x8 -> Buffer.length t.buf
+    | _ -> 0
+  in
+  let write32 offset v =
+    match offset with
+    | 0x0 -> Buffer.add_char t.buf (Char.chr (v land 0xFF))
+    | _ -> ()
+  in
+  { Device.name = "uart"; read32; write32 }

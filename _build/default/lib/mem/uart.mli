@@ -1,0 +1,15 @@
+(** Serial port.  Register map (byte offsets):
+    - [0x0] DATA: write transmits the low byte; read returns 0.
+    - [0x4] STATUS: bit 0 = transmit ready (always set).
+    - [0x8] TXCOUNT: total bytes transmitted (read-only). *)
+
+type t
+
+val create : unit -> t
+val device : t -> Device.t
+
+val contents : t -> string
+(** Everything the guest has written so far. *)
+
+val tx_count : t -> int
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/mmu/access.ml: Format

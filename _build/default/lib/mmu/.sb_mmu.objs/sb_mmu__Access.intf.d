@@ -1,0 +1,1 @@
+lib/mmu/access.mli: Format

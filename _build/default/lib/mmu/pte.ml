@@ -1,0 +1,58 @@
+let section_shift = 22
+let page_shift = 12
+
+let l1_index va = (va lsr section_shift) land 0x3FF
+let l2_index va = (va lsr page_shift) land 0x3FF
+
+type l1 =
+  | L1_invalid
+  | L1_section of { pa_base : int; ap : int; xn : bool }
+  | L1_table of { l2_base : int }
+
+type l2 =
+  | L2_invalid
+  | L2_page of { pa_base : int; ap : int; xn : bool }
+
+let ap_of entry = (entry lsr 4) land 0x3
+let xn_of entry = entry land 0x40 <> 0
+
+let decode_l1 entry =
+  match entry land 0x3 with
+  | 1 ->
+    L1_section
+      {
+        pa_base = entry land 0xFFC0_0000;
+        ap = ap_of entry;
+        xn = xn_of entry;
+      }
+  | 2 -> L1_table { l2_base = entry land 0xFFFF_F000 }
+  | _ -> L1_invalid
+
+let decode_l2 entry =
+  match entry land 0x3 with
+  | 1 ->
+    L2_page
+      {
+        pa_base = entry land 0xFFFF_F000;
+        ap = ap_of entry;
+        xn = xn_of entry;
+      }
+  | _ -> L2_invalid
+
+let check_aligned what base align =
+  if base land (align - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Pte.%s: base 0x%x not %d-aligned" what base align)
+
+let encode_section ~pa_base ~ap ~xn =
+  check_aligned "encode_section" pa_base (1 lsl section_shift);
+  pa_base lor (ap lsl 4) lor (if xn then 0x40 else 0) lor 1
+
+let encode_table ~l2_base =
+  check_aligned "encode_table" l2_base (1 lsl page_shift);
+  l2_base lor 2
+
+let encode_page ~pa_base ~ap ~xn =
+  check_aligned "encode_page" pa_base (1 lsl page_shift);
+  pa_base lor (ap lsl 4) lor (if xn then 0x40 else 0) lor 1
+
+let invalid = 0

@@ -1,0 +1,44 @@
+(** Page-table entry formats for the SBP reference platform MMU.
+
+    Two-level tables over a 32-bit virtual address space:
+
+    - L1 table: 1024 word entries, indexed by va\[31:22\]; each entry is
+      invalid, a 4 MiB section mapping, or a pointer to an L2 table.
+    - L2 table: 1024 word entries, indexed by va\[21:12\]; each entry is
+      invalid or a 4 KiB page mapping.
+
+    Entry layout: bits\[1:0\] type (0 invalid / 1 section-or-page /
+    2 table pointer), bits\[5:4\] AP, bit 6 XN, high bits the output base. *)
+
+val l1_index : int -> int
+val l2_index : int -> int
+
+(** [section_shift] is 22 (a section maps 4 MiB); [page_shift] is 12
+    (a page maps 4 KiB). *)
+
+val section_shift : int
+
+val page_shift : int
+
+type l1 =
+  | L1_invalid
+  | L1_section of { pa_base : int; ap : int; xn : bool }
+  | L1_table of { l2_base : int }
+
+type l2 =
+  | L2_invalid
+  | L2_page of { pa_base : int; ap : int; xn : bool }
+
+val decode_l1 : int -> l1
+val decode_l2 : int -> l2
+
+val encode_section : pa_base:int -> ap:int -> xn:bool -> int
+(** [pa_base] must be 4 MiB aligned. *)
+
+val encode_table : l2_base:int -> int
+(** [l2_base] must be 4 KiB aligned. *)
+
+val encode_page : pa_base:int -> ap:int -> xn:bool -> int
+(** [pa_base] must be 4 KiB aligned. *)
+
+val invalid : int

@@ -1,0 +1,42 @@
+type mapping = {
+  va_page : int;
+  pa_page : int;
+  ap : int;
+  xn : bool;
+  from_section : bool;
+  levels : int;
+}
+
+let walk ~read32 ~ttbr ~va =
+  let l1_addr = (ttbr land 0xFFFF_F000) + (Pte.l1_index va * 4) in
+  match Pte.decode_l1 (read32 l1_addr) with
+  | Pte.L1_invalid -> Error Access.Translation
+  | Pte.L1_section { pa_base; ap; xn } ->
+    (* normalise the section to the 4 KiB granule containing [va] so that
+       TLBs can cache sections and pages uniformly *)
+    let va_page = va land lnot 0xFFF in
+    let offset_in_section = va land ((1 lsl Pte.section_shift) - 1) in
+    let pa_page = pa_base + (offset_in_section land lnot 0xFFF) in
+    Ok { va_page; pa_page; ap; xn; from_section = true; levels = 1 }
+  | Pte.L1_table { l2_base } -> (
+    let l2_addr = l2_base + (Pte.l2_index va * 4) in
+    match Pte.decode_l2 (read32 l2_addr) with
+    | Pte.L2_invalid -> Error Access.Translation
+    | Pte.L2_page { pa_base; ap; xn } ->
+      Ok
+        {
+          va_page = va land lnot 0xFFF;
+          pa_page = pa_base;
+          ap;
+          xn;
+          from_section = false;
+          levels = 2;
+        })
+
+let translate ~read32 ~ttbr ~va ~kind ~priv =
+  match walk ~read32 ~ttbr ~va with
+  | Error _ as e -> e
+  | Ok m ->
+    if Access.Ap.permits ~ap:m.ap ~xn:m.xn kind priv then
+      Ok (m.pa_page lor (va land 0xFFF))
+    else Error Access.Permission

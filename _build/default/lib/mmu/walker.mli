@@ -1,0 +1,32 @@
+(** Hardware page-table walker.
+
+    Walks the two-level tables rooted at TTBR.  The walker does not check
+    permissions — it returns the mapping attributes and lets the caller
+    (engine memory path or TLB fill) apply {!Access.Ap.permits}, which is
+    what lets a single walk result be cached and re-checked per access. *)
+
+type mapping = {
+  va_page : int;   (** 4 KiB-aligned VA of the translated page *)
+  pa_page : int;   (** 4 KiB-aligned PA it maps to *)
+  ap : int;
+  xn : bool;
+  from_section : bool;  (** true when the mapping came from an L1 section *)
+  levels : int;         (** table loads performed: 1 for section, 2 for page *)
+}
+
+val walk :
+  read32:(int -> int) ->
+  ttbr:int ->
+  va:int ->
+  (mapping, Access.fault) result
+(** [read32] reads guest physical memory (table entries are physical). *)
+
+val translate :
+  read32:(int -> int) ->
+  ttbr:int ->
+  va:int ->
+  kind:Access.kind ->
+  priv:Access.privilege ->
+  (int, Access.fault) result
+(** Full translation including the permission check; returns the physical
+    address for [va]. *)

@@ -1,0 +1,1 @@
+lib/report/ablations.ml: List Printf Sb_arch_sba Sb_dbt Sb_interp Sb_isa Sb_sim Sb_util Sb_virt Simbench String

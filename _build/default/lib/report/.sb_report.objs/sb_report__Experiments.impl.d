@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Hashtbl List Printf Sb_dbt Sb_isa Sb_sim Sb_util Sb_workloads Simbench Spec_density String Sys

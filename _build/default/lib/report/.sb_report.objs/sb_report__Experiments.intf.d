@@ -1,0 +1,1 @@
+lib/report/experiments.mli: Sb_dbt Sb_isa

@@ -1,0 +1,1 @@
+lib/report/spec_density.ml: List Sb_isa Sb_sim Sb_workloads Simbench

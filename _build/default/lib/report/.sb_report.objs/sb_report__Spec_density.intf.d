@@ -1,0 +1,1 @@
+lib/report/spec_density.mli: Sb_isa

@@ -1,0 +1,30 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    Each study sweeps one implementation mechanism and reports the SimBench
+    benchmarks that mechanism is supposed to dominate — the suite validating
+    the simulators, exactly as the paper uses it. *)
+
+type config = { scale : int; repeats : int }
+
+val default_config : config
+val quick_config : config
+
+val chaining : ?config:config -> unit -> string
+(** DBT block chaining on/off against the control-flow benchmarks. *)
+
+val page_cache : ?config:config -> unit -> string
+(** Page-cache geometry (L1 size, L2 presence, lazy flush) against the
+    memory-system benchmarks. *)
+
+val optimiser : ?config:config -> unit -> string
+(** Optimiser pass budget vs translation-heavy and compute-heavy
+    benchmarks: the code-quality/translation-cost trade-off. *)
+
+val vm_exit : ?config:config -> unit -> string
+(** Virtualization exit cost sweep against the trap-heavy benchmarks (the
+    KVM signature). *)
+
+val predecode : ?config:config -> unit -> string
+(** Interpreter pre-decoding on/off. *)
+
+val all : ?config:config -> unit -> string

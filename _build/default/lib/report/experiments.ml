@@ -1,0 +1,395 @@
+module Tablefmt = Sb_util.Tablefmt
+module Stats = Sb_util.Stats
+
+type config = {
+  scale : int;
+  workload_iters : int;
+  repeats : int;
+  spec_density_iters : int;
+}
+
+let default_config =
+  { scale = 2_000; workload_iters = 60; repeats = 2; spec_density_iters = 10 }
+
+let quick_config =
+  { scale = 100_000; workload_iters = 5; repeats = 1; spec_density_iters = 6 }
+
+let arch_label = function
+  | Sb_isa.Arch_sig.Sba -> "ARM Guest (SBA-32)"
+  | Sb_isa.Arch_sig.Vlx -> "x86 Guest (VLX-32)"
+
+(* ------------------------------------------------------------------ *)
+(* Measurement memoization                                              *)
+(* ------------------------------------------------------------------ *)
+
+type key = {
+  k_arch : Sb_isa.Arch_sig.arch_id;
+  k_dbt : Sb_dbt.Config.t;
+  k_scale : int;
+  k_repeats : int;
+  k_kind : [ `Suite | `Workloads of int ];
+}
+
+let memo : (key, (string * float) list) Hashtbl.t = Hashtbl.create 64
+
+let min_time ~repeats f =
+  let rec go best n =
+    if n = 0 then best
+    else
+      let t = f () in
+      go (min best t) (n - 1)
+  in
+  go (f ()) (max 0 (repeats - 1))
+
+let suite_times_for_version ~arch ~config dbt_config =
+  let key =
+    {
+      k_arch = arch;
+      k_dbt = dbt_config;
+      k_scale = config.scale;
+      k_repeats = config.repeats;
+      k_kind = `Suite;
+    }
+  in
+  match Hashtbl.find_opt memo key with
+  | Some times -> times
+  | None ->
+    let support = Simbench.Engines.support arch in
+    let engine = Simbench.Engines.dbt_configured arch dbt_config in
+    let times =
+      List.map
+        (fun bench ->
+          let seconds =
+            min_time ~repeats:config.repeats (fun () ->
+                (Simbench.Harness.run ~scale:config.scale ~support ~engine bench)
+                  .Simbench.Harness.kernel_seconds)
+          in
+          (bench.Simbench.Bench.name, seconds))
+        Simbench.Suite.all
+    in
+    Hashtbl.add memo key times;
+    times
+
+let workload_times_for_version ~arch ~config dbt_config =
+  let key =
+    {
+      k_arch = arch;
+      k_dbt = dbt_config;
+      k_scale = config.scale;
+      k_repeats = config.repeats;
+      k_kind = `Workloads config.workload_iters;
+    }
+  in
+  match Hashtbl.find_opt memo key with
+  | Some times -> times
+  | None ->
+    let support = Simbench.Engines.support arch in
+    let engine = Simbench.Engines.dbt_configured arch dbt_config in
+    let times =
+      List.map
+        (fun w ->
+          let seconds =
+            min_time ~repeats:config.repeats (fun () ->
+                (Sb_workloads.Workloads.run ~iters:config.workload_iters ~support
+                   ~engine w)
+                  .Simbench.Harness.kernel_seconds)
+          in
+          (w.Sb_workloads.Workloads.name, seconds))
+        Sb_workloads.Workloads.all
+    in
+    Hashtbl.add memo key times;
+    times
+
+(* The twenty release names map onto a handful of distinct configurations;
+   measure each configuration once. *)
+let version_names = Sb_dbt.Version.names
+
+let config_of_version name =
+  match Sb_dbt.Version.find name with
+  | Some c -> c
+  | None -> invalid_arg ("unknown version " ^ name)
+
+let baseline_dbt = config_of_version Sb_dbt.Version.baseline_name
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 ?(config = default_config) () =
+  let arch = Sb_isa.Arch_sig.Sba in
+  let base_times = workload_times_for_version ~arch ~config baseline_dbt in
+  let speedups_for version_name =
+    let times = workload_times_for_version ~arch ~config (config_of_version version_name) in
+    List.map
+      (fun (name, t) -> (name, Stats.speedup ~baseline:(List.assoc name base_times) t))
+      times
+  in
+  let per_version = List.map (fun v -> (v, speedups_for v)) version_names in
+  let series_of name = List.map (fun (_, s) -> List.assoc name s) per_version in
+  let overall =
+    List.map
+      (fun (_, speedups) ->
+        Stats.weighted_geomean
+          (List.map
+             (fun w ->
+               ( List.assoc w.Sb_workloads.Workloads.name speedups,
+                 w.Sb_workloads.Workloads.weight ))
+             Sb_workloads.Workloads.all))
+      per_version
+  in
+  "Figure 2: relative performance of sjeng and mcf and the overall SPEC\n\
+   rating (weighted geometric mean) across QEMU-DBT versions (v1.7.0 = 1.0)\n\n"
+  ^ Tablefmt.render_series ~x_label:"version" ~x_values:version_names
+      [
+        ("sjeng", series_of "sjeng");
+        ("SPEC (overall)", overall);
+        ("mcf", series_of "mcf");
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 ?(config = default_config) () =
+  let arch = Sb_isa.Arch_sig.Sba in
+  let support = Simbench.Engines.support arch in
+  let engine = Simbench.Engines.interp arch in
+  let spec = Spec_density.measure ~arch ~iters:config.spec_density_iters () in
+  let rows =
+    List.map
+      (fun bench ->
+        let outcome = Simbench.Harness.run ~scale:config.scale ~support ~engine bench in
+        [
+          bench.Simbench.Bench.name
+          ^ (if bench.Simbench.Bench.platform_specific then " +" else "");
+          Simbench.Category.name bench.Simbench.Bench.category;
+          string_of_int bench.Simbench.Bench.default_iters;
+          Tablefmt.sci_cell (Simbench.Harness.density outcome);
+          Tablefmt.sci_cell
+            (Spec_density.density spec ~bench_name:bench.Simbench.Bench.name);
+        ])
+      Simbench.Suite.all
+  in
+  "Figure 3: the SimBench suite with default iteration counts and measured\n\
+   operation densities (tested operations per kernel instruction), for the\n\
+   suite itself and across the SPEC-analog workloads.  '+' marks benchmarks\n\
+   with significant platform-specific portions.\n\n"
+  ^ Tablefmt.render
+      ~header:[ "Benchmark"; "Category"; "Iterations"; "SimBench"; "SPEC" ]
+      rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  let engines = Simbench.Engines.paper_set Sb_isa.Arch_sig.Sba in
+  let feature_keys =
+    [
+      "Execution Model";
+      "Memory Access";
+      "Code Generation";
+      "Control Flow";
+      "Interrupts";
+      "Synchronous Exceptions";
+      "Undefined Instruction";
+    ]
+  in
+  let rows =
+    List.map
+      (fun key ->
+        key
+        :: List.map
+             (fun (_, engine) ->
+               match List.assoc_opt key (Sb_sim.Engine.features engine) with
+               | Some v -> v
+               | None -> "-")
+             engines)
+      feature_keys
+  in
+  let align =
+    Tablefmt.Left :: List.map (fun _ -> Tablefmt.Left) engines
+  in
+  "Figure 4: implementation techniques of the evaluated platforms.\n\n"
+  ^ Tablefmt.render ~align ~header:("Feature" :: List.map fst engines) rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  let rows =
+    [
+      [ "Host"; Printf.sprintf "OCaml %s (%s)" Sys.ocaml_version Sys.os_type ];
+      [ "Word size"; string_of_int Sys.word_size ];
+      [ "Guest ISAs"; "SBA-32 (ARM analog), VLX-32 (x86 analog)" ];
+      [ "Guest RAM"; "32 MiB" ];
+      [
+        "Platforms";
+        "dbt / interp / detailed / virt / native (QEMU-DBT / SimIt-ARM / \
+         Gem5 / QEMU-KVM / hardware analogs)";
+      ];
+    ]
+  in
+  let align = [ Tablefmt.Left; Tablefmt.Left ] in
+  "Figure 5: experimental environment (the paper's hardware table; here the\n\
+   'hardware' is the simulator substrate itself, see DESIGN.md).\n\n"
+  ^ Tablefmt.render ~align ~header:[ "Property"; "Value" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig6_arch ~config arch =
+  let base = suite_times_for_version ~arch ~config baseline_dbt in
+  let per_version =
+    List.map
+      (fun v ->
+        (v, suite_times_for_version ~arch ~config (config_of_version v)))
+      version_names
+  in
+  let speedup_series bench_name =
+    List.map
+      (fun (_, times) ->
+        Stats.speedup ~baseline:(List.assoc bench_name base)
+          (List.assoc bench_name times))
+      per_version
+  in
+  let category_block category =
+    let benches = Simbench.Suite.by_category category in
+    let series =
+      List.map
+        (fun b -> (b.Simbench.Bench.name, speedup_series b.Simbench.Bench.name))
+        benches
+    in
+    Printf.sprintf "%s — %s\n\n%s\n" (arch_label arch)
+      (Simbench.Category.name category)
+      (Tablefmt.render_series ~x_label:"version" ~x_values:version_names series)
+  in
+  String.concat "\n" (List.map category_block Simbench.Category.all)
+
+let fig6 ?(config = default_config) () =
+  "Figure 6: SimBench speedups per category across QEMU-DBT versions\n\
+   (v1.7.0 = 1.0; larger is faster).\n\n"
+  ^ fig6_arch ~config Sb_isa.Arch_sig.Sba
+  ^ "\n"
+  ^ fig6_arch ~config Sb_isa.Arch_sig.Vlx
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig7_arch ~config arch =
+  let support = Simbench.Engines.support arch in
+  let engines = Simbench.Engines.paper_set arch in
+  let columns =
+    List.map
+      (fun (label, engine) ->
+        ( label,
+          List.map
+            (fun bench ->
+              let seconds =
+                min_time ~repeats:config.repeats (fun () ->
+                    (Simbench.Harness.run ~scale:config.scale ~support ~engine
+                       bench)
+                      .Simbench.Harness.kernel_seconds)
+              in
+              (bench.Simbench.Bench.name, seconds))
+            Simbench.Suite.all ))
+      engines
+  in
+  let rows =
+    List.map
+      (fun bench ->
+        let name = bench.Simbench.Bench.name in
+        let iters =
+          max 10 (bench.Simbench.Bench.default_iters / config.scale)
+        in
+        (name :: string_of_int iters
+        :: List.map
+             (fun (_, times) -> Printf.sprintf "%.4f" (List.assoc name times))
+             columns))
+      Simbench.Suite.all
+  in
+  Printf.sprintf "%s (kernel seconds; iterations = Figure 3 counts / %d)\n\n%s"
+    (arch_label arch) config.scale
+    (Tablefmt.render
+       ~header:(("Benchmark" :: "Iters" :: List.map fst columns))
+       rows)
+
+let fig7 ?(config = default_config) () =
+  "Figure 7: SimBench runtimes on every platform.\n\n"
+  ^ fig7_arch ~config Sb_isa.Arch_sig.Sba
+  ^ "\n\n"
+  ^ fig7_arch ~config Sb_isa.Arch_sig.Vlx
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 ?(config = default_config) () =
+  let arch = Sb_isa.Arch_sig.Sba in
+  let base_suite = suite_times_for_version ~arch ~config baseline_dbt in
+  let base_workloads = workload_times_for_version ~arch ~config baseline_dbt in
+  let geo_suite version =
+    let times = suite_times_for_version ~arch ~config (config_of_version version) in
+    Stats.geomean
+      (List.map
+         (fun (name, t) -> Stats.speedup ~baseline:(List.assoc name base_suite) t)
+         times)
+  in
+  let geo_workloads version =
+    let times =
+      workload_times_for_version ~arch ~config (config_of_version version)
+    in
+    Stats.geomean
+      (List.map
+         (fun (name, t) ->
+           Stats.speedup ~baseline:(List.assoc name base_workloads) t)
+         times)
+  in
+  "Figure 8: geometric-mean speedup of the SPEC-analog workloads and of\n\
+   SimBench across QEMU-DBT versions (v1.7.0 = 1.0).\n\n"
+  ^ Tablefmt.render_series ~x_label:"version" ~x_values:version_names
+      [
+        ("SPEC", List.map geo_workloads version_names);
+        ("SimBench", List.map geo_suite version_names);
+      ]
+
+let extensions ?(config = default_config) () =
+  let arch = Sb_isa.Arch_sig.Sba in
+  let support = Simbench.Engines.support arch in
+  let engines = Simbench.Engines.paper_set arch in
+  let rows =
+    List.map
+      (fun bench ->
+        bench.Simbench.Bench.name
+        :: List.map
+             (fun (_, engine) ->
+               let seconds =
+                 min_time ~repeats:config.repeats (fun () ->
+                     (Simbench.Harness.run ~scale:config.scale ~support ~engine
+                        bench)
+                       .Simbench.Harness.kernel_seconds)
+               in
+               Printf.sprintf "%.4f" seconds)
+             engines)
+      Simbench.Suite_ext.all
+  in
+  "Extension benchmarks (the paper's future work): kernel seconds.\n\n"
+  ^ Tablefmt.render
+      ~header:("Benchmark" :: List.map fst engines)
+      rows
+
+let all ?(config = default_config) () =
+  String.concat "\n\n"
+    [
+      fig2 ~config ();
+      fig3 ~config ();
+      fig4 ();
+      fig5 ();
+      fig6 ~config ();
+      fig7 ~config ();
+      fig8 ~config ();
+      extensions ~config ();
+    ]

@@ -1,0 +1,63 @@
+(** Experiment drivers: one entry point per table/figure of the paper's
+    evaluation (see DESIGN.md section 6 for the index).
+
+    Each driver runs the required sweep and renders a plain-text table (for
+    the paper's tables) or a labelled series table (for its line graphs).
+    Results are memoized per (engine-configuration, architecture, scale), so
+    Figures 2, 6 and 8 — which share the QEMU-version sweep — do not re-run
+    each other's measurements within a process. *)
+
+type config = {
+  scale : int;          (** Figure 3 iteration counts are divided by this *)
+  workload_iters : int; (** kernel passes per workload run *)
+  repeats : int;        (** timing repeats; the minimum is reported *)
+  spec_density_iters : int;
+}
+
+val default_config : config
+
+val quick_config : config
+(** Cheap settings for tests and smoke runs. *)
+
+val fig2 : ?config:config -> unit -> string
+(** sjeng vs mcf vs overall SPEC rating across QEMU versions. *)
+
+val fig3 : ?config:config -> unit -> string
+(** The benchmark table: iterations and operation densities. *)
+
+val fig4 : unit -> string
+(** Implementation-technique matrix of the evaluated platforms. *)
+
+val fig5 : unit -> string
+(** Host environment description. *)
+
+val fig6 : ?config:config -> unit -> string
+(** Per-category SimBench speedups across QEMU versions, both guests. *)
+
+val fig7 : ?config:config -> unit -> string
+(** Full suite runtimes on every platform, both guests. *)
+
+val fig8 : ?config:config -> unit -> string
+(** Geomean SPEC vs geomean SimBench speedup across QEMU versions. *)
+
+val extensions : ?config:config -> unit -> string
+(** The extension benchmarks (future work implemented) across the five
+    platforms. *)
+
+val all : ?config:config -> unit -> string
+(** Every experiment, in figure order, with headers. *)
+
+(** Raw data access for tests and ablations. *)
+
+val suite_times_for_version :
+  arch:Sb_isa.Arch_sig.arch_id ->
+  config:config ->
+  Sb_dbt.Config.t ->
+  (string * float) list
+(** Kernel seconds per benchmark for one DBT configuration (memoized). *)
+
+val workload_times_for_version :
+  arch:Sb_isa.Arch_sig.arch_id ->
+  config:config ->
+  Sb_dbt.Config.t ->
+  (string * float) list

@@ -1,0 +1,52 @@
+module Perf = Sb_sim.Perf
+
+type t = Perf.t
+
+let measure ?(arch = Sb_isa.Arch_sig.Sba) ?(iters = 10) () =
+  let support = Simbench.Engines.support arch in
+  let engine = Simbench.Engines.interp arch in
+  let total = Perf.create () in
+  List.iter
+    (fun w ->
+      let outcome = Sb_workloads.Workloads.run ~iters ~support ~engine w in
+      match outcome.Simbench.Harness.result.Sb_sim.Run_result.kernel_perf with
+      | Some kp ->
+        List.iter (fun c -> Perf.add total c (Perf.get kp c)) Perf.all
+      | None -> ())
+    Sb_workloads.Workloads.all;
+  total
+
+let insns t = Perf.get t Perf.Insns
+
+let get = Perf.get
+
+(* Direct branches are the only conditional ones in both guest ISAs, so
+   taken-direct = taken - indirect. *)
+let taken_direct t = get t Perf.Branch_taken - get t Perf.Branch_indirect
+
+let ops t ~bench_name =
+  match bench_name with
+  | "Small Blocks" | "Large Blocks" -> get t Perf.Smc_invalidations
+  | "Inter-Page Direct" -> get t Perf.Branch_cross_direct
+  | "Inter-Page Indirect" -> get t Perf.Branch_cross_indirect
+  | "Intra-Page Direct" -> taken_direct t - get t Perf.Branch_cross_direct
+  | "Intra-Page Indirect" ->
+    get t Perf.Branch_indirect - get t Perf.Branch_cross_indirect
+  | "Data Access Fault" -> get t Perf.Data_abort
+  | "Instruction Access Fault" -> get t Perf.Prefetch_abort
+  | "Undefined Instruction" -> get t Perf.Undef_insn
+  | "System Call" -> get t Perf.Svc_taken
+  | "External Software Interrupt" -> get t Perf.Irq_taken
+  | "Memory Mapped Device" -> get t Perf.Io_reads + get t Perf.Io_writes
+  | "Coprocessor Access" -> get t Perf.Cop_reads + get t Perf.Cop_writes
+  | "Cold Memory Access" -> get t Perf.Tlb_miss
+  | "Hot Memory Access" ->
+    get t Perf.Loads + get t Perf.Stores - get t Perf.Tlb_miss
+  | "Nonprivileged Access" -> get t Perf.User_accesses
+  | "TLB Eviction" -> get t Perf.Tlb_inv_page_ops
+  | "TLB Flush" -> get t Perf.Tlb_flush_ops
+  | _ -> -1
+
+let density t ~bench_name =
+  let n = ops t ~bench_name in
+  if n < 0 || insns t = 0 then nan else float_of_int n /. float_of_int (insns t)

@@ -1,0 +1,20 @@
+(** The SPEC-column operation densities of Figure 3.
+
+    Runs the SPEC-analog workload set on the fast interpreter (the canonical
+    counting engine: it retires one instruction at a time and maintains the
+    page-crossing branch counters) and maps each SimBench benchmark to the
+    rate of its tested operation in the aggregated workload stream. *)
+
+type t
+
+val measure : ?arch:Sb_isa.Arch_sig.arch_id -> ?iters:int -> unit -> t
+(** Aggregate kernel-phase counters over all twelve workloads (default
+    architecture SBA-32). *)
+
+val density : t -> bench_name:string -> float
+(** Tested operations per instruction for the given Figure 3 benchmark's
+    operation class across the aggregated workloads; [nan] for an unknown
+    benchmark name. *)
+
+val insns : t -> int
+(** Total kernel instructions aggregated. *)

@@ -1,0 +1,1 @@
+lib/sim/alu_eval.pp.ml: Sb_isa Sb_util U32

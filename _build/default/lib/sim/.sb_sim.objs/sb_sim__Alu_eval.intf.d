@@ -1,0 +1,1 @@
+lib/sim/alu_eval.pp.mli: Sb_isa

@@ -1,0 +1,1 @@
+lib/sim/cop.pp.ml: Array Cpu Sb_isa

@@ -1,0 +1,1 @@
+lib/sim/cop.pp.mli: Cpu

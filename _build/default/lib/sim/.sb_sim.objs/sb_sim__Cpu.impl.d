@@ -1,0 +1,1 @@
+lib/sim/cpu.pp.ml: Array Bool Format Sb_isa Sb_mmu Sb_util

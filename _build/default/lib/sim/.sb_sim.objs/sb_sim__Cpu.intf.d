@@ -1,0 +1,1 @@
+lib/sim/cpu.pp.mli: Format Sb_mmu

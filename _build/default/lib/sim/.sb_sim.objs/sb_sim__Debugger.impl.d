@@ -1,0 +1,1 @@
+lib/sim/debugger.pp.ml: Cpu Engine Format List Machine Run_result Sb_isa Sb_mem String

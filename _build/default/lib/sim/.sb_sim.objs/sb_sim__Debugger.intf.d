@@ -1,0 +1,1 @@
+lib/sim/debugger.pp.mli: Engine Machine Sb_isa

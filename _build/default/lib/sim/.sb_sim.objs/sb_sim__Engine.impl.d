@@ -1,0 +1,1 @@
+lib/sim/engine.pp.ml: Machine Run_result

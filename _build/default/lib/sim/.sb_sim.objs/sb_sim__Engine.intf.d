@@ -1,0 +1,1 @@
+lib/sim/engine.pp.mli: Machine Run_result

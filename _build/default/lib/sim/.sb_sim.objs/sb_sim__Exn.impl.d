@@ -1,0 +1,1 @@
+lib/sim/exn.pp.ml: Array Cpu Sb_isa Sb_mmu

@@ -1,0 +1,1 @@
+lib/sim/exn.pp.mli: Cpu Sb_mmu

@@ -1,0 +1,1 @@
+lib/sim/machine.pp.mli: Cpu Sb_asm Sb_mem

@@ -1,0 +1,1 @@
+lib/sim/perf.pp.ml: Array Format List Ppx_deriving_runtime

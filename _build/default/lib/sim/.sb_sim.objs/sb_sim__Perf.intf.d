@@ -1,0 +1,1 @@
+lib/sim/perf.pp.mli: Format

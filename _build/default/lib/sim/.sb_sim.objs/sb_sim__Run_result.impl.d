@@ -1,0 +1,1 @@
+lib/sim/run_result.pp.ml: Format Option Perf Printf

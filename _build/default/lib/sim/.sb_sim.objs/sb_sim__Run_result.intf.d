@@ -1,0 +1,1 @@
+lib/sim/run_result.pp.mli: Format Perf

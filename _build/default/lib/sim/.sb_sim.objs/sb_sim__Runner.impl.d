@@ -1,0 +1,1 @@
+lib/sim/runner.pp.ml: Machine Perf Run_result Sb_mem Unix

@@ -1,0 +1,1 @@
+lib/sim/runner.pp.mli: Machine Perf Run_result

@@ -1,0 +1,26 @@
+open Sb_util
+
+let eval op a b =
+  match op with
+  | Sb_isa.Uop.Add -> U32.add a b
+  | Sub -> U32.sub a b
+  | And_ -> U32.logand a b
+  | Orr -> U32.logor a b
+  | Xor -> U32.logxor a b
+  | Lsl -> U32.shift_left a (b land 0xFF)
+  | Lsr -> U32.shift_right_logical a (b land 0xFF)
+  | Asr -> U32.shift_right_arith a (b land 0xFF)
+  | Mul -> U32.mul a b
+
+let eval_flags op a b =
+  match op with
+  | Sb_isa.Uop.Add ->
+    let result, carry, overflow = U32.add_with_flags a b in
+    (result, result land 0x8000_0000 <> 0, result = 0, carry, overflow)
+  | Sub ->
+    let result, borrow, overflow = U32.sub_with_flags a b in
+    (* ARM convention: C is the inverted borrow *)
+    (result, result land 0x8000_0000 <> 0, result = 0, not borrow, overflow)
+  | And_ | Orr | Xor | Lsl | Lsr | Asr | Mul ->
+    let result = eval op a b in
+    (result, result land 0x8000_0000 <> 0, result = 0, false, false)

@@ -1,0 +1,8 @@
+(** ALU semantics shared by every engine: one evaluator, one flag rule. *)
+
+val eval : Sb_isa.Uop.alu_op -> int -> int -> int
+(** [eval op a b] over u32 operands. *)
+
+val eval_flags : Sb_isa.Uop.alu_op -> int -> int -> int * bool * bool * bool * bool
+(** [eval_flags op a b] is [(result, n, z, c, v)].  For logical and shift
+    operations C and V are cleared (the simplified SBA flag rule). *)

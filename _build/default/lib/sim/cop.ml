@@ -1,0 +1,16 @@
+type write_effect = No_effect | Translation_changed | Asid_changed
+
+let read cpu ~creg =
+  if creg < 0 || creg >= Sb_isa.Cregs.count then Error `Undefined
+  else Ok cpu.Cpu.cop.(creg)
+
+let write cpu ~creg ~value =
+  let open Sb_isa.Cregs in
+  if creg < 0 || creg >= count then Error `Undefined
+  else if creg = cpuid then Ok No_effect
+  else begin
+    cpu.Cpu.cop.(creg) <- value land 0xFFFF_FFFF;
+    if creg = sctlr || creg = ttbr then Ok Translation_changed
+    else if creg = asid then Ok Asid_changed
+    else Ok No_effect
+  end

@@ -1,0 +1,19 @@
+(** Coprocessor (system register) access semantics, shared by every engine. *)
+
+type write_effect =
+  | No_effect
+  | Translation_changed
+      (** SCTLR or TTBR was written: engines must flush any cached
+          translations (software TLBs, decode caches keyed by VA, block
+          chains across translation regimes). *)
+  | Asid_changed
+      (** the address-space identifier was written: ASID-tagged TLBs keep
+          their entries (tagged with the old ASID); untagged implementations
+          must flush. *)
+
+val read : Cpu.t -> creg:int -> (int, [ `Undefined ]) result
+(** [`Undefined] for an unarchitected register number: the access raises an
+    undefined-instruction exception. *)
+
+val write : Cpu.t -> creg:int -> value:int -> (write_effect, [ `Undefined ]) result
+(** Writes to read-only registers (CPUID) are ignored architecturally. *)

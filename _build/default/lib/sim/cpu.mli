@@ -1,0 +1,32 @@
+(** Architectural CPU state shared by every engine.
+
+    The register file is sized for the widest guest ISA (16 registers);
+    narrower ISAs simply never touch the upper registers.  Status flags are
+    unpacked booleans because engines evaluate conditions on every branch. *)
+
+type t = {
+  regs : int array;
+  mutable pc : int;
+  mutable mode : Sb_mmu.Access.privilege;
+  mutable irq_enabled : bool;
+  mutable flag_n : bool;
+  mutable flag_z : bool;
+  mutable flag_c : bool;
+  mutable flag_v : bool;
+  cop : int array;  (** coprocessor registers, indexed by {!Sb_isa.Cregs} *)
+}
+
+val create : unit -> t
+(** Reset state: kernel mode, IRQs disabled, pc = 0, everything zeroed. *)
+
+val reset : t -> unit
+
+val mmu_enabled : t -> bool
+
+val psr_encode : t -> int
+(** Pack mode / IRQ-enable / NZCV into the SPSR format. *)
+
+val psr_restore : t -> int -> unit
+(** Unpack an SPSR value back into the live status fields. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+type t = {
+  machine : Machine.t;
+  engine : Engine.t;
+  arch : (module Sb_isa.Arch_sig.ARCH);
+  mutable breakpoints : int list;
+  mutable retired : int;
+}
+
+type stop = Stepped | Breakpoint of int | Halted | Deadlocked
+
+let create ~engine ~arch machine =
+  { machine; engine; arch; breakpoints = []; retired = 0 }
+
+let add_breakpoint t addr =
+  if not (List.mem addr t.breakpoints) then t.breakpoints <- addr :: t.breakpoints
+
+let remove_breakpoint t addr =
+  t.breakpoints <- List.filter (fun a -> a <> addr) t.breakpoints
+
+let breakpoints t = t.breakpoints
+
+let pc t = t.machine.Machine.cpu.Cpu.pc
+let instructions_retired t = t.retired
+
+let step_once t =
+  let result = Engine.run t.engine ~max_insns:1 t.machine in
+  t.retired <- t.retired + Run_result.insns result;
+  match result.Run_result.stop with
+  | Run_result.Halted -> Some Halted
+  | Run_result.Wfi_deadlock -> Some Deadlocked
+  | Run_result.Insn_limit ->
+    if List.mem (pc t) t.breakpoints then Some (Breakpoint (pc t)) else None
+
+let rec run_steps t n =
+  if n <= 0 then Stepped
+  else
+    match step_once t with
+    | Some stop -> stop
+    | None -> run_steps t (n - 1)
+
+let step ?(n = 1) t = run_steps t n
+
+let continue_ ?(max_insns = 1_000_000) t = run_steps t max_insns
+
+let disassemble_here ?(count = 8) t =
+  let bus = t.machine.Machine.bus in
+  let read8 a = try Sb_mem.Bus.read8 bus a with Sb_mem.Bus.Fault _ -> 0 in
+  let (module A : Sb_isa.Arch_sig.ARCH) = t.arch in
+  let len = count * A.max_insn_bytes in
+  let lines =
+    Sb_isa.Disasm.decode_range ~arch:t.arch ~read8 ~base:(pc t) ~len
+  in
+  let truncated = List.filteri (fun i _ -> i < count) lines in
+  String.concat "\n"
+    (List.map (fun l -> Format.asprintf "%a" Sb_isa.Disasm.pp_line l) truncated)
+
+let dump_registers t = Format.asprintf "%a" Cpu.pp t.machine.Machine.cpu

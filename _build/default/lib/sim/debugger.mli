@@ -1,0 +1,38 @@
+(** Guest debugger: single-stepping, breakpoints and state inspection on top
+    of any engine.
+
+    Stepping drives the engine one instruction at a time
+    ([run ~max_insns:1]); engine-internal caches are rebuilt every step, so
+    debugging is slow but architecturally exact on every engine.
+    Disassembly reads guest memory physically, which matches the
+    identity-mapped layout the SimBench runtime sets up. *)
+
+type t
+
+type stop =
+  | Stepped          (** executed the requested instructions *)
+  | Breakpoint of int
+  | Halted
+  | Deadlocked
+
+val create :
+  engine:Engine.t -> arch:(module Sb_isa.Arch_sig.ARCH) -> Machine.t -> t
+
+val add_breakpoint : t -> int -> unit
+val remove_breakpoint : t -> int -> unit
+val breakpoints : t -> int list
+
+val step : ?n:int -> t -> stop
+(** Execute up to [n] (default 1) instructions, stopping early at a
+    breakpoint or halt. *)
+
+val continue_ : ?max_insns:int -> t -> stop
+(** Run until a breakpoint, halt, or the safety limit (default 1M). *)
+
+val pc : t -> int
+val instructions_retired : t -> int
+
+val disassemble_here : ?count:int -> t -> string
+(** Disassembly starting at the current PC (default 8 instructions). *)
+
+val dump_registers : t -> string

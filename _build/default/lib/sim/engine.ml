@@ -1,0 +1,12 @@
+module type ENGINE = sig
+  val name : string
+  val features : (string * string) list
+  val run : ?max_insns:int -> Machine.t -> Run_result.t
+end
+
+type t = (module ENGINE)
+
+let name (module E : ENGINE) = E.name
+let features (module E : ENGINE) = E.features
+
+let run (module E : ENGINE) ?max_insns machine = E.run ?max_insns machine

@@ -1,0 +1,24 @@
+(** Execution-engine interface.
+
+    An engine is one simulation technology (interpreter, DBT, detailed
+    timing model, direct execution).  Engines are packaged as first-class
+    modules so the harness can run the same machine image across all of
+    them. *)
+
+module type ENGINE = sig
+  val name : string
+
+  val features : (string * string) list
+  (** Feature matrix entries for the paper's Figure 4, e.g.
+      [("Execution Model", "DBT")]. *)
+
+  val run : ?max_insns:int -> Machine.t -> Run_result.t
+  (** Execute from the current CPU state until HALT, the instruction limit
+      (default 2 billion), or a WFI deadlock. *)
+end
+
+type t = (module ENGINE)
+
+val name : t -> string
+val features : t -> (string * string) list
+val run : t -> ?max_insns:int -> Machine.t -> Run_result.t

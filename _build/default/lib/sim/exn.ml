@@ -1,0 +1,53 @@
+type vector = Reset | Undefined | Syscall | Prefetch_abort | Data_abort | Irq
+
+let vector_offset = function
+  | Reset -> 0x00
+  | Undefined -> 0x08
+  | Syscall -> 0x10
+  | Prefetch_abort -> 0x18
+  | Data_abort -> 0x20
+  | Irq -> 0x28
+
+let vector_name = function
+  | Reset -> "reset"
+  | Undefined -> "undefined"
+  | Syscall -> "syscall"
+  | Prefetch_abort -> "prefetch-abort"
+  | Data_abort -> "data-abort"
+  | Irq -> "irq"
+
+module Cause = struct
+  let undefined = 1
+  let syscall = 2
+  let prefetch_translation = 3
+  let prefetch_permission = 4
+  let data_translation = 5
+  let data_permission = 6
+  let irq = 7
+  let bus_error = 8
+
+  let of_fault ~kind fault =
+    match (kind, fault) with
+    | Sb_mmu.Access.Execute, Sb_mmu.Access.Translation -> prefetch_translation
+    | Sb_mmu.Access.Execute, Sb_mmu.Access.Permission -> prefetch_permission
+    | (Sb_mmu.Access.Read | Sb_mmu.Access.Write), Sb_mmu.Access.Translation ->
+      data_translation
+    | (Sb_mmu.Access.Read | Sb_mmu.Access.Write), Sb_mmu.Access.Permission ->
+      data_permission
+end
+
+let enter cpu vector ~return_addr ?far ~cause () =
+  cpu.Cpu.cop.(Sb_isa.Cregs.elr) <- return_addr land 0xFFFF_FFFF;
+  cpu.Cpu.cop.(Sb_isa.Cregs.spsr) <- Cpu.psr_encode cpu;
+  cpu.Cpu.cop.(Sb_isa.Cregs.esr) <- cause;
+  (match far with
+  | Some a -> cpu.Cpu.cop.(Sb_isa.Cregs.far) <- a land 0xFFFF_FFFF
+  | None -> ());
+  cpu.Cpu.mode <- Sb_mmu.Access.Kernel;
+  cpu.Cpu.irq_enabled <- false;
+  cpu.Cpu.pc <-
+    (cpu.Cpu.cop.(Sb_isa.Cregs.vbar) + vector_offset vector) land 0xFFFF_FFFF
+
+let eret cpu =
+  cpu.Cpu.pc <- cpu.Cpu.cop.(Sb_isa.Cregs.elr);
+  Cpu.psr_restore cpu cpu.Cpu.cop.(Sb_isa.Cregs.spsr)

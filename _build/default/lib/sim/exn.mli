@@ -1,0 +1,42 @@
+(** Architectural exception model, shared by both guest ISAs.
+
+    Vector table lives at VBAR; each vector slot is 8 bytes apart so a slot
+    can hold a trampoline branch on either ISA.  Exception entry banks the
+    return address into ELR and the status word into SPSR, switches to
+    kernel mode and masks IRQs; [ERET] reverses it. *)
+
+type vector =
+  | Reset
+  | Undefined
+  | Syscall
+  | Prefetch_abort
+  | Data_abort
+  | Irq
+
+val vector_offset : vector -> int
+(** Byte offset of the vector slot from VBAR. *)
+
+val vector_name : vector -> string
+
+(** ESR cause codes written on entry. *)
+module Cause : sig
+  val undefined : int
+  val syscall : int
+  val prefetch_translation : int
+  val prefetch_permission : int
+  val data_translation : int
+  val data_permission : int
+  val irq : int
+  val bus_error : int
+
+  val of_fault : kind:Sb_mmu.Access.kind -> Sb_mmu.Access.fault -> int
+  (** Maps a translation-stage fault on a given access kind to its cause. *)
+end
+
+val enter :
+  Cpu.t -> vector -> return_addr:int -> ?far:int -> cause:int -> unit -> unit
+(** Take an exception: bank state, switch mode, jump to the vector.  [far]
+    updates the fault-address register (aborts only). *)
+
+val eret : Cpu.t -> unit
+(** Return from exception: restore PC from ELR and status from SPSR. *)

@@ -1,0 +1,65 @@
+(** Performance counters maintained by every engine.
+
+    These counters are the instrumentation behind the paper's "operation
+    density" metric (Figure 3): the harness snapshots them at kernel-phase
+    boundaries and divides tested-operation counts by retired instructions. *)
+
+type counter =
+  | Insns              (** instructions retired *)
+  | Uops               (** micro-ops executed *)
+  | Branch_direct
+  | Branch_indirect
+  | Branch_taken
+  | Branch_cross_direct
+      (** taken direct branches whose target lies on another page
+          (maintained by the fast interpreter only; used for the operation
+          density analysis) *)
+  | Branch_cross_indirect
+  | Loads
+  | Stores
+  | User_accesses      (** non-privileged (LDRT/STRT) accesses *)
+  | Data_abort
+  | Prefetch_abort
+  | Undef_insn
+  | Svc_taken
+  | Irq_taken
+  | Io_reads
+  | Io_writes
+  | Cop_reads
+  | Cop_writes
+  | Tlb_hit
+  | Tlb_miss
+  | Tlb_inv_page_ops
+  | Tlb_flush_ops
+  | Mmu_walks
+  | Walk_levels        (** page-table loads performed by walks *)
+  | Blocks_translated
+  | Block_lookups
+  | Chain_follows
+  | Smc_invalidations
+  | Decodes
+  | Opt_passes_run
+  | Vm_exits
+  | Wfi_waits
+  | Exceptions_total
+
+val all : counter list
+val to_string : counter -> string
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+val reset : t -> unit
+
+val get : t -> counter -> int
+val incr : t -> counter -> unit
+val add : t -> counter -> int -> unit
+
+val diff : after:t -> before:t -> t
+(** Per-counter subtraction: the counters accumulated between two snapshots. *)
+
+val to_alist : t -> (counter * int) list
+(** Non-zero counters only, in declaration order. *)
+
+val pp : Format.formatter -> t -> unit

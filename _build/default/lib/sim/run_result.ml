@@ -1,0 +1,33 @@
+type stop_reason = Halted | Insn_limit | Wfi_deadlock
+
+type t = {
+  engine : string;
+  stop : stop_reason;
+  wall_seconds : float;
+  kernel_seconds : float option;
+  perf : Perf.t;
+  kernel_perf : Perf.t option;
+  exit_code : int;
+  uart_output : string;
+  tested_ops : int;
+}
+
+let insns t = Perf.get t.perf Perf.Insns
+
+let kernel_insns t =
+  Option.map (fun p -> Perf.get p Perf.Insns) t.kernel_perf
+
+let pp_stop ppf reason =
+  Format.pp_print_string ppf
+    (match reason with
+    | Halted -> "halted"
+    | Insn_limit -> "insn-limit"
+    | Wfi_deadlock -> "wfi-deadlock")
+
+let pp_summary ppf t =
+  Format.fprintf ppf "[%s] %a in %.3fs (%d insns%s, exit %d)" t.engine pp_stop
+    t.stop t.wall_seconds (insns t)
+    (match t.kernel_seconds with
+    | Some s -> Printf.sprintf ", kernel %.3fs" s
+    | None -> "")
+    t.exit_code

@@ -1,0 +1,24 @@
+(** The outcome of one engine run. *)
+
+type stop_reason =
+  | Halted            (** guest executed HALT *)
+  | Insn_limit        (** [max_insns] reached *)
+  | Wfi_deadlock      (** WFI with no interrupt source able to fire *)
+
+type t = {
+  engine : string;
+  stop : stop_reason;
+  wall_seconds : float;          (** whole run, including setup/cleanup *)
+  kernel_seconds : float option; (** timed kernel phase, when signalled *)
+  perf : Perf.t;                 (** whole-run counters *)
+  kernel_perf : Perf.t option;   (** counters for the kernel phase only *)
+  exit_code : int;
+  uart_output : string;
+  tested_ops : int;              (** guest-reported OPCOUNT total *)
+}
+
+val insns : t -> int
+val kernel_insns : t -> int option
+
+val pp_stop : Format.formatter -> stop_reason -> unit
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+let default_max_insns = 2_000_000_000
+
+let now () = Unix.gettimeofday ()
+
+let wrap ~name ~machine ~perf ~execute =
+  let kernel_start = ref None in
+  let kernel_perf = ref None in
+  Sb_mem.Benchdev.set_on_phase machine.Machine.benchdev (fun phase ->
+      match phase with
+      | Sb_mem.Benchdev.Kernel -> kernel_start := Some (Perf.copy perf)
+      | Sb_mem.Benchdev.Cleanup -> (
+        match !kernel_start with
+        | Some before -> kernel_perf := Some (Perf.diff ~after:perf ~before)
+        | None -> ())
+      | Sb_mem.Benchdev.Setup -> ());
+  let t0 = now () in
+  let stop = execute () in
+  let wall_seconds = now () -. t0 in
+  Sb_mem.Benchdev.set_on_phase machine.Machine.benchdev ignore;
+  {
+    Run_result.engine = name;
+    stop;
+    wall_seconds;
+    kernel_seconds = Sb_mem.Benchdev.kernel_seconds machine.Machine.benchdev;
+    perf;
+    kernel_perf = !kernel_perf;
+    exit_code =
+      (match Sb_mem.Benchdev.exit_code machine.Machine.benchdev with
+      | Some code -> code
+      | None -> 0);
+    uart_output = Sb_mem.Uart.contents machine.Machine.uart;
+    tested_ops = Sb_mem.Benchdev.op_count machine.Machine.benchdev;
+  }
+
+let wait_for_interrupt machine ~perf =
+  Perf.incr perf Perf.Wfi_waits;
+  let intc = machine.Machine.intc in
+  let timer = machine.Machine.timer in
+  let budget = ref 10_000_000 in
+  let rec loop () =
+    if Sb_mem.Intc.pending intc land Sb_mem.Intc.enabled intc <> 0 then `Wake
+    else if !budget <= 0 then `Deadlock
+    else begin
+      Sb_mem.Timer.advance timer 1024;
+      budget := !budget - 1024;
+      loop ()
+    end
+  in
+  loop ()

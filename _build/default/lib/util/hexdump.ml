@@ -1,0 +1,23 @@
+let bytes ?(base = 0) data =
+  let len = Bytes.length data in
+  let buf = Buffer.create (len * 4) in
+  let line_start = ref 0 in
+  while !line_start < len do
+    let start = !line_start in
+    let stop = min len (start + 16) in
+    Buffer.add_string buf (Printf.sprintf "%08x  " (base + start));
+    for i = start to start + 15 do
+      if i < stop then
+        Buffer.add_string buf (Printf.sprintf "%02x " (Char.code (Bytes.get data i)))
+      else Buffer.add_string buf "   ";
+      if i - start = 7 then Buffer.add_char buf ' '
+    done;
+    Buffer.add_string buf " |";
+    for i = start to stop - 1 do
+      let c = Bytes.get data i in
+      Buffer.add_char buf (if c >= ' ' && c < '\x7f' then c else '.')
+    done;
+    Buffer.add_string buf "|\n";
+    line_start := stop
+  done;
+  Buffer.contents buf

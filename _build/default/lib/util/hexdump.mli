@@ -1,0 +1,5 @@
+(** Hex dump of guest memory regions, for debugging and example output. *)
+
+val bytes : ?base:int -> Bytes.t -> string
+(** Classic 16-bytes-per-line dump with an address column starting at
+    [base] (default 0) and a printable-ASCII gutter. *)

@@ -1,0 +1,33 @@
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> nan
+  | xs ->
+    let log_sum = List.fold_left (fun acc x -> acc +. log x) 0. xs in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let weighted_geomean = function
+  | [] -> nan
+  | xs ->
+    let num = List.fold_left (fun acc (v, w) -> acc +. (w *. log v)) 0. xs in
+    let den = List.fold_left (fun acc (_, w) -> acc +. w) 0. xs in
+    exp (num /. den)
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    sqrt (sq /. float_of_int (List.length xs - 1))
+
+let median = function
+  | [] -> nan
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n land 1 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let speedup ~baseline t = baseline /. t

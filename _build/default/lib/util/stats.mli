@@ -1,0 +1,14 @@
+(** Small statistics helpers used by the reporting layer. *)
+
+val mean : float list -> float
+val geomean : float list -> float
+
+val weighted_geomean : (float * float) list -> float
+(** [weighted_geomean [(value, weight); ...]] — the paper's "SPEC rating" is a
+    weighted geometric mean across benchmarks. *)
+
+val stddev : float list -> float
+val median : float list -> float
+
+val speedup : baseline:float -> float -> float
+(** [speedup ~baseline t] is [baseline /. t]: > 1 means faster than baseline. *)

@@ -1,0 +1,74 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> a
+    | _ -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let widths = Array.of_list (List.map String.length header) in
+  let note_row row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols && String.length cell > widths.(i) then
+          widths.(i) <- String.length cell)
+      row
+  in
+  List.iter note_row rows;
+  let fmt_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let a = List.nth aligns (min i (ncols - 1)) in
+          pad a widths.(min i (ncols - 1)) cell)
+        row
+    in
+    String.concat "  " cells
+  in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (fmt_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (fmt_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let float_cell v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.3f" v
+
+let sci_cell v =
+  if Float.is_nan v then "-"
+  else if v = 0. then "0"
+  else if v >= 0.001 then Printf.sprintf "%.3f" v
+  else Printf.sprintf "%.2e" v
+
+let render_series ~x_label ~x_values series =
+  let names = List.map fst series in
+  let header = x_label :: names in
+  let nth_or_nan values i =
+    match List.nth_opt values i with Some v -> v | None -> nan
+  in
+  let rows =
+    List.mapi
+      (fun i x ->
+        x :: List.map (fun (_, values) -> float_cell (nth_or_nan values i)) series)
+      x_values
+  in
+  render ~header rows

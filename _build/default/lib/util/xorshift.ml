@@ -1,0 +1,30 @@
+type t = { mutable state : int64 }
+
+let create ~seed =
+  let s = Int64.of_int seed in
+  let s = if Int64.equal s 0L then 0x9E3779B97F4A7C15L else s in
+  { state = s }
+
+let next t =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.state <- x;
+  Int64.to_int (Int64.shift_right_logical (Int64.mul x 0x2545F4914F6CDD1DL) 2)
+
+let int t bound =
+  assert (bound > 0);
+  next t mod bound
+
+let u32 t = next t land 0xFFFF_FFFF
+
+let bool t = next t land 1 = 1
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

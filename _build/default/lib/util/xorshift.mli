@@ -1,0 +1,24 @@
+(** Deterministic xorshift64* pseudo-random generator.
+
+    Workload generators and benchmark layouts must be reproducible across
+    runs and across engines, so they draw from this generator rather than
+    [Random]. *)
+
+type t
+
+val create : seed:int -> t
+(** [seed] may be any int; a zero seed is remapped internally. *)
+
+val next : t -> int
+(** Next 62-bit non-negative value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val u32 : t -> int
+(** Uniform 32-bit value. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

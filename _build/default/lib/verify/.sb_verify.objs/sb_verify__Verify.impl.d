@@ -1,0 +1,1 @@
+lib/verify/verify.ml: Array Bytes Char List Printf Sb_arch_sba Sb_arch_vlx Sb_asm Sb_isa Sb_mem Sb_sim Sb_util Simbench String

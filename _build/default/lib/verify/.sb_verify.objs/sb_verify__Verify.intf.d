@@ -1,0 +1,1 @@
+lib/verify/verify.mli: Sb_asm Sb_isa Sb_sim

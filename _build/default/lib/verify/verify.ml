@@ -1,0 +1,259 @@
+module SI = Sb_arch_sba.Insn
+module VI = Sb_arch_vlx.Insn
+module Uop = Sb_isa.Uop
+open Sb_asm.Assembler
+
+type outcome = {
+  engine : string;
+  regs : int list;
+  flags : bool * bool * bool * bool;
+  memory_digest : string;
+  counters : (string * int) list;
+  halted : bool;
+}
+
+type divergence = {
+  seed : int option;
+  reference_engine : string;
+  diverging_engine : string;
+  detail : string;
+}
+
+let architectural_counters =
+  [
+    Sb_sim.Perf.Insns;
+    Sb_sim.Perf.Loads;
+    Sb_sim.Perf.Stores;
+    Sb_sim.Perf.Branch_direct;
+    Sb_sim.Perf.Branch_indirect;
+    Sb_sim.Perf.Branch_taken;
+    Sb_sim.Perf.Svc_taken;
+    Sb_sim.Perf.Undef_insn;
+    Sb_sim.Perf.Data_abort;
+    Sb_sim.Perf.Prefetch_abort;
+    Sb_sim.Perf.Irq_taken;
+    Sb_sim.Perf.Exceptions_total;
+  ]
+
+(* cheap rolling digest; we only need equality, not cryptography *)
+let digest_bytes bytes =
+  let h = ref 0x3BF29CE484222325 in
+  Bytes.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x100000001B3 land max_int)
+    bytes;
+  Printf.sprintf "%016x" !h
+
+let default_mem_window =
+  (Simbench.Platform.sbp_ref.Simbench.Platform.scratch_base, 16 * 4096)
+
+let run_outcome ~engine ?(mem_window = default_mem_window) ?(max_insns = 10_000_000)
+    program =
+  let machine = Sb_sim.Machine.create () in
+  Sb_sim.Machine.load_program machine program;
+  let result = Sb_sim.Engine.run engine ~max_insns machine in
+  let addr, len = mem_window in
+  let window = Sb_mem.Phys_mem.blit_out (Sb_mem.Bus.ram machine.Sb_sim.Machine.bus) ~addr ~len in
+  {
+    (* name the wrapper, not whatever engine it delegates to internally *)
+    engine = Sb_sim.Engine.name engine;
+    regs = Array.to_list machine.Sb_sim.Machine.cpu.Sb_sim.Cpu.regs;
+    flags =
+      ( machine.Sb_sim.Machine.cpu.Sb_sim.Cpu.flag_n,
+        machine.Sb_sim.Machine.cpu.Sb_sim.Cpu.flag_z,
+        machine.Sb_sim.Machine.cpu.Sb_sim.Cpu.flag_c,
+        machine.Sb_sim.Machine.cpu.Sb_sim.Cpu.flag_v );
+    memory_digest = digest_bytes window;
+    counters =
+      List.map
+        (fun c ->
+          (Sb_sim.Perf.to_string c, Sb_sim.Perf.get result.Sb_sim.Run_result.perf c))
+        architectural_counters;
+    halted = result.Sb_sim.Run_result.stop = Sb_sim.Run_result.Halted;
+  }
+
+let first_difference ~nregs a b =
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  if take nregs a.regs <> take nregs b.regs then
+    Some
+      (Printf.sprintf "registers differ: [%s] vs [%s]"
+         (String.concat ";" (List.map string_of_int (take nregs a.regs)))
+         (String.concat ";" (List.map string_of_int (take nregs b.regs))))
+  else if a.flags <> b.flags then Some "status flags differ"
+  else if a.memory_digest <> b.memory_digest then Some "memory window differs"
+  else if a.halted <> b.halted then Some "stop reasons differ"
+  else
+    List.fold_left2
+      (fun acc (name, va) (_, vb) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if va <> vb then
+            Some (Printf.sprintf "counter %s: %d vs %d" name va vb)
+          else None)
+      None a.counters b.counters
+
+let compare_engines ~engines ?mem_window ?max_insns ?(nregs = 16) program =
+  match engines with
+  | [] -> invalid_arg "Verify.compare_engines: no engines"
+  | first :: rest ->
+    let reference = run_outcome ~engine:first ?mem_window ?max_insns program in
+    let rec check = function
+      | [] -> Ok reference
+      | engine :: tail -> (
+        let o = run_outcome ~engine ?mem_window ?max_insns program in
+        match first_difference ~nregs reference o with
+        | None -> check tail
+        | Some detail ->
+          Error
+            {
+              seed = None;
+              reference_engine = reference.engine;
+              diverging_engine = o.engine;
+              detail;
+            })
+    in
+    check rest
+
+(* ------------------------------------------------------------------ *)
+(* Random program generation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let scratch = fst default_mem_window
+
+let random_sba_program seed =
+  let rng = Sb_util.Xorshift.create ~seed in
+  let n_chunks = 20 + Sb_util.Xorshift.int rng 60 in
+  let body = ref [] in
+  let add items = body := !body @ items in
+  let insns l = List.map (fun i -> Insn i) l in
+  let alu_ops =
+    [|
+      (fun a b c -> SI.Add (a, b, SI.Rm c));
+      (fun a b c -> SI.Sub (a, b, SI.Rm c));
+      (fun a b c -> SI.And_ (a, b, c));
+      (fun a b c -> SI.Orr (a, b, c));
+      (fun a b c -> SI.Xor (a, b, c));
+      (fun a b c -> SI.Mul (a, b, c));
+      (fun a b c -> SI.Lsl (a, b, SI.Rm c));
+      (fun a b c -> SI.Lsr (a, b, SI.Rm c));
+    |]
+  in
+  let conds = [| Uop.Eq; Uop.Ne; Uop.Lt; Uop.Ge; Uop.Ltu; Uop.Geu |] in
+  let reg () = Sb_util.Xorshift.int rng 10 in
+  for i = 0 to n_chunks - 1 do
+    match Sb_util.Xorshift.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+      let f = alu_ops.(Sb_util.Xorshift.int rng (Array.length alu_ops)) in
+      add (insns [ f (reg ()) (reg ()) (reg ()) ])
+    | 4 ->
+      add (insns [ SI.Add (reg (), reg (), SI.Imm (Sb_util.Xorshift.int rng 4096 - 2048)) ])
+    | 5 ->
+      let skip = Printf.sprintf "vskip%d" i in
+      let cond = conds.(Sb_util.Xorshift.int rng (Array.length conds)) in
+      add
+        (insns [ SI.Cmp (reg (), SI.Rm (reg ())); SI.Bcc (cond, skip) ]
+        @ insns [ SI.Xor (reg (), reg (), reg ()) ]
+        @ [ Label skip ])
+    | 6 -> add (insns [ SI.Str (reg (), 12, Sb_util.Xorshift.int rng 500 * 4) ])
+    | 7 -> add (insns [ SI.Ldr (reg (), 12, Sb_util.Xorshift.int rng 500 * 4) ])
+    | 8 -> add (insns [ SI.Svc (i land 0xFF) ])
+    | _ -> add (insns [ SI.Strb (reg (), 12, (Sb_util.Xorshift.int rng 500 * 4) + (i land 3)) ])
+  done;
+  let init =
+    List.concat
+      (List.map (fun r -> SI.li r (Sb_util.Xorshift.u32 rng)) [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ])
+  in
+  let slot target = [ Insn (SI.B target); Insn SI.Nop ] in
+  SI.Asm.assemble ~base:0 ~entry:"start"
+    ([ Label "start" ]
+    @ insns (SI.la 0 "vectors" @ [ SI.Mcr (Sb_isa.Cregs.vbar, 0) ])
+    @ insns init
+    @ insns (SI.li 12 scratch)
+    @ !body
+    @ insns [ SI.Halt ]
+    (* the system-call return address is already the next instruction *)
+    @ [ Label "svc_handler" ]
+    @ insns [ SI.Add (11, 11, SI.Imm 1); SI.Eret ]
+    (* undefined instructions and data aborts skip the faulting insn *)
+    @ [ Label "skip_handler" ]
+    @ insns
+        [
+          SI.Add (11, 11, SI.Imm 1);
+          SI.Mrc (0, Sb_isa.Cregs.elr);
+          SI.Add (0, 0, SI.Imm 4);
+          SI.Mcr (Sb_isa.Cregs.elr, 0);
+          SI.Eret;
+        ]
+    @ (Label "vectors" :: slot "start")
+    @ slot "skip_handler" @ slot "svc_handler" @ slot "start" @ slot "skip_handler"
+    @ slot "start")
+
+let random_vlx_program seed =
+  let rng = Sb_util.Xorshift.create ~seed in
+  let n = 20 + Sb_util.Xorshift.int rng 60 in
+  let body = ref [] in
+  let add items = body := !body @ items in
+  let insns l = List.map (fun i -> Insn i) l in
+  let reg () = Sb_util.Xorshift.int rng 4 in
+  let ops = [| Uop.Add; Uop.Sub; Uop.And_; Uop.Orr; Uop.Xor; Uop.Mul; Uop.Lsl; Uop.Lsr |] in
+  for i = 0 to n - 1 do
+    match Sb_util.Xorshift.int rng 8 with
+    | 0 | 1 | 2 ->
+      let op = ops.(Sb_util.Xorshift.int rng (Array.length ops)) in
+      add (insns [ VI.Alu_rr (op, reg (), reg (), reg ()) ])
+    | 3 ->
+      let op = ops.(Sb_util.Xorshift.int rng (Array.length ops)) in
+      add (insns [ VI.Alu_ri (op, reg (), reg (), Sb_util.Xorshift.int rng 100000) ])
+    | 4 ->
+      let skip = Printf.sprintf "wskip%d" i in
+      add
+        (insns [ VI.Cmp_rr (reg (), reg ()); VI.Jcc (Uop.Ne, skip) ]
+        @ insns [ VI.Alu_ri (Uop.Xor, reg (), reg (), 0xFF) ]
+        @ [ Label skip ])
+    | 5 -> add (insns [ VI.Store (reg (), 4, Sb_util.Xorshift.int rng 500 * 4) ])
+    | 6 -> add (insns [ VI.Load (reg (), 4, Sb_util.Xorshift.int rng 500 * 4) ])
+    | _ -> add (insns [ VI.Svc (i land 0xFF) ])
+  done;
+  let slot target = [ Insn (VI.Jmp target); Insn VI.Nop; Insn VI.Nop; Insn VI.Nop ] in
+  VI.Asm.assemble ~base:0 ~entry:"start"
+    ([ Label "start" ]
+    @ insns [ VI.Movi_sym (0, "vectors"); VI.Cpw (Sb_isa.Cregs.vbar, 0) ]
+    @ insns
+        (List.concat
+           (List.map (fun r -> [ VI.Movi (r, Sb_util.Xorshift.u32 rng) ]) [ 0; 1; 2; 3 ]))
+    @ insns [ VI.Movi (4, scratch) ]
+    @ !body
+    @ insns [ VI.Halt ]
+    @ [ Label "handler" ]
+    @ insns [ VI.Alu_ri (Uop.Add, 7, 7, 1); VI.Eret ]
+    @ (Label "vectors" :: slot "start")
+    @ slot "handler" @ slot "handler" @ slot "start" @ slot "start" @ slot "start")
+
+let random_program ~arch ~seed =
+  match arch with
+  | Sb_isa.Arch_sig.Sba -> random_sba_program seed
+  | Sb_isa.Arch_sig.Vlx -> random_vlx_program seed
+
+let default_engines arch =
+  [
+    Simbench.Engines.interp arch;
+    Simbench.Engines.dbt arch;
+    Simbench.Engines.detailed arch;
+    Simbench.Engines.virt arch;
+    Simbench.Engines.native arch;
+  ]
+
+let nregs_of arch =
+  match arch with Sb_isa.Arch_sig.Sba -> 14 | Sb_isa.Arch_sig.Vlx -> 8
+
+let random_sweep ~arch ~engines ~seeds () =
+  let rec go seed acc =
+    if seed >= seeds then List.rev acc
+    else begin
+      let program = random_program ~arch ~seed:(seed + 1) in
+      match compare_engines ~engines ~nregs:(nregs_of arch) program with
+      | Ok _ -> go (seed + 1) acc
+      | Error d -> go (seed + 1) ({ d with seed = Some seed } :: acc)
+    end
+  in
+  go 0 []

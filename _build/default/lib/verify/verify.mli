@@ -1,0 +1,69 @@
+(** Cross-engine differential verification.
+
+    Runs the same guest program on a set of engines and compares the
+    architectural outcome: register file, status flags, a window of guest
+    memory, and the architectural event counters (instructions, branches,
+    memory operations, exceptions).  Engine-internal metrics (TLB hits,
+    translated blocks) are deliberately excluded — engines differ there by
+    design.
+
+    This is the library behind the test suite's equivalence properties,
+    exposed so downstream users can fuzz their own engine modifications:
+
+    {[
+      let report =
+        Sb_verify.Verify.random_sweep ~arch:Sb_isa.Arch_sig.Sba
+          ~engines:(Sb_verify.Verify.default_engines Sb_isa.Arch_sig.Sba)
+          ~seeds:100 ()
+    ]} *)
+
+type outcome = {
+  engine : string;
+  regs : int list;
+  flags : bool * bool * bool * bool;
+  memory_digest : string;  (** digest of the scratch window *)
+  counters : (string * int) list;
+  halted : bool;
+}
+
+type divergence = {
+  seed : int option;
+  reference_engine : string;
+  diverging_engine : string;
+  detail : string;  (** first differing component, rendered *)
+}
+
+val run_outcome :
+  engine:Sb_sim.Engine.t ->
+  ?mem_window:int * int ->
+  ?max_insns:int ->
+  Sb_asm.Program.t ->
+  outcome
+(** Run a program on a fresh machine; [mem_window] is [(addr, len)] of the
+    memory region to digest (defaults to the scratch arena). *)
+
+val compare_engines :
+  engines:Sb_sim.Engine.t list ->
+  ?mem_window:int * int ->
+  ?max_insns:int ->
+  ?nregs:int ->
+  Sb_asm.Program.t ->
+  (outcome, divergence) result
+(** [Ok] with the (shared) outcome when every engine agrees with the first;
+    the first divergence otherwise. *)
+
+val random_program : arch:Sb_isa.Arch_sig.arch_id -> seed:int -> Sb_asm.Program.t
+(** A randomized but always-terminating guest program exercising ALU,
+    branches, memory, system calls and exception handlers. *)
+
+val random_sweep :
+  arch:Sb_isa.Arch_sig.arch_id ->
+  engines:Sb_sim.Engine.t list ->
+  seeds:int ->
+  unit ->
+  divergence list
+(** Run [seeds] random programs; empty list means all engines agreed on all
+    of them. *)
+
+val default_engines : Sb_isa.Arch_sig.arch_id -> Sb_sim.Engine.t list
+(** interp, dbt, detailed, virt, native. *)

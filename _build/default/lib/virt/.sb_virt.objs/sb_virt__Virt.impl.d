@@ -1,0 +1,1 @@
+lib/virt/virt.ml: Alu_eval Arch_sig Array Bool Bytes Char Cop Cpu Cregs Exn Hashtbl List Machine Perf Printf Run_result Runner Sb_isa Sb_mem Sb_mmu Sb_sim Sb_util Uop

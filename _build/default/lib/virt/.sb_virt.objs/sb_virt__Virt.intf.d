@@ -1,0 +1,1 @@
+lib/virt/virt.mli: Sb_isa Sb_sim

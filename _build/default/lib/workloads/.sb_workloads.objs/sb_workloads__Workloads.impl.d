@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Char List Printf Sb_isa Sb_mem Sb_sim Simbench

@@ -1,0 +1,1 @@
+test/test_arch_sba.ml: Alcotest Bytes Char Format List QCheck QCheck_alcotest Sb_arch_sba Sb_asm Sb_isa String

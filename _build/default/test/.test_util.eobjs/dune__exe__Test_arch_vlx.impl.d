@@ -1,0 +1,1 @@
+test/test_arch_vlx.ml: Alcotest Char List QCheck QCheck_alcotest Sb_arch_vlx Sb_isa String

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Bytes Char Gen List Printf QCheck QCheck_alcotest Sb_asm String

@@ -1,0 +1,1 @@
+test/test_core_pasm.ml: Alcotest Array List Printf Sb_isa Sb_sim Simbench

@@ -1,0 +1,1 @@
+test/test_dbt.ml: Alcotest Array Format List Option QCheck QCheck_alcotest Sb_arch_sba Sb_asm Sb_dbt Sb_isa Sb_sim

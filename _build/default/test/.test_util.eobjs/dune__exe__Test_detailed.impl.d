@@ -1,0 +1,1 @@
+test/test_detailed.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Sb_arch_sba Sb_asm Sb_detailed Sb_isa Sb_sim

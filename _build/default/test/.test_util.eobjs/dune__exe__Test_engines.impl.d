@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Array Bytes Char List Printf QCheck QCheck_alcotest Sb_arch_sba Sb_arch_vlx Sb_asm Sb_dbt Sb_detailed Sb_interp Sb_isa Sb_mem Sb_mmu Sb_sim Sb_util Sb_virt

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Char Sb_mem Sb_sim

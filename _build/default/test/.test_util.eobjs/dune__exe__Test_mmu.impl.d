@@ -1,0 +1,1 @@
+test/test_mmu.ml: Alcotest Ap Gen List Printf QCheck QCheck_alcotest Sb_mem Sb_mmu

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Float List Sb_dbt Sb_isa Sb_report Simbench String Unix

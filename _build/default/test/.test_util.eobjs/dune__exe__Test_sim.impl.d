@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Printf Sb_isa Sb_mem Sb_mmu Sb_sim

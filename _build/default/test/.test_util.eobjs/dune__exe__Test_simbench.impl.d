@@ -1,0 +1,1 @@
+test/test_simbench.ml: Alcotest List Option Printf Sb_isa Sb_mem Sb_mmu Sb_sim Simbench

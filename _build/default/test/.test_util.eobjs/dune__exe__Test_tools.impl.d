@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Array List Sb_arch_sba Sb_asm Sb_interp Sb_isa Sb_mem Sb_sim Sb_verify Simbench String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bytes Gen List QCheck QCheck_alcotest Sb_util String

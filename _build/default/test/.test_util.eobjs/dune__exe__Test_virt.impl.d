@@ -1,0 +1,1 @@
+test/test_virt.ml: Alcotest List Printf Sb_arch_sba Sb_asm Sb_isa Sb_sim Sb_virt Unix

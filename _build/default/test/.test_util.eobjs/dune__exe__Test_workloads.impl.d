@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Option Printf Sb_isa Sb_sim Sb_workloads Simbench String

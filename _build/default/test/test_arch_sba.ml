@@ -1,0 +1,205 @@
+(* SBA-32 encoder/decoder tests. *)
+
+module I = Sb_arch_sba.Insn
+module D = Sb_arch_sba.Decode
+module Uop = Sb_isa.Uop
+
+let no_resolve name = Alcotest.failf "unexpected label %s" name
+
+let decode_of ?(pc = 0x1000) ?(resolve = no_resolve) insn =
+  let w = I.encode_word ~resolve ~pc insn in
+  D.decode_word ~addr:pc w
+
+let check_single ?pc ?resolve insn expect_uop =
+  let d = decode_of ?pc ?resolve insn in
+  Alcotest.(check int) "length" 4 d.Uop.length;
+  match d.Uop.uops with
+  | [ u ] -> expect_uop u
+  | us -> Alcotest.failf "expected one uop, got %d" (List.length us)
+
+let test_alu_rr () =
+  check_single (I.Add (1, 2, I.Rm 3)) (function
+    | Uop.Alu { op = Uop.Add; rd = Some 1; rn = Uop.Reg 2; rm = Uop.Reg 3; set_flags = false } -> ()
+    | u -> Alcotest.failf "bad uop %s" (Format.asprintf "%a" Uop.pp u));
+  check_single (I.Mul (15, 14, 13)) (function
+    | Uop.Alu { op = Uop.Mul; rd = Some 15; rn = Uop.Reg 14; rm = Uop.Reg 13; _ } -> ()
+    | _ -> Alcotest.fail "bad mul")
+
+let test_alu_ri_signed () =
+  check_single (I.Add (1, 2, I.Imm (-5))) (function
+    | Uop.Alu { op = Uop.Add; rm = Uop.Imm (-5); _ } -> ()
+    | _ -> Alcotest.fail "negative imm14 lost");
+  check_single (I.Sub (0, 0, I.Imm 8191)) (function
+    | Uop.Alu { op = Uop.Sub; rm = Uop.Imm 8191; _ } -> ()
+    | _ -> Alcotest.fail "max imm14")
+
+let test_movw_movt () =
+  check_single (I.Movw (4, 0xBEEF)) (function
+    | Uop.Alu { rd = Some 4; rn = Uop.Imm 0; rm = Uop.Imm 0xBEEF; _ } -> ()
+    | _ -> Alcotest.fail "movw");
+  let d = decode_of (I.Movt (4, 0xDEAD)) in
+  match d.Uop.uops with
+  | [ Uop.Alu { op = Uop.And_; rm = Uop.Imm 0xFFFF; _ };
+      Uop.Alu { op = Uop.Orr; rm = Uop.Imm high; _ } ] ->
+    Alcotest.(check int) "movt high" (0xDEAD lsl 16) high
+  | _ -> Alcotest.fail "movt shape"
+
+let test_cmp_sets_flags () =
+  check_single (I.Cmp (3, I.Rm 4)) (function
+    | Uop.Alu { op = Uop.Sub; rd = None; set_flags = true; _ } -> ()
+    | _ -> Alcotest.fail "cmp")
+
+let test_branches () =
+  let resolve = function "target" -> 0x2000 | n -> no_resolve n in
+  check_single ~pc:0x1000 ~resolve (I.B "target") (function
+    | Uop.Branch { cond = Uop.Always; target = Uop.Direct 0x2000; link = None } -> ()
+    | _ -> Alcotest.fail "b");
+  check_single ~pc:0x1000 ~resolve (I.Bl "target") (function
+    | Uop.Branch { link = Some 14; _ } -> ()
+    | _ -> Alcotest.fail "bl links lr");
+  (* backwards conditional *)
+  let resolve = function "back" -> 0x0F00 | n -> no_resolve n in
+  check_single ~pc:0x1000 ~resolve (I.Bcc (Uop.Ne, "back")) (function
+    | Uop.Branch { cond = Uop.Ne; target = Uop.Direct 0x0F00; link = None } -> ()
+    | _ -> Alcotest.fail "bcc backwards");
+  check_single (I.Br 7) (function
+    | Uop.Branch { target = Uop.Indirect 7; link = None; _ } -> ()
+    | _ -> Alcotest.fail "br");
+  check_single (I.Blr 7) (function
+    | Uop.Branch { target = Uop.Indirect 7; link = Some 14; _ } -> ()
+    | _ -> Alcotest.fail "blr")
+
+let test_memory () =
+  check_single (I.Ldr (1, 2, -4)) (function
+    | Uop.Load { width = Uop.W32; rd = 1; base = Uop.Reg 2; offset = -4; user = false } -> ()
+    | _ -> Alcotest.fail "ldr");
+  check_single (I.Strb (3, 4, 100)) (function
+    | Uop.Store { width = Uop.W8; rs = 3; offset = 100; _ } -> ()
+    | _ -> Alcotest.fail "strb");
+  check_single (I.Ldrt (5, 6, 0)) (function
+    | Uop.Load { user = true; _ } -> ()
+    | _ -> Alcotest.fail "ldrt user bit");
+  check_single (I.Strt (5, 6, 8)) (function
+    | Uop.Store { user = true; _ } -> ()
+    | _ -> Alcotest.fail "strt user bit")
+
+let test_system () =
+  check_single I.Eret (function Uop.Eret -> () | _ -> Alcotest.fail "eret");
+  check_single I.Udf (function Uop.Undef -> () | _ -> Alcotest.fail "udf");
+  check_single (I.Svc 42) (function Uop.Svc 42 -> () | _ -> Alcotest.fail "svc");
+  check_single (I.Mrc (3, Sb_isa.Cregs.dacr)) (function
+    | Uop.Cop_read { rd = 3; creg } when creg = Sb_isa.Cregs.dacr -> ()
+    | _ -> Alcotest.fail "mrc");
+  check_single (I.Mcr (Sb_isa.Cregs.ttbr, 9)) (function
+    | Uop.Cop_write { creg; src = Uop.Reg 9 } when creg = Sb_isa.Cregs.ttbr -> ()
+    | _ -> Alcotest.fail "mcr");
+  check_single (I.Tlbi 2) (function
+    | Uop.Tlb_inv_page 2 -> ()
+    | _ -> Alcotest.fail "tlbi");
+  check_single I.Tlbiall (function Uop.Tlb_inv_all -> () | _ -> Alcotest.fail "tlbiall");
+  check_single I.Wfi (function Uop.Wfi -> () | _ -> Alcotest.fail "wfi");
+  check_single I.Halt (function Uop.Halt -> () | _ -> Alcotest.fail "halt");
+  check_single I.Nop (function Uop.Nop -> () | _ -> Alcotest.fail "nop")
+
+let test_li_la () =
+  (match I.li 0 0x42 with
+  | [ I.Movw (0, 0x42) ] -> ()
+  | _ -> Alcotest.fail "small li is a single movw");
+  match I.li 0 0xDEADBEEF with
+  | [ I.Movw (0, 0xBEEF); I.Movt (0, 0xDEAD) ] -> ()
+  | _ -> Alcotest.fail "li splits into movw/movt"
+
+let test_range_errors () =
+  let check_err name f =
+    let raised = try ignore (f ()); false with Sb_asm.Assembler.Error _ -> true in
+    Alcotest.(check bool) name true raised
+  in
+  check_err "imm14 too big" (fun () ->
+      I.encode_word ~resolve:no_resolve ~pc:0 (I.Add (0, 0, I.Imm 9000)));
+  check_err "imm16 negative" (fun () ->
+      I.encode_word ~resolve:no_resolve ~pc:0 (I.Movw (0, -1)));
+  check_err "branch misaligned" (fun () ->
+      I.encode_word ~resolve:(fun _ -> 0x1001) ~pc:0 (I.B "x"));
+  check_err "bcc out of range" (fun () ->
+      I.encode_word ~resolve:(fun _ -> 0x4000000) ~pc:0 (I.Bcc (Sb_isa.Uop.Eq, "x")))
+
+(* Decoding is total: any 32-bit word decodes without raising, to exactly one
+   4-byte instruction. *)
+let prop_decode_total =
+  QCheck.Test.make ~name:"decode total on random words" ~count:2000
+    QCheck.(int_bound 0x3FFFFFFF)
+    (fun w ->
+      let w = w lxor (w lsl 3) land 0xFFFF_FFFF in
+      let d = D.decode_word ~addr:0x1000 w in
+      d.Uop.length = 4 && List.length d.Uop.uops >= 1)
+
+(* Branch displacement roundtrip across the encodable range. *)
+let prop_branch_roundtrip =
+  QCheck.Test.make ~name:"direct branch target roundtrips" ~count:500
+    QCheck.(int_range (-100000) 100000)
+    (fun words ->
+      let pc = 0x0100_0000 in
+      let target = pc + (words * 4) in
+      let w = I.encode_word ~resolve:(fun _ -> target) ~pc (I.B "t") in
+      match (D.decode_word ~addr:pc w).Uop.uops with
+      | [ Uop.Branch { target = Uop.Direct t; _ } ] -> t = target land 0xFFFF_FFFF
+      | _ -> false)
+
+let test_disasm () =
+  (* assemble a small program and disassemble it back *)
+  let program =
+    I.Asm.assemble ~base:0x1000
+      (List.map
+         (fun i -> Sb_asm.Assembler.Insn i)
+         [ I.Movw (1, 42); I.Add (2, 1, I.Rm 1); I.B "l"; I.Nop ]
+      @ [ Sb_asm.Assembler.Label "l"; Sb_asm.Assembler.Insn I.Halt ])
+  in
+  let image = program.Sb_asm.Program.image in
+  let read8 a = Char.code (Bytes.get image (a - 0x1000)) in
+  let lines =
+    Sb_isa.Disasm.decode_range
+      ~arch:(module Sb_arch_sba.Arch)
+      ~read8 ~base:0x1000 ~len:(Bytes.length image)
+  in
+  Alcotest.(check int) "five instructions" 5 (List.length lines);
+  let first = List.hd lines in
+  Alcotest.(check int) "first addr" 0x1000 first.Sb_isa.Disasm.addr;
+  Alcotest.(check int) "fixed width" 4 (String.length first.Sb_isa.Disasm.bytes);
+  let all_text =
+    String.concat "\n"
+      (List.map (fun l -> l.Sb_isa.Disasm.text) lines)
+  in
+  let contains needle =
+    let n = String.length needle in
+    let rec loop i =
+      if i + n > String.length all_text then false
+      else String.sub all_text i n = needle || loop (i + 1)
+    in
+    loop 0
+  in
+  Alcotest.(check bool) "add rendered" true (contains "add r2, r1, r1");
+  Alcotest.(check bool) "halt rendered" true (contains "halt");
+  (* the branch target resolved to the absolute address of the label *)
+  Alcotest.(check bool) "branch target" true (contains "0x00001010")
+
+let () =
+  Alcotest.run "sb_arch_sba"
+    [
+      ( "decode",
+        [
+          Alcotest.test_case "alu rr" `Quick test_alu_rr;
+          Alcotest.test_case "alu ri signed" `Quick test_alu_ri_signed;
+          Alcotest.test_case "movw/movt" `Quick test_movw_movt;
+          Alcotest.test_case "cmp" `Quick test_cmp_sets_flags;
+          Alcotest.test_case "branches" `Quick test_branches;
+          Alcotest.test_case "memory" `Quick test_memory;
+          Alcotest.test_case "system" `Quick test_system;
+        ] );
+      ( "encode",
+        [
+          Alcotest.test_case "li/la" `Quick test_li_la;
+          Alcotest.test_case "range errors" `Quick test_range_errors;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_decode_total; prop_branch_roundtrip ] );
+      ("disasm", [ Alcotest.test_case "roundtrip" `Quick test_disasm ]);
+    ]

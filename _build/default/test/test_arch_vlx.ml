@@ -1,0 +1,152 @@
+(* VLX-32 encoder/decoder tests (variable-length ISA). *)
+
+module I = Sb_arch_vlx.Insn
+module Uop = Sb_isa.Uop
+
+let no_resolve name = Alcotest.failf "unexpected label %s" name
+
+let encode ?(pc = 0x1000) ?(resolve = no_resolve) insn =
+  I.Encoder.encode ~resolve ~pc insn
+
+let decode_bytes ?(addr = 0x1000) s =
+  Sb_arch_vlx.Decode.decode ~fetch8:(fun a -> Char.code s.[a - addr]) ~addr
+
+let decode_of ?(pc = 0x1000) ?resolve insn =
+  decode_bytes ~addr:pc (encode ~pc ?resolve insn)
+
+let check_single ?pc ?resolve insn ~len expect =
+  let d = decode_of ?pc ?resolve insn in
+  Alcotest.(check int) "length" len d.Uop.length;
+  match d.Uop.uops with
+  | [ u ] -> expect u
+  | us -> Alcotest.failf "expected one uop, got %d" (List.length us)
+
+let test_sizes_match_encoder () =
+  let resolve _ = 0x1020 in
+  let cases =
+    [
+      I.Nop; I.Halt; I.Wfi; I.Eret; I.Tlbiall; I.Copreset; I.Ud2;
+      I.Mov (1, 2); I.Cmp_rr (1, 2); I.Jmp_r 3; I.Call_r 3; I.Svc 9; I.Tlbi 1;
+      I.Alu_rr (Uop.Add, 1, 2, 3); I.Cpr (1, 0); I.Cpw (0, 1);
+      I.Load (1, 2, -8); I.Store (1, 2, 8); I.Loadb (1, 2, 0); I.Storeb (1, 2, 0);
+      I.Jmp "x"; I.Call "x";
+      I.Alu_ri (Uop.Xor, 1, 2, 0xFFFF); I.Movi (1, 5); I.Movi_sym (1, "x");
+      I.Cmp_ri (1, -3); I.Jcc (Uop.Eq, "x");
+    ]
+  in
+  List.iter
+    (fun insn ->
+      Alcotest.(check int) "declared size = encoded size" (I.size insn)
+        (String.length (I.Encoder.encode ~resolve ~pc:0x1000 insn)))
+    cases
+
+let test_alu () =
+  check_single (I.Alu_rr (Uop.Sub, 7, 1, 2)) ~len:3 (function
+    | Uop.Alu { op = Uop.Sub; rd = Some 7; rn = Uop.Reg 1; rm = Uop.Reg 2; _ } -> ()
+    | _ -> Alcotest.fail "alu_rr");
+  check_single (I.Alu_ri (Uop.Lsl, 0, 0, 12)) ~len:6 (function
+    | Uop.Alu { op = Uop.Lsl; rm = Uop.Imm 12; _ } -> ()
+    | _ -> Alcotest.fail "alu_ri");
+  check_single (I.Alu_ri (Uop.Add, 1, 1, -1)) ~len:6 (function
+    | Uop.Alu { rm = Uop.Imm (-1); _ } -> ()
+    | _ -> Alcotest.fail "negative imm32")
+
+let test_mov_cmp () =
+  check_single (I.Movi (3, 0xCAFEBABE)) ~len:6 (function
+    | Uop.Alu { rd = Some 3; rn = Uop.Imm 0; rm = Uop.Imm 0xCAFEBABE; _ } -> ()
+    | _ -> Alcotest.fail "movi");
+  check_single (I.Mov (3, 4)) ~len:2 (function
+    | Uop.Alu { rd = Some 3; rn = Uop.Reg 4; rm = Uop.Imm 0; _ } -> ()
+    | _ -> Alcotest.fail "mov");
+  check_single (I.Cmp_rr (3, 4)) ~len:2 (function
+    | Uop.Alu { rd = None; set_flags = true; _ } -> ()
+    | _ -> Alcotest.fail "cmp")
+
+let test_branches () =
+  let resolve = function "t" -> 0x2000 | n -> no_resolve n in
+  check_single ~resolve (I.Jmp "t") ~len:5 (function
+    | Uop.Branch { cond = Uop.Always; target = Uop.Direct 0x2000; link = None } -> ()
+    | _ -> Alcotest.fail "jmp");
+  check_single ~resolve (I.Call "t") ~len:5 (function
+    | Uop.Branch { link = Some l; _ } when l = I.lr -> ()
+    | _ -> Alcotest.fail "call links");
+  check_single ~resolve (I.Jcc (Uop.Geu, "t")) ~len:6 (function
+    | Uop.Branch { cond = Uop.Geu; target = Uop.Direct 0x2000; _ } -> ()
+    | _ -> Alcotest.fail "jcc");
+  (* backwards branch *)
+  let resolve = function "b" -> 0x0800 | n -> no_resolve n in
+  check_single ~resolve (I.Jmp "b") ~len:5 (function
+    | Uop.Branch { target = Uop.Direct 0x0800; _ } -> ()
+    | _ -> Alcotest.fail "jmp backwards");
+  check_single (I.Jmp_r 4) ~len:2 (function
+    | Uop.Branch { target = Uop.Indirect 4; link = None; _ } -> ()
+    | _ -> Alcotest.fail "jmp_r")
+
+let test_memory () =
+  check_single (I.Load (2, 3, -100)) ~len:4 (function
+    | Uop.Load { width = Uop.W32; rd = 2; base = Uop.Reg 3; offset = -100; user = false } -> ()
+    | _ -> Alcotest.fail "load");
+  check_single (I.Storeb (2, 3, 7)) ~len:4 (function
+    | Uop.Store { width = Uop.W8; offset = 7; _ } -> ()
+    | _ -> Alcotest.fail "storeb")
+
+let test_system () =
+  check_single I.Ud2 ~len:2 (function Uop.Undef -> () | _ -> Alcotest.fail "ud2");
+  check_single (I.Svc 3) ~len:2 (function Uop.Svc 3 -> () | _ -> Alcotest.fail "svc");
+  check_single I.Copreset ~len:1 (function
+    | Uop.Cop_write { creg; src = Uop.Imm 0 } when creg = Sb_isa.Cregs.fpctl -> ()
+    | _ -> Alcotest.fail "copreset");
+  check_single (I.Cpr (2, Sb_isa.Cregs.dacr)) ~len:3 (function
+    | Uop.Cop_read { rd = 2; _ } -> ()
+    | _ -> Alcotest.fail "cpr");
+  check_single (I.Tlbi 1) ~len:2 (function
+    | Uop.Tlb_inv_page 1 -> ()
+    | _ -> Alcotest.fail "tlbi")
+
+let test_unknown_opcode_is_undef () =
+  let d = decode_bytes ~addr:0 (String.make 6 '\xEE') in
+  (match d.Uop.uops with
+  | [ Uop.Undef ] -> ()
+  | _ -> Alcotest.fail "unknown byte should be undef");
+  Alcotest.(check int) "one byte" 1 d.Uop.length;
+  (* 0x0F not followed by 0x0B is a 1-byte undef, UD2 proper is 2 bytes *)
+  let d = decode_bytes ~addr:0 "\x0f\x00\x00\x00\x00\x00" in
+  Alcotest.(check int) "0F alone" 1 d.Uop.length
+
+(* Decode is total over random byte streams and always consumes 1..6 bytes. *)
+let prop_decode_total =
+  QCheck.Test.make ~name:"vlx decode total" ~count:2000
+    QCheck.(string_of_size (QCheck.Gen.return 8))
+    (fun s ->
+      if String.length s < 8 then true
+      else
+        let d = decode_bytes ~addr:0 s in
+        d.Uop.length >= 1 && d.Uop.length <= 6)
+
+(* x86-style end-relative displacement roundtrip. *)
+let prop_jmp_roundtrip =
+  QCheck.Test.make ~name:"vlx jmp target roundtrips" ~count:500
+    QCheck.(int_range (-1000000) 1000000)
+    (fun delta ->
+      let pc = 0x0200_0000 in
+      let target = pc + delta in
+      let s = encode ~pc ~resolve:(fun _ -> target) (I.Jmp "t") in
+      match (decode_bytes ~addr:pc s).Uop.uops with
+      | [ Uop.Branch { target = Uop.Direct t; _ } ] -> t = target land 0xFFFF_FFFF
+      | _ -> false)
+
+let () =
+  Alcotest.run "sb_arch_vlx"
+    [
+      ( "decode",
+        [
+          Alcotest.test_case "sizes" `Quick test_sizes_match_encoder;
+          Alcotest.test_case "alu" `Quick test_alu;
+          Alcotest.test_case "mov/cmp" `Quick test_mov_cmp;
+          Alcotest.test_case "branches" `Quick test_branches;
+          Alcotest.test_case "memory" `Quick test_memory;
+          Alcotest.test_case "system" `Quick test_system;
+          Alcotest.test_case "unknown opcode" `Quick test_unknown_opcode_is_undef;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_decode_total; prop_jmp_roundtrip ] );
+    ]

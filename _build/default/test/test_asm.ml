@@ -1,0 +1,109 @@
+(* Tests for the generic two-pass assembler, via a trivial byte encoder. *)
+
+module E = struct
+  type insn = Op of int list (* encodes to exactly these bytes *)
+
+  let size (Op bytes) = List.length bytes
+
+  let encode ~resolve:_ ~pc:_ (Op bytes) =
+    String.init (List.length bytes) (fun i -> Char.chr (List.nth bytes i land 0xFF))
+end
+
+module A = Sb_asm.Assembler.Make (E)
+open Sb_asm.Assembler
+
+let test_layout_and_labels () =
+  let items =
+    [
+      Label "start";
+      Insn (E.Op [ 1; 2; 3 ]);
+      Label "mid";
+      Word 0xAABBCCDD;
+      Label "end";
+    ]
+  in
+  let symbols = A.layout ~base:0x100 items in
+  Alcotest.(check (list (pair string int)))
+    "symbols"
+    [ ("start", 0x100); ("mid", 0x103); ("end", 0x107) ]
+    symbols
+
+let test_assemble_image () =
+  let p =
+    A.assemble ~base:0x10
+      [ Label "a"; Insn (E.Op [ 0xDE; 0xAD ]); Word_sym "a"; Byte_string "xyz" ]
+  in
+  Alcotest.(check int) "base" 0x10 p.Sb_asm.Program.base;
+  Alcotest.(check int) "size" 9 (Sb_asm.Program.size p);
+  Alcotest.(check int) "entry defaults to base" 0x10 p.Sb_asm.Program.entry;
+  let image = p.Sb_asm.Program.image in
+  Alcotest.(check int) "insn byte" 0xDE (Char.code (Bytes.get image 0));
+  Alcotest.(check int) "word_sym low byte" 0x10 (Char.code (Bytes.get image 2));
+  Alcotest.(check char) "byte_string" 'x' (Bytes.get image 6)
+
+let test_align_org_space () =
+  let p =
+    A.assemble ~base:0
+      [
+        Insn (E.Op [ 1 ]);
+        Align 4;
+        Label "aligned";
+        Space 2;
+        Label "after_space";
+        Org 0x20;
+        Label "org";
+        Insn (E.Op [ 9 ]);
+      ]
+  in
+  Alcotest.(check int) "aligned" 4 (Sb_asm.Program.symbol p "aligned");
+  Alcotest.(check int) "after_space" 6 (Sb_asm.Program.symbol p "after_space");
+  Alcotest.(check int) "org" 0x20 (Sb_asm.Program.symbol p "org");
+  Alcotest.(check int) "org byte" 9 (Char.code (Bytes.get p.Sb_asm.Program.image 0x20));
+  (* the gap is zero-filled *)
+  Alcotest.(check int) "gap zero" 0 (Char.code (Bytes.get p.Sb_asm.Program.image 0x10))
+
+let check_error name f =
+  let raised = try ignore (f ()); false with Error _ -> true in
+  Alcotest.(check bool) name true raised
+
+let test_errors () =
+  check_error "duplicate label" (fun () ->
+      A.assemble [ Label "x"; Label "x" ]);
+  check_error "undefined label" (fun () -> A.assemble [ Word_sym "nope" ]);
+  check_error "backwards org" (fun () ->
+      A.assemble ~base:0x100 [ Insn (E.Op [ 1 ]); Org 0x50 ]);
+  check_error "bad align" (fun () -> A.assemble [ Align 3 ]);
+  check_error "negative space" (fun () -> A.assemble [ Space (-1) ])
+
+let test_entry_label () =
+  let p = A.assemble ~base:0 ~entry:"go" [ Space 8; Label "go"; Insn (E.Op [ 1 ]) ] in
+  Alcotest.(check int) "entry" 8 p.Sb_asm.Program.entry
+
+let prop_layout_monotonic =
+  QCheck.Test.make ~name:"label addresses are monotonic" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 30) (int_bound 5))
+    (fun sizes ->
+      let items =
+        List.concat
+          (List.mapi
+             (fun i n ->
+               [ Label (Printf.sprintf "l%d" i); Insn (E.Op (List.init n (fun _ -> 0))) ])
+             sizes)
+      in
+      let symbols = A.layout ~base:0 items in
+      let addrs = List.map snd symbols in
+      List.sort compare addrs = addrs)
+
+let () =
+  Alcotest.run "sb_asm"
+    [
+      ( "assembler",
+        [
+          Alcotest.test_case "layout" `Quick test_layout_and_labels;
+          Alcotest.test_case "image" `Quick test_assemble_image;
+          Alcotest.test_case "align/org/space" `Quick test_align_org_space;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "entry" `Quick test_entry_label;
+          QCheck_alcotest.to_alcotest prop_layout_monotonic;
+        ] );
+    ]

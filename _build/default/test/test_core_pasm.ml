@@ -1,0 +1,239 @@
+(* Portable-assembly lowering tests: the same Pasm program must produce the
+   same architectural result through both architecture support packages.
+   This is the mechanised version of the paper's portability claim. *)
+
+module P = Simbench.Pasm
+open Simbench.Pasm
+
+let supports =
+  [
+    ("sba", Simbench.Engines.support Sb_isa.Arch_sig.Sba, Simbench.Engines.interp Sb_isa.Arch_sig.Sba);
+    ("vlx", Simbench.Engines.support Sb_isa.Arch_sig.Vlx, Simbench.Engines.interp Sb_isa.Arch_sig.Vlx);
+  ]
+
+(* Run raw Pasm (MMU off, no runtime) and return the machine. *)
+let run_raw (support : Simbench.Support.t) engine ops =
+  let (module S : Simbench.Support.SUPPORT) = support in
+  let program = S.assemble ~base:0 (ops @ [ P.Halt ]) in
+  let machine = Sb_sim.Machine.create ~ram_size:(1 lsl 20) () in
+  Sb_sim.Machine.load_program machine program;
+  let result = Sb_sim.Engine.run engine ~max_insns:100_000 machine in
+  Alcotest.(check bool) "halted" true
+    (result.Sb_sim.Run_result.stop = Sb_sim.Run_result.Halted);
+  machine
+
+let check_reg machine r expected label =
+  Alcotest.(check int) label expected machine.Sb_sim.Machine.cpu.Sb_sim.Cpu.regs.(r)
+
+let on_all ops check =
+  List.iter
+    (fun (name, support, engine) ->
+      let machine = run_raw support engine ops in
+      check name machine)
+    supports
+
+let test_li_mov () =
+  on_all
+    [ Li (v0, 0xDEADBEEF); Li (v1, 7); Mov (v2, v0) ]
+    (fun name m ->
+      check_reg m 0 0xDEADBEEF (name ^ " li32");
+      check_reg m 1 7 (name ^ " li small");
+      check_reg m 2 0xDEADBEEF (name ^ " mov"))
+
+let test_la_and_data () =
+  on_all
+    [
+      Jmp "start";
+      Align 4;
+      L "datum";
+      Raw_word 0x1234_5678;
+      L "ref";
+      Word_sym "datum";
+      L "start";
+      La (v0, "datum");
+      Load (W32, v1, v0, 0);
+      La (v2, "ref");
+      Load (W32, v2, v2, 0);
+      Load (W32, v3, v2, 0);
+    ]
+    (fun name m ->
+      check_reg m 1 0x1234_5678 (name ^ " load via la");
+      check_reg m 3 0x1234_5678 (name ^ " load via stored pointer"))
+
+let all_alu_ops =
+  [
+    (Sb_isa.Uop.Add, 13, 5, 18);
+    (Sb_isa.Uop.Sub, 13, 5, 8);
+    (Sb_isa.Uop.And_, 0xFC, 0x3F, 0x3C);
+    (Sb_isa.Uop.Orr, 0xF0, 0x0F, 0xFF);
+    (Sb_isa.Uop.Xor, 0xFF, 0x0F, 0xF0);
+    (Sb_isa.Uop.Lsl, 3, 4, 48);
+    (Sb_isa.Uop.Lsr, 48, 4, 3);
+    (Sb_isa.Uop.Asr, 0x8000_0000, 4, 0xF800_0000);
+    (Sb_isa.Uop.Mul, 7, 6, 42);
+  ]
+
+let test_alu_rr () =
+  List.iter
+    (fun (op, a, b, expected) ->
+      on_all
+        [ Li (v1, a); Li (v2, b); Alu (op, v0, v1, R v2) ]
+        (fun name m -> check_reg m 0 expected (name ^ " alu rr")))
+    all_alu_ops
+
+let test_alu_ri () =
+  List.iter
+    (fun (op, a, b, expected) ->
+      on_all
+        [ Li (v1, a); Alu (op, v0, v1, I b) ]
+        (fun name m -> check_reg m 0 expected (name ^ " alu ri")))
+    all_alu_ops;
+  (* immediates beyond the RISC encoding's 14-bit range still lower *)
+  on_all
+    [ Li (v1, 1); Alu (Sb_isa.Uop.Add, v0, v1, I 0x123456) ]
+    (fun name m -> check_reg m 0 0x123457 (name ^ " wide imm add"));
+  on_all
+    [ Li (v1, 0xFFFF); Alu (Sb_isa.Uop.And_, v0, v1, I 0xFF00FF) ]
+    (fun name m -> check_reg m 0 0xFF (name ^ " wide imm and"))
+
+let test_all_conditions () =
+  let conds =
+    [
+      (Sb_isa.Uop.Eq, 5, 5, true);
+      (Sb_isa.Uop.Eq, 5, 6, false);
+      (Sb_isa.Uop.Ne, 5, 6, true);
+      (Sb_isa.Uop.Lt, -1, 1, true);   (* signed *)
+      (Sb_isa.Uop.Lt, 1, -1, false);
+      (Sb_isa.Uop.Ge, 1, -1, true);
+      (Sb_isa.Uop.Ltu, 1, -1, true);  (* -1 is 0xFFFFFFFF unsigned *)
+      (Sb_isa.Uop.Geu, -1, 1, true);
+    ]
+  in
+  List.iteri
+    (fun i (cond, a, b, taken) ->
+      on_all
+        [
+          Li (v0, 0);
+          Li (v1, a);
+          Cmp (v1, I b);
+          Br (cond, Printf.sprintf "c%d" i);
+          Li (v0, 1);
+          L (Printf.sprintf "c%d" i);
+        ]
+        (fun name m ->
+          check_reg m 0
+            (if taken then 0 else 1)
+            (Printf.sprintf "%s cond %d" name i)))
+    conds
+
+let test_calls () =
+  on_all
+    [
+      Li (v0, 0);
+      Call "f";
+      Alu (Sb_isa.Uop.Add, v0, v0, I 100);
+      Jmp "end";
+      L "f";
+      Alu (Sb_isa.Uop.Add, v0, v0, I 1);
+      Ret;
+      L "end";
+    ]
+    (fun name m -> check_reg m 0 101 (name ^ " call/ret"));
+  on_all
+    [
+      Li (v0, 0);
+      La (v1, "g");
+      Call_reg v1;
+      Alu (Sb_isa.Uop.Add, v0, v0, I 100);
+      Jmp "end2";
+      L "g";
+      Alu (Sb_isa.Uop.Add, v0, v0, I 3);
+      Ret;
+      L "end2";
+    ]
+    (fun name m -> check_reg m 0 103 (name ^ " call_reg"));
+  on_all
+    [ Li (v0, 7); La (v1, "h"); Jmp_reg v1; Li (v0, 0); L "h" ]
+    (fun name m -> check_reg m 0 7 (name ^ " jmp_reg skips"))
+
+let test_memory_widths () =
+  on_all
+    [
+      Li (v1, 0x8000);
+      Li (v0, 0xAABBCCDD);
+      Store (W32, v0, v1, 0);
+      Load (W8, v2, v1, 0);
+      Load (W8, v3, v1, 3);
+      Store (W8, v3, v1, 8);
+      Load (W32, v0, v1, 8);
+    ]
+    (fun name m ->
+      check_reg m 2 0xDD (name ^ " byte low");
+      check_reg m 3 0xAA (name ^ " byte high");
+      check_reg m 0 0xAA (name ^ " stored byte"))
+
+let test_nonpriv_lowering () =
+  (* kernel mode with MMU off: the non-privileged access faults nowhere on
+     SBA (permissions are only checked under the MMU... it must simply move
+     data); on VLX it is a no-op and the register keeps its old value *)
+  on_all
+    [
+      Li (v1, 0x8000);
+      Li (v0, 0x1111);
+      Store (W32, v0, v1, 0);
+      Li (v2, 0xFFFF);
+      Load_user (v2, v1, 0);
+    ]
+    (fun name m ->
+      let (module S : Simbench.Support.SUPPORT) =
+        if name = "sba" then Simbench.Engines.support Sb_isa.Arch_sig.Sba
+        else Simbench.Engines.support Sb_isa.Arch_sig.Vlx
+      in
+      if S.nonpriv_supported then check_reg m 2 0x1111 (name ^ " ldrt moved data")
+      else check_reg m 2 0xFFFF (name ^ " no-op kept value"))
+
+let test_cop_roundtrip () =
+  on_all
+    [
+      Li (v0, 0x5A);
+      Cop_write (Sb_isa.Cregs.dacr, v0);
+      Cop_read (v1, Sb_isa.Cregs.dacr);
+      Cop_safe_read v2;
+    ]
+    (fun name m -> check_reg m 1 0x5A (name ^ " cop roundtrip"))
+
+let test_org_space_align () =
+  on_all
+    [
+      Jmp "code";
+      Org 0x100;
+      L "table";
+      Raw_word 0xCAFE;
+      Space 12;
+      Raw_word 0xF00D;
+      L "code";
+      La (v0, "table");
+      Load (W32, v1, v0, 0);
+      Load (W32, v2, v0, 16);
+    ]
+    (fun name m ->
+      check_reg m 1 0xCAFE (name ^ " org word");
+      check_reg m 2 0xF00D (name ^ " after space"))
+
+let () =
+  Alcotest.run "simbench_pasm"
+    [
+      ( "lowering",
+        [
+          Alcotest.test_case "li/mov" `Quick test_li_mov;
+          Alcotest.test_case "la and data" `Quick test_la_and_data;
+          Alcotest.test_case "alu rr" `Quick test_alu_rr;
+          Alcotest.test_case "alu ri" `Quick test_alu_ri;
+          Alcotest.test_case "conditions" `Quick test_all_conditions;
+          Alcotest.test_case "calls" `Quick test_calls;
+          Alcotest.test_case "memory widths" `Quick test_memory_widths;
+          Alcotest.test_case "nonpriv" `Quick test_nonpriv_lowering;
+          Alcotest.test_case "coprocessor" `Quick test_cop_roundtrip;
+          Alcotest.test_case "org/space" `Quick test_org_space_align;
+        ] );
+    ]

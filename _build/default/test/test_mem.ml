@@ -1,0 +1,177 @@
+(* Tests for physical memory, bus routing and devices. *)
+
+let make_machine () = Sb_sim.Machine.create ~ram_size:(1 lsl 20) ()
+
+let test_phys_mem_rw () =
+  let m = Sb_mem.Phys_mem.create ~size:4096 in
+  Sb_mem.Phys_mem.write32 m 0 0xDEADBEEF;
+  Alcotest.(check int) "read32" 0xDEADBEEF (Sb_mem.Phys_mem.read32 m 0);
+  Alcotest.(check int) "read8 low" 0xEF (Sb_mem.Phys_mem.read8 m 0);
+  Alcotest.(check int) "read8 high" 0xDE (Sb_mem.Phys_mem.read8 m 3);
+  Alcotest.(check int) "read16" 0xBEEF (Sb_mem.Phys_mem.read16 m 0);
+  Sb_mem.Phys_mem.write8 m 1 0x42;
+  Alcotest.(check int) "byte patch" 0xDEAD42EF (Sb_mem.Phys_mem.read32 m 0)
+
+let test_phys_mem_bounds () =
+  let m = Sb_mem.Phys_mem.create ~size:16 in
+  Alcotest.check_raises "oob read" (Sb_mem.Phys_mem.Out_of_range 16) (fun () ->
+      ignore (Sb_mem.Phys_mem.read8 m 16));
+  Alcotest.check_raises "straddling word" (Sb_mem.Phys_mem.Out_of_range 13) (fun () ->
+      ignore (Sb_mem.Phys_mem.read32 m 13))
+
+let test_phys_mem_load () =
+  let m = Sb_mem.Phys_mem.create ~size:64 in
+  Sb_mem.Phys_mem.load m ~addr:8 (Bytes.of_string "abcd");
+  Alcotest.(check string) "blit out" "abcd"
+    (Bytes.to_string (Sb_mem.Phys_mem.blit_out m ~addr:8 ~len:4))
+
+let test_bus_ram_dispatch () =
+  let machine = make_machine () in
+  let bus = machine.Sb_sim.Machine.bus in
+  Sb_mem.Bus.write32 bus 0x100 0xCAFE;
+  Alcotest.(check int) "ram rw" 0xCAFE (Sb_mem.Bus.read32 bus 0x100);
+  Alcotest.(check bool) "is_ram" true (Sb_mem.Bus.is_ram bus 0x100);
+  Alcotest.(check bool) "not ram" false
+    (Sb_mem.Bus.is_ram bus Sb_sim.Machine.Map.uart_base)
+
+let test_bus_fault () =
+  let machine = make_machine () in
+  let bus = machine.Sb_sim.Machine.bus in
+  Alcotest.check_raises "hole" (Sb_mem.Bus.Fault 0x2000_0000) (fun () ->
+      ignore (Sb_mem.Bus.read32 bus 0x2000_0000))
+
+let test_bus_overlap_rejected () =
+  let ram = Sb_mem.Phys_mem.create ~size:4096 in
+  let dev = Sb_mem.Device.rom ~name:"d" [] in
+  let raised =
+    try
+      ignore (Sb_mem.Bus.create ~ram [ (0, 0x1000, dev) ]);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "overlaps ram rejected" true raised;
+  let raised =
+    try
+      ignore
+        (Sb_mem.Bus.create ~ram
+           [ (0x10000, 0x1000, dev); (0x10800, 0x1000, dev) ]);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "overlapping windows rejected" true raised
+
+let test_uart () =
+  let machine = make_machine () in
+  let bus = machine.Sb_sim.Machine.bus in
+  let base = Sb_sim.Machine.Map.uart_base in
+  Sb_mem.Bus.write32 bus base (Char.code 'S');
+  Sb_mem.Bus.write32 bus base (Char.code 'B');
+  Alcotest.(check string) "tx" "SB" (Sb_mem.Uart.contents machine.Sb_sim.Machine.uart);
+  Alcotest.(check int) "status ready" 1 (Sb_mem.Bus.read32 bus (base + 4));
+  Alcotest.(check int) "txcount" 2 (Sb_mem.Bus.read32 bus (base + 8))
+
+let test_intc_softint () =
+  let machine = make_machine () in
+  let bus = machine.Sb_sim.Machine.bus in
+  let base = Sb_sim.Machine.Map.intc_base in
+  let intc = machine.Sb_sim.Machine.intc in
+  Alcotest.(check bool) "idle" false (Sb_mem.Intc.asserted intc);
+  (* raise software interrupt while masked: pending but not asserted *)
+  Sb_mem.Bus.write32 bus (base + 0x8) 0x1;
+  Alcotest.(check bool) "masked" false (Sb_mem.Intc.asserted intc);
+  Sb_mem.Bus.write32 bus (base + 0x4) 0x1;
+  Alcotest.(check bool) "asserted" true (Sb_mem.Intc.asserted intc);
+  Alcotest.(check int) "pending reg" 1 (Sb_mem.Bus.read32 bus base);
+  (* ack clears *)
+  Sb_mem.Bus.write32 bus (base + 0xC) 0x1;
+  Alcotest.(check bool) "acked" false (Sb_mem.Intc.asserted intc);
+  Alcotest.(check int) "delivered count" 1 (Sb_mem.Intc.irq_delivered intc)
+
+let test_timer_fires () =
+  let machine = make_machine () in
+  let bus = machine.Sb_sim.Machine.bus in
+  let base = Sb_sim.Machine.Map.timer_base in
+  let intc = machine.Sb_sim.Machine.intc in
+  Sb_mem.Bus.write32 bus (base + 0x4) 100;
+  (* compare *)
+  Sb_mem.Bus.write32 bus (base + 0x8) 1;
+  (* irq enable *)
+  Sb_mem.Bus.write32 bus (base + 0x4) 100;
+  (* re-arm after enabling *)
+  Sb_mem.Timer.advance machine.Sb_sim.Machine.timer 50;
+  Alcotest.(check bool) "not yet" false (Sb_mem.Intc.pending intc land 2 <> 0);
+  Sb_mem.Timer.advance machine.Sb_sim.Machine.timer 50;
+  Alcotest.(check bool) "fired" true (Sb_mem.Intc.pending intc land 2 <> 0);
+  (* ack at the interrupt controller, then confirm the timer is one-shot *)
+  Sb_mem.Bus.write32 bus (Sb_sim.Machine.Map.intc_base + 0xC) 2;
+  Sb_mem.Timer.advance machine.Sb_sim.Machine.timer 1000;
+  Alcotest.(check bool) "one-shot" true (Sb_mem.Intc.pending intc land 2 = 0)
+
+let test_devid () =
+  let machine = make_machine () in
+  let bus = machine.Sb_sim.Machine.bus in
+  let base = Sb_sim.Machine.Map.devid_base in
+  Alcotest.(check int) "id" Sb_mem.Devid.id_value (Sb_mem.Bus.read32 bus base);
+  Sb_mem.Bus.write32 bus (base + 4) 0x1234;
+  Alcotest.(check int) "scratch" 0x1234 (Sb_mem.Bus.read32 bus (base + 4));
+  Sb_mem.Bus.write32 bus (base + 8) 1;
+  Alcotest.(check int) "led writes" 1 (Sb_mem.Devid.led_writes machine.Sb_sim.Machine.devid);
+  Alcotest.(check bool) "access count grows" true
+    (Sb_mem.Devid.access_count machine.Sb_sim.Machine.devid >= 4)
+
+let test_benchdev_phases () =
+  let t = ref 0. in
+  let machine = Sb_sim.Machine.create ~ram_size:4096 ~now:(fun () -> !t) () in
+  let bus = machine.Sb_sim.Machine.bus in
+  let base = Sb_sim.Machine.Map.bench_base in
+  let bd = machine.Sb_sim.Machine.benchdev in
+  Sb_mem.Benchdev.set_iters bd 500;
+  Alcotest.(check int) "iters readable" 500 (Sb_mem.Bus.read32 bus (base + 0xC));
+  t := 1.0;
+  Sb_mem.Bus.write32 bus base 1;
+  t := 3.5;
+  Sb_mem.Bus.write32 bus base 2;
+  (match Sb_mem.Benchdev.kernel_seconds bd with
+  | Some s -> Alcotest.(check (float 1e-9)) "kernel time" 2.5 s
+  | None -> Alcotest.fail "no kernel time");
+  Sb_mem.Bus.write32 bus (base + 0x8) 7;
+  Sb_mem.Bus.write32 bus (base + 0x8) 3;
+  Alcotest.(check int) "opcount" 10 (Sb_mem.Benchdev.op_count bd);
+  Sb_mem.Bus.write32 bus (base + 0x4) 0;
+  Alcotest.(check bool) "exited" true (Sb_mem.Benchdev.exited bd)
+
+let test_bus_subword_device () =
+  let machine = make_machine () in
+  let bus = machine.Sb_sim.Machine.bus in
+  let base = Sb_sim.Machine.Map.devid_base in
+  (* byte write into SCRATCH merges with the register *)
+  Sb_mem.Bus.write32 bus (base + 4) 0xAABBCCDD;
+  Sb_mem.Bus.write8 bus (base + 4) 0x11;
+  Alcotest.(check int) "rmw byte" 0xAABBCC11 (Sb_mem.Bus.read32 bus (base + 4));
+  Alcotest.(check int) "byte read" 0xBB (Sb_mem.Bus.read8 bus (base + 6))
+
+let () =
+  Alcotest.run "sb_mem"
+    [
+      ( "phys_mem",
+        [
+          Alcotest.test_case "rw" `Quick test_phys_mem_rw;
+          Alcotest.test_case "bounds" `Quick test_phys_mem_bounds;
+          Alcotest.test_case "load/blit" `Quick test_phys_mem_load;
+        ] );
+      ( "bus",
+        [
+          Alcotest.test_case "ram dispatch" `Quick test_bus_ram_dispatch;
+          Alcotest.test_case "fault on hole" `Quick test_bus_fault;
+          Alcotest.test_case "overlap rejected" `Quick test_bus_overlap_rejected;
+          Alcotest.test_case "subword device access" `Quick test_bus_subword_device;
+        ] );
+      ( "devices",
+        [
+          Alcotest.test_case "uart" `Quick test_uart;
+          Alcotest.test_case "intc softint" `Quick test_intc_softint;
+          Alcotest.test_case "timer" `Quick test_timer_fires;
+          Alcotest.test_case "devid" `Quick test_devid;
+          Alcotest.test_case "benchdev" `Quick test_benchdev_phases;
+        ] );
+    ]

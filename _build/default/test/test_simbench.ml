@@ -1,0 +1,388 @@
+(* Integration tests for the SimBench suite itself: every benchmark runs to
+   completion on every engine and both guest ISAs, and its perf counters
+   prove the targeted operation actually happened at the advertised rate. *)
+
+module Perf = Sb_sim.Perf
+module H = Simbench.Harness
+
+let scale = 400_000 (* tiny iteration counts: correctness, not timing *)
+
+let get o c = Perf.get (Option.get o.H.result.Sb_sim.Run_result.kernel_perf) c
+
+let run ~arch ~engine bench =
+  let support = Simbench.Engines.support arch in
+  H.run ~scale ~support ~engine bench
+
+(* counter expectations per benchmark: at least [iters] tested operations
+   must land in the kernel phase *)
+let expectation ~arch ~engine_label bench_name (o : H.outcome) =
+  let iters = o.H.iters in
+  let at_least c n = get o c >= n in
+  match bench_name with
+  | "Small Blocks" | "Large Blocks" ->
+    if engine_label = "detailed" then
+      (* the detailed model re-decodes every instruction and caches no
+         translations, so there is nothing to invalidate; the rewrites still
+         happen as stores *)
+      at_least Perf.Stores iters
+    else
+      (* the first iteration rewrites code that has never been executed, so
+         there is nothing cached to invalidate yet *)
+      at_least Perf.Smc_invalidations (iters - 1)
+  | "Inter-Page Direct" | "Inter-Page Indirect" | "Intra-Page Direct"
+  | "Intra-Page Indirect" ->
+    at_least Perf.Branch_taken (iters * Simbench.Suite.inter_page_direct.Simbench.Bench.ops_per_iter)
+  | "Data Access Fault" -> at_least Perf.Data_abort iters
+  | "Instruction Access Fault" -> at_least Perf.Prefetch_abort iters
+  | "Undefined Instruction" -> at_least Perf.Undef_insn iters
+  | "System Call" -> at_least Perf.Svc_taken iters
+  | "External Software Interrupt" -> at_least Perf.Irq_taken iters
+  | "Memory Mapped Device" -> at_least Perf.Io_reads (4 * iters)
+  | "Coprocessor Access" -> (
+    match arch with
+    | Sb_isa.Arch_sig.Sba -> at_least Perf.Cop_reads (4 * iters)
+    | Sb_isa.Arch_sig.Vlx -> at_least Perf.Cop_writes (4 * iters))
+  | "Cold Memory Access" -> at_least Perf.Loads (iters * 2048)
+  | "Hot Memory Access" -> at_least Perf.Loads (iters * 16)
+  | "Nonprivileged Access" -> (
+    match arch with
+    | Sb_isa.Arch_sig.Sba -> at_least Perf.User_accesses (16 * iters)
+    | Sb_isa.Arch_sig.Vlx -> get o Perf.User_accesses = 0)
+  | "TLB Eviction" -> at_least Perf.Tlb_inv_page_ops iters
+  | "TLB Flush" -> at_least Perf.Tlb_flush_ops iters
+  | _ -> false
+
+let engines_for arch =
+  [
+    ("interp", Simbench.Engines.interp arch);
+    ("dbt", Simbench.Engines.dbt arch);
+    ("detailed", Simbench.Engines.detailed arch);
+    ("virt", Simbench.Engines.virt arch);
+    ("native", Simbench.Engines.native arch);
+  ]
+
+let test_bench_on_engines arch bench () =
+  List.iter
+    (fun (label, engine) ->
+      let o = run ~arch ~engine bench in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s tested op happened" bench.Simbench.Bench.name label)
+        true
+        (expectation ~arch ~engine_label:label bench.Simbench.Bench.name o);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s kernel time measured" bench.Simbench.Bench.name label)
+        true (o.H.kernel_seconds >= 0.);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s kernel insns positive" bench.Simbench.Bench.name label)
+        true (o.H.kernel_insns > 0))
+    (engines_for arch)
+
+let suite_cases arch =
+  List.map
+    (fun bench ->
+      Alcotest.test_case bench.Simbench.Bench.name `Quick
+        (test_bench_on_engines arch bench))
+    Simbench.Suite.all
+
+(* ------------------------------------------------------------------ *)
+
+let test_suite_registry () =
+  Alcotest.(check int) "eighteen benchmarks" 18 (List.length Simbench.Suite.all);
+  Alcotest.(check int) "five categories" 5 (List.length Simbench.Category.all);
+  List.iter
+    (fun category ->
+      Alcotest.(check bool)
+        (Simbench.Category.name category ^ " non-empty")
+        true
+        (Simbench.Suite.by_category category <> []))
+    Simbench.Category.all;
+  Alcotest.(check bool) "find by name" true (Simbench.Suite.find "small blocks" <> None);
+  Alcotest.(check bool) "daggers present" true
+    (List.exists (fun b -> b.Simbench.Bench.platform_specific) Simbench.Suite.all)
+
+let test_default_iters_match_paper () =
+  let expect =
+    [
+      ("Small Blocks", 100_000);
+      ("Large Blocks", 500_000);
+      ("Inter-Page Direct", 100_000_000);
+      ("Inter-Page Indirect", 250_000);
+      ("Intra-Page Direct", 500_000_000);
+      ("Intra-Page Indirect", 200_000);
+      ("Data Access Fault", 25_000_000);
+      ("Instruction Access Fault", 25_000_000);
+      ("Undefined Instruction", 50_000_000);
+      ("System Call", 50_000_000);
+      ("External Software Interrupt", 20_000_000);
+      ("Memory Mapped Device", 400_000_000);
+      ("Coprocessor Access", 250_000_000);
+    ]
+  in
+  List.iter
+    (fun (name, iters) ->
+      match Simbench.Suite.find name with
+      | Some b -> Alcotest.(check int) name iters b.Simbench.Bench.default_iters
+      | None -> Alcotest.failf "missing %s" name)
+    expect
+
+let test_harness_scaling () =
+  let arch = Sb_isa.Arch_sig.Sba in
+  let o =
+    H.run ~scale:10_000_000
+      ~support:(Simbench.Engines.support arch)
+      ~engine:(Simbench.Engines.interp arch)
+      Simbench.Suite.system_call
+  in
+  Alcotest.(check int) "floor of 10 iterations" 10 o.H.iters;
+  let o =
+    H.run ~iters:25
+      ~support:(Simbench.Engines.support arch)
+      ~engine:(Simbench.Engines.interp arch)
+      Simbench.Suite.system_call
+  in
+  Alcotest.(check int) "explicit iters" 25 o.H.iters;
+  Alcotest.(check int) "tested ops follow iters" 25 o.H.tested_ops
+
+let test_density_positive () =
+  let arch = Sb_isa.Arch_sig.Sba in
+  let support = Simbench.Engines.support arch in
+  let engine = Simbench.Engines.interp arch in
+  List.iter
+    (fun bench ->
+      let o = H.run ~scale ~support ~engine bench in
+      let d = H.density o in
+      Alcotest.(check bool)
+        (bench.Simbench.Bench.name ^ " density in (0, 1]")
+        true
+        (d > 0. && d <= 1.))
+    Simbench.Suite.all
+
+let test_page_table_runtime () =
+  (* the generated table-builder must produce exactly the mappings the
+     walker expects: run any benchmark, then inspect guest RAM *)
+  let arch = Sb_isa.Arch_sig.Sba in
+  let p = Simbench.Platform.sbp_ref in
+  let machine = Simbench.Platform.machine p () in
+  Sb_mem.Benchdev.set_iters machine.Sb_sim.Machine.benchdev 10;
+  let program =
+    Simbench.Rt.program
+      ~support:(Simbench.Engines.support arch)
+      ~platform:p ~bench:Simbench.Suite.system_call
+  in
+  Sb_sim.Machine.load_program machine program;
+  let result =
+    Sb_sim.Engine.run (Simbench.Engines.interp arch) ~max_insns:10_000_000 machine
+  in
+  Alcotest.(check bool) "completed" true
+    (result.Sb_sim.Run_result.stop = Sb_sim.Run_result.Halted);
+  let ram = Sb_mem.Bus.ram machine.Sb_sim.Machine.bus in
+  let read32 = Sb_mem.Phys_mem.read32 ram in
+  let ttbr = p.Simbench.Platform.page_table_base in
+  (* identity section for RAM base *)
+  (match Sb_mmu.Walker.walk ~read32 ~ttbr ~va:0x1234 with
+  | Ok m ->
+    Alcotest.(check int) "identity" 0x1000 m.Sb_mmu.Walker.pa_page;
+    Alcotest.(check bool) "one level" true m.Sb_mmu.Walker.from_section
+  | Error _ -> Alcotest.fail "RAM must be mapped");
+  (* device section *)
+  (match Sb_mmu.Walker.walk ~read32 ~ttbr ~va:p.Simbench.Platform.uart_base with
+  | Ok m -> Alcotest.(check bool) "device xn" true m.Sb_mmu.Walker.xn
+  | Error _ -> Alcotest.fail "devices must be mapped");
+  (* cold region: two-level, aliasing scratch *)
+  (match
+     Sb_mmu.Walker.walk ~read32 ~ttbr ~va:p.Simbench.Platform.cold_region_va
+   with
+  | Ok m ->
+    Alcotest.(check bool) "two level" true (m.Sb_mmu.Walker.levels = 2);
+    Alcotest.(check int) "aliases scratch" p.Simbench.Platform.scratch_base
+      m.Sb_mmu.Walker.pa_page
+  | Error _ -> Alcotest.fail "cold region must be mapped");
+  (* wrap-around aliasing within the cold region *)
+  (match
+     Sb_mmu.Walker.walk ~read32 ~ttbr
+       ~va:
+         (p.Simbench.Platform.cold_region_va
+         + (p.Simbench.Platform.scratch_pages * 4096))
+   with
+  | Ok m ->
+    Alcotest.(check int) "alias wraps" p.Simbench.Platform.scratch_base
+      m.Sb_mmu.Walker.pa_page
+  | Error _ -> Alcotest.fail "cold region page must be mapped");
+  (* user page is user-accessible *)
+  (match
+     Sb_mmu.Walker.translate ~read32 ~ttbr ~va:p.Simbench.Platform.user_page_va
+       ~kind:Sb_mmu.Access.Read ~priv:Sb_mmu.Access.User
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "user page must be user-readable");
+  (* fault va really is unmapped *)
+  match Sb_mmu.Walker.walk ~read32 ~ttbr ~va:p.Simbench.Platform.fault_va with
+  | Error Sb_mmu.Access.Translation -> ()
+  | _ -> Alcotest.fail "fault va must be unmapped"
+
+let test_sbp_mini_platform () =
+  (* the whole suite must run unmodified on the constrained board *)
+  let arch = Sb_isa.Arch_sig.Sba in
+  let support = Simbench.Engines.support arch in
+  let engine = Simbench.Engines.interp arch in
+  List.iter
+    (fun bench ->
+      let o =
+        H.run ~platform:Simbench.Platform.sbp_mini ~scale ~support ~engine bench
+      in
+      Alcotest.(check bool)
+        (bench.Simbench.Bench.name ^ " on sbp-mini")
+        true
+        (o.H.kernel_insns > 0))
+    Simbench.Suite.all;
+  (* the cold benchmark really saw the smaller region *)
+  let o =
+    H.run ~platform:Simbench.Platform.sbp_mini ~iters:2 ~support ~engine
+      Simbench.Suite.cold_memory_access
+  in
+  let loads = get o Perf.Loads in
+  Alcotest.(check bool)
+    (Printf.sprintf "quarter-size region (%d loads)" loads)
+    true
+    (loads >= 2 * 512 && loads < 2 * 600)
+
+let test_support_constants () =
+  let (module Sba : Simbench.Support.SUPPORT) =
+    Simbench.Engines.support Sb_isa.Arch_sig.Sba
+  in
+  let (module Vlx : Simbench.Support.SUPPORT) =
+    Simbench.Engines.support Sb_isa.Arch_sig.Vlx
+  in
+  Alcotest.(check bool) "sba nonpriv" true Sba.nonpriv_supported;
+  Alcotest.(check bool) "vlx nonpriv" false Vlx.nonpriv_supported;
+  Alcotest.(check int) "sba undef skip" 4 Sba.undef_skip_bytes;
+  Alcotest.(check int) "vlx ud2 skip" 2 Vlx.undef_skip_bytes
+
+let test_fig4_features () =
+  (* the feature matrix distinguishes the engines the way Figure 4 does *)
+  let feature engine key =
+    List.assoc key (Sb_sim.Engine.features engine)
+  in
+  let arch = Sb_isa.Arch_sig.Sba in
+  Alcotest.(check string) "dbt codegen" "Block-based"
+    (feature (Simbench.Engines.dbt arch) "Code Generation");
+  Alcotest.(check string) "interp codegen" "None"
+    (feature (Simbench.Engines.interp arch) "Code Generation");
+  Alcotest.(check string) "virt undef" "Hypercall"
+    (feature (Simbench.Engines.virt arch) "Undefined Instruction");
+  Alcotest.(check string) "native direct" "Direct"
+    (feature (Simbench.Engines.native arch) "Undefined Instruction");
+  Alcotest.(check string) "dbt interrupts" "Block Boundaries"
+    (feature (Simbench.Engines.dbt arch) "Interrupts")
+
+let test_extensions () =
+  List.iter
+    (fun arch ->
+      let support = Simbench.Engines.support arch in
+      List.iter
+        (fun (label, engine) ->
+          (* nested exception: one svc + one data abort per iteration *)
+          let o =
+            H.run ~scale ~support ~engine Simbench.Suite_ext.nested_exception
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "nested/%s svc+abort" label)
+            true
+            (get o Perf.Svc_taken >= o.H.iters && get o Perf.Data_abort >= o.H.iters);
+          (* page-table modification: remaps must be observed *)
+          let o =
+            H.run ~iters:10 ~support ~engine
+              Simbench.Suite_ext.page_table_modification
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "ptmod/%s tlbi" label)
+            true
+            (get o Perf.Tlb_inv_page_ops >= 10);
+          (* exception return: five returns per iteration *)
+          let o =
+            H.run ~scale ~support ~engine Simbench.Suite_ext.exception_return
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "eret/%s" label)
+            true
+            (get o Perf.Svc_taken >= o.H.iters);
+          (* context switch: two ASID writes are cop writes *)
+          let o =
+            H.run ~iters:50 ~support ~engine Simbench.Suite_ext.context_switch
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "asid/%s" label)
+            true
+            (get o Perf.Cop_writes >= 50 && get o Perf.Loads >= 400))
+        (engines_for arch))
+    [ Sb_isa.Arch_sig.Sba; Sb_isa.Arch_sig.Vlx ]
+
+let test_page_table_modification_observes_remap () =
+  (* the marker loaded on the last iteration must match the frame the last
+     PTE write installed: 10 iterations end on frame 0 (0xAAAA) *)
+  List.iter
+    (fun (label, engine) ->
+      let arch = Sb_isa.Arch_sig.Sba in
+      let p = Simbench.Platform.sbp_ref in
+      let machine = Simbench.Platform.machine p () in
+      Sb_mem.Benchdev.set_iters machine.Sb_sim.Machine.benchdev 10;
+      let program =
+        Simbench.Rt.program
+          ~support:(Simbench.Engines.support arch)
+          ~platform:p ~bench:Simbench.Suite_ext.page_table_modification
+      in
+      Sb_sim.Machine.load_program machine program;
+      let result = Sb_sim.Engine.run engine ~max_insns:10_000_000 machine in
+      Alcotest.(check bool) (label ^ " halted") true
+        (result.Sb_sim.Run_result.stop = Sb_sim.Run_result.Halted);
+      let observed =
+        Sb_mem.Phys_mem.read32
+          (Sb_mem.Bus.ram machine.Sb_sim.Machine.bus)
+          (p.Simbench.Platform.scratch_base + (2 * 4096))
+      in
+      Alcotest.(check int) (label ^ " final marker observed") 0xAAAA observed)
+    (engines_for Sb_isa.Arch_sig.Sba)
+
+let test_asid_tagging_signature () =
+  (* the Context Switch benchmark separates ASID-tagged implementations
+     (DBT, virt: working set stays cached across switches) from untagged
+     ones (detailed: full flush per switch) *)
+  let arch = Sb_isa.Arch_sig.Sba in
+  let support = Simbench.Engines.support arch in
+  let walks engine =
+    let o = H.run ~iters:500 ~support ~engine Simbench.Suite_ext.context_switch in
+    get o Perf.Mmu_walks
+  in
+  let tagged = walks (Simbench.Engines.dbt arch) in
+  let untagged = walks (Simbench.Engines.detailed arch) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tagged (%d) walks far less than untagged (%d)" tagged untagged)
+    true
+    (untagged > 20 * max 1 tagged)
+
+let () =
+  Alcotest.run "simbench"
+    [
+      ("suite-sba", suite_cases Sb_isa.Arch_sig.Sba);
+      ("suite-vlx", suite_cases Sb_isa.Arch_sig.Vlx);
+      ( "registry",
+        [
+          Alcotest.test_case "structure" `Quick test_suite_registry;
+          Alcotest.test_case "figure 3 iterations" `Quick test_default_iters_match_paper;
+          Alcotest.test_case "harness scaling" `Quick test_harness_scaling;
+          Alcotest.test_case "densities" `Quick test_density_positive;
+          Alcotest.test_case "support constants" `Quick test_support_constants;
+          Alcotest.test_case "sbp-mini platform" `Quick test_sbp_mini_platform;
+          Alcotest.test_case "figure 4 features" `Quick test_fig4_features;
+        ] );
+      ( "runtime",
+        [ Alcotest.test_case "guest-built page tables" `Quick test_page_table_runtime ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "all engines" `Quick test_extensions;
+          Alcotest.test_case "remap observed" `Quick
+            test_page_table_modification_observes_remap;
+          Alcotest.test_case "asid tagging distinguishes engines" `Quick
+            test_asid_tagging_signature;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+(* Tests for the developer tools: the differential verifier and the
+   debugger. *)
+
+module V = Sb_verify.Verify
+
+let test_verify_agreement () =
+  List.iter
+    (fun arch ->
+      let divergences =
+        V.random_sweep ~arch ~engines:(V.default_engines arch) ~seeds:6 ()
+      in
+      Alcotest.(check int)
+        (Sb_isa.Arch_sig.arch_id_name arch ^ " no divergences")
+        0
+        (List.length divergences))
+    [ Sb_isa.Arch_sig.Sba; Sb_isa.Arch_sig.Vlx ]
+
+(* A deliberately broken engine must be caught. *)
+module Broken : Sb_sim.Engine.ENGINE = struct
+  module Good = Sb_interp.Interp.Make (Sb_arch_sba.Arch)
+
+  let name = "broken"
+  let features = []
+
+  let run ?max_insns machine =
+    let result = Good.run ?max_insns machine in
+    (* sabotage: corrupt a register after the run *)
+    machine.Sb_sim.Machine.cpu.Sb_sim.Cpu.regs.(3) <-
+      machine.Sb_sim.Machine.cpu.Sb_sim.Cpu.regs.(3) + 1;
+    result
+end
+
+let test_verify_catches_bugs () =
+  let arch = Sb_isa.Arch_sig.Sba in
+  let program = V.random_program ~arch ~seed:7 in
+  match
+    V.compare_engines
+      ~engines:[ Simbench.Engines.interp arch; (module Broken) ]
+      ~nregs:14 program
+  with
+  | Ok _ -> Alcotest.fail "the broken engine must be detected"
+  | Error d ->
+    Alcotest.(check string) "names the culprit" "broken" d.V.diverging_engine;
+    Alcotest.(check bool) "explains" true (String.length d.V.detail > 0)
+
+let test_verify_outcome_fields () =
+  let arch = Sb_isa.Arch_sig.Sba in
+  let program = V.random_program ~arch ~seed:11 in
+  let o = V.run_outcome ~engine:(Simbench.Engines.interp arch) program in
+  Alcotest.(check bool) "halted" true o.V.halted;
+  Alcotest.(check int) "all registers" 16 (List.length o.V.regs);
+  Alcotest.(check bool) "counters present" true
+    (List.mem_assoc "Insns" o.V.counters);
+  Alcotest.(check int) "digest length" 16 (String.length o.V.memory_digest)
+
+(* ------------------------------------------------------------------ *)
+
+let debug_setup () =
+  let arch = Sb_isa.Arch_sig.Sba in
+  let support = Simbench.Engines.support arch in
+  let platform = Simbench.Platform.sbp_ref in
+  let program =
+    Simbench.Rt.program ~support ~platform ~bench:Simbench.Suite.system_call
+  in
+  let machine = Simbench.Platform.machine platform () in
+  Sb_mem.Benchdev.set_iters machine.Sb_sim.Machine.benchdev 5;
+  Sb_sim.Machine.load_program machine program;
+  let dbg =
+    Sb_sim.Debugger.create
+      ~engine:(Simbench.Engines.interp arch)
+      ~arch:(module Sb_arch_sba.Arch)
+      machine
+  in
+  (dbg, program)
+
+let test_debugger_breakpoint () =
+  let dbg, program = debug_setup () in
+  let kloop = Sb_asm.Program.symbol program "rt_kloop" in
+  Sb_sim.Debugger.add_breakpoint dbg kloop;
+  (match Sb_sim.Debugger.continue_ dbg with
+  | Sb_sim.Debugger.Breakpoint addr -> Alcotest.(check int) "breaks at kloop" kloop addr
+  | _ -> Alcotest.fail "expected breakpoint");
+  Alcotest.(check int) "pc at breakpoint" kloop (Sb_sim.Debugger.pc dbg);
+  Alcotest.(check bool) "made progress" true
+    (Sb_sim.Debugger.instructions_retired dbg > 100);
+  (* stepping past the breakpoint works *)
+  (match Sb_sim.Debugger.step dbg with
+  | Sb_sim.Debugger.Stepped -> ()
+  | _ -> Alcotest.fail "single step");
+  Alcotest.(check bool) "pc advanced" true (Sb_sim.Debugger.pc dbg <> kloop);
+  (* continuing hits the loop head again on the next iteration *)
+  match Sb_sim.Debugger.continue_ dbg with
+  | Sb_sim.Debugger.Breakpoint addr -> Alcotest.(check int) "loops" kloop addr
+  | _ -> Alcotest.fail "expected second hit"
+
+let test_debugger_runs_to_halt () =
+  let dbg, _ = debug_setup () in
+  (match Sb_sim.Debugger.continue_ dbg with
+  | Sb_sim.Debugger.Halted -> ()
+  | _ -> Alcotest.fail "expected halt");
+  Alcotest.(check bool) "retired plenty" true
+    (Sb_sim.Debugger.instructions_retired dbg > 200)
+
+let test_debugger_disasm_and_regs () =
+  let dbg, _ = debug_setup () in
+  ignore (Sb_sim.Debugger.step ~n:3 dbg);
+  let text = Sb_sim.Debugger.disassemble_here ~count:2 dbg in
+  Alcotest.(check int) "two lines" 2
+    (List.length (String.split_on_char '\n' text));
+  let regs = Sb_sim.Debugger.dump_registers dbg in
+  Alcotest.(check bool) "register dump mentions pc" true
+    (String.length regs > 0 && String.sub regs 0 3 = "pc=")
+
+let test_debugger_breakpoint_management () =
+  let dbg, _ = debug_setup () in
+  Sb_sim.Debugger.add_breakpoint dbg 0x100;
+  Sb_sim.Debugger.add_breakpoint dbg 0x100;
+  Sb_sim.Debugger.add_breakpoint dbg 0x200;
+  Alcotest.(check int) "dedup" 2 (List.length (Sb_sim.Debugger.breakpoints dbg));
+  Sb_sim.Debugger.remove_breakpoint dbg 0x100;
+  Alcotest.(check (list int)) "removed" [ 0x200 ] (Sb_sim.Debugger.breakpoints dbg)
+
+let () =
+  Alcotest.run "tools"
+    [
+      ( "verify",
+        [
+          Alcotest.test_case "agreement" `Quick test_verify_agreement;
+          Alcotest.test_case "catches bugs" `Quick test_verify_catches_bugs;
+          Alcotest.test_case "outcome fields" `Quick test_verify_outcome_fields;
+        ] );
+      ( "debugger",
+        [
+          Alcotest.test_case "breakpoint" `Quick test_debugger_breakpoint;
+          Alcotest.test_case "run to halt" `Quick test_debugger_runs_to_halt;
+          Alcotest.test_case "disasm and registers" `Quick test_debugger_disasm_and_regs;
+          Alcotest.test_case "breakpoint management" `Quick test_debugger_breakpoint_management;
+        ] );
+    ]

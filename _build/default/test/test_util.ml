@@ -1,0 +1,125 @@
+(* Unit and property tests for Sb_util. *)
+
+
+
+let test_u32_basics () =
+  Alcotest.(check int) "mask" 0xFFFF_FFFF Sb_util.U32.mask;
+  Alcotest.(check int) "add wraps" 0 (Sb_util.U32.add 0xFFFF_FFFF 1);
+  Alcotest.(check int) "sub wraps" 0xFFFF_FFFF (Sb_util.U32.sub 0 1);
+  Alcotest.(check int) "to_signed -1" (-1) (Sb_util.U32.to_signed 0xFFFF_FFFF);
+  Alcotest.(check int) "to_signed min" (-0x8000_0000) (Sb_util.U32.to_signed 0x8000_0000);
+  Alcotest.(check int) "lognot" 0xFFFF_FF00 (Sb_util.U32.lognot 0xFF)
+
+let test_u32_shifts () =
+  Alcotest.(check int) "lsl" 0x10 (Sb_util.U32.shift_left 1 4);
+  Alcotest.(check int) "lsl out" 0 (Sb_util.U32.shift_left 1 32);
+  Alcotest.(check int) "lsr" 0x0FFF_FFFF (Sb_util.U32.shift_right_logical 0xFFFF_FFFF 4);
+  Alcotest.(check int) "asr sign" 0xFFFF_FFFF (Sb_util.U32.shift_right_arith 0x8000_0000 31);
+  Alcotest.(check int) "asr cap" 0xFFFF_FFFF (Sb_util.U32.shift_right_arith 0x8000_0000 63)
+
+let test_u32_flags () =
+  let r, c, v = Sb_util.U32.add_with_flags 0xFFFF_FFFF 1 in
+  Alcotest.(check int) "add carry result" 0 r;
+  Alcotest.(check bool) "add carry" true c;
+  Alcotest.(check bool) "add no ovf" false v;
+  let r, c, v = Sb_util.U32.add_with_flags 0x7FFF_FFFF 1 in
+  Alcotest.(check int) "add ovf result" 0x8000_0000 r;
+  Alcotest.(check bool) "add no carry" false c;
+  Alcotest.(check bool) "add ovf" true v;
+  let _, borrow, _ = Sb_util.U32.sub_with_flags 0 1 in
+  Alcotest.(check bool) "sub borrow" true borrow
+
+let test_sign_extend () =
+  Alcotest.(check int) "positive" 5 (Sb_util.U32.sign_extend ~bits:14 5);
+  Alcotest.(check int) "negative" 0xFFFF_FFFF (Sb_util.U32.sign_extend ~bits:14 0x3FFF);
+  Alcotest.(check int) "boundary" 0xFFFF_E000 (Sb_util.U32.sign_extend ~bits:14 0x2000)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (Sb_util.Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "geomean" 2. (Sb_util.Stats.geomean [ 1.; 4. ]);
+  Alcotest.(check (float 1e-9))
+    "weighted geomean equal weights = geomean" 2.
+    (Sb_util.Stats.weighted_geomean [ (1., 1.); (4., 1.) ]);
+  Alcotest.(check (float 1e-9)) "median odd" 2. (Sb_util.Stats.median [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "median even" 2.5 (Sb_util.Stats.median [ 1.; 2.; 3.; 4. ]);
+  Alcotest.(check (float 1e-9)) "speedup" 2. (Sb_util.Stats.speedup ~baseline:4. 2.)
+
+let test_xorshift_deterministic () =
+  let a = Sb_util.Xorshift.create ~seed:42 in
+  let b = Sb_util.Xorshift.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Sb_util.Xorshift.next a) (Sb_util.Xorshift.next b)
+  done
+
+let test_xorshift_zero_seed () =
+  let r = Sb_util.Xorshift.create ~seed:0 in
+  Alcotest.(check bool) "nonzero output" true (Sb_util.Xorshift.next r <> 0)
+
+let test_tablefmt () =
+  let out =
+    Sb_util.Tablefmt.render ~header:[ "name"; "value" ]
+      [ [ "a"; "1" ]; [ "bb"; "22" ] ]
+  in
+  Alcotest.(check bool) "has header" true
+    (String.length out > 0 && String.sub out 0 4 = "name");
+  Alcotest.(check bool) "has rule" true (String.contains out '-')
+
+let test_hexdump () =
+  let out = Sb_util.Hexdump.bytes ~base:0x1000 (Bytes.of_string "Hello, world!!!!") in
+  Alcotest.(check bool) "address" true (String.length out >= 8 && String.sub out 0 8 = "00001000");
+  let contains haystack needle =
+    let n = String.length needle in
+    let rec loop i =
+      if i + n > String.length haystack then false
+      else String.sub haystack i n = needle || loop (i + 1)
+    in
+    loop 0
+  in
+  Alcotest.(check bool) "ascii gutter" true (contains out "|Hello")
+
+let prop_u32_add_assoc =
+  QCheck.Test.make ~name:"u32 add associative" ~count:500
+    QCheck.(triple (int_bound 0xFFFFFFF) (int_bound 0xFFFFFFF) (int_bound 0xFFFFFFF))
+    (fun (a, b, c) ->
+      Sb_util.U32.add (Sb_util.U32.add a b) c = Sb_util.U32.add a (Sb_util.U32.add b c))
+
+let prop_u32_roundtrip_signed =
+  QCheck.Test.make ~name:"u32 signed roundtrip" ~count:500
+    QCheck.(int_range (-0x8000_0000) 0x7FFF_FFFF)
+    (fun x -> Sb_util.U32.to_signed (Sb_util.U32.of_int x) = x)
+
+let prop_geomean_bounds =
+  QCheck.Test.make ~name:"geomean between min and max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 10) (float_range 0.1 100.))
+    (fun xs ->
+      let g = Sb_util.Stats.geomean xs in
+      let lo = List.fold_left min infinity xs in
+      let hi = List.fold_left max neg_infinity xs in
+      g >= lo -. 1e-9 && g <= hi +. 1e-9)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "sb_util"
+    [
+      ( "u32",
+        [
+          Alcotest.test_case "basics" `Quick test_u32_basics;
+          Alcotest.test_case "shifts" `Quick test_u32_shifts;
+          Alcotest.test_case "flags" `Quick test_u32_flags;
+          Alcotest.test_case "sign_extend" `Quick test_sign_extend;
+        ]
+        @ qcheck [ prop_u32_add_assoc; prop_u32_roundtrip_signed ] );
+      ( "stats",
+        [ Alcotest.test_case "aggregates" `Quick test_stats ]
+        @ qcheck [ prop_geomean_bounds ] );
+      ( "xorshift",
+        [
+          Alcotest.test_case "deterministic" `Quick test_xorshift_deterministic;
+          Alcotest.test_case "zero seed" `Quick test_xorshift_zero_seed;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "tablefmt" `Quick test_tablefmt;
+          Alcotest.test_case "hexdump" `Quick test_hexdump;
+        ] );
+    ]
