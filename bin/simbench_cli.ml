@@ -5,6 +5,7 @@
      run         run one benchmark on one engine
      suite       run the full suite on one engine and print the table
      workload    run one SPEC-analog workload
+     lint        statically check benchmark programs and conventions
      report      regenerate paper figures (same drivers as bench/main.exe) *)
 
 open Cmdliner
@@ -31,10 +32,17 @@ let engine_of_string arch s =
   | [ "detailed" ] | [ "gem5" ] -> Ok (Simbench.Engines.detailed arch)
   | [ "virt" ] | [ "kvm" ] -> Ok (Simbench.Engines.virt arch)
   | [ "native" ] | [ "hw" ] -> Ok (Simbench.Engines.native arch)
+  | [ "dbt"; "" ] ->
+    Error
+      (Printf.sprintf "missing DBT version after \"dbt@\"; valid versions: %s"
+         (String.concat ", " Sb_dbt.Version.names))
   | [ "dbt"; version ] -> (
     match Sb_dbt.Version.find version with
     | Some config -> Ok (Simbench.Engines.dbt_configured arch config)
-    | None -> Error (Printf.sprintf "unknown DBT version %S" version))
+    | None ->
+      Error
+        (Printf.sprintf "unknown DBT version %S; valid versions: %s" version
+           (String.concat ", " Sb_dbt.Version.names)))
   | _ -> Error (Printf.sprintf "unknown engine %S" s)
 
 let engine_arg =
@@ -251,12 +259,32 @@ let verify_cmd =
   let seeds_arg =
     Arg.(value & opt int 25 & info [ "seeds" ] ~docv:"N" ~doc:"Random programs to try.")
   in
-  let action arch seeds =
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate-passes" ]
+          ~doc:
+            "Statically validate every DBT optimiser pass on every \
+             translated block during the sweep; invalid rewrites are \
+             reported alongside dynamic divergences.")
+  in
+  let action arch seeds validate =
     let engines = Sb_verify.Verify.default_engines arch in
-    Printf.printf "verifying %d random programs across %d engines (%s)...\n%!"
+    Printf.printf "verifying %d random programs across %d engines (%s%s)...\n%!"
       seeds (List.length engines)
-      (Sb_isa.Arch_sig.arch_id_name arch);
-    match Sb_verify.Verify.random_sweep ~arch ~engines ~seeds () with
+      (Sb_isa.Arch_sig.arch_id_name arch)
+      (if validate then ", static pass validation on" else "");
+    let validate_passes =
+      if validate then
+        Some
+          (fun ~pass ~before ~after ->
+            Option.map Sb_analysis.Ir_check.message
+              (Sb_analysis.Ir_check.check ~pass ~before ~after))
+      else None
+    in
+    match
+      Sb_verify.Verify.random_sweep ~arch ~engines ~seeds ?validate_passes ()
+    with
     | [] ->
       Printf.printf "OK: all engines agree on all %d programs\n" seeds;
       0
@@ -273,7 +301,173 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Differentially verify all engines on randomized guest programs.")
-    Term.(const action $ arch_arg $ seeds_arg)
+    Term.(const action $ arch_arg $ seeds_arg $ validate_arg)
+
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let benches_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"BENCHMARK"
+          ~doc:"Benchmarks to lint; the whole suite by default.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit nonzero on warnings too, not just errors.")
+  in
+  let workloads_arg =
+    Arg.(
+      value & flag
+      & info [ "workloads" ] ~doc:"Also lint the SPEC-analog workload programs.")
+  in
+  let arch_opt_arg =
+    Arg.(
+      value
+      & opt (some arch_conv) None
+      & info [ "a"; "arch" ] ~docv:"ARCH"
+          ~doc:"Lint under one architecture support package only (default: all).")
+  in
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let finding_json (f : Sb_analysis.Lint.finding) =
+    let loc_fields =
+      match f.Sb_analysis.Lint.loc with
+      | None -> ""
+      | Some l ->
+        Printf.sprintf ",\"op\":%d%s" l.Sb_analysis.Cfg.index
+          (match l.Sb_analysis.Cfg.context with
+          | Some label ->
+            Printf.sprintf ",\"label\":\"%s\",\"offset\":%d" (json_escape label)
+              l.Sb_analysis.Cfg.offset
+          | None -> "")
+    in
+    Printf.sprintf
+      "{\"rule\":\"%s\",\"severity\":\"%s\",\"region\":\"%s\"%s,\"message\":\"%s\"}"
+      (json_escape f.Sb_analysis.Lint.rule)
+      (match f.Sb_analysis.Lint.severity with
+      | Sb_analysis.Lint.Error -> "error"
+      | Sb_analysis.Lint.Warning -> "warning")
+      (json_escape f.Sb_analysis.Lint.region)
+      loc_fields
+      (json_escape f.Sb_analysis.Lint.message)
+  in
+  let action arch_opt json strict workloads names =
+    let all_benches =
+      Simbench.Suite.all @ Simbench.Suite_ext.all
+      @ (if workloads then
+           List.map (fun w -> w.Sb_workloads.Workloads.bench) Sb_workloads.Workloads.all
+         else [])
+    in
+    let benches =
+      if names = [] then Ok all_benches
+      else
+        let find n =
+          match
+            List.find_opt
+              (fun b ->
+                String.lowercase_ascii b.Simbench.Bench.name
+                = String.lowercase_ascii n)
+              all_benches
+          with
+          | Some b -> Ok b
+          | None -> Error n
+        in
+        List.fold_left
+          (fun acc n ->
+            match (acc, find n) with
+            | Error e, _ -> Error e
+            | _, Error n -> Error n
+            | Ok bs, Ok b -> Ok (bs @ [ b ]))
+          (Ok []) names
+    in
+    match benches with
+    | Error n ->
+      Printf.eprintf "unknown benchmark %S\n" n;
+      1
+    | Ok benches ->
+      let arches =
+        match arch_opt with
+        | Some a -> [ a ]
+        | None -> Simbench.Engines.all_arches
+      in
+      let results =
+        List.concat_map
+          (fun arch ->
+            let support = Simbench.Engines.support arch in
+            List.map
+              (fun bench ->
+                ( bench.Simbench.Bench.name,
+                  Simbench.Support.name support,
+                  Sb_analysis.Lint.lint_bench ~support bench ))
+              benches)
+          arches
+      in
+      let n_errors = ref 0 and n_warnings = ref 0 in
+      List.iter
+        (fun (_, _, fs) ->
+          List.iter
+            (fun f ->
+              match f.Sb_analysis.Lint.severity with
+              | Sb_analysis.Lint.Error -> incr n_errors
+              | Sb_analysis.Lint.Warning -> incr n_warnings)
+            fs)
+        results;
+      if json then begin
+        let lints =
+          List.map
+            (fun (bench, arch, fs) ->
+              Printf.sprintf
+                "{\"bench\":\"%s\",\"arch\":\"%s\",\"findings\":[%s]}"
+                (json_escape bench) (json_escape arch)
+                (String.concat "," (List.map finding_json fs)))
+            results
+        in
+        Printf.printf "{\"lints\":[%s],\"errors\":%d,\"warnings\":%d}\n"
+          (String.concat "," lints)
+          !n_errors !n_warnings
+      end
+      else begin
+        List.iter
+          (fun (bench, arch, fs) ->
+            List.iter
+              (fun f ->
+                Printf.printf "%s [%s]: %s\n" bench arch
+                  (Sb_analysis.Lint.render f))
+              fs)
+          results;
+        Printf.printf "%d error%s, %d warning%s across %d lints\n" !n_errors
+          (if !n_errors = 1 then "" else "s")
+          !n_warnings
+          (if !n_warnings = 1 then "" else "s")
+          (List.length results)
+      end;
+      if !n_errors > 0 || (strict && !n_warnings > 0) then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check benchmark programs: label graph, reachability, \
+          use-before-def, and the v3/v4/sp/lr register conventions.")
+    Term.(
+      const action $ arch_opt_arg $ json_arg $ strict_arg $ workloads_arg
+      $ benches_arg)
 
 (* ---- debug ---- *)
 
@@ -394,5 +588,5 @@ let () =
   exit (Cmd.eval' (Cmd.group info
        [
          list_cmd; run_cmd; suite_cmd; workload_cmd; disasm_cmd; verify_cmd;
-         debug_cmd; report_cmd;
+         lint_cmd; debug_cmd; report_cmd;
        ]))

@@ -1,0 +1,221 @@
+open Simbench
+
+type loc = { index : int; context : string option; offset : int }
+
+let string_of_loc l =
+  match l.context with
+  | Some label -> Printf.sprintf "op %d (%s+%d)" l.index label l.offset
+  | None -> Printf.sprintf "op %d" l.index
+
+type ref_kind = Branch_target | Call_target | Address
+
+type term =
+  | T_fall
+  | T_jump of string
+  | T_cond of string
+  | T_call of string
+  | T_call_reg
+  | T_jump_reg
+  | T_ret
+  | T_stop
+
+type block = {
+  id : int;
+  start : int;
+  labels : string list;
+  body : int list;
+  term : term;
+  data_only : bool;
+  address_taken : bool;
+}
+
+type t = {
+  ops : Pasm.op array;
+  locs : loc array;
+  blocks : block array;
+  label_def : (string, int) Hashtbl.t;
+  label_block : (string, int) Hashtbl.t;
+  refs : (string * ref_kind * int) list;
+  dup_labels : (string * int) list;
+}
+
+let is_directive = function
+  | Pasm.Raw_word _ | Pasm.Word_sym _ | Pasm.Align _ | Pasm.Org _
+  | Pasm.Space _ ->
+    true
+  | _ -> false
+
+(* Ops after which control cannot simply continue to the next op — they end
+   a basic block. *)
+let ends_block = function
+  | Pasm.Br _ | Pasm.Jmp _ | Pasm.Jmp_reg _ | Pasm.Call _ | Pasm.Call_reg _
+  | Pasm.Ret | Pasm.Eret | Pasm.Halt ->
+    true
+  | _ -> false
+
+let ref_of_op i = function
+  | Pasm.Br (_, l) | Pasm.Jmp l -> Some (l, Branch_target, i)
+  | Pasm.Call l -> Some (l, Call_target, i)
+  | Pasm.La (_, l) | Pasm.Word_sym l -> Some (l, Address, i)
+  | _ -> None
+
+let build program =
+  let ops = Array.of_list program in
+  let n = Array.length ops in
+  let locs = Array.make n { index = 0; context = None; offset = 0 } in
+  let context = ref None and offset = ref 0 in
+  for i = 0 to n - 1 do
+    (match ops.(i) with
+    | Pasm.L l ->
+      context := Some l;
+      offset := 0
+    | _ -> incr offset);
+    locs.(i) <- { index = i; context = !context; offset = !offset }
+  done;
+  let label_def = Hashtbl.create 64 in
+  let dup_labels = ref [] in
+  let refs = ref [] in
+  for i = 0 to n - 1 do
+    (match ops.(i) with
+    | Pasm.L l ->
+      if Hashtbl.mem label_def l then dup_labels := (l, i) :: !dup_labels
+      else Hashtbl.add label_def l i
+    | _ -> ());
+    match ref_of_op i ops.(i) with
+    | Some r -> refs := r :: !refs
+    | None -> ()
+  done;
+  let refs = List.rev !refs in
+  let address_taken_labels = Hashtbl.create 16 in
+  List.iter
+    (fun (l, kind, _) ->
+      if kind = Address then Hashtbl.replace address_taken_labels l ())
+    refs;
+  (* block boundaries: a run of labels, then body ops up to (and including)
+     a control transfer, or up to the next label *)
+  let spans = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    while !i < n && (match ops.(!i) with Pasm.L _ -> true | _ -> false) do
+      incr i
+    done;
+    let continue = ref true in
+    while !continue && !i < n do
+      match ops.(!i) with
+      | Pasm.L _ -> continue := false
+      | op ->
+        incr i;
+        if ends_block op then continue := false
+    done;
+    spans := (start, !i) :: !spans
+  done;
+  let spans = Array.of_list (List.rev !spans) in
+  let blocks =
+    Array.mapi
+      (fun id (start, stop) ->
+        let labels = ref [] and body = ref [] in
+        for j = start to stop - 1 do
+          match ops.(j) with
+          | Pasm.L l -> labels := l :: !labels
+          | _ -> body := j :: !body
+        done;
+        let labels = List.rev !labels and body = List.rev !body in
+        let term =
+          match if body = [] then None else Some ops.(stop - 1) with
+          | Some (Pasm.Jmp l) -> T_jump l
+          | Some (Pasm.Br (cond, l)) ->
+            if cond = Sb_isa.Uop.Always then T_jump l else T_cond l
+          | Some (Pasm.Call l) -> T_call l
+          | Some (Pasm.Call_reg _) -> T_call_reg
+          | Some (Pasm.Jmp_reg _) -> T_jump_reg
+          | Some Pasm.Ret -> T_ret
+          | Some (Pasm.Eret | Pasm.Halt) -> T_stop
+          | Some _ | None -> T_fall
+        in
+        let data_only =
+          body <> [] && List.for_all (fun j -> is_directive ops.(j)) body
+        in
+        let address_taken =
+          List.exists (Hashtbl.mem address_taken_labels) labels
+        in
+        { id; start; labels; body; term; data_only; address_taken })
+      spans
+  in
+  let label_block = Hashtbl.create 64 in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem label_block l) then
+            Hashtbl.add label_block l b.id)
+        b.labels)
+    blocks;
+  { ops; locs; blocks; label_def; label_block; refs; dup_labels = !dup_labels }
+
+let loc g i = g.locs.(i)
+let target g l = Hashtbl.find_opt g.label_block l
+
+let fall g b =
+  let next = b.id + 1 in
+  let can_fall =
+    match b.term with
+    | T_fall | T_cond _ | T_call _ | T_call_reg -> true
+    | T_jump _ | T_jump_reg | T_ret | T_stop -> false
+  in
+  if can_fall && next < Array.length g.blocks then Some next else None
+
+let succs g b =
+  let tgt l = match target g l with Some t -> [ t ] | None -> [] in
+  let jumps =
+    match b.term with
+    | T_jump l | T_cond l | T_call l -> tgt l
+    | _ -> []
+  in
+  let fallthrough = match fall g b with Some f -> [ f ] | None -> [] in
+  jumps @ fallthrough
+
+let reachable ?(roots = []) g =
+  let n = Array.length g.blocks in
+  let seen = Array.make n false in
+  let rec visit id =
+    if id < n && not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter visit (succs g g.blocks.(id))
+    end
+  in
+  if n > 0 then visit 0;
+  Array.iter (fun b -> if b.address_taken then visit b.id) g.blocks;
+  List.iter
+    (fun l -> match target g l with Some t -> visit t | None -> ())
+    roots;
+  seen
+
+let uses = function
+  | Pasm.Mov (_, s) -> [ s ]
+  | Pasm.Alu (_, _, a, Pasm.R b) -> [ a; b ]
+  | Pasm.Alu (_, _, a, Pasm.I _) -> [ a ]
+  | Pasm.Cmp (a, Pasm.R b) -> [ a; b ]
+  | Pasm.Cmp (a, Pasm.I _) -> [ a ]
+  | Pasm.Jmp_reg r | Pasm.Call_reg r -> [ r ]
+  | Pasm.Ret -> [ Pasm.lr ]
+  | Pasm.Load (_, _, base, _) | Pasm.Load_user (_, base, _) -> [ base ]
+  | Pasm.Store (_, s, base, _) | Pasm.Store_user (s, base, _) -> [ s; base ]
+  | Pasm.Cop_write (_, s) -> [ s ]
+  | Pasm.Cop_write_lr _ -> [ Pasm.lr ]
+  | Pasm.Tlb_inv_page r -> [ r ]
+  | _ -> []
+
+let defs = function
+  | Pasm.Li (r, _) | Pasm.La (r, _) | Pasm.Mov (r, _) -> [ r ]
+  | Pasm.Alu (_, d, _, _) -> [ d ]
+  | Pasm.Load (_, d, _, _) | Pasm.Load_user (d, _, _) -> [ d ]
+  | Pasm.Call _ | Pasm.Call_reg _ -> [ Pasm.lr ]
+  | Pasm.Cop_read (d, _) | Pasm.Cop_safe_read d -> [ d ]
+  | _ -> []
+
+let faults = function
+  | Pasm.Load _ | Pasm.Store _ | Pasm.Load_user _ | Pasm.Store_user _
+  | Pasm.Syscall | Pasm.Undef | Pasm.Jmp_reg _ | Pasm.Call_reg _ ->
+    true
+  | _ -> false

@@ -1,0 +1,80 @@
+(** Control-flow graphs over portable benchmark assembly ({!Simbench.Pasm}).
+
+    Blocks are layout-ordered: a block starts at every label and after every
+    control-transfer instruction.  Data directives ([Raw_word], [Word_sym],
+    [Align], [Org], [Space]) form data-only blocks that the code rules skip.
+
+    Programs can be entered at places no static branch reaches — exception
+    vector slots, [Jmp_reg]/[Call_reg] targets loaded from address tables.
+    Address-taken labels (referenced by [La] or [Word_sym]) and caller-
+    supplied [roots] are therefore extra reachability roots. *)
+
+type loc = {
+  index : int;  (** position in the op list *)
+  context : string option;  (** nearest preceding label *)
+  offset : int;  (** ops past that label *)
+}
+
+val string_of_loc : loc -> string
+
+type ref_kind = Branch_target | Call_target | Address
+
+(** How a block's last op hands control onwards. *)
+type term =
+  | T_fall  (** no transfer: ends at a label boundary or program end *)
+  | T_jump of string  (** [Jmp] / unconditional [Br] *)
+  | T_cond of string  (** conditional [Br]: target or fallthrough *)
+  | T_call of string  (** [Call]: callee plus return to fallthrough *)
+  | T_call_reg  (** indirect call: unknown callee, returns to fallthrough *)
+  | T_jump_reg  (** indirect jump: unknown target *)
+  | T_ret  (** jump through [lr] *)
+  | T_stop  (** [Halt] / [Eret]: no static successor *)
+
+type block = {
+  id : int;
+  start : int;  (** op index of the block's first op (labels included) *)
+  labels : string list;
+  body : int list;  (** op indices, labels excluded *)
+  term : term;
+  data_only : bool;
+  address_taken : bool;  (** some label referenced by [La] or [Word_sym] *)
+}
+
+type t = {
+  ops : Simbench.Pasm.op array;
+  locs : loc array;
+  blocks : block array;
+  label_def : (string, int) Hashtbl.t;  (** label -> defining op index *)
+  label_block : (string, int) Hashtbl.t;  (** label -> block id *)
+  refs : (string * ref_kind * int) list;  (** label, kind, referencing op *)
+  dup_labels : (string * int) list;  (** extra definitions of a label *)
+}
+
+val build : Simbench.Pasm.op list -> t
+
+val loc : t -> int -> loc
+
+val target : t -> string -> int option
+(** Block a label resolves to, if defined. *)
+
+val fall : t -> block -> int option
+(** The layout-next block, when [term] can reach it ([T_fall], [T_cond],
+    [T_call], [T_call_reg]). *)
+
+val succs : t -> block -> int list
+(** All static successors: branch/call targets plus fallthrough. *)
+
+val reachable : ?roots:string list -> t -> bool array
+(** Per-block reachability from block 0, address-taken blocks, and
+    [roots]. *)
+
+(** Register use/def sets of single ops, over the 7-register Pasm file
+    (v0..v4, sp, lr). *)
+
+val uses : Simbench.Pasm.op -> Simbench.Pasm.reg list
+val defs : Simbench.Pasm.op -> Simbench.Pasm.reg list
+
+val faults : Simbench.Pasm.op -> bool
+(** Ops that can raise a synchronous exception (memory accesses, [Syscall],
+    [Undef], and indirect transfers that can prefetch-abort) — the ops
+    across which no value may live in the handler-scratch register [v3]. *)

@@ -1,0 +1,28 @@
+(** Static validator for the DBT optimiser's transparency contract.
+
+    Every {!Sb_dbt.Ir} pass must be architecturally transparent: the final
+    register file, flags, program counter and the ordered sequence of
+    memory / coprocessor / exception effects must be identical with and
+    without the rewrite ({!Sb_dbt.Ir} documentation).  This module proves it
+    per block: both the before- and after-pass IR are run through a symbolic
+    evaluator (constants fold through {!Sb_sim.Alu_eval}, algebraic
+    identities like [x+0] normalise away, loads and coprocessor reads become
+    opaque terms indexed by their position in the effect sequence), and the
+    two symbolic states are compared after every instruction slot.  The
+    first mismatching instruction and component are reported. *)
+
+type violation = {
+  pass : string;
+  va : int;  (** virtual address of the first mismatching instruction *)
+  index : int;  (** its index within the block *)
+  detail : string;  (** which component diverged, with both symbolic values *)
+}
+
+val check :
+  pass:string -> before:Sb_dbt.Ir.t -> after:Sb_dbt.Ir.t -> violation option
+
+val message : violation -> string
+
+val validator : (violation -> unit) -> Sb_dbt.Ir.pass_validator
+(** Adapt [check] to the {!Sb_dbt.Ir.pass_validator} hook: runs [check] and
+    feeds any violation to the callback. *)

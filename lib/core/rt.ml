@@ -122,8 +122,13 @@ let vector_order =
 
 let handler_label vector = "rt_h_" ^ Sb_sim.Exn.vector_name vector
 
-let program ~support ~platform ~bench =
-  let (module S : Support.SUPPORT) = support in
+(* Each vector slot carries its own label: slots past the first are entered
+   by hardware vectoring (VBAR + offset), not by any static branch, so the
+   labels give static analyses a root for every slot. *)
+let vector_slot_label vector = "rt_vec_" ^ Sb_sim.Exn.vector_name vector
+let vector_slot_labels = List.map vector_slot_label vector_order
+
+let ops ~support ~platform ~bench =
   let p = platform in
   let body = bench.Bench.body ~support ~platform in
   let bench_base = p.Platform.bench_base in
@@ -144,11 +149,11 @@ let program ~support ~platform ~bench =
   let vectors =
     [ Align 8; L "rt_vectors" ]
     @ List.concat_map
-        (fun vector -> [ Jmp (handler_label vector); Align 8 ])
+        (fun vector ->
+          [ L (vector_slot_label vector); Jmp (handler_label vector); Align 8 ])
         vector_order
   in
-  let ops =
-    [ L "_start" ]
+  [ L "_start" ]
     (* vectors first so that faults during setup already report cleanly *)
     @ [ La (v0, "rt_vectors"); Cop_write (Sb_isa.Cregs.vbar, v0) ]
     @ [ Li (sp, p.Platform.stack_top) ]
@@ -174,8 +179,11 @@ let program ~support ~platform ~bench =
     @ [ L "rt_fail" ]
     @ dev_store ~base:bench_base ~off:exit_off 0xDEAD
     @ [ Halt ]
-    @ body.Bench.functions
-    @ handlers
-    @ vectors
-  in
-  S.assemble ~base:p.Platform.code_base ~entry:"_start" ops
+  @ body.Bench.functions
+  @ handlers
+  @ vectors
+
+let program ~support ~platform ~bench =
+  let (module S : Support.SUPPORT) = support in
+  S.assemble ~base:platform.Platform.code_base ~entry:"_start"
+    (ops ~support ~platform ~bench)

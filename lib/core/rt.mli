@@ -13,6 +13,17 @@ val program :
   support:Support.t -> platform:Platform.t -> bench:Bench.t -> Sb_asm.Program.t
 (** Assemble the full bootable image for one benchmark. *)
 
+val ops :
+  support:Support.t -> platform:Platform.t -> bench:Bench.t -> Pasm.op list
+(** The full portable-assembly program [program] assembles: runtime plus
+    benchmark body.  Exposed so static analyses ({!Sb_analysis}) can inspect
+    the exact program that will run. *)
+
+val vector_slot_labels : string list
+(** Labels on the exception-vector slots.  Slots are entered by hardware
+    vectoring rather than by any static branch, so analyses must treat these
+    as extra control-flow roots. *)
+
 val build_page_tables : Platform.t -> Pasm.op list
 (** The guest code that constructs the page tables (exposed for tests). *)
 

@@ -10,10 +10,10 @@ let chain_length = 16
 (* Code generation                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* A chain of tiny tail-calling functions plus an address table.  Shared by
-   the Small Blocks benchmark and, with page-aligned placement, by the
-   control-flow benchmarks. *)
-let chain ~prefix ~own_pages ~indirect =
+(* A chain of tiny tail-calling functions plus, when some benchmark actually
+   loads from it, an address table.  Shared by the Small Blocks benchmark and,
+   with page-aligned placement, by the control-flow benchmarks. *)
+let chain ?(force_table = false) ~prefix ~own_pages ~indirect () =
   let fn i = Printf.sprintf "%s_fn%d" prefix i in
   let table = prefix ^ "_table" in
   let functions =
@@ -35,14 +35,18 @@ let chain ~prefix ~own_pages ~indirect =
                else [ add v1 v1 (I 1); Jmp (fn (i + 1)) ]
              in
              placement @ [ L (fn i) ] @ body))
-    @ [ Align 4; L table ]
-    @ List.init chain_length (fun i -> Word_sym (fn i))
+    @
+    if indirect || force_table then
+      [ Align 4; L table ] @ List.init chain_length (fun i -> Word_sym (fn i))
+    else []
   in
   (functions, fn 0, table)
 
 let small_blocks =
   let body ~support:_ ~platform:_ =
-    let functions, fn0, table = chain ~prefix:"sb" ~own_pages:false ~indirect:false in
+    let functions, fn0, table =
+      chain ~force_table:true ~prefix:"sb" ~own_pages:false ~indirect:false ()
+    in
     {
       Bench.empty_body with
       Bench.kernel =
@@ -127,7 +131,7 @@ let large_blocks =
 
 let control_flow ~name ~prefix ~own_pages ~indirect ~default_iters ~description =
   let body ~support:_ ~platform:_ =
-    let functions, fn0, table = chain ~prefix ~own_pages ~indirect in
+    let functions, fn0, table = chain ~prefix ~own_pages ~indirect () in
     let kernel =
       if indirect then
         [ La (v0, table); Load (W32, v0, v0, 0); Li (v1, 0); Call_reg v0 ]

@@ -152,13 +152,15 @@ let context_switch =
           xor v2 v2 (I 3);  (* toggle between ASID 1 and ASID 2 *)
           Cop_write (Sb_isa.Cregs.asid, v2);
           Mov (v0, v1);
-          Li (v3, 8);
+          (* lr carries the loop count (no calls in this kernel); v3 is the
+             load destination so no value is live in the handler-scratch
+             register across the faulting load *)
+          Li (lr, 8);
           L "cs_touch";
-          (* lr doubles as the load destination: no calls in this kernel *)
-          Load (W32, lr, v0, 0);
+          Load (W32, v3, v0, 0);
           add v0 v0 (I 4096);
-          Alu (Sb_isa.Uop.Sub, v3, v3, I 1);
-          Cmp (v3, I 0);
+          Alu (Sb_isa.Uop.Sub, lr, lr, I 1);
+          Cmp (lr, I 0);
           Br (Sb_isa.Uop.Ne, "cs_touch");
         ];
       cleanup =

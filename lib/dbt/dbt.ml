@@ -6,6 +6,12 @@ let page_size = 1 lsl page_shift
 let page_mask = page_size - 1
 let u32_mask = 0xFFFF_FFFF
 
+(* Global opt-in hook: when set, every optimiser pass of every block
+   translation (across all instantiated engines) is checked.  A ref rather
+   than a Config.t knob so that installing a validator does not disturb the
+   version-sweep configuration records. *)
+let pass_validator : Ir.pass_validator option ref = ref None
+
 module Make_configured
     (A : Arch_sig.ARCH) (C : sig
       val config : Config.t
@@ -607,7 +613,9 @@ struct
     let chain_out = ends_in_direct_or_fallthrough rev_decodeds in
     let decodeds = List.rev rev_decodeds in
     let ir = Ir.of_decoded decodeds in
-    let passes_run = Ir.run ~passes:cfg.Config.opt_passes ir in
+    let passes_run =
+      Ir.run ?validate:!pass_validator ~passes:cfg.Config.opt_passes ir
+    in
     Perf.add ctx.perf Perf.Opt_passes_run passes_run;
     let end_va =
       match rev_decodeds with

@@ -11,6 +11,12 @@
     translation regime, chained across direct branches, and invalidated by
     physical page when the guest writes to translated code. *)
 
+val pass_validator : Ir.pass_validator option ref
+(** Opt-in static pass validation.  While set, every optimiser pass of every
+    block translation is bracketed by an IR snapshot and the validator call
+    ({!Ir.run}).  [Sb_verify.Verify.random_sweep ~validate_passes] installs
+    {!Sb_analysis.Ir_check} here for the duration of a sweep. *)
+
 module Make_configured
     (A : Sb_isa.Arch_sig.ARCH) (C : sig
       val config : Config.t

@@ -83,7 +83,20 @@ let pipeline = [ ("const-prop", const_prop); ("nop-elim", nop_elim); ("peephole"
 
 let pass_names = List.map fst pipeline
 
-let run ~passes ir =
+type pass_validator = pass:string -> before:t -> after:t -> unit
+
+let copy ir = Array.map (fun insn -> { insn with uops = insn.uops }) ir
+
+let run ?validate ~passes ir =
   let n = max 0 (min passes (List.length pipeline)) in
-  List.iteri (fun i (_, pass) -> if i < n then pass ir) pipeline;
+  List.iteri
+    (fun i (name, pass) ->
+      if i < n then
+        match validate with
+        | None -> pass ir
+        | Some check ->
+          let before = copy ir in
+          pass ir;
+          check ~pass:name ~before ~after:ir)
+    pipeline;
   n

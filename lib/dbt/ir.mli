@@ -21,9 +21,22 @@ val of_decoded : Sb_isa.Uop.decoded list -> t
 val pass_names : string list
 (** The optimiser pipeline in order; [run ~passes:n] runs the first [n]. *)
 
-val run : passes:int -> t -> int
+type pass_validator = pass:string -> before:t -> after:t -> unit
+(** Called after each optimiser pass with a snapshot of the IR taken just
+    before the pass ran and the rewritten IR.  {!Sb_analysis.Ir_check}
+    provides an implementation that statically proves architectural
+    transparency; the hook itself stays dependency-free so the DBT engine
+    does not depend on the analysis library. *)
+
+val copy : t -> t
+(** Snapshot an IR: fresh instruction records sharing the (immutable)
+    micro-op lists, so in-place passes on the original leave it intact. *)
+
+val run : ?validate:pass_validator -> passes:int -> t -> int
 (** Runs up to [passes] passes (clamped to the pipeline length); returns the
-    number actually run. *)
+    number actually run.  When [validate] is given, each pass is bracketed
+    by an IR snapshot and the validator call — translation gets slower, so
+    this is strictly an opt-in verification mode. *)
 
 (** Individual passes, exposed for unit tests. *)
 

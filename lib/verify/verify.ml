@@ -246,14 +246,47 @@ let default_engines arch =
 let nregs_of arch =
   match arch with Sb_isa.Arch_sig.Sba -> 14 | Sb_isa.Arch_sig.Vlx -> 8
 
-let random_sweep ~arch ~engines ~seeds () =
-  let rec go seed acc =
-    if seed >= seeds then List.rev acc
-    else begin
-      let program = random_program ~arch ~seed:(seed + 1) in
-      match compare_engines ~engines ~nregs:(nregs_of arch) program with
-      | Ok _ -> go (seed + 1) acc
-      | Error d -> go (seed + 1) ({ d with seed = Some seed } :: acc)
-    end
-  in
-  go 0 []
+let random_sweep ~arch ~engines ~seeds ?validate_passes () =
+  (* When a pass validator is supplied, install it on the DBT hook for the
+     duration of the sweep: every block any DBT engine translates gets its
+     optimiser passes statically checked, and violations are reported
+     alongside the dynamic divergences. *)
+  let static = ref [] in
+  let seen = Hashtbl.create 16 in
+  let current_seed = ref 0 in
+  let saved = !Sb_dbt.Dbt.pass_validator in
+  (match validate_passes with
+  | None -> ()
+  | Some checker ->
+    Sb_dbt.Dbt.pass_validator :=
+      Some
+        (fun ~pass ~before ~after ->
+          match checker ~pass ~before ~after with
+          | None -> ()
+          | Some detail ->
+            if not (Hashtbl.mem seen (pass, detail)) then begin
+              Hashtbl.add seen (pass, detail) ();
+              static :=
+                {
+                  seed = Some !current_seed;
+                  reference_engine = "static-ir-check";
+                  diverging_engine = "dbt:" ^ pass;
+                  detail;
+                }
+                :: !static
+            end));
+  Fun.protect
+    ~finally:(fun () -> Sb_dbt.Dbt.pass_validator := saved)
+    (fun () ->
+      let rec go seed acc =
+        if seed >= seeds then List.rev acc
+        else begin
+          current_seed := seed;
+          let program = random_program ~arch ~seed:(seed + 1) in
+          match compare_engines ~engines ~nregs:(nregs_of arch) program with
+          | Ok _ -> go (seed + 1) acc
+          | Error d -> go (seed + 1) ({ d with seed = Some seed } :: acc)
+        end
+      in
+      let dynamic = go 0 [] in
+      dynamic @ List.rev !static)

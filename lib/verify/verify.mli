@@ -60,10 +60,22 @@ val random_sweep :
   arch:Sb_isa.Arch_sig.arch_id ->
   engines:Sb_sim.Engine.t list ->
   seeds:int ->
+  ?validate_passes:
+    (pass:string ->
+    before:Sb_dbt.Ir.t ->
+    after:Sb_dbt.Ir.t ->
+    string option) ->
   unit ->
   divergence list
 (** Run [seeds] random programs; empty list means all engines agreed on all
-    of them. *)
+    of them.  [validate_passes] additionally installs a static checker on
+    {!Sb_dbt.Dbt.pass_validator} for the duration of the sweep: it sees
+    every optimiser pass of every block any DBT engine translates, and any
+    returned message is reported as a divergence with
+    [reference_engine = "static-ir-check"] and
+    [diverging_engine = "dbt:<pass>"] (deduplicated per distinct message).
+    Pair it with {!Sb_analysis.Ir_check.check} — see [simbench verify
+    --validate-passes]. *)
 
 val default_engines : Sb_isa.Arch_sig.arch_id -> Sb_sim.Engine.t list
 (** interp, dbt, detailed, virt, native. *)
