@@ -3,13 +3,25 @@
    Usage:
      bench/main.exe                 - regenerate every paper table/figure
      bench/main.exe fig3 fig7       - selected experiments only
+     bench/main.exe --all           - the combined report (one prefetch pass
+                                      over the whole version sweep, then
+                                      every figure)
      bench/main.exe --quick [...]   - cheap settings (CI smoke)
+     bench/main.exe -j N            - run independent sweep cells in N
+                                      forked workers (-j 1 is today's
+                                      sequential path, bit for bit)
+     bench/main.exe --cache DIR     - persist measured cells to DIR, keyed
+                                      by a digest of the engine knobs /
+                                      arch / workload / iteration counts
+     bench/main.exe --json DIR      - write BENCH_<experiment>.json per
+                                      experiment with the raw cells
      bench/main.exe --bechamel      - Bechamel micro-benchmarks of the
                                       engine hot paths (one Test per suite
                                       category, plus workloads)
 
    Every experiment prints the same rows/series the paper reports; see
-   EXPERIMENTS.md for the expected shapes and the recorded run. *)
+   EXPERIMENTS.md for the expected shapes and the recorded run, and
+   docs/parallel.md for the scheduler. *)
 
 (* ablation configs share the scale/repeats of the main experiments *)
 let abl (config : Sb_report.Experiments.config) =
@@ -20,20 +32,69 @@ let abl (config : Sb_report.Experiments.config) =
 
 let experiments =
   [
-    ("fig2", fun config -> Sb_report.Experiments.fig2 ~config ());
-    ("fig3", fun config -> Sb_report.Experiments.fig3 ~config ());
-    ("fig4", fun _ -> Sb_report.Experiments.fig4 ());
-    ("fig5", fun _ -> Sb_report.Experiments.fig5 ());
-    ("fig6", fun config -> Sb_report.Experiments.fig6 ~config ());
-    ("fig7", fun config -> Sb_report.Experiments.fig7 ~config ());
-    ("fig8", fun config -> Sb_report.Experiments.fig8 ~config ());
-    ("ext", fun config -> Sb_report.Experiments.extensions ~config ());
-    ("abl-chain", fun config -> Sb_report.Ablations.chaining ~config:(abl config) ());
-    ("abl-tlb", fun config -> Sb_report.Ablations.page_cache ~config:(abl config) ());
-    ("abl-opt", fun config -> Sb_report.Ablations.optimiser ~config:(abl config) ());
-    ("abl-vmexit", fun config -> Sb_report.Ablations.vm_exit ~config:(abl config) ());
-    ("abl-predecode", fun config -> Sb_report.Ablations.predecode ~config:(abl config) ());
+    ("all", fun config opts -> Sb_report.Experiments.all ~config ~opts ());
+    ("fig2", fun config opts -> Sb_report.Experiments.fig2 ~config ~opts ());
+    ("fig3", fun config _ -> Sb_report.Experiments.fig3 ~config ());
+    ("fig4", fun _ _ -> Sb_report.Experiments.fig4 ());
+    ("fig5", fun _ _ -> Sb_report.Experiments.fig5 ());
+    ("fig6", fun config opts -> Sb_report.Experiments.fig6 ~config ~opts ());
+    ("fig7", fun config opts -> Sb_report.Experiments.fig7 ~config ~opts ());
+    ("fig8", fun config opts -> Sb_report.Experiments.fig8 ~config ~opts ());
+    ("ext", fun config opts -> Sb_report.Experiments.extensions ~config ~opts ());
+    ( "abl-chain",
+      fun config opts -> Sb_report.Ablations.chaining ~config:(abl config) ~opts () );
+    ( "abl-tlb",
+      fun config opts -> Sb_report.Ablations.page_cache ~config:(abl config) ~opts () );
+    ( "abl-opt",
+      fun config opts -> Sb_report.Ablations.optimiser ~config:(abl config) ~opts () );
+    ( "abl-vmexit",
+      fun config opts -> Sb_report.Ablations.vm_exit ~config:(abl config) ~opts () );
+    ( "abl-predecode",
+      fun config opts -> Sb_report.Ablations.predecode ~config:(abl config) ~opts () );
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output                                              *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_rows ~experiment ~(opts : Sb_report.Experiments.run_opts)
+    ~(config : Sb_report.Experiments.config) rows =
+  let open Sb_util.Json in
+  let cell (r : Sb_report.Experiments.row) =
+    Obj
+      [
+        ("cell", String r.row_cell);
+        ("engine", String r.row_engine);
+        ("arch", String r.row_arch);
+        ("iters", Int r.row_iters);
+        ("repeats", Int r.row_repeats);
+        ("seconds", Float r.row_seconds);
+        ("mean_seconds", Float r.row_mean_seconds);
+        ("kernel_insns", Int r.row_kernel_insns);
+      ]
+  in
+  Obj
+    [
+      ("experiment", String experiment);
+      ("jobs", Int opts.jobs);
+      ( "config",
+        Obj
+          [
+            ("scale", Int config.scale);
+            ("workload_iters", Int config.workload_iters);
+            ("repeats", Int config.repeats);
+          ] );
+      ("cells", List (List.map cell rows));
+    ]
+
+let write_json ~dir ~experiment ~opts ~config rows =
+  Sb_jobs.Cache.mkdir_p dir;
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" experiment) in
+  let oc = open_out path in
+  output_string oc (Sb_util.Json.to_string (json_of_rows ~experiment ~opts ~config rows));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[wrote %s: %d cells]\n%!" path (List.length rows)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
@@ -53,6 +114,10 @@ let bechamel_tests () =
     Test.make ~name:label (run_bench engine bench ~iters)
   in
   let dbt = Simbench.Engines.dbt arch in
+  let dbt_nofc =
+    Simbench.Engines.dbt_configured arch
+      { Sb_dbt.Config.default with Sb_dbt.Config.front_cache = false }
+  in
   let interp = Simbench.Engines.interp arch in
   Test.make_grouped ~name:"simbench"
     [
@@ -68,6 +133,12 @@ let bechamel_tests () =
             ~iters:100_000;
           engine_test "intra-direct/interp" interp Simbench.Suite.intra_page_direct
             ~iters:100_000;
+          (* indirect branches cannot chain: every taken branch goes through
+             block lookup, so this pair isolates the front-cache win *)
+          engine_test "intra-indirect/dbt" dbt Simbench.Suite.intra_page_indirect
+            ~iters:100_000;
+          engine_test "intra-indirect/dbt-nofc" dbt_nofc
+            Simbench.Suite.intra_page_indirect ~iters:100_000;
         ];
       Test.make_grouped ~name:"exceptions"
         [
@@ -113,22 +184,74 @@ let run_bechamel () =
 
 (* ------------------------------------------------------------------ *)
 
-let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let quick = List.mem "--quick" args in
-  let bechamel = List.mem "--bechamel" args in
-  let selected =
-    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+type cli = {
+  mutable quick : bool;
+  mutable bechamel : bool;
+  mutable all : bool;
+  mutable jobs : int;
+  mutable json_dir : string option;
+  mutable cache_dir : string option;
+  mutable names : string list; (* reversed *)
+}
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--quick] [--all] [-j N] [--json DIR] [--cache DIR]\n\
+    \                [--bechamel] [experiment ...]";
+  exit 2
+
+let parse_args args =
+  let cli =
+    {
+      quick = false;
+      bechamel = false;
+      all = false;
+      jobs = 1;
+      json_dir = None;
+      cache_dir = None;
+      names = [];
+    }
   in
-  if bechamel then run_bechamel ()
+  let int_of a v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> n
+    | _ ->
+      Printf.eprintf "%s expects a positive integer, got %S\n" a v;
+      usage ()
+  in
+  let rec go = function
+    | [] -> cli
+    | "--quick" :: rest -> cli.quick <- true; go rest
+    | "--bechamel" :: rest -> cli.bechamel <- true; go rest
+    | "--all" :: rest -> cli.all <- true; go rest
+    | "-j" :: v :: rest -> cli.jobs <- int_of "-j" v; go rest
+    | "--json" :: v :: rest -> cli.json_dir <- Some v; go rest
+    | "--cache" :: v :: rest -> cli.cache_dir <- Some v; go rest
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
+      cli.jobs <- int_of "-j" (String.sub a 2 (String.length a - 2));
+      go rest
+    | a :: _ when String.length a > 1 && a.[0] = '-' ->
+      Printf.eprintf "unknown option %S\n" a;
+      usage ()
+    | name :: rest -> cli.names <- name :: cli.names; go rest
+  in
+  go args
+
+let () =
+  let cli = parse_args (List.tl (Array.to_list Sys.argv)) in
+  if cli.bechamel then run_bechamel ()
   else begin
     let config =
-      if quick then Sb_report.Experiments.quick_config
+      if cli.quick then Sb_report.Experiments.quick_config
       else Sb_report.Experiments.default_config
     in
+    let opts =
+      { Sb_report.Experiments.jobs = cli.jobs; cache_dir = cli.cache_dir }
+    in
+    let selected = List.rev cli.names @ (if cli.all then [ "all" ] else []) in
     let to_run =
       match selected with
-      | [] -> experiments
+      | [] -> List.filter (fun (name, _) -> name <> "all") experiments
       | names ->
         List.filter_map
           (fun name ->
@@ -143,9 +266,15 @@ let () =
     List.iter
       (fun (name, f) ->
         Printf.printf "=== %s ===\n%!" name;
+        Sb_report.Experiments.reset_records ();
         let t0 = Unix.gettimeofday () in
-        print_string (f config);
+        print_string (f config opts);
         Printf.printf "\n[%s generated in %.1fs]\n\n%!" name
-          (Unix.gettimeofday () -. t0))
+          (Unix.gettimeofday () -. t0);
+        match cli.json_dir with
+        | None -> ()
+        | Some dir ->
+          write_json ~dir ~experiment:name ~opts ~config
+            (Sb_report.Experiments.recorded ()))
       to_run
   end

@@ -12,6 +12,7 @@ type t = {
   tlb_entries : int;
   tlb_l2_entries : int;
   lazy_tlb_flush : bool;
+  front_cache : bool;
 }
 
 let baseline =
@@ -29,6 +30,7 @@ let baseline =
     tlb_entries = 256;
     tlb_l2_entries = 1024;
     lazy_tlb_flush = false;
+    front_cache = true;
   }
 
 let default =

@@ -34,6 +34,11 @@ type t = {
   tlb_l2_entries : int;  (** second-level page cache; 0 disables it *)
   lazy_tlb_flush : bool;
       (** flush the page cache by bumping a generation instead of clearing *)
+  front_cache : bool;
+      (** direct-mapped virtual-PC block lookup cache in front of the block
+          hash table (QEMU's [tb_jmp_cache]); entries are tagged with the
+          chain generation, so the chain/SMC invalidation machinery covers
+          it.  On in every shipped version; off only for ablation. *)
 }
 
 val default : t

@@ -6,6 +6,12 @@ let page_size = 1 lsl page_shift
 let page_mask = page_size - 1
 let u32_mask = 0xFFFF_FFFF
 
+(* direct-mapped block-lookup front cache (QEMU's tb_jmp_cache analog) *)
+let jmp_cache_bits = 10
+let jmp_cache_size = 1 lsl jmp_cache_bits
+let jmp_cache_mask = jmp_cache_size - 1
+let jmp_hash va = (va lxor (va lsr jmp_cache_bits)) land jmp_cache_mask
+
 (* Global opt-in hook: when set, every optimiser pass of every block
    translation (across all instantiated engines) is checked.  A ref rather
    than a Config.t knob so that installing a validator does not disturb the
@@ -72,6 +78,12 @@ struct
     perf : Perf.t;
     pcache : Page_cache.t;
     cache : (int, block) Hashtbl.t;
+    jmp_blocks : block option array;
+        (* front cache ahead of [cache], indexed by a hash of the virtual
+           PC; an entry is live only while its generation matches
+           [chain_gen] and the block is still valid, so the same machinery
+           that invalidates chains (translation changes, SMC) covers it *)
+    jmp_gens : int array;
     by_page : (int, block list ref) Hashtbl.t;
     code_pages : Bytes.t;
     shadow_regs : int array;
@@ -97,6 +109,8 @@ struct
         Page_cache.create ~l1_entries:cfg.Config.tlb_entries
           ~l2_entries:cfg.Config.tlb_l2_entries ~lazy_flush:cfg.Config.lazy_tlb_flush;
       cache = Hashtbl.create 1024;
+      jmp_blocks = Array.make jmp_cache_size None;
+      jmp_gens = Array.make jmp_cache_size (-1);
       by_page = Hashtbl.create 64;
       code_pages = Bytes.make ((ram_pages + 7) / 8) '\000';
       shadow_regs = Array.make 16 0;
@@ -691,9 +705,7 @@ struct
     Hashtbl.replace ctx.cache key blk;
     blk
 
-  let lookup_translate ctx va =
-    Perf.incr ctx.perf Perf.Block_lookups;
-    let mmu_on = Cpu.mmu_enabled ctx.cpu in
+  let lookup_translate_slow ctx va mmu_on =
     let pa =
       translate ctx ~va ~kind:Sb_mmu.Access.Execute ~priv:ctx.cpu.Cpu.mode ~iaddr:va
         ~retired:0
@@ -707,6 +719,29 @@ struct
       Hashtbl.remove ctx.cache key;
       translate_block ctx va
     | None -> translate_block ctx va
+
+  (* Fast path: one array probe on the virtual PC skips both the address
+     translation and the block-hash lookup.  Tag rules mirror
+     [chain_candidate]: same generation, still valid, same VA and
+     translation regime. *)
+  let lookup_translate ctx va =
+    Perf.incr ctx.perf Perf.Block_lookups;
+    let mmu_on = Cpu.mmu_enabled ctx.cpu in
+    if not cfg.Config.front_cache then lookup_translate_slow ctx va mmu_on
+    else begin
+      let h = jmp_hash va in
+      match Array.unsafe_get ctx.jmp_blocks h with
+      | Some b
+        when Array.unsafe_get ctx.jmp_gens h = ctx.chain_gen
+             && b.valid && b.va = va && b.mmu_on = mmu_on ->
+        Perf.incr ctx.perf Perf.Front_cache_hits;
+        b
+      | _ ->
+        let b = lookup_translate_slow ctx va mmu_on in
+        Array.unsafe_set ctx.jmp_blocks h (Some b);
+        Array.unsafe_set ctx.jmp_gens h ctx.chain_gen;
+        b
+    end
 
   (* ---------------- dispatch loop -------------------------------------- *)
 

@@ -2,14 +2,19 @@ open Sb_isa
 open Sb_sim
 
 module Config = struct
-  type t = { tlb_entries : int; predecode : bool }
+  type t = { tlb_entries : int; predecode : bool; front_cache : bool }
 
-  let default = { tlb_entries = 256; predecode = true }
+  let default = { tlb_entries = 256; predecode = true; front_cache = true }
 end
 
 let page_shift = 12
 let page_size = 1 lsl page_shift
 let page_mask = page_size - 1
+
+(* direct-mapped fetch front cache: virtual page -> predecoded page array *)
+let fetch_front_bits = 6
+let fetch_front_size = 1 lsl fetch_front_bits
+let fetch_front_mask = fetch_front_size - 1
 
 module Make_configured
     (A : Arch_sig.ARCH) (C : sig
@@ -38,6 +43,20 @@ struct
 
   exception Stop of Run_result.stop_reason
 
+  (* One slot of the fetch front cache.  A hit proves: this virtual page
+     translated to the page whose predecode array is [fs_arr], with execute
+     permission, under this ASID and privilege, and no translation-affecting
+     event ([fs_gen]) has happened since.  Self-modifying code needs no tag:
+     SMC invalidation clears the array in place, so stale entries read as
+     [None] and fall back to the slow path. *)
+  type fetch_slot = {
+    mutable fs_vpn : int;  (* -1 = empty *)
+    mutable fs_asid : int;
+    mutable fs_gen : int;
+    mutable fs_mode : Sb_mmu.Access.privilege;
+    mutable fs_arr : Uop.decoded option array;
+  }
+
   type ctx = {
     machine : Machine.t;
     cpu : Cpu.t;
@@ -45,6 +64,10 @@ struct
     perf : Perf.t;
     tlb : Sb_mmu.Tlb.t;
     decode_cache : (int, Uop.decoded option array) Hashtbl.t;
+    fetch_front : fetch_slot array;
+    mutable fetch_gen : int;
+        (* bumped on any event that may change va->pa mappings, mirroring
+           the DBT's chain_gen *)
     code_pages : Bytes.t;
     mutable timer_backlog : int;
   }
@@ -58,6 +81,16 @@ struct
       perf;
       tlb = Sb_mmu.Tlb.create ~entries:C.config.Config.tlb_entries;
       decode_cache = Hashtbl.create 64;
+      fetch_front =
+        Array.init fetch_front_size (fun _ ->
+            {
+              fs_vpn = -1;
+              fs_asid = 0;
+              fs_gen = 0;
+              fs_mode = Sb_mmu.Access.Kernel;
+              fs_arr = [||];
+            });
+      fetch_gen = 0;
       code_pages = Bytes.make ((ram_pages + 7) / 8) '\000';
       timer_backlog = 0;
     }
@@ -203,7 +236,9 @@ struct
     Perf.incr ctx.perf Perf.Decodes;
     A.decode ~fetch8:(fetch_byte ctx ~iaddr:va) ~addr:va
 
-  let fetch_decode ctx va =
+  let use_fetch_front = C.config.Config.predecode && C.config.Config.front_cache
+
+  let fetch_decode_slow ctx va =
     let pa =
       translate ctx ~va ~kind:Sb_mmu.Access.Execute ~priv:ctx.cpu.Cpu.mode ~iaddr:va
     in
@@ -221,6 +256,17 @@ struct
           code_bit_set ctx ppage;
           arr
       in
+      if use_fetch_front then begin
+        (* the translation above vouched for (vpn, asid, mode) -> arr with
+           execute permission; remember it for subsequent fetches *)
+        let vpn = va lsr page_shift in
+        let slot = ctx.fetch_front.(vpn land fetch_front_mask) in
+        slot.fs_vpn <- vpn;
+        slot.fs_asid <- ctx.cpu.Cpu.cop.(Cregs.asid);
+        slot.fs_gen <- ctx.fetch_gen;
+        slot.fs_mode <- ctx.cpu.Cpu.mode;
+        slot.fs_arr <- arr
+      end;
       match arr.(pa land page_mask) with
       | Some d when d.Uop.addr = va -> d
       | _ ->
@@ -236,11 +282,39 @@ struct
         end
     end
 
+  (* Fast path: one tag compare skips the TLB probe, the permission check
+     and the decode-cache hash lookup for fetches that stay on a recently
+     fetched page — the common case for straight-line code and tight
+     loops. *)
+  let fetch_decode ctx va =
+    if not use_fetch_front then fetch_decode_slow ctx va
+    else begin
+      let vpn = va lsr page_shift in
+      let slot =
+        Array.unsafe_get ctx.fetch_front (vpn land fetch_front_mask)
+      in
+      if
+        slot.fs_vpn = vpn
+        && slot.fs_gen = ctx.fetch_gen
+        && slot.fs_asid = ctx.cpu.Cpu.cop.(Cregs.asid)
+        && slot.fs_mode = ctx.cpu.Cpu.mode
+      then begin
+        match slot.fs_arr.(va land page_mask) with
+        | Some d when d.Uop.addr = va ->
+          Perf.incr ctx.perf Perf.Front_cache_hits;
+          d
+        | _ -> fetch_decode_slow ctx va
+      end
+      else fetch_decode_slow ctx va
+    end
+
   let operand ctx = function
     | Uop.Reg r -> ctx.cpu.Cpu.regs.(r)
     | Uop.Imm v -> v land 0xFFFF_FFFF
 
-  let flush_translation ctx = Sb_mmu.Tlb.flush ctx.tlb
+  let flush_translation ctx =
+    Sb_mmu.Tlb.flush ctx.tlb;
+    ctx.fetch_gen <- ctx.fetch_gen + 1
 
   let exec_uop ctx (d : Uop.decoded) uop =
     let cpu = ctx.cpu in
@@ -355,10 +429,12 @@ struct
       Perf.incr ctx.perf Perf.Tlb_inv_page_ops;
       Sb_mmu.Tlb.invalidate_page ctx.tlb
         ~vpn:(cpu.Cpu.regs.(r) lsr page_shift)
-        ~asid:cpu.Cpu.cop.(Cregs.asid)
+        ~asid:cpu.Cpu.cop.(Cregs.asid);
+      ctx.fetch_gen <- ctx.fetch_gen + 1
     | Uop.Tlb_inv_all ->
       Perf.incr ctx.perf Perf.Tlb_flush_ops;
-      Sb_mmu.Tlb.flush ctx.tlb
+      Sb_mmu.Tlb.flush ctx.tlb;
+      ctx.fetch_gen <- ctx.fetch_gen + 1
     | Uop.Wfi -> (
       match Runner.wait_for_interrupt ctx.machine ~perf:ctx.perf with
       | `Wake -> ()

@@ -18,6 +18,12 @@ module Config : sig
   type t = {
     tlb_entries : int;      (** unified TLB size (power of two) *)
     predecode : bool;       (** false degrades to decode-every-time *)
+    front_cache : bool;
+        (** direct-mapped (virtual page -> predecode array) cache in front
+            of the TLB probe and decode-cache lookup; invalidated by the
+            same translation-change events that flush the TLB, and immune
+            to self-modifying code because SMC clears the predecode arrays
+            in place.  Off only for ablation. *)
   }
 
   val default : t

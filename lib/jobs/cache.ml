@@ -1,0 +1,62 @@
+type t = { dir : string }
+
+(* bumped whenever the stored value shape changes; part of every fingerprint
+   so stale cache files from older schemas can never be mis-decoded *)
+let schema = "sb-jobs-cache-1"
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" then ()
+  else if Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+
+let fingerprint v =
+  Digest.to_hex (Digest.string (schema ^ Marshal.to_string v []))
+
+let path t key = Filename.concat t.dir ("sb_" ^ key ^ ".cache")
+
+let load (type a) t ~key : a option =
+  match open_in_bin (path t key) with
+  | exception Sys_error _ -> None
+  | ic ->
+    let v =
+      try
+        let stored_key : string = Marshal.from_channel ic in
+        if String.equal stored_key key then Some (Marshal.from_channel ic : a)
+        else None
+      with _ -> None
+    in
+    close_in_noerr ic;
+    v
+
+let store t ~key v =
+  let file = path t key in
+  (* write-then-rename: concurrent writers (pool workers of separate bench
+     invocations) can race on the same cell without corrupting it *)
+  let tmp = Printf.sprintf "%s.tmp.%d" file (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  Marshal.to_channel oc key [];
+  Marshal.to_channel oc v [];
+  close_out oc;
+  Sys.rename tmp file
+
+let clear t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+    Array.iter
+      (fun name ->
+        if
+          String.length name > 3
+          && String.sub name 0 3 = "sb_"
+          && Filename.check_suffix name ".cache"
+        then try Sys.remove (Filename.concat t.dir name) with Sys_error _ -> ())
+      entries

@@ -1,0 +1,36 @@
+(** Persistent on-disk result cache for experiment cells.
+
+    Values are stored with [Marshal] under a caller-supplied key; the key is
+    expected to be a {!fingerprint} of everything that determines the result
+    (engine knobs, guest architecture, workload kind, iteration counts,
+    scale), so a change to any knob produces a different key and the stale
+    cell is simply never looked up again.
+
+    The load path is type-unsafe in the way [Marshal] always is: a key must
+    never be reused for values of a different type.  Deriving keys with
+    {!fingerprint} (which folds in a schema version) keeps that property. *)
+
+type t
+
+val create : dir:string -> t
+(** Creates [dir] (and parents) if needed. *)
+
+val dir : t -> string
+
+val fingerprint : 'a -> string
+(** Hex digest of the marshalled value (plus the cache schema version).
+    The value must be marshallable without closures: plain records, tuples,
+    variants, strings and numbers. *)
+
+val load : t -> key:string -> 'a option
+(** [None] on missing, truncated, corrupt or key-mismatched files. *)
+
+val store : t -> key:string -> 'a -> unit
+(** Atomic (write to a temp file, then rename). *)
+
+val clear : t -> unit
+(** Remove every cache file in the directory. *)
+
+val mkdir_p : string -> unit
+(** Exposed for callers that need an output directory with the same
+    semantics ([--json] output, tests). *)

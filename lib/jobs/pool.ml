@@ -1,0 +1,176 @@
+type 'a task = { key : string option; label : string; run : unit -> 'a }
+
+let task ?key ~label run = { key; label; run }
+
+let label t = t.label
+
+type 'a outcome = Done of 'a | Failed of string
+
+type stats = {
+  mutable executed : int;
+  mutable forked : int;
+  mutable cache_hits : int;
+  mutable failed : int;
+}
+
+let stats () = { executed = 0; forked = 0; cache_hits = 0; failed = 0 }
+
+let run_task t =
+  match t.run () with
+  | v -> Ok v
+  | exception e -> Error (Printexc.to_string e)
+
+let cache_load cache t =
+  match (cache, t.key) with
+  | Some c, Some key -> Cache.load c ~key
+  | _ -> None
+
+let cache_store cache t v =
+  match (cache, t.key) with
+  | Some c, Some key -> Cache.store c ~key v
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Sequential path: -j 1 runs every thunk in-process, in order — the    *)
+(* exact code path the pre-pool harness took.                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_seq ~cache ~stats tasks =
+  List.map
+    (fun t ->
+      match cache_load cache t with
+      | Some v ->
+        stats.cache_hits <- stats.cache_hits + 1;
+        Done v
+      | None -> (
+        stats.executed <- stats.executed + 1;
+        match run_task t with
+        | Ok v ->
+          cache_store cache t v;
+          Done v
+        | Error msg ->
+          stats.failed <- stats.failed + 1;
+          Failed (t.label ^ ": " ^ msg)))
+    tasks
+
+(* ------------------------------------------------------------------ *)
+(* Parallel path: fork one worker per cell, at most [jobs] live at      *)
+(* once; each worker marshals an [('a, string) result] back over a      *)
+(* pipe and exits.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type child = {
+  c_idx : int;
+  c_key : string option;
+  c_label : string;
+  c_pid : int;
+  c_fd : Unix.file_descr;
+  c_buf : Buffer.t;
+}
+
+let rec restart_on_intr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_intr f
+
+let describe_status = function
+  | Unix.WEXITED n -> Printf.sprintf "exited with code %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "was killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "was stopped by signal %d" n
+
+let spawn ~stats idx t =
+  let r, w = Unix.pipe () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    Unix.close r;
+    let result = run_task t in
+    let oc = Unix.out_channel_of_descr w in
+    (try
+       Marshal.to_channel oc result [];
+       flush oc
+     with _ -> ());
+    (* _exit: skip at_exit handlers and buffered output shared with the
+       parent *)
+    Unix._exit 0
+  | pid ->
+    Unix.close w;
+    stats.forked <- stats.forked + 1;
+    stats.executed <- stats.executed + 1;
+    {
+      c_idx = idx;
+      c_key = t.key;
+      c_label = t.label;
+      c_pid = pid;
+      c_fd = r;
+      c_buf = Buffer.create 256;
+    }
+
+let reap ~cache ~stats child =
+  let _, status = restart_on_intr (fun () -> Unix.waitpid [] child.c_pid) in
+  let payload = Buffer.contents child.c_buf in
+  match (Marshal.from_string payload 0 : (_, string) result) with
+  | Ok v ->
+    (match (cache, child.c_key) with
+    | Some c, Some key -> Cache.store c ~key v
+    | _ -> ());
+    Done v
+  | Error msg ->
+    stats.failed <- stats.failed + 1;
+    Failed (child.c_label ^ ": " ^ msg)
+  | exception _ ->
+    (* the worker died before (or while) writing its result *)
+    stats.failed <- stats.failed + 1;
+    Failed
+      (Printf.sprintf "%s: worker %s without reporting a result" child.c_label
+         (describe_status status))
+
+let run_par ~jobs ~cache ~stats tasks =
+  let n = List.length tasks in
+  let results = Array.make n None in
+  let queue = Queue.create () in
+  (* resolve cache hits up front; only misses cost a fork *)
+  List.iteri
+    (fun idx t ->
+      match cache_load cache t with
+      | Some v ->
+        stats.cache_hits <- stats.cache_hits + 1;
+        results.(idx) <- Some (Done v)
+      | None -> Queue.add (idx, t) queue)
+    tasks;
+  let active = ref [] in
+  let read_buf = Bytes.create 65536 in
+  while (not (Queue.is_empty queue)) || !active <> [] do
+    while List.length !active < jobs && not (Queue.is_empty queue) do
+      let idx, t = Queue.pop queue in
+      active := spawn ~stats idx t :: !active
+    done;
+    let fds = List.map (fun c -> c.c_fd) !active in
+    let readable, _, _ =
+      restart_on_intr (fun () -> Unix.select fds [] [] (-1.0))
+    in
+    List.iter
+      (fun fd ->
+        let child = List.find (fun c -> c.c_fd = fd) !active in
+        let got =
+          restart_on_intr (fun () ->
+              Unix.read fd read_buf 0 (Bytes.length read_buf))
+        in
+        if got > 0 then Buffer.add_subbytes child.c_buf read_buf 0 got
+        else begin
+          (* EOF: the worker exited and the pipe is drained *)
+          Unix.close fd;
+          active := List.filter (fun c -> c.c_pid <> child.c_pid) !active;
+          results.(child.c_idx) <- Some (reap ~cache ~stats child)
+        end)
+      readable
+  done;
+  Array.to_list
+    (Array.map
+       (function
+         | Some outcome -> outcome
+         | None -> Failed "pool: result lost")
+       results)
+
+let run ?(jobs = 1) ?cache ?stats:(s = stats ()) tasks =
+  if jobs <= 1 || List.length tasks <= 1 then run_seq ~cache ~stats:s tasks
+  else run_par ~jobs ~cache ~stats:s tasks

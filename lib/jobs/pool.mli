@@ -1,0 +1,40 @@
+(** [Unix.fork]-based worker pool for independent experiment cells.
+
+    Each task is an (optionally cache-keyed) thunk.  With [jobs <= 1] the
+    thunks run sequentially in-process — byte-for-byte the pre-pool code
+    path, including exception propagation order.  With [jobs > 1] each
+    uncached task runs in a forked child, which marshals its result (or the
+    exception message) back over a pipe; at most [jobs] children are live at
+    once, and results come back in task order regardless of completion
+    order.
+
+    Task results must be marshallable (no closures, no custom blocks): the
+    harness ships plain records of names, timings and counter values.
+
+    A worker that dies without reporting — killed, [Unix._exit] inside the
+    thunk, a crash in the runtime — yields [Failed] with the wait status;
+    it never hangs the pool and never poisons the cache. *)
+
+type 'a task
+
+val task : ?key:string -> label:string -> (unit -> 'a) -> 'a task
+(** [key], when given, is the {!Cache} key for the result (derive it with
+    {!Cache.fingerprint}); tasks without a key are never cached (engines
+    built from closures cannot be fingerprinted robustly). *)
+
+val label : _ task -> string
+
+type 'a outcome = Done of 'a | Failed of string
+
+type stats = {
+  mutable executed : int;  (** thunks actually run (in-process or forked) *)
+  mutable forked : int;  (** workers forked ([= 0] on the sequential path) *)
+  mutable cache_hits : int;
+  mutable failed : int;
+}
+
+val stats : unit -> stats
+
+val run :
+  ?jobs:int -> ?cache:Cache.t -> ?stats:stats -> 'a task list -> 'a outcome list
+(** Results are positional: [List.nth (run ts) i] belongs to [List.nth ts i]. *)

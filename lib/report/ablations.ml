@@ -1,4 +1,6 @@
 module Tablefmt = Sb_util.Tablefmt
+module Stats = Sb_util.Stats
+module Pool = Sb_jobs.Pool
 
 type config = { scale : int; repeats : int }
 
@@ -6,10 +8,6 @@ let default_config = { scale = 2_000; repeats = 3 }
 let quick_config = { scale = 100_000; repeats = 1 }
 
 let arch = Sb_isa.Arch_sig.Sba
-
-let min_time ~repeats f =
-  let rec go best n = if n = 0 then best else go (min best (f ())) (n - 1) in
-  go (f ()) (max 0 (repeats - 1))
 
 let time ?iters ~config ~engine bench =
   let support = Simbench.Engines.support arch in
@@ -20,28 +18,51 @@ let time ?iters ~config ~engine bench =
     | Some n -> n
     | None -> max 1_000 (bench.Simbench.Bench.default_iters / config.scale)
   in
-  min_time ~repeats:config.repeats (fun () ->
-      (Simbench.Harness.run ~iters ~support ~engine bench)
-        .Simbench.Harness.kernel_seconds)
+  let rec go acc n =
+    if n = 0 then acc
+    else
+      go
+        ((Simbench.Harness.run ~iters ~support ~engine bench)
+           .Simbench.Harness.kernel_seconds
+        :: acc)
+        (n - 1)
+  in
+  Stats.min_of_repeats (go [] (max 1 config.repeats))
 
-(* One table: rows = benchmarks, columns = engine variants. *)
-let sweep ?iters ~config ~title ~benches ~variants () =
-  let columns =
+(* One table: rows = benchmarks, columns = engine variants.  Each variant
+   column is one pool task; the engine variants are closures, so the
+   columns run in forked workers but are never disk-cached. *)
+let sweep ?iters ?(opts = Experiments.sequential) ~config ~title ~benches
+    ~variants () =
+  let tasks =
     List.map
       (fun (label, engine) ->
-        ( label,
-          List.map
-            (fun b -> (b.Simbench.Bench.name, time ?iters ~config ~engine b))
-            benches ))
+        Pool.task ~label (fun () ->
+            List.map
+              (fun b -> (b.Simbench.Bench.name, time ?iters ~config ~engine b))
+              benches))
       variants
+  in
+  let results = Pool.run ~jobs:opts.Experiments.jobs tasks in
+  let columns =
+    List.map2
+      (fun (label, _) outcome ->
+        match outcome with
+        | Pool.Done times ->
+          let tbl = Hashtbl.create 16 in
+          List.iter (fun (name, t) -> Hashtbl.replace tbl name t) times;
+          (label, tbl)
+        | Pool.Failed msg ->
+          raise (Simbench.Harness.Benchmark_failed (title ^ ": " ^ msg)))
+      variants results
   in
   let rows =
     List.map
       (fun b ->
         b.Simbench.Bench.name
         :: List.map
-             (fun (_, times) ->
-               Printf.sprintf "%.4f" (List.assoc b.Simbench.Bench.name times))
+             (fun (_, tbl) ->
+               Printf.sprintf "%.4f" (Hashtbl.find tbl b.Simbench.Bench.name))
              columns)
       benches
   in
@@ -50,8 +71,8 @@ let sweep ?iters ~config ~title ~benches ~variants () =
 
 let dbt_with f = Simbench.Engines.dbt_configured arch (f Sb_dbt.Config.default)
 
-let chaining ?(config = default_config) () =
-  sweep ~config
+let chaining ?(config = default_config) ?opts () =
+  sweep ?opts ~config
     ~title:
       "Ablation: DBT block chaining.  Chaining pays on direct control flow\n\
        (no block-cache lookup on the hot path); indirect branches cannot\n\
@@ -73,7 +94,7 @@ let chaining ?(config = default_config) () =
       ]
     ()
 
-let page_cache ?(config = default_config) () =
+let page_cache ?(config = default_config) ?opts () =
   let geometry l1 l2 lazy_ =
     dbt_with (fun c ->
         {
@@ -83,7 +104,7 @@ let page_cache ?(config = default_config) () =
           lazy_tlb_flush = lazy_;
         })
   in
-  sweep ~config
+  sweep ?opts ~config
     ~title:
       "Ablation: page-cache geometry.  Cold accesses miss regardless (the\n\
        region exceeds every configuration); the victim level rescues\n\
@@ -105,9 +126,9 @@ let page_cache ?(config = default_config) () =
       ]
     ()
 
-let optimiser ?(config = default_config) () =
+let optimiser ?(config = default_config) ?opts () =
   let passes n = dbt_with (fun c -> { c with Sb_dbt.Config.opt_passes = n }) in
-  sweep ~config
+  sweep ?opts ~config
     ~title:
       "Ablation: optimiser pass budget.  More passes cost translation time\n\
        (visible on the self-modifying Code Generation benchmarks, which\n\
@@ -124,7 +145,7 @@ let optimiser ?(config = default_config) () =
       [ ("O0", passes 0); ("O1", passes 1); ("O2", passes 2); ("O4", passes 4) ]
     ()
 
-let vm_exit ?(config = default_config) () =
+let vm_exit ?(config = default_config) ?opts () =
   let virt rounds =
     match arch with
     | Sb_isa.Arch_sig.Sba ->
@@ -137,7 +158,7 @@ let vm_exit ?(config = default_config) () =
                 end) : Sb_sim.Engine.ENGINE)
     | Sb_isa.Arch_sig.Vlx -> assert false
   in
-  sweep ~iters:2_000 ~config
+  sweep ?opts ~iters:2_000 ~config
     ~title:
       "Ablation: virtualization world-switch cost.  Only the trap-and-\n\
        emulate operations scale with the exit cost; guest-speed operations\n\
@@ -159,12 +180,12 @@ let vm_exit ?(config = default_config) () =
       ]
     ()
 
-let predecode ?(config = default_config) () =
+let predecode ?(config = default_config) ?opts () =
   let interp predecode =
     Simbench.Engines.interp_configured arch
       { Sb_interp.Interp.Config.default with Sb_interp.Interp.Config.predecode }
   in
-  sweep ~config
+  sweep ?opts ~config
     ~title:
       "Ablation: interpreter pre-decoding.  The decode cache pays off\n\
        everywhere except under self-modifying code, where it must be\n\
@@ -178,12 +199,12 @@ let predecode ?(config = default_config) () =
     ~variants:[ ("predecode", interp true); ("decode-always", interp false) ]
     ()
 
-let all ?(config = default_config) () =
+let all ?(config = default_config) ?opts () =
   String.concat "\n\n"
     [
-      chaining ~config ();
-      page_cache ~config ();
-      optimiser ~config ();
-      vm_exit ~config ();
-      predecode ~config ();
+      chaining ~config ?opts ();
+      page_cache ~config ?opts ();
+      optimiser ~config ?opts ();
+      vm_exit ~config ?opts ();
+      predecode ~config ?opts ();
     ]

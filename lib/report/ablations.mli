@@ -2,29 +2,34 @@
 
     Each study sweeps one implementation mechanism and reports the SimBench
     benchmarks that mechanism is supposed to dominate — the suite validating
-    the simulators, exactly as the paper uses it. *)
+    the simulators, exactly as the paper uses it.
+
+    With [?opts] (see {!Experiments.run_opts}) the variant columns of each
+    study run as parallel {!Sb_jobs.Pool} tasks.  The engine variants are
+    built from closures, so ablation cells are never disk-cached — only
+    forked. *)
 
 type config = { scale : int; repeats : int }
 
 val default_config : config
 val quick_config : config
 
-val chaining : ?config:config -> unit -> string
+val chaining : ?config:config -> ?opts:Experiments.run_opts -> unit -> string
 (** DBT block chaining on/off against the control-flow benchmarks. *)
 
-val page_cache : ?config:config -> unit -> string
+val page_cache : ?config:config -> ?opts:Experiments.run_opts -> unit -> string
 (** Page-cache geometry (L1 size, L2 presence, lazy flush) against the
     memory-system benchmarks. *)
 
-val optimiser : ?config:config -> unit -> string
+val optimiser : ?config:config -> ?opts:Experiments.run_opts -> unit -> string
 (** Optimiser pass budget vs translation-heavy and compute-heavy
     benchmarks: the code-quality/translation-cost trade-off. *)
 
-val vm_exit : ?config:config -> unit -> string
+val vm_exit : ?config:config -> ?opts:Experiments.run_opts -> unit -> string
 (** Virtualization exit cost sweep against the trap-heavy benchmarks (the
     KVM signature). *)
 
-val predecode : ?config:config -> unit -> string
+val predecode : ?config:config -> ?opts:Experiments.run_opts -> unit -> string
 (** Interpreter pre-decoding on/off. *)
 
-val all : ?config:config -> unit -> string
+val all : ?config:config -> ?opts:Experiments.run_opts -> unit -> string

@@ -1,5 +1,7 @@
 module Tablefmt = Sb_util.Tablefmt
 module Stats = Sb_util.Stats
+module Pool = Sb_jobs.Pool
+module Cache = Sb_jobs.Cache
 
 type config = {
   scale : int;
@@ -14,91 +16,221 @@ let default_config =
 let quick_config =
   { scale = 100_000; workload_iters = 5; repeats = 1; spec_density_iters = 6 }
 
+type run_opts = { jobs : int; cache_dir : string option }
+
+let sequential = { jobs = 1; cache_dir = None }
+
 let arch_label = function
   | Sb_isa.Arch_sig.Sba -> "ARM Guest (SBA-32)"
   | Sb_isa.Arch_sig.Vlx -> "x86 Guest (VLX-32)"
 
+let arch_name = function
+  | Sb_isa.Arch_sig.Sba -> "sba"
+  | Sb_isa.Arch_sig.Vlx -> "vlx"
+
 (* ------------------------------------------------------------------ *)
-(* Measurement memoization                                              *)
+(* Measurement cells                                                    *)
 (* ------------------------------------------------------------------ *)
+
+type row = {
+  row_cell : string;  (** benchmark or workload name *)
+  row_engine : string;
+  row_arch : string;
+  row_iters : int;
+  row_repeats : int;
+  row_seconds : float;  (** minimum across repeats *)
+  row_mean_seconds : float;
+  row_kernel_insns : int;
+}
+
+type cell_kind = [ `Suite | `Workloads of int ]
 
 type key = {
   k_arch : Sb_isa.Arch_sig.arch_id;
   k_dbt : Sb_dbt.Config.t;
   k_scale : int;
   k_repeats : int;
-  k_kind : [ `Suite | `Workloads of int ];
+  k_kind : cell_kind;
 }
 
-let memo : (key, (string * float) list) Hashtbl.t = Hashtbl.create 64
+let memo : (key, row list) Hashtbl.t = Hashtbl.create 64
 
-let min_time ~repeats f =
-  let rec go best n =
-    if n = 0 then best
-    else
-      let t = f () in
-      go (min best t) (n - 1)
-  in
-  go (f ()) (max 0 (repeats - 1))
+(* the projected (name, seconds) lists are memoized too, so repeat calls
+   return the physically same list (tests rely on [==] to prove no
+   re-measurement happened) *)
+let times_memo : (key, (string * float) list) Hashtbl.t = Hashtbl.create 64
 
-let suite_times_for_version ~arch ~config dbt_config =
-  let key =
-    {
-      k_arch = arch;
-      k_dbt = dbt_config;
-      k_scale = config.scale;
-      k_repeats = config.repeats;
-      k_kind = `Suite;
-    }
+let reset_memo () =
+  Hashtbl.reset memo;
+  Hashtbl.reset times_memo
+
+(* every measured cell of the current process, for --json output; keyed to
+   dedup re-reads of memoized cells *)
+let records : (string, row) Hashtbl.t = Hashtbl.create 256
+
+let reset_records () = Hashtbl.reset records
+
+let record rows =
+  List.iter
+    (fun r ->
+      let k = String.concat "|" [ r.row_engine; r.row_arch; r.row_cell ] in
+      if not (Hashtbl.mem records k) then Hashtbl.add records k r)
+    rows
+
+let recorded () =
+  List.sort compare (Hashtbl.fold (fun _ r acc -> r :: acc) records [])
+
+let times_of_repeats ~repeats f =
+  let rec go acc n = if n = 0 then List.rev acc else go (f () :: acc) (n - 1) in
+  go [] (max 1 repeats)
+
+let row_of ~label ~arch ~repeats ~cell run1 =
+  let first = ref None in
+  let times =
+    times_of_repeats ~repeats (fun () ->
+        let o = run1 () in
+        if !first = None then first := Some o;
+        o.Simbench.Harness.kernel_seconds)
   in
-  match Hashtbl.find_opt memo key with
-  | Some times -> times
+  let o = Option.get !first in
+  {
+    row_cell = cell;
+    row_engine = label;
+    row_arch = arch_name arch;
+    row_iters = o.Simbench.Harness.iters;
+    row_repeats = max 1 repeats;
+    row_seconds = Stats.min_of_repeats times;
+    row_mean_seconds = Stats.mean times;
+    row_kernel_insns = o.Simbench.Harness.kernel_insns;
+  }
+
+let version_label dbt_config =
+  match List.find_opt (fun (_, c) -> c = dbt_config) Sb_dbt.Version.all with
+  | Some (name, _) -> "dbt:" ^ name
+  | None -> "dbt:custom"
+
+(* runs inside a pool worker: must touch no shared mutable state *)
+let compute_cell ~config ~arch ~kind dbt_config =
+  let support = Simbench.Engines.support arch in
+  let engine = Simbench.Engines.dbt_configured arch dbt_config in
+  let label = version_label dbt_config in
+  match kind with
+  | `Suite ->
+    List.map
+      (fun bench ->
+        row_of ~label ~arch ~repeats:config.repeats
+          ~cell:bench.Simbench.Bench.name (fun () ->
+            Simbench.Harness.run ~scale:config.scale ~support ~engine bench))
+      Simbench.Suite.all
+  | `Workloads iters ->
+    List.map
+      (fun w ->
+        row_of ~label ~arch ~repeats:config.repeats
+          ~cell:w.Sb_workloads.Workloads.name (fun () ->
+            Sb_workloads.Workloads.run ~iters ~support ~engine w))
+      Sb_workloads.Workloads.all
+
+let key_of ~config ~arch ~kind dbt_config =
+  {
+    k_arch = arch;
+    k_dbt = dbt_config;
+    k_scale = config.scale;
+    k_repeats = config.repeats;
+    k_kind = kind;
+  }
+
+let cell_fingerprint ~config ~arch ~kind dbt_config =
+  Cache.fingerprint
+    ("simbench-cell", arch, dbt_config, kind, config.scale, config.repeats)
+
+let cache_of opts = Option.map (fun dir -> Cache.create ~dir) opts.cache_dir
+
+let kind_name = function `Suite -> "suite" | `Workloads _ -> "workloads"
+
+let run_pool ~opts tasks =
+  Pool.run ~jobs:opts.jobs ?cache:(cache_of opts) tasks
+
+(* Compute any not-yet-memoized cells, farming them out to the pool.  One
+   cell = one (dbt-version config, arch, suite-or-workloads) sweep; cells
+   are the parallel unit because they are fully independent and their
+   results are small marshallable rows. *)
+let prefetch ?(opts = sequential) ~config cells =
+  let seen = Hashtbl.create 16 in
+  let todo =
+    List.filter
+      (fun (arch, kind, dbt) ->
+        let k = key_of ~config ~arch ~kind dbt in
+        if Hashtbl.mem memo k || Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      cells
+  in
+  if todo <> [] then begin
+    let tasks =
+      List.map
+        (fun (arch, kind, dbt) ->
+          Pool.task
+            ~key:(cell_fingerprint ~config ~arch ~kind dbt)
+            ~label:
+              (Printf.sprintf "%s/%s/%s" (version_label dbt) (arch_name arch)
+                 (kind_name kind))
+            (fun () -> compute_cell ~config ~arch ~kind dbt))
+        todo
+    in
+    let results = run_pool ~opts tasks in
+    List.iter2
+      (fun (arch, kind, dbt) outcome ->
+        match outcome with
+        | Pool.Done rows -> Hashtbl.replace memo (key_of ~config ~arch ~kind dbt) rows
+        | Pool.Failed msg -> raise (Simbench.Harness.Benchmark_failed msg))
+      todo results
+  end
+
+let cell_rows ?opts ~config ~arch ~kind dbt_config =
+  let k = key_of ~config ~arch ~kind dbt_config in
+  let rows =
+    match Hashtbl.find_opt memo k with
+    | Some rows -> rows
+    | None ->
+      prefetch ?opts ~config [ (arch, kind, dbt_config) ];
+      Hashtbl.find memo k
+  in
+  record rows;
+  rows
+
+let times_for ?opts ~arch ~config ~kind dbt_config =
+  let k = key_of ~config ~arch ~kind dbt_config in
+  match Hashtbl.find_opt times_memo k with
+  | Some times ->
+    record (Hashtbl.find memo k);
+    times
   | None ->
-    let support = Simbench.Engines.support arch in
-    let engine = Simbench.Engines.dbt_configured arch dbt_config in
     let times =
       List.map
-        (fun bench ->
-          let seconds =
-            min_time ~repeats:config.repeats (fun () ->
-                (Simbench.Harness.run ~scale:config.scale ~support ~engine bench)
-                  .Simbench.Harness.kernel_seconds)
-          in
-          (bench.Simbench.Bench.name, seconds))
-        Simbench.Suite.all
+        (fun r -> (r.row_cell, r.row_seconds))
+        (cell_rows ?opts ~config ~arch ~kind dbt_config)
     in
-    Hashtbl.add memo key times;
+    Hashtbl.replace times_memo k times;
     times
 
-let workload_times_for_version ~arch ~config dbt_config =
-  let key =
-    {
-      k_arch = arch;
-      k_dbt = dbt_config;
-      k_scale = config.scale;
-      k_repeats = config.repeats;
-      k_kind = `Workloads config.workload_iters;
-    }
-  in
-  match Hashtbl.find_opt memo key with
-  | Some times -> times
-  | None ->
-    let support = Simbench.Engines.support arch in
-    let engine = Simbench.Engines.dbt_configured arch dbt_config in
-    let times =
-      List.map
-        (fun w ->
-          let seconds =
-            min_time ~repeats:config.repeats (fun () ->
-                (Sb_workloads.Workloads.run ~iters:config.workload_iters ~support
-                   ~engine w)
-                  .Simbench.Harness.kernel_seconds)
-          in
-          (w.Sb_workloads.Workloads.name, seconds))
-        Sb_workloads.Workloads.all
-    in
-    Hashtbl.add memo key times;
-    times
+let suite_times_for_version ?opts ~arch ~config dbt_config =
+  times_for ?opts ~arch ~config ~kind:`Suite dbt_config
+
+let workload_times_for_version ?opts ~arch ~config dbt_config =
+  times_for ?opts ~arch ~config
+    ~kind:(`Workloads config.workload_iters)
+    dbt_config
+
+(* name -> seconds lookup table: the O(n^2) List.assoc aggregation the
+   figures used to do is now one table build + O(1) probes *)
+let times_tbl rows =
+  let t = Hashtbl.create (List.length rows * 2) in
+  List.iter (fun r -> Hashtbl.replace t r.row_cell r.row_seconds) rows;
+  t
+
+let tfind tbl name = try Hashtbl.find tbl name with Not_found -> nan
 
 (* The twenty release names map onto a handful of distinct configurations;
    measure each configuration once. *)
@@ -111,28 +243,85 @@ let config_of_version name =
 
 let baseline_dbt = config_of_version Sb_dbt.Version.baseline_name
 
+let version_cells ~arch ~kind () =
+  (arch, kind, baseline_dbt)
+  :: List.map (fun v -> (arch, kind, config_of_version v)) version_names
+
+(* ------------------------------------------------------------------ *)
+(* Paper-engine columns (Figures 7 and the extension table)             *)
+(* ------------------------------------------------------------------ *)
+
+let compute_column ~config ~arch ~benches (label, engine) =
+  let support = Simbench.Engines.support arch in
+  List.map
+    (fun bench ->
+      row_of ~label ~arch ~repeats:config.repeats ~cell:bench.Simbench.Bench.name
+        (fun () ->
+          Simbench.Harness.run ~scale:config.scale ~support ~engine bench))
+    benches
+
+let column_fingerprint ~config ~arch ~tag (label, engine) =
+  Cache.fingerprint
+    ( "simbench-column",
+      tag,
+      label,
+      Sb_sim.Engine.features engine,
+      arch,
+      config.scale,
+      config.repeats )
+
+let engine_columns ~opts ~config ~arch ~tag ~benches engines =
+  let tasks =
+    List.map
+      (fun (label, engine) ->
+        Pool.task
+          ~key:(column_fingerprint ~config ~arch ~tag (label, engine))
+          ~label:(Printf.sprintf "%s/%s/%s" tag label (arch_name arch))
+          (fun () -> compute_column ~config ~arch ~benches (label, engine)))
+      engines
+  in
+  let results = run_pool ~opts tasks in
+  List.map2
+    (fun (label, _) outcome ->
+      match outcome with
+      | Pool.Done rows ->
+        record rows;
+        (label, times_tbl rows)
+      | Pool.Failed msg -> raise (Simbench.Harness.Benchmark_failed msg))
+    engines results
+
 (* ------------------------------------------------------------------ *)
 (* Figure 2                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let fig2 ?(config = default_config) () =
+let fig2 ?(config = default_config) ?(opts = sequential) () =
   let arch = Sb_isa.Arch_sig.Sba in
-  let base_times = workload_times_for_version ~arch ~config baseline_dbt in
-  let speedups_for version_name =
-    let times = workload_times_for_version ~arch ~config (config_of_version version_name) in
+  let kind = `Workloads config.workload_iters in
+  prefetch ~opts ~config (version_cells ~arch ~kind ());
+  let base = times_tbl (cell_rows ~config ~arch ~kind baseline_dbt) in
+  let per_version =
     List.map
-      (fun (name, t) -> (name, Stats.speedup ~baseline:(List.assoc name base_times) t))
-      times
+      (fun v ->
+        let tbl =
+          times_tbl (cell_rows ~config ~arch ~kind (config_of_version v))
+        in
+        let speedups = Hashtbl.create 16 in
+        Hashtbl.iter
+          (fun name t ->
+            Hashtbl.replace speedups name
+              (Stats.speedup ~baseline:(tfind base name) t))
+          tbl;
+        (v, speedups))
+      version_names
   in
-  let per_version = List.map (fun v -> (v, speedups_for v)) version_names in
-  let series_of name = List.map (fun (_, s) -> List.assoc name s) per_version in
+  let series_of name = List.map (fun (_, s) -> tfind s name) per_version in
   let overall =
     List.map
       (fun (_, speedups) ->
         Stats.weighted_geomean
           (List.map
              (fun w ->
-               ( List.assoc w.Sb_workloads.Workloads.name speedups,
+               ( tfind speedups w.Sb_workloads.Workloads.name,
                  w.Sb_workloads.Workloads.weight ))
              Sb_workloads.Workloads.all))
       per_version
@@ -241,18 +430,17 @@ let fig5 () =
 (* ------------------------------------------------------------------ *)
 
 let fig6_arch ~config arch =
-  let base = suite_times_for_version ~arch ~config baseline_dbt in
+  let base = times_tbl (cell_rows ~config ~arch ~kind:`Suite baseline_dbt) in
   let per_version =
     List.map
       (fun v ->
-        (v, suite_times_for_version ~arch ~config (config_of_version v)))
+        times_tbl (cell_rows ~config ~arch ~kind:`Suite (config_of_version v)))
       version_names
   in
   let speedup_series bench_name =
     List.map
-      (fun (_, times) ->
-        Stats.speedup ~baseline:(List.assoc bench_name base)
-          (List.assoc bench_name times))
+      (fun tbl ->
+        Stats.speedup ~baseline:(tfind base bench_name) (tfind tbl bench_name))
       per_version
   in
   let category_block category =
@@ -268,7 +456,10 @@ let fig6_arch ~config arch =
   in
   String.concat "\n" (List.map category_block Simbench.Category.all)
 
-let fig6 ?(config = default_config) () =
+let fig6 ?(config = default_config) ?(opts = sequential) () =
+  prefetch ~opts ~config
+    (version_cells ~arch:Sb_isa.Arch_sig.Sba ~kind:`Suite ()
+    @ version_cells ~arch:Sb_isa.Arch_sig.Vlx ~kind:`Suite ());
   "Figure 6: SimBench speedups per category across QEMU-DBT versions\n\
    (v1.7.0 = 1.0; larger is faster).\n\n"
   ^ fig6_arch ~config Sb_isa.Arch_sig.Sba
@@ -279,23 +470,10 @@ let fig6 ?(config = default_config) () =
 (* Figure 7                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let fig7_arch ~config arch =
-  let support = Simbench.Engines.support arch in
+let fig7_arch ~config ~opts arch =
   let engines = Simbench.Engines.paper_set arch in
   let columns =
-    List.map
-      (fun (label, engine) ->
-        ( label,
-          List.map
-            (fun bench ->
-              let seconds =
-                min_time ~repeats:config.repeats (fun () ->
-                    (Simbench.Harness.run ~scale:config.scale ~support ~engine
-                       bench)
-                      .Simbench.Harness.kernel_seconds)
-              in
-              (bench.Simbench.Bench.name, seconds))
-            Simbench.Suite.all ))
+    engine_columns ~opts ~config ~arch ~tag:"fig7" ~benches:Simbench.Suite.all
       engines
   in
   let rows =
@@ -307,7 +485,7 @@ let fig7_arch ~config arch =
         in
         (name :: string_of_int iters
         :: List.map
-             (fun (_, times) -> Printf.sprintf "%.4f" (List.assoc name times))
+             (fun (_, tbl) -> Printf.sprintf "%.4f" (tfind tbl name))
              columns))
       Simbench.Suite.all
   in
@@ -317,63 +495,54 @@ let fig7_arch ~config arch =
        ~header:(("Benchmark" :: "Iters" :: List.map fst columns))
        rows)
 
-let fig7 ?(config = default_config) () =
+let fig7 ?(config = default_config) ?(opts = sequential) () =
   "Figure 7: SimBench runtimes on every platform.\n\n"
-  ^ fig7_arch ~config Sb_isa.Arch_sig.Sba
+  ^ fig7_arch ~config ~opts Sb_isa.Arch_sig.Sba
   ^ "\n\n"
-  ^ fig7_arch ~config Sb_isa.Arch_sig.Vlx
+  ^ fig7_arch ~config ~opts Sb_isa.Arch_sig.Vlx
 
 (* ------------------------------------------------------------------ *)
 (* Figure 8                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let fig8 ?(config = default_config) () =
+let fig8 ?(config = default_config) ?(opts = sequential) () =
   let arch = Sb_isa.Arch_sig.Sba in
-  let base_suite = suite_times_for_version ~arch ~config baseline_dbt in
-  let base_workloads = workload_times_for_version ~arch ~config baseline_dbt in
-  let geo_suite version =
-    let times = suite_times_for_version ~arch ~config (config_of_version version) in
+  let wl = `Workloads config.workload_iters in
+  prefetch ~opts ~config
+    (version_cells ~arch ~kind:`Suite () @ version_cells ~arch ~kind:wl ());
+  let base_suite = times_tbl (cell_rows ~config ~arch ~kind:`Suite baseline_dbt) in
+  let base_workloads = times_tbl (cell_rows ~config ~arch ~kind:wl baseline_dbt) in
+  let geo ~kind ~base version =
+    let rows = cell_rows ~config ~arch ~kind (config_of_version version) in
     Stats.geomean
       (List.map
-         (fun (name, t) -> Stats.speedup ~baseline:(List.assoc name base_suite) t)
-         times)
-  in
-  let geo_workloads version =
-    let times =
-      workload_times_for_version ~arch ~config (config_of_version version)
-    in
-    Stats.geomean
-      (List.map
-         (fun (name, t) ->
-           Stats.speedup ~baseline:(List.assoc name base_workloads) t)
-         times)
+         (fun r ->
+           Stats.speedup ~baseline:(tfind base r.row_cell) r.row_seconds)
+         rows)
   in
   "Figure 8: geometric-mean speedup of the SPEC-analog workloads and of\n\
    SimBench across QEMU-DBT versions (v1.7.0 = 1.0).\n\n"
   ^ Tablefmt.render_series ~x_label:"version" ~x_values:version_names
       [
-        ("SPEC", List.map geo_workloads version_names);
-        ("SimBench", List.map geo_suite version_names);
+        ("SPEC", List.map (geo ~kind:wl ~base:base_workloads) version_names);
+        ("SimBench", List.map (geo ~kind:`Suite ~base:base_suite) version_names);
       ]
 
-let extensions ?(config = default_config) () =
+let extensions ?(config = default_config) ?(opts = sequential) () =
   let arch = Sb_isa.Arch_sig.Sba in
-  let support = Simbench.Engines.support arch in
   let engines = Simbench.Engines.paper_set arch in
+  let columns =
+    engine_columns ~opts ~config ~arch ~tag:"ext"
+      ~benches:Simbench.Suite_ext.all engines
+  in
   let rows =
     List.map
       (fun bench ->
         bench.Simbench.Bench.name
         :: List.map
-             (fun (_, engine) ->
-               let seconds =
-                 min_time ~repeats:config.repeats (fun () ->
-                     (Simbench.Harness.run ~scale:config.scale ~support ~engine
-                        bench)
-                       .Simbench.Harness.kernel_seconds)
-               in
-               Printf.sprintf "%.4f" seconds)
-             engines)
+             (fun (_, tbl) ->
+               Printf.sprintf "%.4f" (tfind tbl bench.Simbench.Bench.name))
+             columns)
       Simbench.Suite_ext.all
   in
   "Extension benchmarks (the paper's future work): kernel seconds.\n\n"
@@ -381,15 +550,22 @@ let extensions ?(config = default_config) () =
       ~header:("Benchmark" :: List.map fst engines)
       rows
 
-let all ?(config = default_config) () =
+let all ?(config = default_config) ?(opts = sequential) () =
+  (* one prefetch of the union before rendering: with -j N the whole
+     version sweep (both kinds, both guests) fills the pool at once *)
+  prefetch ~opts ~config
+    (version_cells ~arch:Sb_isa.Arch_sig.Sba ~kind:`Suite ()
+    @ version_cells ~arch:Sb_isa.Arch_sig.Vlx ~kind:`Suite ()
+    @ version_cells ~arch:Sb_isa.Arch_sig.Sba
+        ~kind:(`Workloads config.workload_iters) ());
   String.concat "\n\n"
     [
-      fig2 ~config ();
+      fig2 ~config ~opts ();
       fig3 ~config ();
       fig4 ();
       fig5 ();
-      fig6 ~config ();
-      fig7 ~config ();
-      fig8 ~config ();
-      extensions ~config ();
+      fig6 ~config ~opts ();
+      fig7 ~config ~opts ();
+      fig8 ~config ~opts ();
+      extensions ~config ~opts ();
     ]

@@ -5,7 +5,13 @@
     the paper's tables) or a labelled series table (for its line graphs).
     Results are memoized per (engine-configuration, architecture, scale), so
     Figures 2, 6 and 8 — which share the QEMU-version sweep — do not re-run
-    each other's measurements within a process. *)
+    each other's measurements within a process.
+
+    Independent sweep cells can additionally be farmed out to a
+    {!Sb_jobs.Pool} of forked workers ([opts.jobs]) and backed by a
+    persistent on-disk {!Sb_jobs.Cache} ([opts.cache_dir]); with the default
+    {!sequential} options every measurement runs in-process, in the same
+    order as before the pool existed. *)
 
 type config = {
   scale : int;          (** Figure 3 iteration counts are divided by this *)
@@ -19,7 +25,68 @@ val default_config : config
 val quick_config : config
 (** Cheap settings for tests and smoke runs. *)
 
-val fig2 : ?config:config -> unit -> string
+type run_opts = {
+  jobs : int;  (** worker processes; 1 = in-process sequential *)
+  cache_dir : string option;
+      (** persistent result cache; cells are keyed by a digest of (engine
+          knobs, arch, workload kind, iteration counts, scale) *)
+}
+
+val sequential : run_opts
+(** [{ jobs = 1; cache_dir = None }] — today's single-process behaviour. *)
+
+(** One measured (benchmark, engine, arch) cell: the paper's measurement
+    triple plus the repeat statistics, in marshallable form. *)
+type row = {
+  row_cell : string;
+  row_engine : string;
+  row_arch : string;
+  row_iters : int;
+  row_repeats : int;
+  row_seconds : float;  (** minimum across repeats (reported time) *)
+  row_mean_seconds : float;  (** kept for machine-readable output *)
+  row_kernel_insns : int;
+}
+
+val reset_memo : unit -> unit
+(** Drop the in-process memo (tests use this to force re-measurement). *)
+
+val reset_records : unit -> unit
+
+val recorded : unit -> row list
+(** Every cell touched since the last {!reset_records}, sorted — the
+    payload of [bench/main.exe --json]. *)
+
+type cell_kind = [ `Suite | `Workloads of int ]
+
+val cell_fingerprint :
+  config:config ->
+  arch:Sb_isa.Arch_sig.arch_id ->
+  kind:cell_kind ->
+  Sb_dbt.Config.t ->
+  string
+(** The on-disk cache key of a version-sweep cell; changes whenever any
+    knob of the configuration, the arch, the kind, the iteration counts or
+    the scale changes. *)
+
+val prefetch :
+  ?opts:run_opts ->
+  config:config ->
+  (Sb_isa.Arch_sig.arch_id * cell_kind * Sb_dbt.Config.t) list ->
+  unit
+(** Measure (or cache-load) any not-yet-memoized cells, [opts.jobs] at a
+    time.  Raises {!Simbench.Harness.Benchmark_failed} if a cell fails or
+    its worker dies. *)
+
+val cell_rows :
+  ?opts:run_opts ->
+  config:config ->
+  arch:Sb_isa.Arch_sig.arch_id ->
+  kind:cell_kind ->
+  Sb_dbt.Config.t ->
+  row list
+
+val fig2 : ?config:config -> ?opts:run_opts -> unit -> string
 (** sjeng vs mcf vs overall SPEC rating across QEMU versions. *)
 
 val fig3 : ?config:config -> unit -> string
@@ -31,25 +98,27 @@ val fig4 : unit -> string
 val fig5 : unit -> string
 (** Host environment description. *)
 
-val fig6 : ?config:config -> unit -> string
+val fig6 : ?config:config -> ?opts:run_opts -> unit -> string
 (** Per-category SimBench speedups across QEMU versions, both guests. *)
 
-val fig7 : ?config:config -> unit -> string
+val fig7 : ?config:config -> ?opts:run_opts -> unit -> string
 (** Full suite runtimes on every platform, both guests. *)
 
-val fig8 : ?config:config -> unit -> string
+val fig8 : ?config:config -> ?opts:run_opts -> unit -> string
 (** Geomean SPEC vs geomean SimBench speedup across QEMU versions. *)
 
-val extensions : ?config:config -> unit -> string
+val extensions : ?config:config -> ?opts:run_opts -> unit -> string
 (** The extension benchmarks (future work implemented) across the five
     platforms. *)
 
-val all : ?config:config -> unit -> string
-(** Every experiment, in figure order, with headers. *)
+val all : ?config:config -> ?opts:run_opts -> unit -> string
+(** Every experiment, in figure order, with headers; prefetches the whole
+    version sweep in one pool pass first. *)
 
 (** Raw data access for tests and ablations. *)
 
 val suite_times_for_version :
+  ?opts:run_opts ->
   arch:Sb_isa.Arch_sig.arch_id ->
   config:config ->
   Sb_dbt.Config.t ->
@@ -57,6 +126,7 @@ val suite_times_for_version :
 (** Kernel seconds per benchmark for one DBT configuration (memoized). *)
 
 val workload_times_for_version :
+  ?opts:run_opts ->
   arch:Sb_isa.Arch_sig.arch_id ->
   config:config ->
   Sb_dbt.Config.t ->

@@ -33,6 +33,7 @@ type counter =
   | Vm_exits
   | Wfi_waits
   | Exceptions_total
+  | Front_cache_hits
 [@@deriving enum, show { with_path = false }]
 
 let all =

@@ -42,6 +42,10 @@ type counter =
   | Vm_exits
   | Wfi_waits
   | Exceptions_total
+  | Front_cache_hits
+      (** dispatch-front-cache hits: the DBT's direct-mapped virtual-PC
+          block cache (tb_jmp_cache analog) and the interpreter's
+          predecoded-page fetch cache *)
 
 val all : counter list
 val to_string : counter -> string

@@ -1,0 +1,17 @@
+(** Minimal JSON emitter for machine-readable benchmark results.
+
+    Deliberately dependency-free: the container bakes in no JSON library
+    and the harness only ever needs to {e write} JSON ([bench/main.exe
+    --json]).  Non-finite floats serialise as [null] (JSON has no NaN). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (no whitespace), with full string escaping. *)

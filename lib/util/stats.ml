@@ -30,4 +30,8 @@ let median = function
     let n = Array.length a in
     if n land 1 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
 
+let min_of_repeats = function
+  | [] -> nan
+  | x :: xs -> List.fold_left min x xs
+
 let speedup ~baseline t = baseline /. t

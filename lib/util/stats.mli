@@ -10,5 +10,11 @@ val weighted_geomean : (float * float) list -> float
 val stddev : float list -> float
 val median : float list -> float
 
+val min_of_repeats : float list -> float
+(** The best of repeated timings of the same kernel — the standard way to
+    report a deterministic timed kernel (the repeats differ only by host
+    noise, which is strictly additive).  The mean stays available for
+    machine-readable output. *)
+
 val speedup : baseline:float -> float -> float
 (** [speedup ~baseline t] is [baseline /. t]: > 1 means faster than baseline. *)

@@ -1,0 +1,249 @@
+(* Tests for the parallel experiment scheduler (Sb_jobs) and its wiring
+   into the report layer: a pool of forked workers must reproduce the
+   sequential results, the on-disk cache must satisfy hits without
+   forking, the cache key must move when any knob moves, and a worker
+   that dies without reporting must surface as a failure, not a hang. *)
+
+module Pool = Sb_jobs.Pool
+module Cache = Sb_jobs.Cache
+module Experiments = Sb_report.Experiments
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec loop i =
+    if i + n > String.length haystack then false
+    else String.sub haystack i n = needle || loop (i + 1)
+  in
+  loop 0
+
+let tmp_dir prefix =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s_%d_%d" prefix (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Cache.mkdir_p dir;
+  dir
+
+let rm_rf dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+(* Pool basics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_positional_results () =
+  let tasks =
+    List.init 7 (fun i ->
+        Pool.task ~label:(string_of_int i) (fun () ->
+            (* stagger so completion order differs from task order *)
+            if i mod 2 = 0 then Unix.sleepf 0.02;
+            i * i))
+  in
+  List.iter
+    (fun jobs ->
+      let results = Pool.run ~jobs tasks in
+      Alcotest.(check int) "one result per task" 7 (List.length results);
+      List.iteri
+        (fun i -> function
+          | Pool.Done v ->
+            Alcotest.(check int) (Printf.sprintf "task %d (j%d)" i jobs) (i * i) v
+          | Pool.Failed msg -> Alcotest.fail msg)
+        results)
+    [ 1; 3 ]
+
+let test_thunk_exception_is_failed () =
+  let tasks =
+    [
+      Pool.task ~label:"ok" (fun () -> 1);
+      Pool.task ~label:"boom" (fun () -> failwith "kernel exploded");
+      Pool.task ~label:"ok2" (fun () -> 3);
+    ]
+  in
+  List.iter
+    (fun jobs ->
+      match Pool.run ~jobs tasks with
+      | [ Pool.Done 1; Pool.Failed msg; Pool.Done 3 ] ->
+        Alcotest.(check bool)
+          (Printf.sprintf "message mentions cause (j%d)" jobs)
+          true
+          (contains msg "kernel exploded")
+      | _ -> Alcotest.fail "unexpected outcome shape")
+    [ 1; 2 ]
+
+let test_dead_worker_reported () =
+  (* A worker that exits without writing a result must come back as
+     [Failed] with the wait status — and must not wedge the pool or eat
+     its siblings' results. *)
+  let tasks =
+    [
+      Pool.task ~label:"before" (fun () -> "before");
+      Pool.task ~label:"deserter" (fun () ->
+          Unix._exit 3 (* dies without marshalling anything *));
+      Pool.task ~label:"after" (fun () -> "after");
+    ]
+  in
+  let stats = Pool.stats () in
+  match Pool.run ~jobs:3 ~stats tasks with
+  | [ Pool.Done "before"; Pool.Failed msg; Pool.Done "after" ] ->
+    Alcotest.(check bool)
+      "status in message" true
+      (contains msg "exited with code 3");
+    Alcotest.(check int) "failure counted" 1 stats.Pool.failed
+  | _ -> Alcotest.fail "unexpected outcome shape"
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_hit_without_fork () =
+  let dir = tmp_dir "sb_jobs_cache" in
+  let cache = Cache.create ~dir in
+  let tasks () =
+    List.init 3 (fun i ->
+        Pool.task
+          ~key:(Cache.fingerprint ("cell", i))
+          ~label:(string_of_int i)
+          (fun () -> i + 100))
+  in
+  let cold = Pool.stats () in
+  (match Pool.run ~jobs:2 ~cache ~stats:cold (tasks ()) with
+  | [ Pool.Done 100; Pool.Done 101; Pool.Done 102 ] -> ()
+  | _ -> Alcotest.fail "cold run wrong");
+  Alcotest.(check int) "cold: all executed" 3 cold.Pool.executed;
+  Alcotest.(check int) "cold: all forked" 3 cold.Pool.forked;
+  Alcotest.(check int) "cold: no hits" 0 cold.Pool.cache_hits;
+  let warm = Pool.stats () in
+  (match Pool.run ~jobs:2 ~cache ~stats:warm (tasks ()) with
+  | [ Pool.Done 100; Pool.Done 101; Pool.Done 102 ] -> ()
+  | _ -> Alcotest.fail "warm run wrong");
+  Alcotest.(check int) "warm: nothing executed" 0 warm.Pool.executed;
+  Alcotest.(check int) "warm: nothing forked" 0 warm.Pool.forked;
+  Alcotest.(check int) "warm: all hits" 3 warm.Pool.cache_hits;
+  (* the sequential path uses the same cache *)
+  let seq = Pool.stats () in
+  ignore (Pool.run ~jobs:1 ~cache ~stats:seq (tasks ()));
+  Alcotest.(check int) "seq: all hits too" 3 seq.Pool.cache_hits;
+  Cache.clear cache;
+  rm_rf dir
+
+let test_cache_rejects_corruption () =
+  let dir = tmp_dir "sb_jobs_corrupt" in
+  let cache = Cache.create ~dir in
+  Cache.store cache ~key:"deadbeef" 42;
+  Alcotest.(check (option int)) "round trip" (Some 42) (Cache.load cache ~key:"deadbeef");
+  (* truncate the file: load must degrade to a miss, not an exception *)
+  let file =
+    Filename.concat dir
+      (List.find (fun f -> Filename.check_suffix f ".cache") (Array.to_list (Sys.readdir dir)))
+  in
+  let oc = open_out file in
+  output_string oc "garbage";
+  close_out oc;
+  Alcotest.(check (option int)) "corrupt is a miss" None (Cache.load cache ~key:"deadbeef");
+  rm_rf dir
+
+let test_fingerprint_moves_with_knobs () =
+  let base_config = Experiments.quick_config in
+  let fp ?(config = base_config) ?(arch = Sb_isa.Arch_sig.Sba)
+      ?(kind = (`Suite : Experiments.cell_kind)) dbt =
+    Experiments.cell_fingerprint ~config ~arch ~kind dbt
+  in
+  let base = fp Sb_dbt.Config.baseline in
+  Alcotest.(check string) "deterministic" base (fp Sb_dbt.Config.baseline);
+  let variants =
+    [
+      ("arch", fp ~arch:Sb_isa.Arch_sig.Vlx Sb_dbt.Config.baseline);
+      ("kind", fp ~kind:(`Workloads 7) Sb_dbt.Config.baseline);
+      ("scale", fp ~config:{ base_config with Experiments.scale = base_config.Experiments.scale + 1 }
+           Sb_dbt.Config.baseline);
+      ("repeats", fp ~config:{ base_config with Experiments.repeats = base_config.Experiments.repeats + 1 }
+           Sb_dbt.Config.baseline);
+      ( "engine knob",
+        fp { Sb_dbt.Config.baseline with Sb_dbt.Config.chain_direct = not Sb_dbt.Config.baseline.Sb_dbt.Config.chain_direct } );
+      ( "front cache knob",
+        fp { Sb_dbt.Config.baseline with Sb_dbt.Config.front_cache = not Sb_dbt.Config.baseline.Sb_dbt.Config.front_cache } );
+    ]
+  in
+  List.iter
+    (fun (what, fp') ->
+      Alcotest.(check bool) (what ^ " changes the key") true (fp' <> base))
+    variants;
+  (* and the variant keys are pairwise distinct *)
+  let keys = base :: List.map snd variants in
+  let uniq = List.sort_uniq compare keys in
+  Alcotest.(check int) "all keys distinct" (List.length keys) (List.length uniq)
+
+(* ------------------------------------------------------------------ *)
+(* Pool == sequential on real experiment cells                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_matches_sequential () =
+  let config = Experiments.quick_config in
+  let arch = Sb_isa.Arch_sig.Sba in
+  let rows ~jobs =
+    Experiments.reset_memo ();
+    Experiments.cell_rows
+      ~opts:{ Experiments.jobs; cache_dir = None }
+      ~config ~arch ~kind:`Suite Sb_dbt.Config.baseline
+  in
+  let seq = rows ~jobs:1 in
+  let par = rows ~jobs:2 in
+  Alcotest.(check int) "same cell count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (s : Experiments.row) (p : Experiments.row) ->
+      Alcotest.(check string) "same benchmark" s.Experiments.row_cell p.Experiments.row_cell;
+      Alcotest.(check string) "same engine" s.Experiments.row_engine p.Experiments.row_engine;
+      Alcotest.(check string) "same arch" s.Experiments.row_arch p.Experiments.row_arch;
+      Alcotest.(check int) "same iters" s.Experiments.row_iters p.Experiments.row_iters;
+      (* instruction counts are deterministic across processes; wall times
+         are not, so the times are only sanity-checked *)
+      Alcotest.(check int) "same kernel insns" s.Experiments.row_kernel_insns
+        p.Experiments.row_kernel_insns;
+      Alcotest.(check bool) "positive time" true (p.Experiments.row_seconds > 0.))
+    seq par
+
+let test_cell_rows_cached_on_disk () =
+  let dir = tmp_dir "sb_jobs_cells" in
+  let config = Experiments.quick_config in
+  let arch = Sb_isa.Arch_sig.Sba in
+  let opts = { Experiments.jobs = 2; cache_dir = Some dir } in
+  let rows ~opts =
+    Experiments.reset_memo ();
+    Experiments.cell_rows ~opts ~config ~arch ~kind:`Suite Sb_dbt.Config.baseline
+  in
+  let first = rows ~opts in
+  (* second pass: memo was dropped, so everything must come from disk —
+     including the measured times, which therefore match exactly *)
+  let second = rows ~opts in
+  List.iter2
+    (fun (a : Experiments.row) (b : Experiments.row) ->
+      Alcotest.(check string) "cell" a.Experiments.row_cell b.Experiments.row_cell;
+      Alcotest.(check (float 0.)) "seconds bit-identical from cache"
+        a.Experiments.row_seconds b.Experiments.row_seconds)
+    first second;
+  rm_rf dir
+
+let () =
+  Random.self_init ();
+  Alcotest.run "sb_jobs"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "positional results" `Quick test_positional_results;
+          Alcotest.test_case "thunk exception" `Quick test_thunk_exception_is_failed;
+          Alcotest.test_case "dead worker" `Quick test_dead_worker_reported;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit without fork" `Quick test_cache_hit_without_fork;
+          Alcotest.test_case "corruption is a miss" `Quick test_cache_rejects_corruption;
+          Alcotest.test_case "fingerprint knobs" `Quick test_fingerprint_moves_with_knobs;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "pool == sequential" `Quick test_pool_matches_sequential;
+          Alcotest.test_case "disk cache round trip" `Quick test_cell_rows_cached_on_disk;
+        ] );
+    ]

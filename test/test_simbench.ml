@@ -360,6 +360,45 @@ let test_asid_tagging_signature () =
     true
     (untagged > 20 * max 1 tagged)
 
+let test_front_cache_signature () =
+  (* the dispatch front caches must fire on indirect control flow (which
+     cannot chain, so every taken branch goes through block lookup) and
+     must not change what executes: the retired-instruction stream is
+     identical with the knob on and off *)
+  let arch = Sb_isa.Arch_sig.Sba in
+  let support = Simbench.Engines.support arch in
+  let bench = Simbench.Suite.intra_page_indirect in
+  let probe engine =
+    let o = H.run ~iters:2_000 ~support ~engine bench in
+    (get o Perf.Front_cache_hits, Perf.get o.H.result.Sb_sim.Run_result.perf Perf.Insns)
+  in
+  let dbt_on, dbt_insns =
+    probe (Simbench.Engines.dbt_configured arch Sb_dbt.Config.default)
+  in
+  let dbt_off, dbt_insns' =
+    probe
+      (Simbench.Engines.dbt_configured arch
+         { Sb_dbt.Config.default with Sb_dbt.Config.front_cache = false })
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "dbt front cache fires (%d hits)" dbt_on)
+    true (dbt_on > 1_000);
+  Alcotest.(check int) "dbt: off means zero hits" 0 dbt_off;
+  Alcotest.(check int) "dbt: same instruction stream" dbt_insns dbt_insns';
+  let interp_on, i_insns =
+    probe (Simbench.Engines.interp_configured arch Sb_interp.Interp.Config.default)
+  in
+  let interp_off, i_insns' =
+    probe
+      (Simbench.Engines.interp_configured arch
+         { Sb_interp.Interp.Config.default with Sb_interp.Interp.Config.front_cache = false })
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "interp front cache fires (%d hits)" interp_on)
+    true (interp_on > 1_000);
+  Alcotest.(check int) "interp: off means zero hits" 0 interp_off;
+  Alcotest.(check int) "interp: same instruction stream" i_insns i_insns'
+
 let () =
   Alcotest.run "simbench"
     [
@@ -384,5 +423,10 @@ let () =
             test_page_table_modification_observes_remap;
           Alcotest.test_case "asid tagging distinguishes engines" `Quick
             test_asid_tagging_signature;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "front caches fire and are transparent" `Quick
+            test_front_cache_signature;
         ] );
     ]

@@ -42,7 +42,23 @@ let test_stats () =
     (Sb_util.Stats.weighted_geomean [ (1., 1.); (4., 1.) ]);
   Alcotest.(check (float 1e-9)) "median odd" 2. (Sb_util.Stats.median [ 3.; 1.; 2. ]);
   Alcotest.(check (float 1e-9)) "median even" 2.5 (Sb_util.Stats.median [ 1.; 2.; 3.; 4. ]);
-  Alcotest.(check (float 1e-9)) "speedup" 2. (Sb_util.Stats.speedup ~baseline:4. 2.)
+  Alcotest.(check (float 1e-9)) "speedup" 2. (Sb_util.Stats.speedup ~baseline:4. 2.);
+  Alcotest.(check (float 0.)) "min of repeats" 1.5
+    (Sb_util.Stats.min_of_repeats [ 2.5; 1.5; 3.0 ]);
+  Alcotest.(check (float 0.)) "min of singleton" 4.0 (Sb_util.Stats.min_of_repeats [ 4.0 ]);
+  Alcotest.(check bool) "min of empty is nan" true
+    (Float.is_nan (Sb_util.Stats.min_of_repeats []))
+
+let test_json () =
+  let open Sb_util.Json in
+  Alcotest.(check string) "scalars" {|[null,true,42,"a\"b\n"]|}
+    (to_string (List [ Null; Bool true; Int 42; String "a\"b\n" ]));
+  Alcotest.(check string) "object" {|{"x":1.5,"y":[]}|}
+    (to_string (Obj [ ("x", Float 1.5); ("y", List []) ]));
+  Alcotest.(check string) "non-finite floats are null" {|[null,null]|}
+    (to_string (List [ Float nan; Float infinity ]));
+  Alcotest.(check string) "control chars escaped" "\"\\u0007\""
+    (to_string (String "\007"))
 
 let test_xorshift_deterministic () =
   let a = Sb_util.Xorshift.create ~seed:42 in
@@ -112,6 +128,7 @@ let () =
       ( "stats",
         [ Alcotest.test_case "aggregates" `Quick test_stats ]
         @ qcheck [ prop_geomean_bounds ] );
+      ("json", [ Alcotest.test_case "emitter" `Quick test_json ]);
       ( "xorshift",
         [
           Alcotest.test_case "deterministic" `Quick test_xorshift_deterministic;
