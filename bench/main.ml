@@ -47,6 +47,8 @@ let experiments =
       fun config opts -> Sb_report.Ablations.page_cache ~config:(abl config) ~opts () );
     ( "abl-opt",
       fun config opts -> Sb_report.Ablations.optimiser ~config:(abl config) ~opts () );
+    ( "abl-traces",
+      fun config opts -> Sb_report.Ablations.traces ~config:(abl config) ~opts () );
     ( "abl-vmexit",
       fun config opts -> Sb_report.Ablations.vm_exit ~config:(abl config) ~opts () );
     ( "abl-predecode",
@@ -71,6 +73,8 @@ let json_of_rows ~experiment ~(opts : Sb_report.Experiments.run_opts)
         ("seconds", Float r.row_seconds);
         ("mean_seconds", Float r.row_mean_seconds);
         ("kernel_insns", Int r.row_kernel_insns);
+        ( "kernel_perf",
+          Obj (List.map (fun (name, n) -> (name, Int n)) r.row_perf) );
       ]
   in
   Obj
@@ -118,6 +122,10 @@ let bechamel_tests () =
     Simbench.Engines.dbt_configured arch
       { Sb_dbt.Config.default with Sb_dbt.Config.front_cache = false }
   in
+  let dbt_notrace =
+    Simbench.Engines.dbt_configured arch
+      { Sb_dbt.Config.default with Sb_dbt.Config.trace_threshold = 0 }
+  in
   let interp = Simbench.Engines.interp arch in
   Test.make_grouped ~name:"simbench"
     [
@@ -131,6 +139,10 @@ let bechamel_tests () =
         [
           engine_test "intra-direct/dbt" dbt Simbench.Suite.intra_page_direct
             ~iters:100_000;
+          (* direct chained loops are exactly what hot traces stitch, so
+             this pair isolates the superblock win on the same workload *)
+          engine_test "intra-direct/dbt-notrace" dbt_notrace
+            Simbench.Suite.intra_page_direct ~iters:100_000;
           engine_test "intra-direct/interp" interp Simbench.Suite.intra_page_direct
             ~iters:100_000;
           (* indirect branches cannot chain: every taken branch goes through

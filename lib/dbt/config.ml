@@ -13,6 +13,8 @@ type t = {
   tlb_l2_entries : int;
   lazy_tlb_flush : bool;
   front_cache : bool;
+  trace_threshold : int;
+  max_trace_blocks : int;
 }
 
 let baseline =
@@ -31,6 +33,8 @@ let baseline =
     tlb_l2_entries = 1024;
     lazy_tlb_flush = false;
     front_cache = true;
+    trace_threshold = 0;
+    max_trace_blocks = 8;
   }
 
 let default =
@@ -43,4 +47,6 @@ let default =
     walk_extra_work = 24;
     exception_sync_work = 7;
     data_fault_fast_path = true;
+    trace_threshold = 16;
+    max_trace_blocks = 8;
   }

@@ -39,6 +39,15 @@ type t = {
           hash table (QEMU's [tb_jmp_cache]); entries are tagged with the
           chain generation, so the chain/SMC invalidation machinery covers
           it.  On in every shipped version; off only for ablation. *)
+  trace_threshold : int;
+      (** executions of a block before it becomes a hot-trace superblock
+          head (HQEMU-style region formation); 0 disables trace formation.
+          Traces stitch direct-chain successors into one closure array
+          executed without per-block chain-verify work or re-dispatch; see
+          docs/traces.md. *)
+  max_trace_blocks : int;
+      (** upper bound on blocks stitched into one trace (>= 2 for traces to
+          form at all) *)
 }
 
 val default : t

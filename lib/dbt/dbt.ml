@@ -25,6 +25,13 @@ module Make_configured
 struct
   let cfg = C.config
 
+  (* trace formation walks direct-chain links, so it needs chaining on and
+     room for at least two constituent blocks *)
+  let tracing =
+    cfg.Config.trace_threshold > 0
+    && cfg.Config.max_trace_blocks >= 2
+    && cfg.Config.chain_direct
+
   let name = Printf.sprintf "dbt-%s" A.name
 
   let features =
@@ -35,7 +42,9 @@ struct
         else "Single Level Page Cache" );
       ("Code Generation", "Block-based");
       ( "Control Flow",
-        if cfg.Config.chain_direct then "Block Cache + Chaining" else "Block Cache" );
+        if tracing then "Block Cache + Chaining + Hot Traces"
+        else if cfg.Config.chain_direct then "Block Cache + Chaining"
+        else "Block Cache" );
       ("Interrupts", "Block Boundaries");
       ("Synchronous Exceptions", "Side Exit");
       ("Undefined Instruction", "Translated");
@@ -69,6 +78,38 @@ struct
     mutable valid : bool;
     mutable chain_a : (block * int) option;  (* target, chain generation *)
     mutable chain_b : (block * int) option;
+    mutable hot : int;
+        (* dispatches since this block last became a trace-formation
+           candidate; crossing [trace_threshold] triggers stitching *)
+    mutable trace : trace option;  (* hot-trace superblock headed here *)
+  }
+
+  (* A trace is a superblock: several blocks stitched across direct-branch
+     seams into segments executed back-to-back with no chain-verify work
+     and no per-block re-dispatch.  [t_gen] and [t_pages] tie it into the
+     existing invalidation machinery: a generation bump (translation change,
+     TLB maintenance) or an SMC write to any constituent page kills it. *)
+  and trace = {
+    t_entry : block;
+    t_gen : int;  (* chain generation at formation *)
+    t_pages : int list;  (* physical pages of every constituent block *)
+    t_blocks : block array;
+    t_segs : seg array;
+    mutable t_valid : bool;
+  }
+
+  and seg = {
+    s_va : int;
+    s_end_va : int;
+    s_page : int;
+    s_page2 : int;
+    s_insns : int;
+    s_uops : int;
+    s_uncond : bool;
+        (* the seam into the next segment is an unconditional direct branch
+           whose pc write was elided at emission; the runtime pc check is
+           skipped (and pc must be restored if the trace side-exits here) *)
+    s_ops : (unit -> unit) array;
   }
 
   type ctx = {
@@ -85,6 +126,7 @@ struct
            that invalidates chains (translation changes, SMC) covers it *)
     jmp_gens : int array;
     by_page : (int, block list ref) Hashtbl.t;
+    traces_by_page : (int, trace list ref) Hashtbl.t;
     code_pages : Bytes.t;
     shadow_regs : int array;
     shadow_cop : int array;
@@ -112,6 +154,7 @@ struct
       jmp_blocks = Array.make jmp_cache_size None;
       jmp_gens = Array.make jmp_cache_size (-1);
       by_page = Hashtbl.create 64;
+      traces_by_page = Hashtbl.create 16;
       code_pages = Bytes.make ((ram_pages + 7) / 8) '\000';
       shadow_regs = Array.make 16 0;
       shadow_cop = Array.make Cregs.count 0;
@@ -235,6 +278,18 @@ struct
     Bytes.set ctx.code_pages i
       (Char.chr (Char.code (Bytes.get ctx.code_pages i) land lnot (1 lsl (ppage land 7))))
 
+  let invalidate_trace ctx (tr : trace) =
+    if tr.t_valid then begin
+      tr.t_valid <- false;
+      Perf.incr ctx.perf Perf.Trace_invalidations;
+      (* detach from the entry block (unless a newer trace replaced this
+         one) and let every constituent re-profile from scratch *)
+      (match tr.t_entry.trace with
+      | Some cur when cur == tr -> tr.t_entry.trace <- None
+      | _ -> ());
+      Array.iter (fun b -> b.hot <- 0) tr.t_blocks
+    end
+
   let invalidate_page ctx ppage =
     (match Hashtbl.find_opt ctx.by_page ppage with
     | Some blocks ->
@@ -246,6 +301,11 @@ struct
           Hashtbl.remove ctx.cache blk.key)
         !blocks;
       Hashtbl.remove ctx.by_page ppage
+    | None -> ());
+    (match Hashtbl.find_opt ctx.traces_by_page ppage with
+    | Some traces ->
+      List.iter (invalidate_trace ctx) !traces;
+      Hashtbl.remove ctx.traces_by_page ppage
     | None -> ());
     code_bit_clear ctx ppage;
     Perf.incr ctx.perf Perf.Smc_invalidations
@@ -603,14 +663,10 @@ struct
       | (Uop.Svc _ | Uop.Undef | Uop.Eret | Uop.Wfi | Uop.Halt) :: _ -> false
       | _ -> true (* length cap, page end, or translation-affecting op *))
 
-  let translate_block ctx va =
-    Perf.incr ctx.perf Perf.Blocks_translated;
-    (* fixed per-block cost: TB allocation, prologue/epilogue emission,
-       direct-jump stub patching *)
-    for unit = 1 to cfg.Config.emission_work * 6 do
-      ctx.sync_token <- (ctx.sync_token + (va lxor (unit * 0x5851))) land max_int
-    done;
-    let mmu_on = Cpu.mmu_enabled ctx.cpu in
+  (* decode one block's worth of instructions starting at [va]; result is in
+     reverse order (head = last decoded).  Shared between block translation
+     and trace stitching, which re-decodes constituent blocks. *)
+  let decode_block_rev ctx va =
     let start_page_va = va lsr page_shift in
     let rec decode_loop acc cur count =
       if count >= cfg.Config.max_block_insns then acc
@@ -623,7 +679,17 @@ struct
         else decode_loop acc (cur + d.Uop.length) (count + 1)
       end
     in
-    let rev_decodeds = decode_loop [] va 0 in
+    decode_loop [] va 0
+
+  let translate_block ctx va =
+    Perf.incr ctx.perf Perf.Blocks_translated;
+    (* fixed per-block cost: TB allocation, prologue/epilogue emission,
+       direct-jump stub patching *)
+    for unit = 1 to cfg.Config.emission_work * 6 do
+      ctx.sync_token <- (ctx.sync_token + (va lxor (unit * 0x5851))) land max_int
+    done;
+    let mmu_on = Cpu.mmu_enabled ctx.cpu in
+    let rev_decodeds = decode_block_rev ctx va in
     let chain_out = ends_in_direct_or_fallthrough rev_decodeds in
     let decodeds = List.rev rev_decodeds in
     let ir = Ir.of_decoded decodeds in
@@ -690,6 +756,8 @@ struct
         valid = true;
         chain_a = None;
         chain_b = None;
+        hot = 0;
+        trace = None;
       }
     in
     let register ppage =
@@ -762,6 +830,218 @@ struct
       lb.chain_a <- Some (b, ctx.chain_gen)
     end
 
+  (* ---------------- hot-trace superblocks ------------------------------- *)
+
+  (* How the final instruction of a constituent block hands over to the next
+     stitched segment; decides seam compilation and whether stitching may
+     continue at all. *)
+  type seam =
+    | Seam_uncond of int  (* unconditional direct branch to this target *)
+    | Seam_cond of int  (* conditional direct: taken target (fallthrough is end_va) *)
+    | Seam_fallthrough  (* block ended on the length cap or the page edge *)
+    | Seam_stop
+        (* indirect branch, exception-raising op, or a translation-affecting
+           op (Cop_write / TLB invalidation): never stitch through these — a
+           mid-trace generation bump would invalidate the very trace that is
+           running *)
+
+  let seam_of (rev_decodeds : Uop.decoded list) =
+    match rev_decodeds with
+    | [] -> Seam_stop
+    | last :: _ ->
+      let affects_translation = function
+        | Uop.Cop_write _ | Uop.Tlb_inv_page _ | Uop.Tlb_inv_all -> true
+        | _ -> false
+      in
+      if List.exists affects_translation last.Uop.uops then Seam_stop
+      else (
+        match List.rev last.Uop.uops with
+        | Uop.Branch { cond = Uop.Always; target = Uop.Direct t; _ } :: _ ->
+          Seam_uncond t
+        | Uop.Branch { target = Uop.Direct t; _ } :: _ -> Seam_cond t
+        | Uop.Branch _ :: _
+        | (Uop.Svc _ | Uop.Undef | Uop.Eret | Uop.Wfi | Uop.Halt) :: _ -> Seam_stop
+        | _ -> Seam_fallthrough)
+
+  (* The predicted path out of [b0]: follow [chain_a] links under exactly
+     the rules dispatch itself uses (current generation, still valid, same
+     translation regime; cross-page links only exist if the configuration
+     allowed installing them).  Stops at loops back into the trace. *)
+  let collect_trace_blocks ctx (b0 : block) =
+    let rec go acc b n =
+      if n >= cfg.Config.max_trace_blocks then List.rev acc
+      else
+        match b.chain_a with
+        | Some (nxt, gen)
+          when gen = ctx.chain_gen && nxt.valid
+               && nxt.mmu_on = b0.mmu_on
+               && not (List.memq nxt acc) ->
+          go (nxt :: acc) nxt (n + 1)
+        | _ -> List.rev acc
+    in
+    go [ b0 ] b0 1
+
+  (* Stitch [b0] and its chain successors into one superblock: re-decode the
+     constituents, run the optimiser pipeline across the concatenated IR
+     (constants and peephole identities now flow through direct-branch
+     seams), and emit one closure array per segment.  Unconditional seam
+     branches lose their pc write — the branch counters stay, so the
+     architectural branch counts are identical to block-by-block execution;
+     conditional seams keep the full branch and the runtime compares pc
+     against the next segment's entry, side-exiting on mismatch. *)
+  let form_trace ctx (b0 : block) =
+    match
+      let blocks = collect_trace_blocks ctx b0 in
+      (* decode and classify; keep the longest stitchable prefix *)
+      let rec take acc = function
+        | [] -> List.rev acc
+        | (b : block) :: rest ->
+          let rev = decode_block_rev ctx b.va in
+          if List.length rev <> b.insns then List.rev acc
+          else
+            let seam = seam_of rev in
+            let entry = (b, List.rev rev, seam) in
+            let continues =
+              match rest with
+              | [] -> false
+              | nxt :: _ -> (
+                match seam with
+                | Seam_uncond t -> nxt.va = t
+                | Seam_cond t -> nxt.va = t || nxt.va = b.end_va
+                | Seam_fallthrough -> nxt.va = b.end_va
+                | Seam_stop -> false)
+            in
+            if continues then take (entry :: acc) rest else List.rev (entry :: acc)
+      in
+      (match blocks with
+      | [] | [ _ ] -> None
+      | _ -> (
+        match take [] blocks with
+        | [] | [ _ ] -> None
+        | parts -> Some parts))
+    with
+    | exception Guest_fault _ ->
+      (* re-decode faulted (racing translation change); just don't form *)
+      None
+    | None -> None
+    | Some parts ->
+      Perf.incr ctx.perf Perf.Traces_formed;
+      (* fixed stitching cost: trace buffer allocation, entry stub, seam
+         patching — same order as a block prologue *)
+      for unit = 1 to cfg.Config.emission_work * 6 do
+        ctx.sync_token <- (ctx.sync_token + (b0.va lxor (unit * 0x2545))) land max_int
+      done;
+      let ir = Ir.of_decoded (List.concat_map (fun (_, ds, _) -> ds) parts) in
+      let passes_run =
+        Ir.run ?validate:!pass_validator ~passes:cfg.Config.opt_passes ir
+      in
+      Perf.add ctx.perf Perf.Opt_passes_run passes_run;
+      (* slice the optimised IR back into per-block segments: passes never
+         change instruction counts, so slice boundaries are exact and
+         per-segment retirement stays truthful *)
+      let n_parts = List.length parts in
+      let off = ref 0 in
+      let segs =
+        List.mapi
+          (fun pi ((b : block), ds, seam) ->
+            let n = List.length ds in
+            let elide_uncond =
+              pi < n_parts - 1
+              && match seam with Seam_uncond _ -> true | _ -> false
+            in
+            let ops = ref [] in
+            let uops = ref 0 in
+            for i = 0 to n - 1 do
+              let insn = ir.(!off + i) in
+              let last_insn = i = n - 1 in
+              List.iter
+                (fun uop ->
+                  incr uops;
+                  for unit = 1 to cfg.Config.emission_work do
+                    ctx.sync_token <-
+                      (ctx.sync_token + (insn.Ir.va lxor (unit * 0x9E37))) land max_int
+                  done;
+                  let closure =
+                    match uop with
+                    | Uop.Branch { cond = Uop.Always; target = Uop.Direct _; link }
+                      when elide_uncond && last_insn ->
+                      (* seam branch into the next segment: keep the
+                         architectural effects (counters, link write), drop
+                         the pc write the stitching makes redundant *)
+                      let regs = ctx.cpu.Cpu.regs in
+                      let perf = ctx.perf in
+                      let ret = (insn.Ir.va + insn.Ir.len) land u32_mask in
+                      (match link with
+                      | Some l ->
+                        fun () ->
+                          Perf.incr perf Perf.Branch_direct;
+                          Perf.incr perf Perf.Branch_taken;
+                          regs.(l) <- ret
+                      | None ->
+                        fun () ->
+                          Perf.incr perf Perf.Branch_direct;
+                          Perf.incr perf Perf.Branch_taken)
+                    | _ ->
+                      emit_uop ctx ~mmu_on:b.mmu_on ~iva:insn.Ir.va
+                        ~ilen:insn.Ir.len ~iidx:i uop
+                  in
+                  ops := closure :: !ops)
+                insn.Ir.uops
+            done;
+            off := !off + n;
+            {
+              s_va = b.va;
+              s_end_va = b.end_va;
+              s_page = b.page;
+              s_page2 = b.page2;
+              s_insns = n;
+              s_uops = !uops;
+              s_uncond = elide_uncond;
+              s_ops = Array.of_list (List.rev !ops);
+            })
+          parts
+      in
+      let pages =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun ((b : block), _, _) ->
+               if b.page2 >= 0 then [ b.page; b.page2 ] else [ b.page ])
+             parts)
+      in
+      let tr =
+        {
+          t_entry = b0;
+          t_gen = ctx.chain_gen;
+          t_pages = pages;
+          t_blocks = Array.of_list (List.map (fun (b, _, _) -> b) parts);
+          t_segs = Array.of_list segs;
+          t_valid = true;
+        }
+      in
+      List.iter
+        (fun ppage ->
+          match Hashtbl.find_opt ctx.traces_by_page ppage with
+          | Some l -> l := tr :: !l
+          | None -> Hashtbl.add ctx.traces_by_page ppage (ref [ tr ]))
+        pages;
+      (* the interior blocks stop being dispatched individually once this
+         trace is live; reset their counters so they don't immediately form
+         rotated duplicates of the same loop *)
+      Array.iteri (fun i (b : block) -> if i > 0 then b.hot <- 0) tr.t_blocks;
+      Some tr
+
+  (* A trace is dispatched only while its generation matches; a stale or
+     invalidated trace is detached here so the block can re-profile. *)
+  let live_trace ctx (blk : block) =
+    match blk.trace with
+    | None -> None
+    | Some tr when tr.t_valid && tr.t_gen = ctx.chain_gen -> Some tr
+    | Some tr ->
+      invalidate_trace ctx tr;
+      blk.trace <- None;
+      blk.hot <- 0;
+      None
+
   let deliver ctx ~vector ~cause ~far ~return_addr =
     Perf.incr ctx.perf Perf.Exceptions_total;
     (match vector with
@@ -797,6 +1077,54 @@ struct
       ctx.timer_backlog <- 0
     end
 
+  (* Run a trace: segments execute back-to-back without chain-verify work or
+     block re-dispatch.  Retirement is per segment, so fault accounting (and
+     the operation-density metric) is exactly what block-by-block execution
+     would report.  Every seam check fires only at an architecturally clean
+     boundary — pc is correct (or restored, for elided seams) whenever the
+     trace can exit.  Returns the block of the last completed segment so
+     normal chain dispatch resumes from it. *)
+  let run_trace ctx (tr : trace) =
+    Perf.incr ctx.perf Perf.Trace_dispatches;
+    let cpu = ctx.cpu in
+    let segs = tr.t_segs in
+    let n = Array.length segs in
+    let rec go s =
+      let seg = Array.unsafe_get segs s in
+      ctx.cur_page <- seg.s_page;
+      ctx.cur_page2 <- seg.s_page2;
+      cpu.Cpu.pc <- seg.s_end_va;
+      let ops = seg.s_ops in
+      for i = 0 to Array.length ops - 1 do
+        (Array.unsafe_get ops i) ()
+      done;
+      retire ctx seg.s_insns;
+      Perf.add ctx.perf Perf.Uops seg.s_uops;
+      if s + 1 >= n then s
+      else begin
+        (* a store inside this segment may have invalidated a later
+           constituent's page, and (in principle) an op may have bumped the
+           generation: both force an exit before stale code can run *)
+        let live = tr.t_valid && ctx.chain_gen = tr.t_gen in
+        let nxt = Array.unsafe_get segs (s + 1) in
+        if seg.s_uncond then
+          if live then go (s + 1)
+          else begin
+            (* the elided seam branch never wrote pc; restore the
+               architectural target before falling back to dispatch *)
+            cpu.Cpu.pc <- nxt.s_va;
+            Perf.incr ctx.perf Perf.Trace_side_exits;
+            s
+          end
+        else if live && cpu.Cpu.pc = nxt.s_va then go (s + 1)
+        else begin
+          Perf.incr ctx.perf Perf.Trace_side_exits;
+          s
+        end
+      end
+    in
+    Array.unsafe_get tr.t_blocks (go 0)
+
   let execute ctx ~max_insns =
     let cpu = ctx.cpu in
     let last : block option ref = ref None in
@@ -825,16 +1153,28 @@ struct
                   b)
               | _ -> lookup_translate ctx pc
             in
-            ctx.cur_page <- blk.page;
-            ctx.cur_page2 <- blk.page2;
-            cpu.Cpu.pc <- blk.end_va;
-            let ops = blk.ops in
-            for i = 0 to Array.length ops - 1 do
-              (Array.unsafe_get ops i) ()
-            done;
-            retire ctx blk.insns;
-            Perf.add ctx.perf Perf.Uops blk.uops_total;
-            last := Some blk
+            (match if tracing then live_trace ctx blk else None with
+            | Some tr -> last := Some (run_trace ctx tr)
+            | None ->
+              (if tracing && blk.chain_out then
+                 match blk.trace with
+                 | Some _ -> ()
+                 | None ->
+                   blk.hot <- blk.hot + 1;
+                   if blk.hot >= cfg.Config.trace_threshold then begin
+                     blk.hot <- 0;
+                     blk.trace <- form_trace ctx blk
+                   end);
+              ctx.cur_page <- blk.page;
+              ctx.cur_page2 <- blk.page2;
+              cpu.Cpu.pc <- blk.end_va;
+              let ops = blk.ops in
+              for i = 0 to Array.length ops - 1 do
+                (Array.unsafe_get ops i) ()
+              done;
+              retire ctx blk.insns;
+              Perf.add ctx.perf Perf.Uops blk.uops_total;
+              last := Some blk)
           with
           | Guest_fault { vector; cause; far; return_addr; retired } ->
             retire ctx retired;

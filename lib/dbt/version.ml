@@ -45,6 +45,9 @@ let v2_5_0_rc0 =
     data_fault_fast_path = true;
   }
 
+let v2_6_0 =
+  { v2_5_0_rc0 with Config.trace_threshold = 16; max_trace_blocks = 8 }
+
 let all =
   [
     ("v1.7.0", v1_7_0);
@@ -67,6 +70,7 @@ let all =
     ("v2.5.0-rc0", v2_5_0_rc0);
     ("v2.5.0-rc1", v2_5_0_rc0);
     ("v2.5.0-rc2", v2_5_0_rc0);
+    ("v2.6.0", v2_6_0);
   ]
 
 let baseline_name = "v1.7.0"

@@ -12,7 +12,9 @@
       and memory degradation of Figure 6.
     - v2.2.0 onwards: exception entry synchronises ever more state.
     - v2.5.0-rc0: the data-abort fast path (the off-scale Data-Fault
-      improvement the paper calls out, with no matching SPEC change). *)
+      improvement the paper calls out, with no matching SPEC change).
+    - v2.6.0: profile-guided hot-trace superblocks (HQEMU-style region
+      formation stitched across direct-chain seams; see docs/traces.md). *)
 
 val all : (string * Config.t) list
 (** In release order; first entry is the baseline the speedup plots divide

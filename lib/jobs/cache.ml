@@ -2,7 +2,7 @@ type t = { dir : string }
 
 (* bumped whenever the stored value shape changes; part of every fingerprint
    so stale cache files from older schemas can never be mis-decoded *)
-let schema = "sb-jobs-cache-1"
+let schema = "sb-jobs-cache-2"
 
 let rec mkdir_p dir =
   if dir = "" || dir = "." || dir = "/" then ()

@@ -17,9 +17,16 @@ let read16 t addr =
   check t addr 2;
   Bytes.get_uint16_le t.data addr
 
+(* recompose from unchecked byte reads: [Bytes.get_int32_le] allocates a
+   boxed [Int32] on every call, and this is the hottest path in the whole
+   simulator (every guest load/store and every code fetch lands here) *)
 let read32 t addr =
   check t addr 4;
-  Int32.to_int (Bytes.get_int32_le t.data addr) land 0xFFFF_FFFF
+  let b = t.data in
+  Char.code (Bytes.unsafe_get b addr)
+  lor (Char.code (Bytes.unsafe_get b (addr + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get b (addr + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (addr + 3)) lsl 24)
 
 let write8 t addr v =
   check t addr 1;
@@ -31,7 +38,11 @@ let write16 t addr v =
 
 let write32 t addr v =
   check t addr 4;
-  Bytes.set_int32_le t.data addr (Int32.of_int v)
+  let b = t.data in
+  Bytes.unsafe_set b addr (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set b (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bytes.unsafe_set b (addr + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Bytes.unsafe_set b (addr + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
 
 let load t ~addr image =
   check t addr (Bytes.length image);

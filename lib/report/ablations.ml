@@ -199,12 +199,41 @@ let predecode ?(config = default_config) ?opts () =
     ~variants:[ ("predecode", interp true); ("decode-always", interp false) ]
     ()
 
+let traces ?(config = default_config) ?opts () =
+  let trace threshold blocks =
+    dbt_with (fun c ->
+        { c with Sb_dbt.Config.trace_threshold = threshold; max_trace_blocks = blocks })
+  in
+  sweep ?opts ~config
+    ~title:
+      "Ablation: hot-trace superblocks.  Traces pay on direct control flow\n\
+       (one dispatch covers the whole loop body, optimised across seams);\n\
+       indirect branches never chain, so no trace forms and the column is\n\
+       flat.  Self-modifying code bounds the invalidation overhead: every\n\
+       rewrite tears the trace down and re-forms it."
+    ~benches:
+      [
+        Simbench.Suite.intra_page_direct;
+        Simbench.Suite.inter_page_direct;
+        Simbench.Suite.intra_page_indirect;
+        Simbench.Suite.small_blocks;
+      ]
+    ~variants:
+      [
+        ("no-traces", trace 0 8);
+        ("thr=16 (default)", trace 16 8);
+        ("thr=4", trace 4 8);
+        ("thr=16/max=4", trace 16 4);
+      ]
+    ()
+
 let all ?(config = default_config) ?opts () =
   String.concat "\n\n"
     [
       chaining ~config ?opts ();
       page_cache ~config ?opts ();
       optimiser ~config ?opts ();
+      traces ~config ?opts ();
       vm_exit ~config ?opts ();
       predecode ~config ?opts ();
     ]

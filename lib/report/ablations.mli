@@ -25,6 +25,11 @@ val optimiser : ?config:config -> ?opts:Experiments.run_opts -> unit -> string
 (** Optimiser pass budget vs translation-heavy and compute-heavy
     benchmarks: the code-quality/translation-cost trade-off. *)
 
+val traces : ?config:config -> ?opts:Experiments.run_opts -> unit -> string
+(** Hot-trace superblock formation on/off and knob sweep (threshold,
+    maximum trace length) against the control-flow and self-modifying-code
+    benchmarks; see docs/traces.md. *)
+
 val vm_exit : ?config:config -> ?opts:Experiments.run_opts -> unit -> string
 (** Virtualization exit cost sweep against the trap-heavy benchmarks (the
     KVM signature). *)

@@ -41,6 +41,7 @@ type row = {
   row_seconds : float;  (** minimum across repeats *)
   row_mean_seconds : float;
   row_kernel_insns : int;
+  row_perf : (string * int) list;
 }
 
 type cell_kind = [ `Suite | `Workloads of int ]
@@ -102,6 +103,13 @@ let row_of ~label ~arch ~repeats ~cell run1 =
     row_seconds = Stats.min_of_repeats times;
     row_mean_seconds = Stats.mean times;
     row_kernel_insns = o.Simbench.Harness.kernel_insns;
+    row_perf =
+      (match o.Simbench.Harness.result.Sb_sim.Run_result.kernel_perf with
+      | None -> []
+      | Some p ->
+        List.map
+          (fun (c, n) -> (Sb_sim.Perf.to_string c, n))
+          (Sb_sim.Perf.to_alist p));
   }
 
 let version_label dbt_config =

@@ -46,6 +46,12 @@ type row = {
   row_seconds : float;  (** minimum across repeats (reported time) *)
   row_mean_seconds : float;  (** kept for machine-readable output *)
   row_kernel_insns : int;
+  row_perf : (string * int) list;
+      (** non-zero kernel-phase architectural and engine counters
+          ({!Sb_sim.Perf.to_string} names, declaration order) — this is
+          where the DBT's [Traces_formed] / [Trace_dispatches] /
+          [Trace_side_exits] / [Trace_invalidations] surface in [--json]
+          output *)
 }
 
 val reset_memo : unit -> unit

@@ -34,6 +34,10 @@ type counter =
   | Wfi_waits
   | Exceptions_total
   | Front_cache_hits
+  | Traces_formed
+  | Trace_dispatches
+  | Trace_side_exits
+  | Trace_invalidations
 [@@deriving enum, show { with_path = false }]
 
 let all =

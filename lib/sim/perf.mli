@@ -46,6 +46,14 @@ type counter =
       (** dispatch-front-cache hits: the DBT's direct-mapped virtual-PC
           block cache (tb_jmp_cache analog) and the interpreter's
           predecoded-page fetch cache *)
+  | Traces_formed      (** hot-trace superblocks stitched by the DBT *)
+  | Trace_dispatches   (** executions entered through a trace *)
+  | Trace_side_exits
+      (** trace executions that left before the final segment (conditional
+          seam went the other way, or the trace was invalidated mid-run) *)
+  | Trace_invalidations
+      (** traces discarded by SMC writes, TLB maintenance or translation
+          changes *)
 
 val all : counter list
 val to_string : counter -> string

@@ -141,7 +141,7 @@ let random_sba_program seed =
   let conds = [| Uop.Eq; Uop.Ne; Uop.Lt; Uop.Ge; Uop.Ltu; Uop.Geu |] in
   let reg () = Sb_util.Xorshift.int rng 10 in
   for i = 0 to n_chunks - 1 do
-    match Sb_util.Xorshift.int rng 10 with
+    match Sb_util.Xorshift.int rng 11 with
     | 0 | 1 | 2 | 3 ->
       let f = alu_ops.(Sb_util.Xorshift.int rng (Array.length alu_ops)) in
       add (insns [ f (reg ()) (reg ()) (reg ()) ])
@@ -157,7 +157,28 @@ let random_sba_program seed =
     | 6 -> add (insns [ SI.Str (reg (), 12, Sb_util.Xorshift.int rng 500 * 4) ])
     | 7 -> add (insns [ SI.Ldr (reg (), 12, Sb_util.Xorshift.int rng 500 * 4) ])
     | 8 -> add (insns [ SI.Svc (i land 0xFF) ])
-    | _ -> add (insns [ SI.Strb (reg (), 12, (Sb_util.Xorshift.int rng 500 * 4) + (i land 3)) ])
+    | 9 -> add (insns [ SI.Strb (reg (), 12, (Sb_util.Xorshift.int rng 500 * 4) + (i land 3)) ])
+    | _ ->
+      (* bounded two-block loop with a fixed trip count: gives the
+         trace-enabled DBT engines hot back-edges to stitch, so the sweep
+         (and --validate-passes) exercises cross-block superblock IR *)
+      let top = Printf.sprintf "vtop%d" i in
+      let mid = Printf.sprintf "vmid%d" i in
+      let f = alu_ops.(Sb_util.Xorshift.int rng (Array.length alu_ops)) in
+      let g = alu_ops.(Sb_util.Xorshift.int rng (Array.length alu_ops)) in
+      let iters = 6 + Sb_util.Xorshift.int rng 10 in
+      add
+        (insns [ SI.Movw (13, iters) ]
+        @ [ Label top ]
+        @ insns [ f (reg ()) (reg ()) (reg ()); SI.B mid ]
+        @ [ Label mid ]
+        @ insns
+            [
+              g (reg ()) (reg ()) (reg ());
+              SI.Sub (13, 13, SI.Imm 1);
+              SI.Cmp (13, SI.Imm 0);
+              SI.Bcc (Uop.Ne, top);
+            ])
   done;
   let init =
     List.concat
@@ -238,6 +259,12 @@ let default_engines arch =
   [
     Simbench.Engines.interp arch;
     Simbench.Engines.dbt arch;
+    (* aggressive hot-trace formation (threshold 2): the random programs'
+       bounded loops run hot enough to stitch superblocks, so divergence
+       checking covers trace dispatch and --validate-passes sees the
+       cross-block stitched IR, not just single-block IR *)
+    Simbench.Engines.dbt_configured arch
+      { Sb_dbt.Config.default with Sb_dbt.Config.trace_threshold = 2 };
     Simbench.Engines.detailed arch;
     Simbench.Engines.virt arch;
     Simbench.Engines.native arch;

@@ -78,4 +78,6 @@ val random_sweep :
     --validate-passes]. *)
 
 val default_engines : Sb_isa.Arch_sig.arch_id -> Sb_sim.Engine.t list
-(** interp, dbt, detailed, virt, native. *)
+(** interp, dbt, dbt with aggressive hot-trace formation, detailed, virt,
+    native.  The trace-aggressive DBT makes the sweep cover superblock
+    dispatch and gives [validate_passes] stitched cross-block IR to check. *)

@@ -228,6 +228,48 @@ let test_validator_accepts_real_passes () =
       | Some v -> Alcotest.failf "%s rejected: %s" name (Ir_check.message v))
     real_passes
 
+(* A stitched two-block superblock shaped exactly as hot-trace formation
+   builds it (see lib/dbt/dbt.ml): block A's terminator — an unconditional
+   direct branch to B — sits mid-array, followed by block B's instructions.
+   The real passes must be free to optimise across the seam (B consumes
+   constants established in A) without the validator objecting. *)
+let stitched_superblock () =
+  [|
+    mk_insn ~va:0x1000 [ alu Uop.Orr 1 (Uop.Imm 0) (Uop.Imm 0x40) ];
+    mk_insn ~va:0x1004 [ alu Uop.Add 2 (Uop.Reg 1) (Uop.Imm 4) ];
+    mk_insn ~va:0x1008
+      [ Uop.Branch { cond = Uop.Always; target = Uop.Direct 0x2000; link = None } ];
+    mk_insn ~va:0x2000 [ alu Uop.Add 3 (Uop.Reg 2) (Uop.Imm 0) ];
+    mk_insn ~va:0x2004 [ alu ~flags:true Uop.Sub 4 (Uop.Reg 3) (Uop.Reg 1) ];
+    mk_insn ~va:0x2008
+      [ Uop.Branch { cond = Uop.Ne; target = Uop.Direct 0x1000; link = None } ];
+  |]
+
+let test_validator_accepts_stitched_traces () =
+  List.iter
+    (fun (name, pass) ->
+      let before = stitched_superblock () in
+      let after = Ir.copy before in
+      pass after;
+      match Ir_check.check ~pass:name ~before ~after with
+      | None -> ()
+      | Some v ->
+        Alcotest.failf "%s rejected stitched IR: %s" name (Ir_check.message v))
+    real_passes;
+  (* and under the full pass pipeline, validated per pass, exactly as
+     form_trace runs it *)
+  let ir = stitched_superblock () in
+  ignore
+    (Ir.run
+       ~validate:(fun ~pass ~before ~after ->
+         match Ir_check.check ~pass ~before ~after with
+         | None -> ()
+         | Some v ->
+           Alcotest.failf "pipeline pass %s rejected stitched IR: %s" pass
+             (Ir_check.message v))
+       ~passes:4 ir
+      : int)
+
 (* A deliberately broken "optimisation": drops the flag side-effect of
    every ALU uop.  The validator must pinpoint the flag divergence. *)
 let drop_flags (ir : Ir.t) =
@@ -264,6 +306,29 @@ let test_validated_sweep_is_clean () =
   let divergences =
     Sb_verify.Verify.random_sweep ~arch
       ~engines:[ Simbench.Engines.interp arch; Simbench.Engines.dbt arch ]
+      ~seeds:4
+      ~validate_passes:(fun ~pass ~before ~after ->
+        Option.map Ir_check.message (Ir_check.check ~pass ~before ~after))
+      ()
+  in
+  match divergences with
+  | [] -> ()
+  | d :: _ ->
+    Alcotest.failf "divergence (%s vs %s): %s" d.Sb_verify.Verify.reference_engine
+      d.Sb_verify.Verify.diverging_engine d.Sb_verify.Verify.detail
+
+(* Same validated sweep against a trace-aggressive DBT: the random
+   programs' bounded loops go hot at threshold 2, so the installed checker
+   sees the stitched cross-block IR of every formed trace. *)
+let test_validated_sweep_covers_traces () =
+  let arch = Sb_isa.Arch_sig.Sba in
+  let trace_dbt =
+    Simbench.Engines.dbt_configured arch
+      { Sb_dbt.Config.default with Sb_dbt.Config.trace_threshold = 2 }
+  in
+  let divergences =
+    Sb_verify.Verify.random_sweep ~arch
+      ~engines:[ Simbench.Engines.interp arch; trace_dbt ]
       ~seeds:4
       ~validate_passes:(fun ~pass ~before ~after ->
         Option.map Ir_check.message (Ir_check.check ~pass ~before ~after))
@@ -312,9 +377,13 @@ let () =
         [
           Alcotest.test_case "accepts real passes" `Quick
             test_validator_accepts_real_passes;
+          Alcotest.test_case "accepts stitched traces" `Quick
+            test_validator_accepts_stitched_traces;
           Alcotest.test_case "catches broken pass" `Quick
             test_validator_catches_broken_pass;
           Alcotest.test_case "validated sweep clean" `Quick
             test_validated_sweep_is_clean;
+          Alcotest.test_case "validated sweep covers traces" `Quick
+            test_validated_sweep_covers_traces;
         ] );
     ]

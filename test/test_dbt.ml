@@ -196,6 +196,66 @@ let test_page_cache_flush_modes () =
   Pc.insert lazy_ (entry 2 2);
   Alcotest.(check bool) "new gen entry" true (Pc.lookup_l1 lazy_ ~vpn:2 ~asid:0 <> None)
 
+(* the eager cost is the whole geometry (both levels are cleared), and it is
+   re-reported per flush; the lazy path reports 0 forever *)
+let test_page_cache_flush_cost_reporting () =
+  let eager = Pc.create ~l1_entries:8 ~l2_entries:32 ~lazy_flush:false in
+  Alcotest.(check int) "no flush yet" 0 (Pc.flush_cost eager);
+  Pc.flush eager;
+  Alcotest.(check int) "eager cost = l1+l2" 40 (Pc.flush_cost eager);
+  Pc.flush eager;
+  Alcotest.(check int) "cost again" 40 (Pc.flush_cost eager);
+  let no_l2 = Pc.create ~l1_entries:16 ~l2_entries:0 ~lazy_flush:false in
+  Pc.flush no_l2;
+  Alcotest.(check int) "l1-only cost" 16 (Pc.flush_cost no_l2);
+  let lazy_ = Pc.create ~l1_entries:8 ~l2_entries:32 ~lazy_flush:true in
+  Pc.flush lazy_;
+  Pc.flush lazy_;
+  Alcotest.(check int) "lazy always free" 0 (Pc.flush_cost lazy_)
+
+(* lazy flushing is generation bumping: stale entries in both levels become
+   invisible without being cleared, every flush opens a fresh generation,
+   and promotion never resurrects a stale generation *)
+let test_page_cache_lazy_generations () =
+  let pc = Pc.create ~l1_entries:4 ~l2_entries:64 ~lazy_flush:true in
+  (* vpn 1 demoted to L2 by a conflicting insert, then the flush strands it *)
+  Pc.insert pc (entry 1 10);
+  Pc.insert pc (entry 5 20);
+  (match Pc.lookup_l2 pc ~vpn:1 ~asid:0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "victim expected in L2 before flush");
+  Pc.flush pc;
+  Alcotest.(check bool) "stale L1 invisible" true (Pc.lookup_l1 pc ~vpn:5 ~asid:0 = None);
+  Alcotest.(check bool) "stale L2 not promoted" true
+    (Pc.lookup_l2 pc ~vpn:1 ~asid:0 = None);
+  Alcotest.(check bool) "and not in L1 either" true
+    (Pc.lookup_l1 pc ~vpn:1 ~asid:0 = None);
+  (* entries of the new generation behave normally, including demotion and
+     promotion within that generation *)
+  Pc.insert pc (entry 1 11);
+  Pc.insert pc (entry 5 21);
+  Alcotest.(check bool) "new gen L1 miss after conflict" true
+    (Pc.lookup_l1 pc ~vpn:1 ~asid:0 = None);
+  (match Pc.lookup_l2 pc ~vpn:1 ~asid:0 with
+  | Some e -> Alcotest.(check int) "new gen promoted value" 11 e.Pc.ppn
+  | None -> Alcotest.fail "new-generation victim expected in L2");
+  Alcotest.(check bool) "promoted to L1" true (Pc.lookup_l1 pc ~vpn:1 ~asid:0 <> None);
+  (* a second flush strands the new generation too *)
+  Pc.flush pc;
+  Alcotest.(check bool) "second flush hides" true
+    (Pc.lookup_l1 pc ~vpn:1 ~asid:0 = None && Pc.lookup_l2 pc ~vpn:1 ~asid:0 = None)
+
+let test_page_cache_l2_disabled () =
+  let pc = Pc.create ~l1_entries:4 ~l2_entries:0 ~lazy_flush:false in
+  Pc.insert pc (entry 1 10);
+  (* conflicting insert has nowhere to demote to: the victim is just lost *)
+  Pc.insert pc (entry 5 20);
+  Alcotest.(check bool) "no l2" true (Pc.lookup_l2 pc ~vpn:1 ~asid:0 = None);
+  Alcotest.(check bool) "victim gone" true (Pc.lookup_l1 pc ~vpn:1 ~asid:0 = None);
+  (match Pc.lookup_l1 pc ~vpn:5 ~asid:0 with
+  | Some e -> Alcotest.(check int) "winner present" 20 e.Pc.ppn
+  | None -> Alcotest.fail "winner expected")
+
 let test_page_cache_asid_tagging () =
   let pc = Pc.create ~l1_entries:16 ~l2_entries:0 ~lazy_flush:false in
   Pc.insert pc (entry ~asid:1 7 100);
@@ -224,7 +284,7 @@ let test_page_cache_invalidate_page () =
 (* ---------------- version table ---------------- *)
 
 let test_version_table () =
-  Alcotest.(check int) "twenty releases" 20 (List.length Sb_dbt.Version.all);
+  Alcotest.(check int) "twenty-one releases" 21 (List.length Sb_dbt.Version.all);
   Alcotest.(check string) "baseline first" Sb_dbt.Version.baseline_name
     (fst (List.hd Sb_dbt.Version.all));
   Alcotest.(check bool) "find known" true (Sb_dbt.Version.find "v2.0.0" <> None);
@@ -245,7 +305,17 @@ let test_version_table () =
       && monotone rest
     | _ -> true
   in
-  Alcotest.(check bool) "chain verify monotone" true (monotone Sb_dbt.Version.all)
+  Alcotest.(check bool) "chain verify monotone" true (monotone Sb_dbt.Version.all);
+  (* hot-trace superblocks appear at 2.6.0 and nowhere before *)
+  Alcotest.(check int) "no traces before" 0
+    (cfg "v2.5.0-rc2").Sb_dbt.Config.trace_threshold;
+  Alcotest.(check bool) "traces at 2.6.0" true
+    ((cfg "v2.6.0").Sb_dbt.Config.trace_threshold > 0
+    && (cfg "v2.6.0").Sb_dbt.Config.max_trace_blocks >= 2);
+  (* the contemporary default enables traces like the newest entry *)
+  Alcotest.(check int) "default traces on"
+    (cfg "v2.6.0").Sb_dbt.Config.trace_threshold
+    Sb_dbt.Config.default.Sb_dbt.Config.trace_threshold
 
 (* Optimised and unoptimised DBT engines must agree architecturally: run a
    program that the optimiser rewrites heavily under both pass budgets. *)
@@ -285,6 +355,138 @@ let test_opt_equivalence () =
   in
   Alcotest.(check (array int)) "same registers" (run (module Dbt_noopt)) (run (module Dbt_opt))
 
+(* ---------------- hot-trace superblocks ---------------- *)
+
+module Dbt_traces =
+  Sb_dbt.Dbt.Make_configured
+    (Sb_arch_sba.Arch)
+    (struct
+      let config =
+        {
+          Sb_dbt.Config.default with
+          Sb_dbt.Config.trace_threshold = 4;
+          max_trace_blocks = 8;
+        }
+    end)
+
+module Dbt_notrace =
+  Sb_dbt.Dbt.Make_configured
+    (Sb_arch_sba.Arch)
+    (struct
+      let config = { Sb_dbt.Config.default with Sb_dbt.Config.trace_threshold = 0 }
+    end)
+
+module Interp_sba = Sb_interp.Interp.Make (Sb_arch_sba.Arch)
+
+let run_program engine program =
+  let machine = Sb_sim.Machine.create ~ram_size:(1 lsl 20) () in
+  Sb_sim.Machine.load_program machine program;
+  let result = Sb_sim.Engine.run engine ~max_insns:2_000_000 machine in
+  (result, Array.sub machine.Sb_sim.Machine.cpu.Sb_sim.Cpu.regs 0 14)
+
+(* a counted loop whose body spans three blocks linked by direct branches:
+   the canonical trace-formation shape *)
+let trace_loop_program iters =
+  let module SI = Sb_arch_sba.Insn in
+  let open Sb_asm.Assembler in
+  let insns l = List.map (fun i -> Insn i) l in
+  SI.Asm.assemble ~base:0 ~entry:"start"
+    ([ Label "start" ]
+    @ insns (SI.li 1 0 @ SI.li 2 iters)
+    @ [ Label "loop" ]
+    @ insns [ SI.Add (1, 1, SI.Imm 3); SI.B "b2" ]
+    @ [ Label "b2" ]
+    @ insns [ SI.Add (1, 1, SI.Imm 5); SI.B "b3" ]
+    @ [ Label "b3" ]
+    @ insns
+        [
+          SI.Sub (2, 2, SI.Imm 1);
+          SI.Cmp (2, SI.Imm 0);
+          SI.Bcc (Sb_isa.Uop.Ne, "loop");
+          SI.Halt;
+        ])
+
+let counter (r : Sb_sim.Run_result.t) c = Sb_sim.Perf.get r.Sb_sim.Run_result.perf c
+
+let test_trace_equivalence_and_counters () =
+  let program = trace_loop_program 200 in
+  let rt, regs_t = run_program (module Dbt_traces) program in
+  let rn, regs_n = run_program (module Dbt_notrace) program in
+  let ri, regs_i = run_program (module Interp_sba) program in
+  Alcotest.(check (array int)) "traces vs no traces" regs_n regs_t;
+  Alcotest.(check (array int)) "traces vs interpreter" regs_i regs_t;
+  Alcotest.(check int) "insns identical (dbt)" (counter rn Sb_sim.Perf.Insns)
+    (counter rt Sb_sim.Perf.Insns);
+  Alcotest.(check int) "insns identical (interp)" (counter ri Sb_sim.Perf.Insns)
+    (counter rt Sb_sim.Perf.Insns);
+  (* architectural branch counters survive seam elision *)
+  List.iter
+    (fun c ->
+      Alcotest.(check int)
+        (Sb_sim.Perf.to_string c)
+        (counter rn c) (counter rt c))
+    [ Sb_sim.Perf.Branch_direct; Sb_sim.Perf.Branch_taken; Sb_sim.Perf.Branch_indirect ];
+  (* the trace machinery actually engaged *)
+  Alcotest.(check bool) "traces formed" true (counter rt Sb_sim.Perf.Traces_formed >= 1);
+  Alcotest.(check bool) "trace dispatches dominate" true
+    (counter rt Sb_sim.Perf.Trace_dispatches > 100);
+  (* the loop exit leaves through a conditional seam *)
+  Alcotest.(check bool) "side exit at loop exit" true
+    (counter rt Sb_sim.Perf.Trace_side_exits >= 1);
+  (* and stayed entirely off with threshold 0 *)
+  List.iter
+    (fun c -> Alcotest.(check int) ("off: " ^ Sb_sim.Perf.to_string c) 0 (counter rn c))
+    [
+      Sb_sim.Perf.Traces_formed;
+      Sb_sim.Perf.Trace_dispatches;
+      Sb_sim.Perf.Trace_side_exits;
+      Sb_sim.Perf.Trace_invalidations;
+    ]
+
+(* Self-modifying code must invalidate live traces: mid-loop, the guest
+   stores over an instruction of a constituent block (rewriting the same
+   word, so the architectural result is unchanged and any stale-trace reuse
+   would be invisible to the registers — only the invalidation contract
+   makes this pass deterministically). *)
+let test_trace_smc_invalidation () =
+  let module SI = Sb_arch_sba.Insn in
+  let open Sb_asm.Assembler in
+  let insns l = List.map (fun i -> Insn i) l in
+  let program =
+    SI.Asm.assemble ~base:0 ~entry:"start"
+      ([ Label "start" ]
+      @ insns (SI.li 1 0 @ SI.li 2 50 @ SI.la 4 "patch_target")
+      @ insns [ SI.Ldr (5, 4, 0) ]
+      @ [ Label "loop" ]
+      @ insns [ SI.Add (1, 1, SI.Imm 3); SI.B "b2" ]
+      @ [ Label "b2"; Label "patch_target" ]
+      @ insns [ SI.Add (1, 1, SI.Imm 5); SI.B "b3" ]
+      @ [ Label "b3" ]
+      @ insns [ SI.Cmp (2, SI.Imm 10); SI.Bcc (Sb_isa.Uop.Ne, "skip") ]
+      @ insns [ SI.Str (5, 4, 0) ]
+      @ [ Label "skip" ]
+      @ insns
+          [
+            SI.Sub (2, 2, SI.Imm 1);
+            SI.Cmp (2, SI.Imm 0);
+            SI.Bcc (Sb_isa.Uop.Ne, "loop");
+            SI.Halt;
+          ])
+  in
+  let rt, regs_t = run_program (module Dbt_traces) program in
+  let rn, regs_n = run_program (module Dbt_notrace) program in
+  let ri, regs_i = run_program (module Interp_sba) program in
+  Alcotest.(check (array int)) "traces vs no traces" regs_n regs_t;
+  Alcotest.(check (array int)) "traces vs interpreter" regs_i regs_t;
+  Alcotest.(check int) "insns identical" (counter rn Sb_sim.Perf.Insns)
+    (counter rt Sb_sim.Perf.Insns);
+  Alcotest.(check int) "insns identical (interp)" (counter ri Sb_sim.Perf.Insns)
+    (counter rt Sb_sim.Perf.Insns);
+  Alcotest.(check bool) "SMC invalidated a trace" true
+    (counter rt Sb_sim.Perf.Trace_invalidations >= 1);
+  Alcotest.(check bool) "and traces re-formed after" true
+    (counter rt Sb_sim.Perf.Traces_formed >= 2)
+
 let () =
   Alcotest.run "sb_dbt"
     [
@@ -305,8 +507,17 @@ let () =
           Alcotest.test_case "l1" `Quick test_page_cache_l1;
           Alcotest.test_case "l2 promotion" `Quick test_page_cache_l2_promotion;
           Alcotest.test_case "flush modes" `Quick test_page_cache_flush_modes;
+          Alcotest.test_case "flush cost" `Quick test_page_cache_flush_cost_reporting;
+          Alcotest.test_case "lazy generations" `Quick test_page_cache_lazy_generations;
+          Alcotest.test_case "l2 disabled" `Quick test_page_cache_l2_disabled;
           Alcotest.test_case "invalidate page" `Quick test_page_cache_invalidate_page;
           Alcotest.test_case "asid tagging" `Quick test_page_cache_asid_tagging;
         ] );
       ( "versions", [ Alcotest.test_case "table" `Quick test_version_table ] );
+      ( "traces",
+        [
+          Alcotest.test_case "equivalence and counters" `Quick
+            test_trace_equivalence_and_counters;
+          Alcotest.test_case "smc invalidation" `Quick test_trace_smc_invalidation;
+        ] );
     ]

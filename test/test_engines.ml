@@ -22,6 +22,16 @@ module Dbt_sba_baseline =
       let config = Sb_dbt.Config.baseline
     end)
 
+(* Aggressive hot-trace formation: threshold 2 means any loop that runs a
+   handful of iterations executes through stitched superblocks, so every
+   equivalence/SMC property below also pins trace semantics. *)
+module Dbt_sba_traces =
+  Sb_dbt.Dbt.Make_configured
+    (Sb_arch_sba.Arch)
+    (struct
+      let config = { Sb_dbt.Config.default with Sb_dbt.Config.trace_threshold = 2 }
+    end)
+
 module Detailed_sba = Sb_detailed.Detailed.Make (Sb_arch_sba.Arch)
 module Detailed_vlx = Sb_detailed.Detailed.Make (Sb_arch_vlx.Arch)
 module Virt_sba = Sb_virt.Virt.Make_virt (Sb_arch_sba.Arch)
@@ -34,6 +44,7 @@ let sba_engines : Sb_sim.Engine.t list =
     (module Interp_sba);
     (module Dbt_sba);
     (module Dbt_sba_baseline);
+    (module Dbt_sba_traces);
     (module Detailed_sba);
     (module Virt_sba);
     (module Native_sba);
@@ -468,7 +479,7 @@ let random_sba_program seed =
   let conds = [| Uop.Eq; Uop.Ne; Uop.Lt; Uop.Ge; Uop.Ltu; Uop.Geu |] in
   let reg () = Sb_util.Xorshift.int rng 10 in
   for i = 0 to n_chunks - 1 do
-    match Sb_util.Xorshift.int rng 10 with
+    match Sb_util.Xorshift.int rng 11 with
     | 0 | 1 | 2 | 3 ->
       let f = alu_ops.(Sb_util.Xorshift.int rng (Array.length alu_ops)) in
       add (sba_insns [ f (reg ()) (reg ()) (reg ()) ])
@@ -489,9 +500,29 @@ let random_sba_program seed =
       let off = Sb_util.Xorshift.int rng 500 * 4 in
       add (sba_insns [ SI.Ldr (reg (), 12, off) ])
     | 8 -> add (sba_insns [ SI.Svc (i land 0xFF) ])
-    | _ ->
+    | 9 ->
       let off = Sb_util.Xorshift.int rng 500 * 4 in
       add (sba_insns [ SI.Strb (reg (), 12, off + (i land 3)) ])
+    | _ ->
+      (* bounded two-block loop with a fixed trip count: hot enough for the
+         trace-enabled DBT to stitch a superblock and run it repeatedly *)
+      let top = Printf.sprintf "top%d" i in
+      let mid = Printf.sprintf "mid%d" i in
+      let f = alu_ops.(Sb_util.Xorshift.int rng (Array.length alu_ops)) in
+      let g = alu_ops.(Sb_util.Xorshift.int rng (Array.length alu_ops)) in
+      let iters = 6 + Sb_util.Xorshift.int rng 10 in
+      add
+        (sba_insns [ SI.Movw (13, iters) ]
+        @ [ Label top ]
+        @ sba_insns [ f (reg ()) (reg ()) (reg ()); SI.B mid ]
+        @ [ Label mid ]
+        @ sba_insns
+            [
+              g (reg ()) (reg ()) (reg ());
+              SI.Sub (13, 13, SI.Imm 1);
+              SI.Cmp (13, SI.Imm 0);
+              SI.Bcc (Uop.Ne, top);
+            ])
   done;
   let init =
     List.concat

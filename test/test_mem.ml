@@ -19,6 +19,44 @@ let test_phys_mem_bounds () =
   Alcotest.check_raises "straddling word" (Sb_mem.Phys_mem.Out_of_range 13) (fun () ->
       ignore (Sb_mem.Phys_mem.read32 m 13))
 
+(* pins the unboxed read32/write32 recomposition: exact round-trips at every
+   byte alignment, truncation to 32 bits, and unchanged Out_of_range
+   behaviour (one bounds check up front, never a partial write) *)
+let test_phys_mem_word_recomposition () =
+  let m = Sb_mem.Phys_mem.create ~size:64 in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun addr ->
+          Sb_mem.Phys_mem.write32 m addr v;
+          Alcotest.(check int)
+            (Printf.sprintf "round trip %#x @%d" v addr)
+            (v land 0xFFFF_FFFF)
+            (Sb_mem.Phys_mem.read32 m addr))
+        [ 0; 1; 2; 3; 17 ])
+    [ 0; 1; 0xFFFF_FFFF; 0x8000_0000; 0x0102_0304; 0xDEADBEEF ];
+  (* values above 32 bits truncate exactly like the old Int32 path *)
+  Sb_mem.Phys_mem.write32 m 0 0x1_2345_6789;
+  Alcotest.(check int) "truncated" 0x2345_6789 (Sb_mem.Phys_mem.read32 m 0);
+  (* little-endian byte order is observable through read8 *)
+  Sb_mem.Phys_mem.write32 m 8 0xAABBCCDD;
+  Alcotest.(check int) "byte 0" 0xDD (Sb_mem.Phys_mem.read8 m 8);
+  Alcotest.(check int) "byte 3" 0xAA (Sb_mem.Phys_mem.read8 m 11);
+  (* bounds: negative, straddling and far-out addresses all raise before
+     touching memory *)
+  Alcotest.check_raises "oob write32" (Sb_mem.Phys_mem.Out_of_range 61) (fun () ->
+      Sb_mem.Phys_mem.write32 m 61 0);
+  Alcotest.check_raises "negative write32" (Sb_mem.Phys_mem.Out_of_range (-1))
+    (fun () -> Sb_mem.Phys_mem.write32 m (-1) 0);
+  Alcotest.check_raises "oob read32" (Sb_mem.Phys_mem.Out_of_range 61) (fun () ->
+      ignore (Sb_mem.Phys_mem.read32 m 61));
+  Alcotest.check_raises "negative read32" (Sb_mem.Phys_mem.Out_of_range (-1))
+    (fun () -> ignore (Sb_mem.Phys_mem.read32 m (-1)));
+  (* a refused write left the last word intact *)
+  Sb_mem.Phys_mem.write32 m 60 0x11223344;
+  (try Sb_mem.Phys_mem.write32 m 61 0xFFFFFFFF with Sb_mem.Phys_mem.Out_of_range _ -> ());
+  Alcotest.(check int) "no partial write" 0x11223344 (Sb_mem.Phys_mem.read32 m 60)
+
 let test_phys_mem_load () =
   let m = Sb_mem.Phys_mem.create ~size:64 in
   Sb_mem.Phys_mem.load m ~addr:8 (Bytes.of_string "abcd");
@@ -157,6 +195,8 @@ let () =
         [
           Alcotest.test_case "rw" `Quick test_phys_mem_rw;
           Alcotest.test_case "bounds" `Quick test_phys_mem_bounds;
+          Alcotest.test_case "word recomposition" `Quick
+            test_phys_mem_word_recomposition;
           Alcotest.test_case "load/blit" `Quick test_phys_mem_load;
         ] );
       ( "bus",
