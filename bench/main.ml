@@ -72,6 +72,7 @@ let json_of_rows ~experiment ~(opts : Sb_report.Experiments.run_opts)
         ("repeats", Int r.row_repeats);
         ("seconds", Float r.row_seconds);
         ("mean_seconds", Float r.row_mean_seconds);
+        ("samples", List (List.map (fun s -> Float s) r.row_samples));
         ("kernel_insns", Int r.row_kernel_insns);
         ( "kernel_perf",
           Obj (List.map (fun (name, n) -> (name, Int n)) r.row_perf) );
@@ -79,6 +80,7 @@ let json_of_rows ~experiment ~(opts : Sb_report.Experiments.run_opts)
   in
   Obj
     [
+      ("schema", String Sb_regress.Baseline.bench_schema);
       ("experiment", String experiment);
       ("jobs", Int opts.jobs);
       ( "config",
@@ -201,6 +203,7 @@ type cli = {
   mutable bechamel : bool;
   mutable all : bool;
   mutable jobs : int;
+  mutable repeats : int option;
   mutable json_dir : string option;
   mutable cache_dir : string option;
   mutable names : string list; (* reversed *)
@@ -208,8 +211,8 @@ type cli = {
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--quick] [--all] [-j N] [--json DIR] [--cache DIR]\n\
-    \                [--bechamel] [experiment ...]";
+    "usage: main.exe [--quick] [--all] [-j N] [--repeats N] [--json DIR]\n\
+    \                [--cache DIR] [--bechamel] [experiment ...]";
   exit 2
 
 let parse_args args =
@@ -219,6 +222,7 @@ let parse_args args =
       bechamel = false;
       all = false;
       jobs = 1;
+      repeats = None;
       json_dir = None;
       cache_dir = None;
       names = [];
@@ -237,6 +241,9 @@ let parse_args args =
     | "--bechamel" :: rest -> cli.bechamel <- true; go rest
     | "--all" :: rest -> cli.all <- true; go rest
     | "-j" :: v :: rest -> cli.jobs <- int_of "-j" v; go rest
+    | "--repeats" :: v :: rest ->
+      cli.repeats <- Some (int_of "--repeats" v);
+      go rest
     | "--json" :: v :: rest -> cli.json_dir <- Some v; go rest
     | "--cache" :: v :: rest -> cli.cache_dir <- Some v; go rest
     | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
@@ -256,6 +263,13 @@ let () =
     let config =
       if cli.quick then Sb_report.Experiments.quick_config
       else Sb_report.Experiments.default_config
+    in
+    (* timing repeats: the regression detector's significance test needs
+       the full sample vector, so CI runs use --quick --repeats 3 *)
+    let config =
+      match cli.repeats with
+      | None -> config
+      | Some r -> { config with Sb_report.Experiments.repeats = r }
     in
     let opts =
       { Sb_report.Experiments.jobs = cli.jobs; cache_dir = cli.cache_dir }

@@ -6,7 +6,9 @@
      suite       run the full suite on one engine and print the table
      workload    run one SPEC-analog workload
      lint        statically check benchmark programs and conventions
-     report      regenerate paper figures (same drivers as bench/main.exe) *)
+     report      regenerate paper figures (same drivers as bench/main.exe)
+     baseline    snapshot a --json run directory as a regression baseline
+     compare     statistical regression detection between two recorded runs *)
 
 open Cmdliner
 
@@ -540,6 +542,157 @@ let debug_cmd =
        ~doc:"Single-step a benchmark under a debugger with breakpoints.")
     Term.(const action $ arch_arg $ engine_arg $ bench_arg $ break_arg $ steps_arg)
 
+(* ---- baseline / compare ---- *)
+
+let baseline_cmd =
+  let json_dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "json" ] ~docv:"DIR"
+          ~doc:"Run directory: the BENCH_*.json files written by bench/main.exe --json DIR.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "baseline.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Snapshot file to write.")
+  in
+  let action dir out =
+    match Sb_regress.Baseline.load_run_dir dir with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok run ->
+      Sb_regress.Baseline.write_snapshot ~out run;
+      Printf.printf "baseline: %d cells from %s -> %s\n"
+        (List.length run.Sb_regress.Regress.cells)
+        dir out;
+      0
+  in
+  Cmd.v
+    (Cmd.info "baseline"
+       ~doc:
+         "Merge a --json run directory into one schema-tagged snapshot file \
+          (the thing to check in as a CI regression baseline; see \
+          docs/regress.md).")
+    Term.(const action $ json_dir_arg $ out_arg)
+
+let compare_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD" ~doc:"Baseline run: a snapshot file or a --json directory.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Candidate run: a snapshot file or a --json directory.")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt float (Sb_regress.Regress.default_threshold *. 100.)
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "Minimum effect size in percent; smaller shifts are reported as \
+             unchanged regardless of significance (host jitter on short \
+             cells is typically 5-10%).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit 1 if any confirmed regression remains (the CI gate mode).")
+  in
+  let all_cells_arg =
+    Arg.(
+      value & flag
+      & info [ "all-cells" ] ~doc:"Render every paired cell, not only the changed ones.")
+  in
+  let old_engine_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "old-engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Restrict OLD to one engine label (e.g. dbt:v1.7.0) and pair \
+             cells across engine labels — compares two engine \
+             configurations out of the same recorded sweep.")
+  in
+  let new_engine_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "new-engine" ] ~docv:"ENGINE"
+          ~doc:"Restrict NEW to one engine label (see --old-engine).")
+  in
+  (* Recorded rows carry the canonical label for each DBT configuration
+     (release aliases such as v2.5.0-rc1/-rc2 share v2.5.0-rc0's config),
+     so resolve a requested "dbt:NAME" through the version table before
+     filtering: --new-engine dbt:v2.5.0-rc2 matches dbt:v2.5.0-rc0 rows. *)
+  let canonical_engine label =
+    match String.index_opt label ':' with
+    | Some i when String.sub label 0 i = "dbt" ->
+      let version = String.sub label (i + 1) (String.length label - i - 1) in
+      (match Sb_dbt.Version.find version with
+      | None -> label
+      | Some config ->
+        (match
+           List.find_opt (fun (_, c) -> c = config) Sb_dbt.Version.all
+         with
+        | Some (name, _) -> "dbt:" ^ name
+        | None -> label))
+    | _ -> label
+  in
+  let action old_path new_path threshold json strict all_cells old_engine
+      new_engine =
+    if threshold < 0. then begin
+      prerr_endline "--threshold must be non-negative";
+      2
+    end
+    else
+      match
+        (Sb_regress.Baseline.load old_path, Sb_regress.Baseline.load new_path)
+      with
+      | Error msg, _ | _, Error msg ->
+        prerr_endline msg;
+        2
+      | Ok old_run, Ok new_run ->
+        let apply_filter run = function
+          | None -> run
+          | Some engine ->
+            Sb_regress.Baseline.filter_engine run (canonical_engine engine)
+        in
+        let old_run = apply_filter old_run old_engine in
+        let new_run = apply_filter new_run new_engine in
+        let ignore_engine = old_engine <> None || new_engine <> None in
+        let report =
+          Sb_regress.Regress.compare_runs ~threshold:(threshold /. 100.)
+            ~ignore_engine ~old_run ~new_run ()
+        in
+        if json then
+          print_endline
+            (Sb_util.Json.to_string (Sb_regress.Regress.to_json report))
+        else print_string (Sb_regress.Regress.render ~all_cells report);
+        Sb_regress.Regress.exit_code ~strict report
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Statistically compare two recorded benchmark runs: classify every \
+          paired cell as regressed / improved / unchanged using the \
+          recorded repeats (t-based confidence-interval overlap plus a \
+          minimum-effect threshold) and attribute shifts to mechanism \
+          categories.")
+    Term.(
+      const action $ old_arg $ new_arg $ threshold_arg $ json_arg $ strict_arg
+      $ all_cells_arg $ old_engine_arg $ new_engine_arg)
+
 (* ---- report ---- *)
 
 let report_cmd =
@@ -588,5 +741,5 @@ let () =
   exit (Cmd.eval' (Cmd.group info
        [
          list_cmd; run_cmd; suite_cmd; workload_cmd; disasm_cmd; verify_cmd;
-         lint_cmd; debug_cmd; report_cmd;
+         lint_cmd; debug_cmd; report_cmd; baseline_cmd; compare_cmd;
        ]))

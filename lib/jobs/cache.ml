@@ -1,8 +1,9 @@
 type t = { dir : string }
 
 (* bumped whenever the stored value shape changes; part of every fingerprint
-   so stale cache files from older schemas can never be mis-decoded *)
-let schema = "sb-jobs-cache-2"
+   so stale cache files from older schemas can never be mis-decoded.
+   3: Experiments.row gained row_samples (raw per-repeat kernel seconds) *)
+let schema = "sb-jobs-cache-3"
 
 let rec mkdir_p dir =
   if dir = "" || dir = "." || dir = "/" then ()
@@ -23,16 +24,39 @@ let fingerprint v =
 
 let path t key = Filename.concat t.dir ("sb_" ^ key ^ ".cache")
 
+(* Corrupt entries (truncated writes, a poisoned CI cache, key collisions)
+   degrade to misses, but never silently: each is logged and counted, and
+   the offending file is removed so the next store starts clean. *)
+let evicted = ref 0
+
+let evictions () = !evicted
+
+let reset_evictions () = evicted := 0
+
+let evict t ~key ~reason =
+  incr evicted;
+  let file = path t key in
+  Printf.eprintf "[sb-jobs] cache: evicting corrupt entry %s (%s)\n%!" file
+    reason;
+  try Sys.remove file with Sys_error _ -> ()
+
 let load (type a) t ~key : a option =
   match open_in_bin (path t key) with
-  | exception Sys_error _ -> None
+  | exception Sys_error _ -> None (* plain miss: no such entry *)
   | ic ->
     let v =
-      try
+      match
         let stored_key : string = Marshal.from_channel ic in
-        if String.equal stored_key key then Some (Marshal.from_channel ic : a)
-        else None
-      with _ -> None
+        if String.equal stored_key key then `Hit (Marshal.from_channel ic : a)
+        else `Key_mismatch
+      with
+      | `Hit v -> Some v
+      | `Key_mismatch ->
+        evict t ~key ~reason:"stored key mismatch";
+        None
+      | exception _ ->
+        evict t ~key ~reason:"truncated or undecodable";
+        None
     in
     close_in_noerr ic;
     v

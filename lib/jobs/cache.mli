@@ -23,7 +23,17 @@ val fingerprint : 'a -> string
     variants, strings and numbers. *)
 
 val load : t -> key:string -> 'a option
-(** [None] on missing, truncated, corrupt or key-mismatched files. *)
+(** [None] on missing, truncated, corrupt or key-mismatched files.  A
+    missing file is a plain (silent) miss; a corrupt or key-mismatched
+    file is {e evicted}: a one-line warning naming the offending path goes
+    to stderr, the file is removed, and {!evictions} is incremented — a
+    poisoned CI cache shows up in the logs instead of silently re-running
+    every cell. *)
+
+val evictions : unit -> int
+(** Corrupt-entry evictions since start (or {!reset_evictions}). *)
+
+val reset_evictions : unit -> unit
 
 val store : t -> key:string -> 'a -> unit
 (** Atomic (write to a temp file, then rename). *)

@@ -1,0 +1,227 @@
+module Json = Sb_util.Json
+
+(* schema tags: readers reject anything else with a clear message instead
+   of mis-decoding old files *)
+let bench_schema = "simbench-bench-json-2"
+let snapshot_schema = "simbench-baseline-1"
+
+let ( let* ) = Result.bind
+
+let error_in ~source msg = Error (Printf.sprintf "%s: %s" source msg)
+
+let field ~source obj name decode =
+  match Json.member name obj with
+  | None -> error_in ~source (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+    match decode v with
+    | Some x -> Ok x
+    | None -> error_in ~source (Printf.sprintf "field %S has the wrong shape" name))
+
+(* ------------------------------------------------------------------ *)
+(* Cells                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_cell (c : Regress.cell) =
+  Json.Obj
+    [
+      ("experiment", Json.String c.Regress.experiment);
+      ("cell", Json.String c.Regress.cell);
+      ("engine", Json.String c.Regress.engine);
+      ("arch", Json.String c.Regress.arch);
+      ("iters", Json.Int c.Regress.iters);
+      ("repeats", Json.Int c.Regress.repeats);
+      ("seconds", Json.Float c.Regress.seconds);
+      ("mean_seconds", Json.Float c.Regress.mean_seconds);
+      ( "samples",
+        Json.List (List.map (fun s -> Json.Float s) c.Regress.samples) );
+      ("kernel_insns", Json.Int c.Regress.kernel_insns);
+      ( "kernel_perf",
+        Json.Obj
+          (List.map (fun (name, n) -> (name, Json.Int n)) c.Regress.perf) );
+    ]
+
+let cell_of_json ~source ~experiment j =
+  let experiment =
+    match Option.bind (Json.member "experiment" j) Json.string_opt with
+    | Some e -> e
+    | None -> experiment
+  in
+  let* cell = field ~source j "cell" Json.string_opt in
+  let source = Printf.sprintf "%s (cell %S)" source cell in
+  let* engine = field ~source j "engine" Json.string_opt in
+  let* arch = field ~source j "arch" Json.string_opt in
+  let* iters = field ~source j "iters" Json.int_opt in
+  let* repeats = field ~source j "repeats" Json.int_opt in
+  let* seconds = field ~source j "seconds" Json.float_opt in
+  let* mean_seconds = field ~source j "mean_seconds" Json.float_opt in
+  let* samples_json = field ~source j "samples" Json.list_opt in
+  let* samples =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        match Json.float_opt s with
+        | Some f -> Ok (f :: acc)
+        | None -> error_in ~source "non-numeric entry in \"samples\"")
+      (Ok []) samples_json
+    |> Result.map List.rev
+  in
+  let* kernel_insns = field ~source j "kernel_insns" Json.int_opt in
+  let perf =
+    match Json.member "kernel_perf" j with
+    | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (name, v) -> Option.map (fun n -> (name, n)) (Json.int_opt v))
+        fields
+    | _ -> []
+  in
+  Ok
+    {
+      Regress.experiment;
+      engine;
+      arch;
+      cell;
+      iters;
+      repeats;
+      seconds;
+      mean_seconds;
+      samples;
+      kernel_insns;
+      perf;
+    }
+
+let cells_of_json ~source ~experiment j =
+  let* cells_json = field ~source j "cells" Json.list_opt in
+  List.fold_left
+    (fun acc c ->
+      let* acc = acc in
+      let* cell = cell_of_json ~source ~experiment c in
+      Ok (cell :: acc))
+    (Ok []) cells_json
+  |> Result.map List.rev
+
+(* ------------------------------------------------------------------ *)
+(* File formats                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in_noerr ic;
+    Ok s
+
+let check_schema ~source ~expected j =
+  match Option.bind (Json.member "schema" j) Json.string_opt with
+  | Some s when s = expected -> Ok ()
+  | Some s ->
+    error_in ~source
+      (Printf.sprintf "schema %S is not the expected %S — re-create this file \
+                       with the current tools"
+         s expected)
+  | None ->
+    error_in ~source
+      (Printf.sprintf
+         "no \"schema\" field: this looks like a pre-%s file (older builds \
+          did not record per-repeat samples) — re-run the benchmark with \
+          --json to regenerate it"
+         expected)
+
+let parse ~source s =
+  match Json.of_string s with
+  | Ok j -> Ok j
+  | Error msg -> error_in ~source msg
+
+(* one BENCH_<experiment>.json written by bench/main.exe --json *)
+let load_bench_file path =
+  let* s = read_file path in
+  let* j = parse ~source:path s in
+  let* () = check_schema ~source:path ~expected:bench_schema j in
+  let* experiment = field ~source:path j "experiment" Json.string_opt in
+  cells_of_json ~source:path ~experiment j
+
+let is_bench_file name =
+  String.length name > 6
+  && String.sub name 0 6 = "BENCH_"
+  && Filename.check_suffix name ".json"
+
+let load_run_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error msg -> Error msg
+  | entries ->
+    let files = List.sort compare (List.filter is_bench_file (Array.to_list entries)) in
+    if files = [] then
+      error_in ~source:dir "no BENCH_*.json files (is this a --json output directory?)"
+    else
+      List.fold_left
+        (fun acc name ->
+          let* acc = acc in
+          let* cells = load_bench_file (Filename.concat dir name) in
+          Ok (acc @ cells))
+        (Ok []) files
+      |> Result.map (fun cells -> { Regress.source = dir; cells })
+
+let load_snapshot path =
+  let* s = read_file path in
+  let* j = parse ~source:path s in
+  let* () = check_schema ~source:path ~expected:snapshot_schema j in
+  let* cells = cells_of_json ~source:path ~experiment:"?" j in
+  Ok { Regress.source = path; cells }
+
+let load path =
+  if not (Sys.file_exists path) then
+    error_in ~source:path "no such file or directory"
+  else if Sys.is_directory path then load_run_dir path
+  else
+    let* s = read_file path in
+    let* j = parse ~source:path s in
+    match Option.bind (Json.member "schema" j) Json.string_opt with
+    | Some tag when tag = snapshot_schema ->
+      let* cells = cells_of_json ~source:path ~experiment:"?" j in
+      Ok { Regress.source = path; cells }
+    | Some tag when tag = bench_schema ->
+      let* experiment = field ~source:path j "experiment" Json.string_opt in
+      let* cells = cells_of_json ~source:path ~experiment j in
+      Ok { Regress.source = path; cells }
+    | _ ->
+      (* surface the standard schema message for unknown/missing tags *)
+      let* () = check_schema ~source:path ~expected:snapshot_schema j in
+      Ok { Regress.source = path; cells = [] }
+
+let filter_engine run engine =
+  {
+    run with
+    Regress.cells =
+      List.filter (fun c -> c.Regress.engine = engine) run.Regress.cells;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_run (run : Regress.run) =
+  Json.Obj
+    [
+      ("schema", Json.String snapshot_schema);
+      ("source", Json.String run.Regress.source);
+      ( "host",
+        Json.String (Printf.sprintf "OCaml %s (%s)" Sys.ocaml_version Sys.os_type)
+      );
+      ("cells", Json.List (List.map json_of_cell run.Regress.cells));
+    ]
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" then ()
+  else if Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_snapshot ~out run =
+  mkdir_p (Filename.dirname out);
+  let oc = open_out out in
+  output_string oc (Json.to_string (json_of_run run));
+  output_char oc '\n';
+  close_out oc

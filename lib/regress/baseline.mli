@@ -1,0 +1,50 @@
+(** Loading and snapshotting serialized benchmark runs.
+
+    Two on-disk shapes are understood, both schema-tagged so old files
+    (which lack the raw per-repeat samples) are rejected with a clear
+    message instead of mis-decoded:
+
+    - a {e run directory}: the [BENCH_<experiment>.json] files written by
+      [bench/main.exe --json DIR] (schema {!bench_schema});
+    - a {e snapshot}: one self-contained file merging every cell of a run
+      (schema {!snapshot_schema}), written by [simbench baseline] and the
+      thing you check in as a CI baseline (see [bench/baseline/]). *)
+
+val bench_schema : string
+(** ["simbench-bench-json-2"] — per-experiment [--json] files; bumped when
+    cells gained the raw [samples] vector. *)
+
+val snapshot_schema : string
+(** ["simbench-baseline-1"] — merged baseline snapshots. *)
+
+val json_of_cell : Regress.cell -> Sb_util.Json.t
+
+val cell_of_json :
+  source:string ->
+  experiment:string ->
+  Sb_util.Json.t ->
+  (Regress.cell, string) result
+(** [experiment] is the default when the cell object carries none (bench
+    files record it once at top level); errors name [source] and the cell. *)
+
+val load_bench_file : string -> (Regress.cell list, string) result
+(** One [BENCH_*.json] file; rejects non-{!bench_schema} files. *)
+
+val load_run_dir : string -> (Regress.run, string) result
+(** Every [BENCH_*.json] in a [--json] output directory, sorted by file
+    name; an error if there are none. *)
+
+val load_snapshot : string -> (Regress.run, string) result
+
+val load : string -> (Regress.run, string) result
+(** Directory: {!load_run_dir}.  File: accepted as either a snapshot or a
+    single bench file, keyed on its ["schema"] field. *)
+
+val filter_engine : Regress.run -> string -> Regress.run
+(** Keep only the cells of one engine label (pair with
+    [Regress.compare_runs ~ignore_engine:true]). *)
+
+val json_of_run : Regress.run -> Sb_util.Json.t
+
+val write_snapshot : out:string -> Regress.run -> unit
+(** Serialize as a snapshot, creating parent directories as needed. *)

@@ -1,0 +1,127 @@
+(** Statistical regression detection between two benchmark runs.
+
+    The paper's whole argument is that SimBench {e pinpoints} regressions
+    that application-suite averages hide (Figures 2, 5 and 8): a
+    per-benchmark collapse — mcf falling off a cliff between two QEMU
+    releases — disappears inside the SPEC geometric mean.  This module
+    loads two serialized runs (see {!Baseline}), pairs their measurement
+    cells, decides {e with statistical confidence} which cells regressed,
+    and attributes each shift to the mechanism category the affected
+    benchmarks isolate.
+
+    Significance is noise-aware: the reported time of a cell is the
+    minimum across repeats, but the decision uses the {e full} sample
+    vector — a pair only counts as regressed/improved when (a) the
+    relative change of the reported time clears a minimum-effect
+    threshold (default 5%, absorbing the documented ±5-10% host jitter on
+    sub-10ms cells) {e and} (b) the t-based 95% confidence intervals of
+    the two sample sets do not overlap.  Single-sample cells have
+    degenerate point intervals, so the threshold alone decides there. *)
+
+(** One serialized measurement cell: {!Sb_report.Experiments.row} plus its
+    experiment of origin, as read back from [--json] output. *)
+type cell = {
+  experiment : string;
+  engine : string;
+  arch : string;
+  cell : string;
+  iters : int;
+  repeats : int;
+  seconds : float;  (** reported time: minimum across repeats *)
+  mean_seconds : float;
+  samples : float list;  (** raw per-repeat kernel seconds, run order *)
+  kernel_insns : int;
+  perf : (string * int) list;
+}
+
+type run = { source : string; cells : cell list }
+
+val default_threshold : float
+(** [0.05]: a 5% minimum effect. *)
+
+type verdict = Regressed | Improved | Unchanged
+
+(** Why a pair got its verdict. *)
+type note =
+  | Confirmed  (** over threshold and confidence intervals disjoint *)
+  | Below_threshold
+  | Within_noise  (** over threshold, but the intervals overlap *)
+
+type comparison = {
+  c_old : cell;
+  c_new : cell;
+  c_delta : float;  (** relative change of the reported (min) seconds *)
+  c_ci_old : float * float;
+  c_ci_new : float * float;
+  c_verdict : verdict;
+  c_note : note;
+  c_insns_changed : bool;
+      (** retired kernel instruction counts differ — a deterministic,
+          noise-free signal that guest-visible behaviour changed *)
+}
+
+val classify : threshold:float -> old_cell:cell -> new_cell:cell -> comparison
+
+type report = {
+  r_threshold : float;
+  r_old_source : string;
+  r_new_source : string;
+  r_engine_remap : (string * string) option;
+      (** set when the runs had disjoint single-engine labels and cells
+          were paired by (arch, cell) across the rename — the old-vs-new
+          engine-version scenario of Figures 2/6 *)
+  r_pairs : comparison list;
+  r_only_old : cell list;
+  r_only_new : cell list;
+  r_mismatched : (cell * cell) list;
+      (** paired cells whose iteration counts differ: not comparable *)
+}
+
+val compare_runs :
+  ?threshold:float ->
+  ?ignore_engine:bool ->
+  old_run:run ->
+  new_run:run ->
+  unit ->
+  report
+(** Pairs cells by (engine, arch, cell) — duplicates across experiments
+    (shared memoized sweep cells) are collapsed to their first occurrence.
+    With [ignore_engine:true] the engine label is dropped from the key
+    (used with {!Baseline.filter_engine} to compare two engine
+    configurations out of the same sweep).  If strict pairing matches
+    nothing and each run holds exactly one distinct engine, the engines
+    are treated as renamed ([r_engine_remap]). *)
+
+val regressions : report -> comparison list
+val improvements : report -> comparison list
+
+val exit_code : strict:bool -> report -> int
+(** [1] when [strict] and at least one confirmed regression, else [0]. *)
+
+val category_of_cell : string -> string
+(** Benchmark/workload name to SimBench category name ({!Simbench.Category});
+    SPEC-analog workloads map to "Application", unknown cells to "Other". *)
+
+val mechanism_hint : string -> string option
+(** The simulator mechanism a category-level shift implicates — the
+    paper's reading ("code-gen regressed: consistent with a
+    translation-cache change"). *)
+
+type category_summary = {
+  cat_name : string;
+  cat_cells : int;
+  cat_regressed : int;
+  cat_improved : int;
+  cat_geomean_ratio : float;  (** geomean of new/old reported seconds *)
+}
+
+val attribution : report -> category_summary list
+(** Per-category roll-up of every paired cell, in first-seen order. *)
+
+val render : ?all_cells:bool -> report -> string
+(** Human-readable diff: changed cells (all cells with [all_cells:true])
+    as a {!Sb_util.Tablefmt} table, regressions first, then the category
+    attribution and a summary line. *)
+
+val to_json : report -> Sb_util.Json.t
+(** Machine-readable report ([simbench compare --json]). *)

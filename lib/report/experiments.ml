@@ -40,6 +40,7 @@ type row = {
   row_repeats : int;
   row_seconds : float;  (** minimum across repeats *)
   row_mean_seconds : float;
+  row_samples : float list;  (** raw per-repeat kernel seconds, run order *)
   row_kernel_insns : int;
   row_perf : (string * int) list;
 }
@@ -102,6 +103,7 @@ let row_of ~label ~arch ~repeats ~cell run1 =
     row_repeats = max 1 repeats;
     row_seconds = Stats.min_of_repeats times;
     row_mean_seconds = Stats.mean times;
+    row_samples = times;
     row_kernel_insns = o.Simbench.Harness.kernel_insns;
     row_perf =
       (match o.Simbench.Harness.result.Sb_sim.Run_result.kernel_perf with

@@ -45,6 +45,10 @@ type row = {
   row_repeats : int;
   row_seconds : float;  (** minimum across repeats (reported time) *)
   row_mean_seconds : float;  (** kept for machine-readable output *)
+  row_samples : float list;
+      (** raw per-repeat kernel seconds in run order — what the regression
+          detector's noise-aware significance test ({!Sb_regress}) needs;
+          the min/mean above are derived from it *)
   row_kernel_insns : int;
   row_perf : (string * int) list;
       (** non-zero kernel-phase architectural and engine counters

@@ -35,3 +35,36 @@ let min_of_repeats = function
   | x :: xs -> List.fold_left min x xs
 
 let speedup ~baseline t = baseline /. t
+
+(* Two-sided 95% Student-t critical values for df = 1..30; beyond that the
+   normal approximation is within 1%. *)
+let t_crit95_table =
+  [|
+    12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+    2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+    2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+  |]
+
+let t_crit95 df =
+  if df <= 0 then infinity
+  else if df <= Array.length t_crit95_table then t_crit95_table.(df - 1)
+  else 1.96
+
+let ci95 = function
+  | [] -> (nan, nan)
+  | [ x ] -> (x, x)
+  | xs ->
+    let n = List.length xs in
+    let m = mean xs in
+    let h = t_crit95 (n - 1) *. stddev xs /. sqrt (float_of_int n) in
+    (m -. h, m +. h)
+
+let intervals_overlap (a_lo, a_hi) (b_lo, b_hi) =
+  (* treat a nan bound as unknown, i.e. indistinguishable: overlap *)
+  if
+    Float.is_nan a_lo || Float.is_nan a_hi || Float.is_nan b_lo
+    || Float.is_nan b_hi
+  then true
+  else a_lo <= b_hi && b_lo <= a_hi
+
+let relative_change ~baseline t = (t -. baseline) /. baseline

@@ -18,3 +18,27 @@ val min_of_repeats : float list -> float
 
 val speedup : baseline:float -> float -> float
 (** [speedup ~baseline t] is [baseline /. t]: > 1 means faster than baseline. *)
+
+(** {2 Confidence intervals}
+
+    Noise-aware significance for the regression detector ({!Sb_regress}):
+    two timing cells are only distinguishable when their 95% confidence
+    intervals over the recorded repeats do not overlap. *)
+
+val t_crit95 : int -> float
+(** Two-sided 95% Student-t critical value for the given degrees of
+    freedom (table for df 1..30, normal approximation beyond). *)
+
+val ci95 : float list -> float * float
+(** t-based 95% confidence interval [(lo, hi)] of the mean over repeat
+    samples.  A single sample yields the degenerate point interval
+    [(x, x)] (no noise information — threshold-only decisions); the empty
+    list yields [(nan, nan)]. *)
+
+val intervals_overlap : float * float -> float * float -> bool
+(** Closed-interval overlap; intervals with nan endpoints are treated as
+    overlapping (unknown noise must not produce a confident verdict). *)
+
+val relative_change : baseline:float -> float -> float
+(** [(t - baseline) / baseline]: > 0 means slower (a regression when [t]
+    is a time). *)
