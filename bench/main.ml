@@ -15,13 +15,23 @@
                                       arch / workload / iteration counts
      bench/main.exe --json DIR      - write BENCH_<experiment>.json per
                                       experiment with the raw cells
+     bench/main.exe --deadline SEC  - per-cell wall-clock budget: workers
+                                      still running after SEC seconds are
+                                      killed and the cell is reported with
+                                      status "timeout" (run continues)
+     bench/main.exe --retries N     - re-run crashed cells up to N times
+                                      with exponential backoff
+     bench/main.exe --insn-budget N - watchdog: any engine run past N
+                                      guest instructions stops (runaway
+                                      cells fail instead of spinning)
      bench/main.exe --bechamel      - Bechamel micro-benchmarks of the
                                       engine hot paths (one Test per suite
                                       category, plus workloads)
 
    Every experiment prints the same rows/series the paper reports; see
-   EXPERIMENTS.md for the expected shapes and the recorded run, and
-   docs/parallel.md for the scheduler. *)
+   EXPERIMENTS.md for the expected shapes and the recorded run,
+   docs/parallel.md for the scheduler and docs/robustness.md for the
+   failure-handling model. *)
 
 (* ablation configs share the scale/repeats of the main experiments *)
 let abl (config : Sb_report.Experiments.config) =
@@ -53,7 +63,13 @@ let experiments =
       fun config opts -> Sb_report.Ablations.vm_exit ~config:(abl config) ~opts () );
     ( "abl-predecode",
       fun config opts -> Sb_report.Ablations.predecode ~config:(abl config) ~opts () );
+    (* excluded from the default run (like "all"): a deliberate
+       crash/hang harness check, see docs/robustness.md *)
+    ( "synthetic-faults",
+      fun _ opts -> Sb_report.Experiments.synthetic_faults ~opts () );
   ]
+
+let default_skip = [ "all"; "synthetic-faults" ]
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable output                                              *)
@@ -76,6 +92,8 @@ let json_of_rows ~experiment ~(opts : Sb_report.Experiments.run_opts)
         ("kernel_insns", Int r.row_kernel_insns);
         ( "kernel_perf",
           Obj (List.map (fun (name, n) -> (name, Int n)) r.row_perf) );
+        ("status", String r.row_status);
+        ("status_note", String r.row_note);
       ]
   in
   Obj
@@ -206,13 +224,16 @@ type cli = {
   mutable repeats : int option;
   mutable json_dir : string option;
   mutable cache_dir : string option;
+  mutable deadline : float option;
+  mutable retries : int;
   mutable names : string list; (* reversed *)
 }
 
 let usage () =
   prerr_endline
     "usage: main.exe [--quick] [--all] [-j N] [--repeats N] [--json DIR]\n\
-    \                [--cache DIR] [--bechamel] [experiment ...]";
+    \                [--cache DIR] [--deadline SEC] [--retries N]\n\
+    \                [--insn-budget N] [--bechamel] [experiment ...]";
   exit 2
 
 let parse_args args =
@@ -225,6 +246,8 @@ let parse_args args =
       repeats = None;
       json_dir = None;
       cache_dir = None;
+      deadline = None;
+      retries = 0;
       names = [];
     }
   in
@@ -233,6 +256,20 @@ let parse_args args =
     | Some n when n >= 1 -> n
     | _ ->
       Printf.eprintf "%s expects a positive integer, got %S\n" a v;
+      usage ()
+  in
+  let nat_of a v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> n
+    | _ ->
+      Printf.eprintf "%s expects a non-negative integer, got %S\n" a v;
+      usage ()
+  in
+  let float_of a v =
+    match float_of_string_opt v with
+    | Some f when f > 0.0 -> f
+    | _ ->
+      Printf.eprintf "%s expects a positive number, got %S\n" a v;
       usage ()
   in
   let rec go = function
@@ -246,6 +283,15 @@ let parse_args args =
       go rest
     | "--json" :: v :: rest -> cli.json_dir <- Some v; go rest
     | "--cache" :: v :: rest -> cli.cache_dir <- Some v; go rest
+    | "--deadline" :: v :: rest ->
+      cli.deadline <- Some (float_of "--deadline" v);
+      go rest
+    | "--retries" :: v :: rest ->
+      cli.retries <- nat_of "--retries" v;
+      go rest
+    | "--insn-budget" :: v :: rest ->
+      Sb_sim.Runner.set_insn_budget (int_of "--insn-budget" v);
+      go rest
     | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
       cli.jobs <- int_of "-j" (String.sub a 2 (String.length a - 2));
       go rest
@@ -272,12 +318,18 @@ let () =
       | Some r -> { config with Sb_report.Experiments.repeats = r }
     in
     let opts =
-      { Sb_report.Experiments.jobs = cli.jobs; cache_dir = cli.cache_dir }
+      {
+        Sb_report.Experiments.jobs = cli.jobs;
+        cache_dir = cli.cache_dir;
+        deadline = cli.deadline;
+        retries = cli.retries;
+      }
     in
     let selected = List.rev cli.names @ (if cli.all then [ "all" ] else []) in
     let to_run =
       match selected with
-      | [] -> List.filter (fun (name, _) -> name <> "all") experiments
+      | [] ->
+        List.filter (fun (name, _) -> not (List.mem name default_skip)) experiments
       | names ->
         List.filter_map
           (fun name ->

@@ -5,6 +5,7 @@
      run         run one benchmark on one engine
      suite       run the full suite on one engine and print the table
      workload    run one SPEC-analog workload
+     chaos       deterministic fault injection + differential convergence
      lint        statically check benchmark programs and conventions
      report      regenerate paper figures (same drivers as bench/main.exe)
      baseline    snapshot a --json run directory as a regression baseline
@@ -304,6 +305,117 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Differentially verify all engines on randomized guest programs.")
     Term.(const action $ arch_arg $ seeds_arg $ validate_arg)
+
+(* ---- chaos ---- *)
+
+let chaos_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"First fault-plan seed; plans for seeds N, N+1, ... are checked.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "seeds" ] ~docv:"COUNT" ~doc:"How many consecutive fault plans to check.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Check a single plan (CI smoke settings).")
+  in
+  let plan_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "plan" ] ~docv:"FILE"
+          ~doc:
+            "Replay one serialized fault plan (JSON, schema \
+             simbench-fault-plan-1) instead of generating plans from seeds.")
+  in
+  let save_plan_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save-plan" ] ~docv:"FILE"
+          ~doc:
+            "Write the (first) checked plan as JSON — the thing to attach \
+             to a bug report so a divergence can be replayed anywhere.")
+  in
+  let action arch seed seeds quick plan_file save_plan =
+    let engines = Sb_verify.Verify.default_engines arch in
+    let plans =
+      match plan_file with
+      | Some file -> (
+        match Sb_fault.Plan.load file with
+        | Ok p -> Ok [ p ]
+        | Error msg -> Error msg)
+      | None ->
+        let count = if quick then 1 else max 1 seeds in
+        Ok
+          (List.init count (fun i ->
+               Sb_fault.Plan.generate ~seed:(seed + i)))
+    in
+    match plans with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok plans ->
+      (match (save_plan, plans) with
+      | Some out, p :: _ ->
+        Sb_fault.Plan.save out p;
+        Printf.printf "[wrote plan for seed %d to %s]\n" p.Sb_fault.Plan.seed out
+      | _ -> ());
+      Printf.printf
+        "chaos: %d fault plan%s across %d engines (%s)...\n%!"
+        (List.length plans)
+        (if List.length plans = 1 then "" else "s")
+        (List.length engines)
+        (Sb_isa.Arch_sig.arch_id_name arch);
+      let failures =
+        List.filter_map
+          (fun (p : Sb_fault.Plan.t) ->
+            match Sb_fault.Fault.check ~engines ~arch p with
+            | Ok (o : Sb_verify.Verify.outcome) ->
+              Printf.printf
+                "  seed %-6d mmio=%-2d storm=%d bus_errors=%d flips=%d irqs=%d \
+                 -> all engines agree (halted=%b)\n%!"
+                p.Sb_fault.Plan.seed p.Sb_fault.Plan.mmio_chunks
+                p.Sb_fault.Plan.storm_chunks
+                (List.length p.Sb_fault.Plan.bus_errors)
+                (List.length p.Sb_fault.Plan.bit_flips)
+                (List.length p.Sb_fault.Plan.spurious_irqs)
+                o.Sb_verify.Verify.halted;
+              None
+            | Error (d : Sb_verify.Verify.divergence) ->
+              Printf.printf "  seed %-6d DIVERGENCE %s vs %s: %s\n%!"
+                p.Sb_fault.Plan.seed d.Sb_verify.Verify.reference_engine
+                d.Sb_verify.Verify.diverging_engine d.Sb_verify.Verify.detail;
+              Some d)
+          plans
+      in
+      if failures = [] then begin
+        Printf.printf "OK: engines converge under all %d fault plans\n"
+          (List.length plans);
+        0
+      end
+      else begin
+        Printf.printf "%d of %d fault plans diverged\n" (List.length failures)
+          (List.length plans);
+        1
+      end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Deterministic fault injection with differential checking: arm a \
+          seeded fault plan (bus errors on device accesses, RAM bit flips, \
+          spurious masked interrupts, TLB-invalidation storms) identically \
+          on every engine and demand they converge to the same \
+          architectural state or the same guest exception.  See \
+          docs/robustness.md.")
+    Term.(
+      const action $ arch_arg $ seed_arg $ seeds_arg $ quick_arg $ plan_arg
+      $ save_plan_arg)
 
 (* ---- lint ---- *)
 
@@ -741,5 +853,5 @@ let () =
   exit (Cmd.eval' (Cmd.group info
        [
          list_cmd; run_cmd; suite_cmd; workload_cmd; disasm_cmd; verify_cmd;
-         lint_cmd; debug_cmd; report_cmd; baseline_cmd; compare_cmd;
+         chaos_cmd; lint_cmd; debug_cmd; report_cmd; baseline_cmd; compare_cmd;
        ]))

@@ -408,7 +408,10 @@ module Make (A : Arch_sig.ARCH) = struct
 
   let last_cycles () = !cycles_of_last_run
 
-  let run ?(max_insns = Runner.default_max_insns) machine =
+  let run ?max_insns machine =
+    let max_insns =
+      match max_insns with Some n -> n | None -> !Runner.insn_budget
+    in
     let perf = Perf.create () in
     let ctx = make_ctx machine perf in
     let result =

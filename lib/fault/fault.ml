@@ -1,0 +1,60 @@
+(* Deterministic fault injection: arm a Plan on a freshly-loaded machine,
+   then differentially check that every engine reaches the same
+   architectural state despite the faults.  All three injection channels
+   are deterministic by construction:
+
+   - bus errors key off the device-access ordinal, which is architectural
+     (every engine issues the same MMIO sequence in the same order);
+   - bit flips perturb the scratch window before execution starts, so all
+     engines see the same initial RAM image;
+   - spurious interrupt lines go pending at the controller, but the random
+     programs never write the ENABLE register, so they stay masked — the
+     controller must still not let them leak into execution. *)
+
+let scratch_base = Simbench.Platform.sbp_ref.Simbench.Platform.scratch_base
+
+let arm (plan : Plan.t) (machine : Sb_sim.Machine.t) =
+  let ram = Sb_mem.Bus.ram machine.Sb_sim.Machine.bus in
+  List.iter
+    (fun (off, bit) ->
+      let addr = scratch_base + (off mod Plan.flip_window_len) in
+      let b = Sb_mem.Phys_mem.read8 ram addr in
+      Sb_mem.Phys_mem.write8 ram addr (b lxor (1 lsl (bit land 7))))
+    plan.Plan.bit_flips;
+  List.iter
+    (fun line -> Sb_mem.Intc.raise_line machine.Sb_sim.Machine.intc line)
+    plan.Plan.spurious_irqs;
+  match plan.Plan.bus_errors with
+  | [] -> Sb_mem.Bus.set_fault_injector machine.Sb_sim.Machine.bus None
+  | ordinals ->
+    let tbl = Hashtbl.create 8 in
+    List.iter (fun n -> Hashtbl.replace tbl n ()) ordinals;
+    Sb_mem.Bus.set_fault_injector machine.Sb_sim.Machine.bus
+      (Some (fun ~nth ~rw:_ ~addr:_ -> Hashtbl.mem tbl nth))
+
+let program ~arch (plan : Plan.t) =
+  Sb_verify.Verify.random_program ~mmio_chunks:plan.Plan.mmio_chunks
+    ~storm_chunks:plan.Plan.storm_chunks ~arch ~seed:plan.Plan.seed ()
+
+let check ?engines ?max_insns ~arch (plan : Plan.t) =
+  let engines =
+    match engines with
+    | Some e -> e
+    | None -> Sb_verify.Verify.default_engines arch
+  in
+  Sb_verify.Verify.compare_engines ~engines
+    ~nregs:(Sb_verify.Verify.nregs_of arch)
+    ?max_insns ~prepare:(arm plan)
+    (program ~arch plan)
+
+let sweep ?engines ?max_insns ~arch ~seeds () =
+  let rec go i acc =
+    if i >= seeds then List.rev acc
+    else
+      let plan = Plan.generate ~seed:(i + 1) in
+      match check ?engines ?max_insns ~arch plan with
+      | Ok _ -> go (i + 1) acc
+      | Error d ->
+        go (i + 1) ({ d with Sb_verify.Verify.seed = Some (i + 1) } :: acc)
+  in
+  go 0 []

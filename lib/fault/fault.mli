@@ -1,0 +1,42 @@
+(** Deterministic fault injection with differential checking.
+
+    Arms a {!Plan} on a freshly-loaded machine (bus-error injection keyed
+    on the architectural MMIO access ordinal, pre-run bit flips in the
+    scratch window, spurious-but-masked interrupt lines), then runs the
+    plan's chaos-augmented random program on every engine and demands the
+    same architectural outcome — same registers, flags, memory window,
+    event counters (including abort counts) — or the same guest
+    exception.  A divergence means an engine mishandles faults the others
+    handle, exactly the class of bug ordinary fault-free differential
+    testing never reaches.
+
+    Used by [simbench chaos] and [test/test_fault.ml]. *)
+
+val arm : Plan.t -> Sb_sim.Machine.t -> unit
+(** Apply the plan's bit flips and spurious interrupts and install its
+    bus-error injector.  Call after [load_program], before running — the
+    [?prepare] hook of {!Sb_verify.Verify.run_outcome}. *)
+
+val program : arch:Sb_isa.Arch_sig.arch_id -> Plan.t -> Sb_asm.Program.t
+(** The plan's guest program: {!Sb_verify.Verify.random_program} seeded
+    with [plan.seed] and the plan's chaos chunk counts. *)
+
+val check :
+  ?engines:Sb_sim.Engine.t list ->
+  ?max_insns:int ->
+  arch:Sb_isa.Arch_sig.arch_id ->
+  Plan.t ->
+  (Sb_verify.Verify.outcome, Sb_verify.Verify.divergence) result
+(** Differentially run one plan across [engines] (default
+    {!Sb_verify.Verify.default_engines}). *)
+
+val sweep :
+  ?engines:Sb_sim.Engine.t list ->
+  ?max_insns:int ->
+  arch:Sb_isa.Arch_sig.arch_id ->
+  seeds:int ->
+  unit ->
+  Sb_verify.Verify.divergence list
+(** Check plans generated from seeds [1..seeds]; each divergence carries
+    the plan seed that produced it.  Empty list = all engines agreed under
+    every plan. *)

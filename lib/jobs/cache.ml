@@ -2,8 +2,9 @@ type t = { dir : string }
 
 (* bumped whenever the stored value shape changes; part of every fingerprint
    so stale cache files from older schemas can never be mis-decoded.
-   3: Experiments.row gained row_samples (raw per-repeat kernel seconds) *)
-let schema = "sb-jobs-cache-3"
+   3: Experiments.row gained row_samples (raw per-repeat kernel seconds)
+   4: Experiments.row gained row_status/row_note (failure-as-data) *)
+let schema = "sb-jobs-cache-4"
 
 let rec mkdir_p dir =
   if dir = "" || dir = "." || dir = "/" then ()
@@ -12,10 +13,6 @@ let rec mkdir_p dir =
     mkdir_p (Filename.dirname dir);
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
-
-let create ~dir =
-  mkdir_p dir;
-  { dir }
 
 let dir t = t.dir
 
@@ -39,6 +36,48 @@ let evict t ~key ~reason =
   Printf.eprintf "[sb-jobs] cache: evicting corrupt entry %s (%s)\n%!" file
     reason;
   try Sys.remove file with Sys_error _ -> ()
+
+(* Stale temp files: a worker that died (or was SIGKILLed at a deadline)
+   mid-[store] leaves an orphan [*.tmp.<pid>] behind.  They are swept at
+   [create] time — counted as evictions so they show up in stats — but
+   only when the owning pid is gone: a live pid means a concurrent bench
+   invocation is mid-rename and the file is not litter. *)
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (_, _, _) -> true (* EPERM: exists, not ours *)
+
+let sweep_stale_tmp dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+    Array.iter
+      (fun name ->
+        match String.rindex_opt name '.' with
+        | Some i
+          when i >= 4 && String.sub name (i - 4) 4 = ".tmp"
+               && String.length name > 4
+               && String.sub name 0 3 = "sb_" ->
+          let stale =
+            match int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1)) with
+            | Some pid -> not (pid_alive pid)
+            | None -> true (* unparsable suffix: nobody owns it *)
+          in
+          if stale then begin
+            incr evicted;
+            let file = Filename.concat dir name in
+            Printf.eprintf "[sb-jobs] cache: sweeping stale temp file %s\n%!"
+              file;
+            try Sys.remove file with Sys_error _ -> ()
+          end
+        | _ -> ())
+      entries
+
+let create ~dir =
+  mkdir_p dir;
+  sweep_stale_tmp dir;
+  { dir }
 
 let load (type a) t ~key : a option =
   match open_in_bin (path t key) with
@@ -67,10 +106,17 @@ let store t ~key v =
      invocations) can race on the same cell without corrupting it *)
   let tmp = Printf.sprintf "%s.tmp.%d" file (Unix.getpid ()) in
   let oc = open_out_bin tmp in
-  Marshal.to_channel oc key [];
-  Marshal.to_channel oc v [];
-  close_out oc;
-  Sys.rename tmp file
+  match
+    Marshal.to_channel oc key [];
+    Marshal.to_channel oc v [];
+    close_out oc
+  with
+  | () -> Sys.rename tmp file
+  | exception e ->
+    (* unmarshallable value, ENOSPC, ...: leave no litter behind *)
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let clear t =
   match Sys.readdir t.dir with

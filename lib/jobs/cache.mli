@@ -13,7 +13,10 @@
 type t
 
 val create : dir:string -> t
-(** Creates [dir] (and parents) if needed. *)
+(** Creates [dir] (and parents) if needed, and sweeps stale [*.tmp.<pid>]
+    files left by writers that died mid-{!store} (only when the owning
+    pid is gone — a live pid is a concurrent writer, not litter).  Swept
+    files count as {!evictions}. *)
 
 val dir : t -> string
 
@@ -31,12 +34,14 @@ val load : t -> key:string -> 'a option
     every cell. *)
 
 val evictions : unit -> int
-(** Corrupt-entry evictions since start (or {!reset_evictions}). *)
+(** Corrupt-entry evictions and stale-temp sweeps since start (or
+    {!reset_evictions}). *)
 
 val reset_evictions : unit -> unit
 
 val store : t -> key:string -> 'a -> unit
-(** Atomic (write to a temp file, then rename). *)
+(** Atomic (write to a temp file, then rename).  If the write itself
+    fails the temp file is removed before the exception propagates. *)
 
 val clear : t -> unit
 (** Remove every cache file in the directory. *)

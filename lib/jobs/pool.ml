@@ -4,16 +4,78 @@ let task ?key ~label run = { key; label; run }
 
 let label t = t.label
 
-type 'a outcome = Done of 'a | Failed of string
+type fail_kind = Crashed | Timed_out | Quarantined
+
+type failure = {
+  fl_label : string;
+  fl_kind : fail_kind;
+  fl_attempts : int;
+  fl_detail : string;
+}
+
+type 'a outcome = Done of 'a | Retried of 'a * int | Failed of failure
+
+let failure_message f = f.fl_label ^ ": " ^ f.fl_detail
 
 type stats = {
   mutable executed : int;
   mutable forked : int;
   mutable cache_hits : int;
   mutable failed : int;
+  mutable retried : int;
+  mutable timed_out : int;
+  mutable quarantined : int;
 }
 
-let stats () = { executed = 0; forked = 0; cache_hits = 0; failed = 0 }
+let stats () =
+  {
+    executed = 0;
+    forked = 0;
+    cache_hits = 0;
+    failed = 0;
+    retried = 0;
+    timed_out = 0;
+    quarantined = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine registry: a process-global count of failed attempts per   *)
+(* task identity.  A cell that keeps crashing (bad fingerprint inputs,  *)
+(* a guest program that aborts the worker) stops being retried across   *)
+(* runs in the same process: once it accumulates [quarantine_after]     *)
+(* failures it is skipped instantly with [Failed {fl_kind =             *)
+(* Quarantined}], so one poisoned cell cannot serialise a whole sweep   *)
+(* behind deadline * retries stalls.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let quarantine_after = ref 3
+
+let quarantine_tbl : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let identity t =
+  match t.key with Some k -> "key:" ^ k | None -> "label:" ^ t.label
+
+let record_failure t =
+  let id = identity t in
+  let n = match Hashtbl.find_opt quarantine_tbl id with Some n -> n | None -> 0 in
+  Hashtbl.replace quarantine_tbl id (n + 1)
+
+let is_quarantined t =
+  match Hashtbl.find_opt quarantine_tbl (identity t) with
+  | Some n -> n >= !quarantine_after
+  | None -> false
+
+let reset_quarantine () = Hashtbl.reset quarantine_tbl
+
+let quarantine_failure t =
+  {
+    fl_label = t.label;
+    fl_kind = Quarantined;
+    fl_attempts = 0;
+    fl_detail =
+      Printf.sprintf "quarantined after %d repeated failures; skipped"
+        !quarantine_after;
+  }
 
 let run_task t =
   match t.run () with
@@ -30,42 +92,70 @@ let cache_store cache t v =
   | Some c, Some key -> Cache.store c ~key v
   | _ -> ()
 
+let backoff_delay ~backoff attempt =
+  backoff *. (2. ** float_of_int (attempt - 1))
+
 (* ------------------------------------------------------------------ *)
 (* Sequential path: -j 1 runs every thunk in-process, in order — the    *)
-(* exact code path the pre-pool harness took.                           *)
+(* exact code path the pre-pool harness took (retries happen inline).   *)
 (* ------------------------------------------------------------------ *)
 
-let run_seq ~cache ~stats tasks =
+let run_seq ~cache ~stats ~retries ~backoff tasks =
   List.map
     (fun t ->
-      match cache_load cache t with
-      | Some v ->
-        stats.cache_hits <- stats.cache_hits + 1;
-        Done v
-      | None -> (
-        stats.executed <- stats.executed + 1;
-        match run_task t with
-        | Ok v ->
-          cache_store cache t v;
+      if is_quarantined t then begin
+        stats.quarantined <- stats.quarantined + 1;
+        Failed (quarantine_failure t)
+      end
+      else
+        match cache_load cache t with
+        | Some v ->
+          stats.cache_hits <- stats.cache_hits + 1;
           Done v
-        | Error msg ->
-          stats.failed <- stats.failed + 1;
-          Failed (t.label ^ ": " ^ msg)))
+        | None ->
+          let rec attempt k =
+            stats.executed <- stats.executed + 1;
+            match run_task t with
+            | Ok v ->
+              cache_store cache t v;
+              if k = 1 then Done v else Retried (v, k - 1)
+            | Error msg ->
+              record_failure t;
+              if k <= retries then begin
+                stats.retried <- stats.retried + 1;
+                Unix.sleepf (backoff_delay ~backoff k);
+                attempt (k + 1)
+              end
+              else begin
+                stats.failed <- stats.failed + 1;
+                Failed
+                  {
+                    fl_label = t.label;
+                    fl_kind = Crashed;
+                    fl_attempts = k;
+                    fl_detail = msg;
+                  }
+              end
+          in
+          attempt 1)
     tasks
 
 (* ------------------------------------------------------------------ *)
-(* Parallel path: fork one worker per cell, at most [jobs] live at      *)
+(* Parallel path: fork one worker per attempt, at most [jobs] live at   *)
 (* once; each worker marshals an [('a, string) result] back over a      *)
-(* pipe and exits.                                                      *)
+(* pipe and exits.  The event loop multiplexes pipe reads, per-child    *)
+(* wall-clock deadlines (stragglers are SIGKILLed) and delayed retry    *)
+(* wake-ups through one [Unix.select] timeout.                          *)
 (* ------------------------------------------------------------------ *)
 
-type child = {
+type 'a child = {
   c_idx : int;
-  c_key : string option;
-  c_label : string;
+  c_task : 'a task;
+  c_attempt : int; (* 1-based *)
   c_pid : int;
   c_fd : Unix.file_descr;
   c_buf : Buffer.t;
+  c_start : float;
 }
 
 let rec restart_on_intr f =
@@ -76,7 +166,7 @@ let describe_status = function
   | Unix.WSIGNALED n -> Printf.sprintf "was killed by signal %d" n
   | Unix.WSTOPPED n -> Printf.sprintf "was stopped by signal %d" n
 
-let spawn ~stats idx t =
+let spawn ~stats idx t ~attempt =
   let r, w = Unix.pipe () in
   flush stdout;
   flush stderr;
@@ -98,79 +188,184 @@ let spawn ~stats idx t =
     stats.executed <- stats.executed + 1;
     {
       c_idx = idx;
-      c_key = t.key;
-      c_label = t.label;
+      c_task = t;
+      c_attempt = attempt;
       c_pid = pid;
       c_fd = r;
       c_buf = Buffer.create 256;
+      c_start = Unix.gettimeofday ();
     }
 
-let reap ~cache ~stats child =
-  let _, status = restart_on_intr (fun () -> Unix.waitpid [] child.c_pid) in
-  let payload = Buffer.contents child.c_buf in
-  match (Marshal.from_string payload 0 : (_, string) result) with
-  | Ok v ->
-    (match (cache, child.c_key) with
-    | Some c, Some key -> Cache.store c ~key v
-    | _ -> ());
-    Done v
-  | Error msg ->
-    stats.failed <- stats.failed + 1;
-    Failed (child.c_label ^ ": " ^ msg)
-  | exception _ ->
-    (* the worker died before (or while) writing its result *)
-    stats.failed <- stats.failed + 1;
-    Failed
-      (Printf.sprintf "%s: worker %s without reporting a result" child.c_label
-         (describe_status status))
-
-let run_par ~jobs ~cache ~stats tasks =
+let run_par ~jobs ~cache ~stats ~deadline ~retries ~backoff tasks =
   let n = List.length tasks in
   let results = Array.make n None in
   let queue = Queue.create () in
-  (* resolve cache hits up front; only misses cost a fork *)
+  (* delayed retries: (ready_at, idx, task, attempt) *)
+  let delayed = ref [] in
+  (* quarantine and cache hits resolve up front; only misses cost a fork *)
   List.iteri
     (fun idx t ->
-      match cache_load cache t with
-      | Some v ->
-        stats.cache_hits <- stats.cache_hits + 1;
-        results.(idx) <- Some (Done v)
-      | None -> Queue.add (idx, t) queue)
+      if is_quarantined t then begin
+        stats.quarantined <- stats.quarantined + 1;
+        results.(idx) <- Some (Failed (quarantine_failure t))
+      end
+      else
+        match cache_load cache t with
+        | Some v ->
+          stats.cache_hits <- stats.cache_hits + 1;
+          results.(idx) <- Some (Done v)
+        | None -> Queue.add (idx, t, 1) queue)
     tasks;
-  let active = ref [] in
+  (* children keyed by read-end fd: [Unix.select] hands fds back, and a
+     Hashtbl lookup is total — no [List.find] that can raise if an fd
+     number is recycled between loop iterations *)
+  let active : (Unix.file_descr, _ child) Hashtbl.t = Hashtbl.create 16 in
   let read_buf = Bytes.create 65536 in
-  while (not (Queue.is_empty queue)) || !active <> [] do
-    while List.length !active < jobs && not (Queue.is_empty queue) do
-      let idx, t = Queue.pop queue in
-      active := spawn ~stats idx t :: !active
+  let finish idx outcome = results.(idx) <- Some outcome in
+  let fail ~idx ~task ~attempt ~timed_out ~detail =
+    record_failure task;
+    if (not timed_out) && attempt <= retries then begin
+      (* crashes are retried with exponential backoff; timeouts are not —
+         a cell that hit the deadline once would burn deadline seconds per
+         extra attempt for a result the budget already rejected *)
+      stats.retried <- stats.retried + 1;
+      delayed :=
+        ( Unix.gettimeofday () +. backoff_delay ~backoff attempt,
+          idx,
+          task,
+          attempt + 1 )
+        :: !delayed
+    end
+    else begin
+      if timed_out then stats.timed_out <- stats.timed_out + 1;
+      stats.failed <- stats.failed + 1;
+      finish idx
+        (Failed
+           {
+             fl_label = task.label;
+             fl_kind = (if timed_out then Timed_out else Crashed);
+             fl_attempts = attempt;
+             fl_detail = detail;
+           })
+    end
+  in
+  let reap child =
+    let _, status =
+      restart_on_intr (fun () -> Unix.waitpid [] child.c_pid)
+    in
+    let payload = Buffer.contents child.c_buf in
+    match (Marshal.from_string payload 0 : (_, string) result) with
+    | Ok v ->
+      cache_store cache child.c_task v;
+      finish child.c_idx
+        (if child.c_attempt = 1 then Done v else Retried (v, child.c_attempt - 1))
+    | Error msg ->
+      fail ~idx:child.c_idx ~task:child.c_task ~attempt:child.c_attempt
+        ~timed_out:false ~detail:msg
+    | exception _ ->
+      (* the worker died before (or while) writing its result *)
+      fail ~idx:child.c_idx ~task:child.c_task ~attempt:child.c_attempt
+        ~timed_out:false
+        ~detail:
+          (Printf.sprintf "worker %s without reporting a result"
+             (describe_status status))
+  in
+  let kill_expired d =
+    let now = Unix.gettimeofday () in
+    let expired =
+      Hashtbl.fold
+        (fun _ c acc -> if now -. c.c_start >= d then c :: acc else acc)
+        active []
+    in
+    List.iter
+      (fun c ->
+        Hashtbl.remove active c.c_fd;
+        Unix.close c.c_fd;
+        (try Unix.kill c.c_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (restart_on_intr (fun () -> Unix.waitpid [] c.c_pid));
+        fail ~idx:c.c_idx ~task:c.c_task ~attempt:c.c_attempt ~timed_out:true
+          ~detail:(Printf.sprintf "exceeded %.1fs deadline; killed" d))
+      expired
+  in
+  while
+    (not (Queue.is_empty queue)) || !delayed <> [] || Hashtbl.length active > 0
+  do
+    (* promote retries whose backoff has elapsed *)
+    let now = Unix.gettimeofday () in
+    let due, still =
+      List.partition (fun (at, _, _, _) -> at <= now) !delayed
+    in
+    delayed := still;
+    List.iter (fun (_, idx, t, attempt) -> Queue.add (idx, t, attempt) queue) due;
+    while Hashtbl.length active < jobs && not (Queue.is_empty queue) do
+      let idx, t, attempt = Queue.pop queue in
+      let c = spawn ~stats idx t ~attempt in
+      Hashtbl.replace active c.c_fd c
     done;
-    let fds = List.map (fun c -> c.c_fd) !active in
+    (* one select timeout serves both child deadlines and retry wake-ups:
+       sleep until the earliest of them, or forever when neither applies *)
+    let timeout =
+      let wakeups =
+        (match deadline with
+        | None -> []
+        | Some d ->
+          Hashtbl.fold (fun _ c acc -> (c.c_start +. d) :: acc) active [])
+        @ List.map (fun (at, _, _, _) -> at) !delayed
+      in
+      match wakeups with
+      | [] -> -1.0
+      | l ->
+        Float.max 0.0 (List.fold_left Float.min infinity l -. Unix.gettimeofday ())
+    in
+    let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) active [] in
     let readable, _, _ =
-      restart_on_intr (fun () -> Unix.select fds [] [] (-1.0))
+      restart_on_intr (fun () -> Unix.select fds [] [] timeout)
     in
     List.iter
       (fun fd ->
-        let child = List.find (fun c -> c.c_fd = fd) !active in
-        let got =
-          restart_on_intr (fun () ->
-              Unix.read fd read_buf 0 (Bytes.length read_buf))
-        in
-        if got > 0 then Buffer.add_subbytes child.c_buf read_buf 0 got
-        else begin
-          (* EOF: the worker exited and the pipe is drained *)
-          Unix.close fd;
-          active := List.filter (fun c -> c.c_pid <> child.c_pid) !active;
-          results.(child.c_idx) <- Some (reap ~cache ~stats child)
-        end)
-      readable
+        match Hashtbl.find_opt active fd with
+        | None -> ()
+        | Some child ->
+          let got =
+            restart_on_intr (fun () ->
+                Unix.read fd read_buf 0 (Bytes.length read_buf))
+          in
+          if got > 0 then Buffer.add_subbytes child.c_buf read_buf 0 got
+          else begin
+            (* EOF: the worker exited and the pipe is drained *)
+            Hashtbl.remove active fd;
+            Unix.close fd;
+            reap child
+          end)
+      readable;
+    match deadline with None -> () | Some d -> kill_expired d
   done;
   Array.to_list
     (Array.map
        (function
          | Some outcome -> outcome
-         | None -> Failed "pool: result lost")
+         | None ->
+           Failed
+             {
+               fl_label = "pool";
+               fl_kind = Crashed;
+               fl_attempts = 0;
+               fl_detail = "result lost";
+             })
        results)
 
-let run ?(jobs = 1) ?cache ?stats:(s = stats ()) tasks =
-  if jobs <= 1 || List.length tasks <= 1 then run_seq ~cache ~stats:s tasks
-  else run_par ~jobs ~cache ~stats:s tasks
+let run ?(jobs = 1) ?cache ?stats:(s = stats ()) ?deadline ?(retries = 0)
+    ?(backoff = 0.05) tasks =
+  (match deadline with
+  | Some d when d <= 0.0 -> invalid_arg "Pool.run: deadline must be positive"
+  | _ -> ());
+  if retries < 0 then invalid_arg "Pool.run: retries must be non-negative";
+  if backoff < 0.0 then invalid_arg "Pool.run: backoff must be non-negative";
+  match deadline with
+  | None when jobs <= 1 || List.length tasks <= 1 ->
+    run_seq ~cache ~stats:s ~retries ~backoff tasks
+  | _ ->
+    (* a deadline forces the forked path even at -j 1: only a child
+       process can be killed when it hangs *)
+    run_par ~jobs:(max 1 jobs) ~cache ~stats:s ~deadline ~retries ~backoff
+      tasks

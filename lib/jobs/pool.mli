@@ -1,19 +1,23 @@
-(** [Unix.fork]-based worker pool for independent experiment cells.
+(** [Unix.fork]-based worker pool for independent experiment cells, with
+    deadlines, bounded retries and failure quarantine.
 
-    Each task is an (optionally cache-keyed) thunk.  With [jobs <= 1] the
-    thunks run sequentially in-process — byte-for-byte the pre-pool code
-    path, including exception propagation order.  With [jobs > 1] each
-    uncached task runs in a forked child, which marshals its result (or the
-    exception message) back over a pipe; at most [jobs] children are live at
-    once, and results come back in task order regardless of completion
-    order.
+    Each task is an (optionally cache-keyed) thunk.  With [jobs <= 1] and
+    no deadline the thunks run sequentially in-process — byte-for-byte the
+    pre-pool code path, including exception propagation order.  Otherwise
+    each uncached attempt runs in a forked child, which marshals its
+    result (or the exception message) back over a pipe; at most [jobs]
+    children are live at once, and results come back in task order
+    regardless of completion order.
 
     Task results must be marshallable (no closures, no custom blocks): the
     harness ships plain records of names, timings and counter values.
 
-    A worker that dies without reporting — killed, [Unix._exit] inside the
-    thunk, a crash in the runtime — yields [Failed] with the wait status;
-    it never hangs the pool and never poisons the cache. *)
+    Failure is data, not an exception: a worker that dies without
+    reporting — killed, [Unix._exit] inside the thunk, a crash in the
+    runtime — yields [Failed] with the wait status; a worker that
+    overruns [?deadline] is SIGKILLed and yields [Failed] with
+    [fl_kind = Timed_out].  The pool never hangs and never poisons the
+    cache. *)
 
 type 'a task
 
@@ -24,17 +28,72 @@ val task : ?key:string -> label:string -> (unit -> 'a) -> 'a task
 
 val label : _ task -> string
 
-type 'a outcome = Done of 'a | Failed of string
+type fail_kind =
+  | Crashed  (** the thunk raised, or the worker died without reporting *)
+  | Timed_out  (** the worker overran the deadline and was killed *)
+  | Quarantined
+      (** skipped without running: the task's identity has accumulated
+          {!quarantine_after} failures in this process *)
+
+type failure = {
+  fl_label : string;  (** the task's label *)
+  fl_kind : fail_kind;
+  fl_attempts : int;  (** attempts actually run (0 when quarantined) *)
+  fl_detail : string;  (** human-readable cause *)
+}
+
+type 'a outcome =
+  | Done of 'a
+  | Retried of 'a * int
+      (** succeeded after that many failed attempts — the value is good,
+          but the flakiness is worth surfacing *)
+  | Failed of failure
+
+val failure_message : failure -> string
+(** ["label: detail"], for log lines and legacy call sites. *)
 
 type stats = {
-  mutable executed : int;  (** thunks actually run (in-process or forked) *)
+  mutable executed : int;
+      (** attempts actually run (in-process or forked); retries count *)
   mutable forked : int;  (** workers forked ([= 0] on the sequential path) *)
   mutable cache_hits : int;
-  mutable failed : int;
+  mutable failed : int;  (** tasks whose final outcome is [Failed] *)
+  mutable retried : int;  (** extra attempts scheduled after a crash *)
+  mutable timed_out : int;  (** workers killed at the deadline *)
+  mutable quarantined : int;  (** tasks skipped by the quarantine *)
 }
 
 val stats : unit -> stats
 
+val quarantine_after : int ref
+(** Failed attempts a task identity (cache key, else label) may
+    accumulate process-wide before the pool stops running it and returns
+    [Failed {fl_kind = Quarantined}] instantly.  Default 3. *)
+
+val reset_quarantine : unit -> unit
+(** Forget all recorded failures (tests; or to deliberately re-run cells
+    that were quarantined earlier in the process). *)
+
 val run :
-  ?jobs:int -> ?cache:Cache.t -> ?stats:stats -> 'a task list -> 'a outcome list
-(** Results are positional: [List.nth (run ts) i] belongs to [List.nth ts i]. *)
+  ?jobs:int ->
+  ?cache:Cache.t ->
+  ?stats:stats ->
+  ?deadline:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  'a task list ->
+  'a outcome list
+(** Results are positional: [List.nth (run ts) i] belongs to
+    [List.nth ts i].
+
+    [deadline] is a per-attempt wall-clock budget in seconds: an attempt
+    still running after that long is SIGKILLed and reported
+    [Timed_out].  Passing a deadline forces the forked path even at
+    [jobs = 1], because only a child process can be killed.  [retries]
+    (default 0) re-runs an attempt that {e crashed} up to that many extra
+    times, sleeping [backoff * 2^(attempt-1)] seconds first (default
+    backoff 0.05); timeouts are never retried — a second attempt would
+    burn another whole deadline for a result the budget already
+    rejected.  A success on attempt [> 1] is reported as [Retried].
+    Raises [Invalid_argument] on a non-positive deadline or negative
+    retries/backoff. *)

@@ -5,6 +5,8 @@ type t = {
   ram_size : int;
   windows : window array;
   mutable dev_accesses : int;
+  mutable fault_injector :
+    (nth:int -> rw:[ `Read | `Write ] -> addr:int -> bool) option;
 }
 
 exception Fault of int
@@ -39,7 +41,7 @@ let create ~ram windows =
   let windows =
     Array.of_list (List.map (fun (base, size, dev) -> { base; size; dev }) windows)
   in
-  { ram; ram_size; windows; dev_accesses = 0 }
+  { ram; ram_size; windows; dev_accesses = 0; fault_injector = None }
 
 let ram t = t.ram
 let ram_size t = t.ram_size
@@ -55,14 +57,27 @@ let find_window t addr =
   in
   loop 0
 
+(* Deterministic fault injection (Sb_fault): the hook sees the 0-based
+   ordinal of each device access.  The MMIO access sequence is
+   architectural — every engine issues the same accesses in the same
+   order — so faulting "the Nth access" reproduces identically across
+   interp/DBT/detailed/virt.  The ordinal is consumed (and the device
+   untouched) when the hook fires, exactly as if the bus decode failed. *)
+let consult_injector t ~rw ~addr =
+  let nth = t.dev_accesses in
+  t.dev_accesses <- nth + 1;
+  match t.fault_injector with
+  | Some f when f ~nth ~rw ~addr -> raise (Fault addr)
+  | _ -> ()
+
 let dev_read32 t addr =
   let w = find_window t addr in
-  t.dev_accesses <- t.dev_accesses + 1;
+  consult_injector t ~rw:`Read ~addr;
   w.dev.Device.read32 ((addr - w.base) land lnot 3) land 0xFFFF_FFFF
 
 let dev_write32 t addr v =
   let w = find_window t addr in
-  t.dev_accesses <- t.dev_accesses + 1;
+  consult_injector t ~rw:`Write ~addr;
   w.dev.Device.write32 ((addr - w.base) land lnot 3) (v land 0xFFFF_FFFF)
 
 let read32 t addr =
@@ -99,3 +114,5 @@ let write8 t addr v =
     dev_write32 t addr merged
 
 let device_accesses t = t.dev_accesses
+
+let set_fault_injector t f = t.fault_injector <- f

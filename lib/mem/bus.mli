@@ -29,3 +29,14 @@ val write32 : t -> int -> int -> unit
 
 val device_accesses : t -> int
 (** Total accesses routed to device windows since creation. *)
+
+val set_fault_injector :
+  t -> (nth:int -> rw:[ `Read | `Write ] -> addr:int -> bool) option -> unit
+(** Install (or clear) a deterministic bus-error injector consulted on
+    every device-window access {e before} the device sees it.  [nth] is
+    the 0-based device-access ordinal ({!device_accesses} at the time of
+    the access); returning [true] makes the access raise {!Fault} instead
+    of reaching the device.  Because the MMIO access sequence is
+    architectural, ordinal-keyed injection reproduces bit-identically
+    across engines — the mechanism behind {!Sb_fault}'s differential
+    chaos testing.  RAM accesses are never intercepted. *)

@@ -1,8 +1,11 @@
 module Json = Sb_util.Json
 
 (* schema tags: readers reject anything else with a clear message instead
-   of mis-decoding old files *)
-let bench_schema = "simbench-bench-json-2"
+   of mis-decoding old files.
+   bench 3: cells gained "status" (failure-as-data); schema-2 files are
+   still readable — the field defaults to "ok". *)
+let bench_schema = "simbench-bench-json-3"
+let bench_schema_compat = [ bench_schema; "simbench-bench-json-2" ]
 let snapshot_schema = "simbench-baseline-1"
 
 let ( let* ) = Result.bind
@@ -38,6 +41,7 @@ let json_of_cell (c : Regress.cell) =
       ( "kernel_perf",
         Json.Obj
           (List.map (fun (name, n) -> (name, Json.Int n)) c.Regress.perf) );
+      ("status", Json.String c.Regress.status);
     ]
 
 let cell_of_json ~source ~experiment j =
@@ -74,6 +78,12 @@ let cell_of_json ~source ~experiment j =
         fields
     | _ -> []
   in
+  (* absent in schema-2 files and in snapshots taken from them *)
+  let status =
+    match Option.bind (Json.member "status" j) Json.string_opt with
+    | Some s -> s
+    | None -> "ok"
+  in
   Ok
     {
       Regress.experiment;
@@ -87,6 +97,7 @@ let cell_of_json ~source ~experiment j =
       samples;
       kernel_insns;
       perf;
+      status;
     }
 
 let cells_of_json ~source ~experiment j =
@@ -133,11 +144,17 @@ let parse ~source s =
   | Ok j -> Ok j
   | Error msg -> error_in ~source msg
 
+let is_bench_schema tag = List.mem tag bench_schema_compat
+
 (* one BENCH_<experiment>.json written by bench/main.exe --json *)
 let load_bench_file path =
   let* s = read_file path in
   let* j = parse ~source:path s in
-  let* () = check_schema ~source:path ~expected:bench_schema j in
+  let* () =
+    match Option.bind (Json.member "schema" j) Json.string_opt with
+    | Some tag when is_bench_schema tag -> Ok ()
+    | _ -> check_schema ~source:path ~expected:bench_schema j
+  in
   let* experiment = field ~source:path j "experiment" Json.string_opt in
   cells_of_json ~source:path ~experiment j
 
@@ -180,7 +197,7 @@ let load path =
     | Some tag when tag = snapshot_schema ->
       let* cells = cells_of_json ~source:path ~experiment:"?" j in
       Ok { Regress.source = path; cells }
-    | Some tag when tag = bench_schema ->
+    | Some tag when is_bench_schema tag ->
       let* experiment = field ~source:path j "experiment" Json.string_opt in
       let* cells = cells_of_json ~source:path ~experiment j in
       Ok { Regress.source = path; cells }

@@ -11,8 +11,10 @@
       thing you check in as a CI baseline (see [bench/baseline/]). *)
 
 val bench_schema : string
-(** ["simbench-bench-json-2"] — per-experiment [--json] files; bumped when
-    cells gained the raw [samples] vector. *)
+(** ["simbench-bench-json-3"] — per-experiment [--json] files; bumped when
+    cells gained the per-cell [status] field.  Schema-2 files (no
+    [status]) are still accepted on read; their cells default to
+    status ["ok"]. *)
 
 val snapshot_schema : string
 (** ["simbench-baseline-1"] — merged baseline snapshots. *)
@@ -28,7 +30,8 @@ val cell_of_json :
     files record it once at top level); errors name [source] and the cell. *)
 
 val load_bench_file : string -> (Regress.cell list, string) result
-(** One [BENCH_*.json] file; rejects non-{!bench_schema} files. *)
+(** One [BENCH_*.json] file; rejects files that are neither
+    {!bench_schema} nor the schema-2 back-compat shape. *)
 
 val load_run_dir : string -> (Regress.run, string) result
 (** Every [BENCH_*.json] in a [--json] output directory, sorted by file

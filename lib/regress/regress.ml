@@ -14,7 +14,15 @@ type cell = {
   samples : float list;
   kernel_insns : int;
   perf : (string * int) list;
+  status : string;
 }
+
+(* "retried n" cells carry real measurements — the flakiness was upstream
+   of the numbers — so they compare like "ok"; terminal failures
+   ("failed"/"timeout"/"quarantined") carry nan placeholders and must
+   never reach the classifier *)
+let ok_status s =
+  s = "ok" || (String.length s >= 7 && String.sub s 0 7 = "retried")
 
 type run = { source : string; cells : cell list }
 
@@ -75,6 +83,8 @@ type report = {
   r_only_old : cell list;
   r_only_new : cell list;
   r_mismatched : (cell * cell) list;
+  r_skipped_status : (cell * cell) list;
+  r_skipped_samples : (cell * cell) list;
 }
 
 (* cells are recorded per experiment but the sweep memoization means the
@@ -138,8 +148,23 @@ let compare_runs ?(threshold = default_threshold) ?(ignore_engine = false)
       )
     | pairs, only_old, only_new -> (pairs, only_old, only_new, None)
   in
-  let comparable, mismatched =
-    List.partition (fun (o, n) -> o.iters = n.iters) pairs
+  (* failed/timeout/quarantined cells carry placeholder numbers, so route
+     them out before the iteration-count check (a failed cell records
+     iters = 0, which would otherwise mislabel the pair as mismatched) *)
+  let skipped_status, rest =
+    List.partition
+      (fun (o, n) -> not (ok_status o.status && ok_status n.status))
+      pairs
+  in
+  let rest, mismatched =
+    List.partition (fun (o, n) -> o.iters = n.iters) rest
+  in
+  (* a 0- or 1-sample vector has no spread: ci95 degenerates to a point
+     (or nan), and "significance" would be decided by raw threshold alone.
+     Classify such pairs as skipped rather than pretending to a verdict. *)
+  let enough c = List.length c.samples >= 2 in
+  let comparable, skipped_samples =
+    List.partition (fun (o, n) -> enough o && enough n) rest
   in
   let comparisons =
     List.map
@@ -155,6 +180,8 @@ let compare_runs ?(threshold = default_threshold) ?(ignore_engine = false)
     r_only_old = only_old;
     r_only_new = only_new;
     r_mismatched = mismatched;
+    r_skipped_status = skipped_status;
+    r_skipped_samples = skipped_samples;
   }
 
 let regressions report =
@@ -324,6 +351,14 @@ let render ?(all_cells = false) report =
   end;
   out "\nCategory attribution:\n";
   List.iter (fun s -> out "  %s\n" (category_summary_line s)) (attribution report);
+  if report.r_skipped_status <> [] then begin
+    out "\nSkipped cells (failure status, not compared):\n";
+    List.iter
+      (fun (o, n) ->
+        out "  %s/%s/%s: old %s, new %s\n" o.cell o.arch o.engine o.status
+          n.status)
+      report.r_skipped_status
+  end;
   let n v = List.length (List.filter (fun c -> c.c_verdict = v) report.r_pairs) in
   out "\nSummary: %d regressed, %d improved, %d unchanged" (n Regressed)
     (n Improved) (n Unchanged);
@@ -334,6 +369,12 @@ let render ?(all_cells = false) report =
   if report.r_mismatched <> [] then
     out "; %d pairs skipped (iteration counts differ)"
       (List.length report.r_mismatched);
+  if report.r_skipped_status <> [] then
+    out "; %d pairs skipped (failed/timeout cells)"
+      (List.length report.r_skipped_status);
+  if report.r_skipped_samples <> [] then
+    out "; %d pairs skipped (insufficient samples)"
+      (List.length report.r_skipped_samples);
   out "\n";
   Buffer.contents buf
 
@@ -377,6 +418,21 @@ let to_json report =
       ("unchanged", Json.Int (n Unchanged));
       ("only_old", Json.Int (List.length report.r_only_old));
       ("only_new", Json.Int (List.length report.r_only_new));
+      ("skipped_status", Json.Int (List.length report.r_skipped_status));
+      ("skipped_samples", Json.Int (List.length report.r_skipped_samples));
+      ( "skipped",
+        Json.List
+          (List.map
+             (fun (o, n) ->
+               Json.Obj
+                 [
+                   ("cell", Json.String o.cell);
+                   ("arch", Json.String o.arch);
+                   ("engine", Json.String o.engine);
+                   ("old_status", Json.String o.status);
+                   ("new_status", Json.String n.status);
+                 ])
+             report.r_skipped_status) );
       ( "categories",
         Json.List
           (List.map

@@ -15,8 +15,12 @@
     relative change of the reported time clears a minimum-effect
     threshold (default 5%, absorbing the documented ±5-10% host jitter on
     sub-10ms cells) {e and} (b) the t-based 95% confidence intervals of
-    the two sample sets do not overlap.  Single-sample cells have
-    degenerate point intervals, so the threshold alone decides there. *)
+    the two sample sets do not overlap.  Pairs where either side has
+    fewer than two samples are not classified at all: with a degenerate
+    (point or nan) interval there is no noise estimate, so they are
+    reported as skipped (insufficient samples).  Cells whose status
+    records a harness failure ("failed"/"timeout"/"quarantined") are
+    likewise skipped with a note instead of compared. *)
 
 (** One serialized measurement cell: {!Sb_report.Experiments.row} plus its
     experiment of origin, as read back from [--json] output. *)
@@ -32,6 +36,10 @@ type cell = {
   samples : float list;  (** raw per-repeat kernel seconds, run order *)
   kernel_insns : int;
   perf : (string * int) list;
+  status : string;
+      (** ["ok"], ["retried <n>"] (compared normally), or a terminal
+          harness failure (["failed"]/["timeout"]/["quarantined"]:
+          skipped).  Schema-2 files without the field read as ["ok"]. *)
 }
 
 type run = { source : string; cells : cell list }
@@ -75,6 +83,12 @@ type report = {
   r_only_new : cell list;
   r_mismatched : (cell * cell) list;
       (** paired cells whose iteration counts differ: not comparable *)
+  r_skipped_status : (cell * cell) list;
+      (** pairs where at least one side is a harness failure
+          (status "failed"/"timeout"/"quarantined"): skipped with a note *)
+  r_skipped_samples : (cell * cell) list;
+      (** pairs where a side has fewer than two samples: no noise
+          estimate, so no verdict is pretended *)
 }
 
 val compare_runs :
@@ -121,7 +135,8 @@ val attribution : report -> category_summary list
 val render : ?all_cells:bool -> report -> string
 (** Human-readable diff: changed cells (all cells with [all_cells:true])
     as a {!Sb_util.Tablefmt} table, regressions first, then the category
-    attribution and a summary line. *)
+    attribution, a list of status-skipped cells with their statuses, and
+    a summary line including skip counts. *)
 
 val to_json : report -> Sb_util.Json.t
 (** Machine-readable report ([simbench compare --json]). *)

@@ -43,17 +43,25 @@ let sweep ?iters ?(opts = Experiments.sequential) ~config ~title ~benches
               benches))
       variants
   in
-  let results = Pool.run ~jobs:opts.Experiments.jobs tasks in
+  let results =
+    Pool.run ~jobs:opts.Experiments.jobs ?deadline:opts.Experiments.deadline
+      ~retries:opts.Experiments.retries tasks
+  in
   let columns =
     List.map2
       (fun (label, _) outcome ->
-        match outcome with
-        | Pool.Done times ->
-          let tbl = Hashtbl.create 16 in
-          List.iter (fun (name, t) -> Hashtbl.replace tbl name t) times;
-          (label, tbl)
-        | Pool.Failed msg ->
-          raise (Simbench.Harness.Benchmark_failed (title ^ ": " ^ msg)))
+        let times =
+          match outcome with
+          | Pool.Done times | Pool.Retried (times, _) -> times
+          | Pool.Failed f ->
+            (* degrade the column to gaps instead of sinking the table *)
+            Printf.eprintf "[sb-report] ablation %s\n%!"
+              (Pool.failure_message f);
+            []
+        in
+        let tbl = Hashtbl.create 16 in
+        List.iter (fun (name, t) -> Hashtbl.replace tbl name t) times;
+        (label, tbl))
       variants results
   in
   let rows =
@@ -62,7 +70,9 @@ let sweep ?iters ?(opts = Experiments.sequential) ~config ~title ~benches
         b.Simbench.Bench.name
         :: List.map
              (fun (_, tbl) ->
-               Printf.sprintf "%.4f" (Hashtbl.find tbl b.Simbench.Bench.name))
+               match Hashtbl.find_opt tbl b.Simbench.Bench.name with
+               | Some t -> Printf.sprintf "%.4f" t
+               | None -> "-")
              columns)
       benches
   in

@@ -16,9 +16,14 @@ let default_config =
 let quick_config =
   { scale = 100_000; workload_iters = 5; repeats = 1; spec_density_iters = 6 }
 
-type run_opts = { jobs : int; cache_dir : string option }
+type run_opts = {
+  jobs : int;
+  cache_dir : string option;
+  deadline : float option;
+  retries : int;
+}
 
-let sequential = { jobs = 1; cache_dir = None }
+let sequential = { jobs = 1; cache_dir = None; deadline = None; retries = 0 }
 
 let arch_label = function
   | Sb_isa.Arch_sig.Sba -> "ARM Guest (SBA-32)"
@@ -43,6 +48,9 @@ type row = {
   row_samples : float list;  (** raw per-repeat kernel seconds, run order *)
   row_kernel_insns : int;
   row_perf : (string * int) list;
+  row_status : string;
+      (** ["ok"], ["retried <n>"], ["failed"], ["timeout"], ["quarantined"] *)
+  row_note : string;  (** failure detail; empty when ok *)
 }
 
 type cell_kind = [ `Suite | `Workloads of int ]
@@ -112,7 +120,39 @@ let row_of ~label ~arch ~repeats ~cell run1 =
         List.map
           (fun (c, n) -> (Sb_sim.Perf.to_string c, n))
           (Sb_sim.Perf.to_alist p));
+    row_status = "ok";
+    row_note = "";
   }
+
+(* ------------------------------------------------------------------ *)
+(* Failure as data: a cell the pool could not produce becomes rows with  *)
+(* a non-ok status instead of an exception that sinks the whole run.     *)
+(* ------------------------------------------------------------------ *)
+
+let status_of_failure (f : Pool.failure) =
+  match f.Pool.fl_kind with
+  | Pool.Crashed -> "failed"
+  | Pool.Timed_out -> "timeout"
+  | Pool.Quarantined -> "quarantined"
+
+let failure_row ~arch ~label ~cell (f : Pool.failure) =
+  {
+    row_cell = cell;
+    row_engine = label;
+    row_arch = arch_name arch;
+    row_iters = 0;
+    row_repeats = 0;
+    row_seconds = nan;
+    row_mean_seconds = nan;
+    row_samples = [];
+    row_kernel_insns = 0;
+    row_perf = [];
+    row_status = status_of_failure f;
+    row_note = f.Pool.fl_detail;
+  }
+
+let mark_retried n rows =
+  List.map (fun r -> { r with row_status = Printf.sprintf "retried %d" n }) rows
 
 let version_label dbt_config =
   match List.find_opt (fun (_, c) -> c = dbt_config) Sb_dbt.Version.all with
@@ -158,7 +198,15 @@ let cache_of opts = Option.map (fun dir -> Cache.create ~dir) opts.cache_dir
 let kind_name = function `Suite -> "suite" | `Workloads _ -> "workloads"
 
 let run_pool ~opts tasks =
-  Pool.run ~jobs:opts.jobs ?cache:(cache_of opts) tasks
+  Pool.run ~jobs:opts.jobs ?cache:(cache_of opts) ?deadline:opts.deadline
+    ~retries:opts.retries tasks
+
+let kind_cells = function
+  | `Suite -> List.map (fun b -> b.Simbench.Bench.name) Simbench.Suite.all
+  | `Workloads _ ->
+    List.map
+      (fun w -> w.Sb_workloads.Workloads.name)
+      Sb_workloads.Workloads.all
 
 (* Compute any not-yet-memoized cells, farming them out to the pool.  One
    cell = one (dbt-version config, arch, suite-or-workloads) sweep; cells
@@ -192,9 +240,21 @@ let prefetch ?(opts = sequential) ~config cells =
     let results = run_pool ~opts tasks in
     List.iter2
       (fun (arch, kind, dbt) outcome ->
-        match outcome with
-        | Pool.Done rows -> Hashtbl.replace memo (key_of ~config ~arch ~kind dbt) rows
-        | Pool.Failed msg -> raise (Simbench.Harness.Benchmark_failed msg))
+        let rows =
+          match outcome with
+          | Pool.Done rows -> rows
+          | Pool.Retried (rows, n) -> mark_retried n rows
+          | Pool.Failed f ->
+            (* the cell is gone (crash/timeout/quarantine) but the run is
+               not: every bench of the cell becomes a non-ok placeholder
+               row, so figures render with gaps and --json records what
+               happened instead of the whole experiment aborting *)
+            Printf.eprintf "[sb-report] cell %s\n%!" (Pool.failure_message f);
+            List.map
+              (fun cell -> failure_row ~arch ~label:(version_label dbt) ~cell f)
+              (kind_cells kind)
+        in
+        Hashtbl.replace memo (key_of ~config ~arch ~kind dbt) rows)
       todo results
   end
 
@@ -293,11 +353,18 @@ let engine_columns ~opts ~config ~arch ~tag ~benches engines =
   let results = run_pool ~opts tasks in
   List.map2
     (fun (label, _) outcome ->
-      match outcome with
-      | Pool.Done rows ->
-        record rows;
-        (label, times_tbl rows)
-      | Pool.Failed msg -> raise (Simbench.Harness.Benchmark_failed msg))
+      let rows =
+        match outcome with
+        | Pool.Done rows -> rows
+        | Pool.Retried (rows, n) -> mark_retried n rows
+        | Pool.Failed f ->
+          Printf.eprintf "[sb-report] column %s\n%!" (Pool.failure_message f);
+          List.map
+            (fun b -> failure_row ~arch ~label ~cell:b.Simbench.Bench.name f)
+            benches
+      in
+      record rows;
+      (label, times_tbl rows))
     engines results
 
 (* ------------------------------------------------------------------ *)
@@ -559,6 +626,105 @@ let extensions ?(config = default_config) ?(opts = sequential) () =
   ^ Tablefmt.render
       ~header:("Benchmark" :: List.map fst engines)
       rows
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic fault cells                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A deliberately healthy / crashing / hanging trio driven through the
+   pool: proves end-to-end that a bench run with poisoned cells completes
+   under the deadline, exits cleanly, and reports the failures as per-cell
+   status data.  The CI chaos smoke job runs this with --deadline and
+   greps the JSON for the "failed" and "timeout" statuses. *)
+let synthetic_faults ?(opts = sequential) () =
+  let deadline = match opts.deadline with Some d -> d | None -> 10.0 in
+  (* at least two workers so the healthy cell finishes while the hung one
+     is still burning its deadline *)
+  let jobs = max 2 opts.jobs in
+  let tasks =
+    [
+      ( "ok",
+        Pool.task ~label:"synthetic/ok" (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let rec spin n acc =
+              if n = 0 then acc else spin (n - 1) (acc lxor n)
+            in
+            ignore (spin 5_000_000 0);
+            Unix.gettimeofday () -. t0) );
+      ( "crash",
+        Pool.task ~label:"synthetic/crash" (fun () ->
+            failwith "injected crash (synthetic-faults)") );
+      ( "hang",
+        Pool.task ~label:"synthetic/hang" (fun () ->
+            Unix.sleepf 600.0;
+            nan) );
+    ]
+  in
+  let stats = Pool.stats () in
+  let outcomes =
+    Pool.run ~jobs ~stats ~deadline ~retries:opts.retries (List.map snd tasks)
+  in
+  let base cell =
+    {
+      row_cell = cell;
+      row_engine = "synthetic";
+      row_arch = "host";
+      row_iters = 1;
+      row_repeats = 1;
+      row_seconds = nan;
+      row_mean_seconds = nan;
+      row_samples = [];
+      row_kernel_insns = 0;
+      row_perf = [];
+      row_status = "ok";
+      row_note = "";
+    }
+  in
+  let rows =
+    List.map2
+      (fun (cell, _) outcome ->
+        match outcome with
+        | Pool.Done v ->
+          { (base cell) with
+            row_seconds = v;
+            row_mean_seconds = v;
+            row_samples = [ v ] }
+        | Pool.Retried (v, n) ->
+          { (base cell) with
+            row_seconds = v;
+            row_mean_seconds = v;
+            row_samples = [ v ];
+            row_status = Printf.sprintf "retried %d" n }
+        | Pool.Failed f ->
+          { (base cell) with
+            row_iters = 0;
+            row_repeats = 0;
+            row_status = status_of_failure f;
+            row_note = f.Pool.fl_detail })
+      tasks outcomes
+  in
+  record rows;
+  let table =
+    Tablefmt.render
+      ~align:[ Tablefmt.Left; Tablefmt.Left; Tablefmt.Right; Tablefmt.Left ]
+      ~header:[ "Cell"; "Status"; "Seconds"; "Note" ]
+      (List.map
+         (fun r ->
+           [
+             r.row_cell;
+             r.row_status;
+             (if Float.is_nan r.row_seconds then "-"
+              else Printf.sprintf "%.4f" r.row_seconds);
+             r.row_note;
+           ])
+         rows)
+  in
+  Printf.sprintf
+    "Synthetic fault harness check (deadline %.1fs, %d jobs):\n\n\
+     %s\n\
+     pool: %d executed, %d failed, %d timed out, %d retried, %d quarantined\n"
+    deadline jobs table stats.Pool.executed stats.Pool.failed
+    stats.Pool.timed_out stats.Pool.retried stats.Pool.quarantined
 
 let all ?(config = default_config) ?(opts = sequential) () =
   (* one prefetch of the union before rendering: with -j N the whole

@@ -30,10 +30,18 @@ type run_opts = {
   cache_dir : string option;
       (** persistent result cache; cells are keyed by a digest of (engine
           knobs, arch, workload kind, iteration counts, scale) *)
+  deadline : float option;
+      (** per-cell wall-clock budget in seconds; overrunning workers are
+          killed and the cell reported with status ["timeout"].  Forces
+          the forked pool path even at [jobs = 1]. *)
+  retries : int;
+      (** extra attempts for cells whose worker {e crashed} (never for
+          timeouts); a late success is reported as ["retried <n>"] *)
 }
 
 val sequential : run_opts
-(** [{ jobs = 1; cache_dir = None }] — today's single-process behaviour. *)
+(** [{ jobs = 1; cache_dir = None; deadline = None; retries = 0 }] —
+    single-process behaviour, failures after zero retries. *)
 
 (** One measured (benchmark, engine, arch) cell: the paper's measurement
     triple plus the repeat statistics, in marshallable form. *)
@@ -56,6 +64,14 @@ type row = {
           where the DBT's [Traces_formed] / [Trace_dispatches] /
           [Trace_side_exits] / [Trace_invalidations] surface in [--json]
           output *)
+  row_status : string;
+      (** ["ok"]; ["retried <n>"] (succeeded after n crashed attempts);
+          or a terminal failure — ["failed"], ["timeout"],
+          ["quarantined"] — in which case the timing fields are
+          [nan]/zero placeholders and [row_note] says why.  Downstream,
+          {!Sb_regress} skips non-ok cells with a note instead of
+          comparing them. *)
+  row_note : string;  (** failure detail; empty when ok *)
 }
 
 val reset_memo : unit -> unit
@@ -85,8 +101,10 @@ val prefetch :
   (Sb_isa.Arch_sig.arch_id * cell_kind * Sb_dbt.Config.t) list ->
   unit
 (** Measure (or cache-load) any not-yet-memoized cells, [opts.jobs] at a
-    time.  Raises {!Simbench.Harness.Benchmark_failed} if a cell fails or
-    its worker dies. *)
+    time.  A cell whose worker fails, times out or is quarantined does
+    {e not} abort the run: it is memoized as placeholder rows with the
+    corresponding non-ok {!row.row_status} (one per benchmark of the
+    cell), a warning goes to stderr, and rendering continues with gaps. *)
 
 val cell_rows :
   ?opts:run_opts ->
@@ -124,6 +142,14 @@ val extensions : ?config:config -> ?opts:run_opts -> unit -> string
 val all : ?config:config -> ?opts:run_opts -> unit -> string
 (** Every experiment, in figure order, with headers; prefetches the whole
     version sweep in one pool pass first. *)
+
+val synthetic_faults : ?opts:run_opts -> unit -> string
+(** Harness self-check: drive one healthy, one crashing and one hanging
+    synthetic cell through the pool (deadline defaults to 10s when
+    [opts.deadline] is unset; at least two workers) and render their
+    per-cell statuses.  The rows are {!recorded}, so [--json] output
+    carries statuses ["ok"], ["failed"] and ["timeout"] — what the CI
+    chaos smoke job asserts on.  Never raises. *)
 
 (** Raw data access for tests and ablations. *)
 

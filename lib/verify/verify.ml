@@ -47,9 +47,12 @@ let default_mem_window =
   (Simbench.Platform.sbp_ref.Simbench.Platform.scratch_base, 16 * 4096)
 
 let run_outcome ~engine ?(mem_window = default_mem_window) ?(max_insns = 10_000_000)
-    program =
+    ?prepare program =
   let machine = Sb_sim.Machine.create () in
   Sb_sim.Machine.load_program machine program;
+  (* arm deterministic machine-level faults (Sb_fault) after the image is
+     loaded, before the engine runs *)
+  (match prepare with Some f -> f machine | None -> ());
   let result = Sb_sim.Engine.run engine ~max_insns machine in
   let addr, len = mem_window in
   let window = Sb_mem.Phys_mem.blit_out (Sb_mem.Bus.ram machine.Sb_sim.Machine.bus) ~addr ~len in
@@ -92,15 +95,18 @@ let first_difference ~nregs a b =
           else None)
       None a.counters b.counters
 
-let compare_engines ~engines ?mem_window ?max_insns ?(nregs = 16) program =
+let compare_engines ~engines ?mem_window ?max_insns ?(nregs = 16) ?prepare
+    program =
   match engines with
   | [] -> invalid_arg "Verify.compare_engines: no engines"
   | first :: rest ->
-    let reference = run_outcome ~engine:first ?mem_window ?max_insns program in
+    let reference =
+      run_outcome ~engine:first ?mem_window ?max_insns ?prepare program
+    in
     let rec check = function
       | [] -> Ok reference
       | engine :: tail -> (
-        let o = run_outcome ~engine ?mem_window ?max_insns program in
+        let o = run_outcome ~engine ?mem_window ?max_insns ?prepare program in
         match first_difference ~nregs reference o with
         | None -> check tail
         | Some detail ->
@@ -119,12 +125,46 @@ let compare_engines ~engines ?mem_window ?max_insns ?(nregs = 16) program =
 (* ------------------------------------------------------------------ *)
 
 let scratch = fst default_mem_window
+let devid_base = Sb_sim.Machine.Map.devid_base
 
-let random_sba_program seed =
+(* [gen n f] — n draws of [f], in order (unlike [List.init], whose
+   evaluation order is unspecified; chunk generators consume the rng). *)
+let gen n f =
+  let rec go i acc = if i >= n then List.rev acc else go (i + 1) (f () :: acc) in
+  go 0 []
+
+(* Weave [extras] evenly through [chunks] so chaos traffic (Sb_fault's
+   MMIO targets and invalidation storms) lands between ordinary work
+   rather than bunched in a tail. *)
+let interleave chunks extras =
+  match extras with
+  | [] -> List.concat chunks
+  | _ ->
+    let n = List.length chunks in
+    let k = List.length extras in
+    let step = max 1 (n / (k + 1)) in
+    let out = ref [] in
+    let remaining = ref extras in
+    let take_extra () =
+      match !remaining with
+      | [] -> ()
+      | e :: tl ->
+        remaining := tl;
+        out := e :: !out
+    in
+    List.iteri
+      (fun i c ->
+        out := c :: !out;
+        if (i + 1) mod step = 0 then take_extra ())
+      chunks;
+    List.iter (fun e -> out := e :: !out) !remaining;
+    List.concat (List.rev !out)
+
+let random_sba_program ?(mmio_chunks = 0) ?(storm_chunks = 0) seed =
   let rng = Sb_util.Xorshift.create ~seed in
   let n_chunks = 20 + Sb_util.Xorshift.int rng 60 in
-  let body = ref [] in
-  let add items = body := !body @ items in
+  let chunks = ref [] in
+  let add items = chunks := items :: !chunks in
   let insns l = List.map (fun i -> Insn i) l in
   let alu_ops =
     [|
@@ -180,6 +220,21 @@ let random_sba_program seed =
               SI.Bcc (Uop.Ne, top);
             ])
   done;
+  (* Chaos chunks are drawn strictly after the main body, so a (seed,
+     mmio_chunks = 0, storm_chunks = 0) program is byte-identical to the
+     pre-chaos generator output.  MMIO traffic targets the devid window —
+     fully deterministic reads, plus a writable scratch register — via
+     r10; faulted accesses vector to skip_handler like any data abort. *)
+  let mmio_chunk () =
+    if Sb_util.Xorshift.bool rng then
+      insns [ SI.Ldr (reg (), 10, Sb_util.Xorshift.int rng 4 * 4) ]
+    else insns [ SI.Str (reg (), 10, 4) ]
+  in
+  let storm_chunk () =
+    if Sb_util.Xorshift.bool rng then insns [ SI.Tlbiall ]
+    else insns [ SI.Tlbi (reg ()) ]
+  in
+  let chaos = gen mmio_chunks mmio_chunk @ gen storm_chunks storm_chunk in
   let init =
     List.concat
       (List.map (fun r -> SI.li r (Sb_util.Xorshift.u32 rng)) [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ])
@@ -190,7 +245,8 @@ let random_sba_program seed =
     @ insns (SI.la 0 "vectors" @ [ SI.Mcr (Sb_isa.Cregs.vbar, 0) ])
     @ insns init
     @ insns (SI.li 12 scratch)
-    @ !body
+    @ (if mmio_chunks > 0 then insns (SI.li 10 devid_base) else [])
+    @ interleave (List.rev !chunks) chaos
     @ insns [ SI.Halt ]
     (* the system-call return address is already the next instruction *)
     @ [ Label "svc_handler" ]
@@ -209,11 +265,11 @@ let random_sba_program seed =
     @ slot "skip_handler" @ slot "svc_handler" @ slot "start" @ slot "skip_handler"
     @ slot "start")
 
-let random_vlx_program seed =
+let random_vlx_program ?(mmio_chunks = 0) ?(storm_chunks = 0) seed =
   let rng = Sb_util.Xorshift.create ~seed in
   let n = 20 + Sb_util.Xorshift.int rng 60 in
-  let body = ref [] in
-  let add items = body := !body @ items in
+  let chunks = ref [] in
+  let add items = chunks := items :: !chunks in
   let insns l = List.map (fun i -> Insn i) l in
   let reg () = Sb_util.Xorshift.int rng 4 in
   let ops = [| Uop.Add; Uop.Sub; Uop.And_; Uop.Orr; Uop.Xor; Uop.Mul; Uop.Lsl; Uop.Lsr |] in
@@ -235,6 +291,22 @@ let random_vlx_program seed =
     | 6 -> add (insns [ VI.Load (reg (), 4, Sb_util.Xorshift.int rng 500 * 4) ])
     | _ -> add (insns [ VI.Svc (i land 0xFF) ])
   done;
+  (* Drawn after the main body: chaos-free output is byte-identical to the
+     pre-chaos generator.  MMIO runs through r5 (devid window).  The base
+     generator routes data aborts back to "start" — an infinite loop under
+     bus-error injection — so chaos programs get a dedicated skip handler
+     (VLX Load/Store encode at a fixed 4 bytes) wired into the
+     Data_abort vector slot instead. *)
+  let mmio_chunk () =
+    if Sb_util.Xorshift.bool rng then
+      insns [ VI.Load (reg (), 5, Sb_util.Xorshift.int rng 4 * 4) ]
+    else insns [ VI.Store (reg (), 5, 4) ]
+  in
+  let storm_chunk () =
+    if Sb_util.Xorshift.bool rng then insns [ VI.Tlbiall ]
+    else insns [ VI.Tlbi (reg ()) ]
+  in
+  let chaos = gen mmio_chunks mmio_chunk @ gen storm_chunks storm_chunk in
   let slot target = [ Insn (VI.Jmp target); Insn VI.Nop; Insn VI.Nop; Insn VI.Nop ] in
   VI.Asm.assemble ~base:0 ~entry:"start"
     ([ Label "start" ]
@@ -243,17 +315,31 @@ let random_vlx_program seed =
         (List.concat
            (List.map (fun r -> [ VI.Movi (r, Sb_util.Xorshift.u32 rng) ]) [ 0; 1; 2; 3 ]))
     @ insns [ VI.Movi (4, scratch) ]
-    @ !body
+    @ (if mmio_chunks > 0 then insns [ VI.Movi (5, devid_base) ] else [])
+    @ interleave (List.rev !chunks) chaos
     @ insns [ VI.Halt ]
     @ [ Label "handler" ]
     @ insns [ VI.Alu_ri (Uop.Add, 7, 7, 1); VI.Eret ]
+    @ (if mmio_chunks > 0 then
+         Label "skip4_handler"
+         :: insns
+              [
+                VI.Alu_ri (Uop.Add, 7, 7, 1);
+                VI.Cpr (6, Sb_isa.Cregs.elr);
+                VI.Alu_ri (Uop.Add, 6, 6, 4);
+                VI.Cpw (Sb_isa.Cregs.elr, 6);
+                VI.Eret;
+              ]
+       else [])
     @ (Label "vectors" :: slot "start")
-    @ slot "handler" @ slot "handler" @ slot "start" @ slot "start" @ slot "start")
+    @ slot "handler" @ slot "handler" @ slot "start"
+    @ slot (if mmio_chunks > 0 then "skip4_handler" else "start")
+    @ slot "start")
 
-let random_program ~arch ~seed =
+let random_program ?mmio_chunks ?storm_chunks ~arch ~seed () =
   match arch with
-  | Sb_isa.Arch_sig.Sba -> random_sba_program seed
-  | Sb_isa.Arch_sig.Vlx -> random_vlx_program seed
+  | Sb_isa.Arch_sig.Sba -> random_sba_program ?mmio_chunks ?storm_chunks seed
+  | Sb_isa.Arch_sig.Vlx -> random_vlx_program ?mmio_chunks ?storm_chunks seed
 
 let default_engines arch =
   [
@@ -309,7 +395,7 @@ let random_sweep ~arch ~engines ~seeds ?validate_passes () =
         if seed >= seeds then List.rev acc
         else begin
           current_seed := seed;
-          let program = random_program ~arch ~seed:(seed + 1) in
+          let program = random_program ~arch ~seed:(seed + 1) () in
           match compare_engines ~engines ~nregs:(nregs_of arch) program with
           | Ok _ -> go (seed + 1) acc
           | Error d -> go (seed + 1) ({ d with seed = Some seed } :: acc)

@@ -37,24 +37,47 @@ val run_outcome :
   engine:Sb_sim.Engine.t ->
   ?mem_window:int * int ->
   ?max_insns:int ->
+  ?prepare:(Sb_sim.Machine.t -> unit) ->
   Sb_asm.Program.t ->
   outcome
 (** Run a program on a fresh machine; [mem_window] is [(addr, len)] of the
-    memory region to digest (defaults to the scratch arena). *)
+    memory region to digest (defaults to the scratch arena).  [prepare]
+    runs after the image is loaded and before the engine starts — the hook
+    {!Sb_fault.Fault.arm} uses to install deterministic faults. *)
 
 val compare_engines :
   engines:Sb_sim.Engine.t list ->
   ?mem_window:int * int ->
   ?max_insns:int ->
   ?nregs:int ->
+  ?prepare:(Sb_sim.Machine.t -> unit) ->
   Sb_asm.Program.t ->
   (outcome, divergence) result
 (** [Ok] with the (shared) outcome when every engine agrees with the first;
-    the first divergence otherwise. *)
+    the first divergence otherwise.  [prepare] is applied to each engine's
+    fresh machine, so deterministic fault plans perturb every engine
+    identically. *)
 
-val random_program : arch:Sb_isa.Arch_sig.arch_id -> seed:int -> Sb_asm.Program.t
+val random_program :
+  ?mmio_chunks:int ->
+  ?storm_chunks:int ->
+  arch:Sb_isa.Arch_sig.arch_id ->
+  seed:int ->
+  unit ->
+  Sb_asm.Program.t
 (** A randomized but always-terminating guest program exercising ALU,
-    branches, memory, system calls and exception handlers. *)
+    branches, memory, system calls and exception handlers.
+    [mmio_chunks] additionally weaves in device-window loads/stores
+    (deterministic devid registers) — the traffic {!Sb_fault} injects bus
+    errors into — and wires the data-abort vector to a skip-the-insn
+    handler on both architectures.  [storm_chunks] weaves in TLB
+    invalidation storms ([Tlbi]/[Tlbiall]).  With both at 0 (the default)
+    the output is byte-identical to the pre-chaos generator for the same
+    seed. *)
+
+val nregs_of : Sb_isa.Arch_sig.arch_id -> int
+(** Architecturally-compared register count for {!compare_engines}'s
+    [?nregs] (excludes scratch registers engines may clobber). *)
 
 val random_sweep :
   arch:Sb_isa.Arch_sig.arch_id ->

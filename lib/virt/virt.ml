@@ -465,7 +465,10 @@ struct
       Run_result.Insn_limit
     with Stop reason -> reason
 
-  let run ?(max_insns = Runner.default_max_insns) machine =
+  let run ?max_insns machine =
+    let max_insns =
+      match max_insns with Some n -> n | None -> !Runner.insn_budget
+    in
     let perf = Perf.create () in
     let ctx = make_ctx machine perf in
     Runner.wrap ~name ~machine ~perf ~execute:(fun () -> execute ctx ~max_insns)

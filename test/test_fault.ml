@@ -1,0 +1,201 @@
+(* Tests for deterministic fault injection (Sb_fault): plan generation is
+   seeded and serializable, the bus-error injector keys off the
+   architectural MMIO access ordinal, arming a plan perturbs the machine
+   the way the plan says, injected faults actually reach the guest as
+   data aborts, and — the point of the subsystem — every engine converges
+   to the same architectural state under the same plan. *)
+
+module Plan = Sb_fault.Plan
+module Fault = Sb_fault.Fault
+module Verify = Sb_verify.Verify
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec loop i =
+    if i + n > String.length haystack then false
+    else String.sub haystack i n = needle || loop (i + 1)
+  in
+  loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_deterministic () =
+  let a = Plan.generate ~seed:7 and b = Plan.generate ~seed:7 in
+  Alcotest.(check string) "same seed, same plan" (Plan.to_string a)
+    (Plan.to_string b);
+  let plans = List.init 6 (fun i -> Plan.to_string (Plan.generate ~seed:(i + 1))) in
+  Alcotest.(check int) "distinct seeds, distinct plans" (List.length plans)
+    (List.length (List.sort_uniq compare plans))
+
+let test_plan_shape () =
+  (* the generator's documented ranges, across a spread of seeds *)
+  for seed = 1 to 50 do
+    let p = Plan.generate ~seed in
+    Alcotest.(check bool) "mmio chunks in range" true
+      (p.Plan.mmio_chunks >= 4 && p.Plan.mmio_chunks <= 11);
+    Alcotest.(check bool) "storm chunks in range" true
+      (p.Plan.storm_chunks >= 0 && p.Plan.storm_chunks <= 3);
+    Alcotest.(check bool) "at least one bus error" true
+      (List.length p.Plan.bus_errors >= 1);
+    List.iter
+      (fun n ->
+        Alcotest.(check bool) "ordinal within the plan's own traffic" true
+          (n >= 0 && n < p.Plan.mmio_chunks))
+      p.Plan.bus_errors
+  done
+
+let test_plan_json_round_trip () =
+  let p = Plan.generate ~seed:11 in
+  (match Plan.of_string (Plan.to_string p) with
+  | Ok p' ->
+    Alcotest.(check string) "round trip" (Plan.to_string p) (Plan.to_string p')
+  | Error msg -> Alcotest.fail msg);
+  (* wrong schema tag: rejected by name, not mis-decoded *)
+  match Plan.of_string "{\"schema\":\"nonesuch-9\",\"seed\":1}" with
+  | Ok _ -> Alcotest.fail "wrong schema must be rejected"
+  | Error msg -> Alcotest.(check bool) "names the schema" true (contains msg "schema")
+
+(* ------------------------------------------------------------------ *)
+(* Injection mechanics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_bus_injector_ordinals () =
+  let machine = Sb_sim.Machine.create () in
+  let bus = machine.Sb_sim.Machine.bus in
+  let base = Sb_sim.Machine.Map.devid_base in
+  Sb_mem.Bus.set_fault_injector bus
+    (Some (fun ~nth ~rw:_ ~addr:_ -> nth = 1));
+  ignore (Sb_mem.Bus.read32 bus base);
+  (* the faulted access still consumes its ordinal: engines must agree on
+     the numbering whether or not a hook fired *)
+  (match Sb_mem.Bus.read32 bus base with
+  | _ -> Alcotest.fail "second device access must raise"
+  | exception Sb_mem.Bus.Fault addr ->
+    Alcotest.(check int) "fault carries the address" base addr);
+  ignore (Sb_mem.Bus.read32 bus base);
+  Alcotest.(check int) "all three accesses counted" 3
+    (Sb_mem.Bus.device_accesses bus);
+  (* RAM is never intercepted, even with the injector armed *)
+  Sb_mem.Bus.set_fault_injector bus (Some (fun ~nth:_ ~rw:_ ~addr:_ -> true));
+  ignore (Sb_mem.Bus.read32 bus 0x1000);
+  Sb_mem.Bus.set_fault_injector bus None;
+  ignore (Sb_mem.Bus.read32 bus base)
+
+let test_arm_applies_bit_flips () =
+  let scratch = Simbench.Platform.sbp_ref.Simbench.Platform.scratch_base in
+  let machine = Sb_sim.Machine.create () in
+  let ram = Sb_mem.Bus.ram machine.Sb_sim.Machine.bus in
+  let before = Sb_mem.Phys_mem.read8 ram (scratch + 100) in
+  let plan =
+    {
+      Plan.seed = 1;
+      mmio_chunks = 0;
+      storm_chunks = 0;
+      bus_errors = [];
+      bit_flips = [ (100, 5) ];
+      spurious_irqs = [ 9 ];
+    }
+  in
+  Fault.arm plan machine;
+  Alcotest.(check int) "bit 5 flipped" (before lxor 0x20)
+    (Sb_mem.Phys_mem.read8 ram (scratch + 100));
+  (* arming twice flips back: the xor is its own inverse *)
+  Fault.arm plan machine;
+  Alcotest.(check int) "second arm restores" before
+    (Sb_mem.Phys_mem.read8 ram (scratch + 100))
+
+let test_faults_reach_the_guest () =
+  (* an explicit plan faulting the very first device access: the interp
+     run must take (and survive) at least one data abort *)
+  let plan =
+    {
+      Plan.seed = 3;
+      mmio_chunks = 4;
+      storm_chunks = 0;
+      bus_errors = [ 0 ];
+      bit_flips = [];
+      spurious_irqs = [];
+    }
+  in
+  let arch = Sb_isa.Arch_sig.Sba in
+  let program = Fault.program ~arch plan in
+  let engine = Simbench.Engines.interp arch in
+  let o = Verify.run_outcome ~engine ~prepare:(Fault.arm plan) program in
+  Alcotest.(check bool) "program still halts" true o.Verify.halted;
+  let aborts = List.assoc "Data_abort" o.Verify.counters in
+  Alcotest.(check bool) "at least one data abort taken" true (aborts >= 1);
+  (* the same program unarmed takes none: the aborts came from the plan *)
+  let clean = Verify.run_outcome ~engine program in
+  Alcotest.(check int) "no aborts without the plan" 0
+    (List.assoc "Data_abort" clean.Verify.counters)
+
+let test_masked_irqs_do_not_leak () =
+  (* spurious lines go pending but the guest never enables them: the run
+     must take zero interrupts and end in the same state *)
+  let arch = Sb_isa.Arch_sig.Sba in
+  let plan_quiet =
+    {
+      Plan.seed = 5;
+      mmio_chunks = 0;
+      storm_chunks = 0;
+      bus_errors = [];
+      bit_flips = [];
+      spurious_irqs = [];
+    }
+  in
+  let plan_noisy = { plan_quiet with Plan.spurious_irqs = [ 3; 17; 29 ] } in
+  let engine = Simbench.Engines.interp arch in
+  let run plan =
+    Verify.run_outcome ~engine ~prepare:(Fault.arm plan)
+      (Fault.program ~arch plan)
+  in
+  let quiet = run plan_quiet and noisy = run plan_noisy in
+  Alcotest.(check int) "no interrupts taken" 0
+    (List.assoc "Irq_taken" noisy.Verify.counters);
+  Alcotest.(check bool) "identical architectural state" true
+    (quiet.Verify.regs = noisy.Verify.regs
+    && quiet.Verify.memory_digest = noisy.Verify.memory_digest
+    && quiet.Verify.counters = noisy.Verify.counters)
+
+(* ------------------------------------------------------------------ *)
+(* Differential convergence                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_sweep ~arch ~seeds =
+  match Fault.sweep ~arch ~seeds () with
+  | [] -> ()
+  | d :: _ ->
+    Alcotest.fail
+      (Printf.sprintf "engines diverged under faults (seed %s): %s vs %s: %s"
+         (match d.Verify.seed with Some s -> string_of_int s | None -> "?")
+         d.Verify.reference_engine d.Verify.diverging_engine d.Verify.detail)
+
+let test_differential_sba () = check_sweep ~arch:Sb_isa.Arch_sig.Sba ~seeds:3
+let test_differential_vlx () = check_sweep ~arch:Sb_isa.Arch_sig.Vlx ~seeds:2
+
+let () =
+  Alcotest.run "sb_fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "deterministic" `Quick test_plan_deterministic;
+          Alcotest.test_case "shape" `Quick test_plan_shape;
+          Alcotest.test_case "json round trip" `Quick test_plan_json_round_trip;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "bus ordinals" `Quick test_bus_injector_ordinals;
+          Alcotest.test_case "bit flips" `Quick test_arm_applies_bit_flips;
+          Alcotest.test_case "faults reach the guest" `Quick
+            test_faults_reach_the_guest;
+          Alcotest.test_case "masked irqs stay masked" `Quick
+            test_masked_irqs_do_not_leak;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "sba engines converge" `Slow test_differential_sba;
+          Alcotest.test_case "vlx engines converge" `Slow test_differential_vlx;
+        ] );
+    ]

@@ -47,9 +47,9 @@ let test_positional_results () =
       Alcotest.(check int) "one result per task" 7 (List.length results);
       List.iteri
         (fun i -> function
-          | Pool.Done v ->
+          | Pool.Done v | Pool.Retried (v, _) ->
             Alcotest.(check int) (Printf.sprintf "task %d (j%d)" i jobs) (i * i) v
-          | Pool.Failed msg -> Alcotest.fail msg)
+          | Pool.Failed f -> Alcotest.fail (Pool.failure_message f))
         results)
     [ 1; 3 ]
 
@@ -64,11 +64,14 @@ let test_thunk_exception_is_failed () =
   List.iter
     (fun jobs ->
       match Pool.run ~jobs tasks with
-      | [ Pool.Done 1; Pool.Failed msg; Pool.Done 3 ] ->
+      | [ Pool.Done 1; Pool.Failed f; Pool.Done 3 ] ->
         Alcotest.(check bool)
           (Printf.sprintf "message mentions cause (j%d)" jobs)
           true
-          (contains msg "kernel exploded")
+          (contains (Pool.failure_message f) "kernel exploded");
+        Alcotest.(check bool)
+          "kind is Crashed" true
+          (f.Pool.fl_kind = Pool.Crashed)
       | _ -> Alcotest.fail "unexpected outcome shape")
     [ 1; 2 ]
 
@@ -86,11 +89,149 @@ let test_dead_worker_reported () =
   in
   let stats = Pool.stats () in
   match Pool.run ~jobs:3 ~stats tasks with
-  | [ Pool.Done "before"; Pool.Failed msg; Pool.Done "after" ] ->
+  | [ Pool.Done "before"; Pool.Failed f; Pool.Done "after" ] ->
     Alcotest.(check bool)
       "status in message" true
-      (contains msg "exited with code 3");
+      (contains f.Pool.fl_detail "exited with code 3");
     Alcotest.(check int) "failure counted" 1 stats.Pool.failed
+  | _ -> Alcotest.fail "unexpected outcome shape"
+
+let test_sigkilled_worker_reported () =
+  (* the harsher death: the worker is killed by a signal mid-thunk *)
+  let tasks =
+    [
+      Pool.task ~label:"victim" (fun () ->
+          Unix.kill (Unix.getpid ()) Sys.sigkill;
+          (* not reached *)
+          "unreachable");
+      Pool.task ~label:"survivor" (fun () -> "alive");
+    ]
+  in
+  match Pool.run ~jobs:2 tasks with
+  | [ Pool.Failed f; Pool.Done "alive" ] ->
+    Alcotest.(check bool)
+      "signal named" true
+      (contains f.Pool.fl_detail "signal")
+  | _ -> Alcotest.fail "unexpected outcome shape"
+
+let test_truncated_payload_reported () =
+  (* a worker that exits cleanly but with an empty/partial pipe payload
+     must not wedge the parent's Marshal read: the unparsable payload
+     surfaces as Failed, even though the exit status says success *)
+  let tasks =
+    [
+      Pool.task ~label:"truncator" (fun () -> Unix._exit 0);
+      Pool.task ~label:"whole" (fun () -> ());
+    ]
+  in
+  match Pool.run ~jobs:2 tasks with
+  | [ Pool.Failed f; Pool.Done () ] ->
+    Alcotest.(check bool)
+      "reports the missing result" true
+      (contains f.Pool.fl_detail "without reporting")
+  | _ -> Alcotest.fail "unexpected outcome shape"
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines, retries, quarantine                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_kills_straggler () =
+  let tasks =
+    [
+      Pool.task ~label:"hang" (fun () ->
+          Unix.sleepf 30.0;
+          "never");
+      Pool.task ~label:"fast" (fun () -> "fast");
+    ]
+  in
+  let stats = Pool.stats () in
+  let t0 = Unix.gettimeofday () in
+  (match Pool.run ~jobs:2 ~stats ~deadline:0.5 tasks with
+  | [ Pool.Failed f; Pool.Done "fast" ] ->
+    Alcotest.(check bool) "kind is Timed_out" true (f.Pool.fl_kind = Pool.Timed_out);
+    Alcotest.(check bool) "deadline in message" true (contains f.Pool.fl_detail "deadline")
+  | _ -> Alcotest.fail "unexpected outcome shape");
+  Alcotest.(check bool)
+    "returned promptly, not after 30s" true
+    (Unix.gettimeofday () -. t0 < 10.0);
+  Alcotest.(check int) "timeout counted" 1 stats.Pool.timed_out;
+  Alcotest.(check int) "timeout is also a failure" 1 stats.Pool.failed
+
+let test_deadline_applies_at_jobs_1 () =
+  (* a deadline forces the forked path even sequentially: the straggler
+     must still be killable *)
+  let tasks = [ Pool.task ~label:"hang1" (fun () -> Unix.sleepf 30.0) ] in
+  match Pool.run ~jobs:1 ~deadline:0.3 tasks with
+  | [ Pool.Failed f ] ->
+    Alcotest.(check bool) "timed out" true (f.Pool.fl_kind = Pool.Timed_out)
+  | _ -> Alcotest.fail "unexpected outcome shape"
+
+let test_retry_recovers_flaky_task () =
+  (* fails on the first attempt, succeeds on the second: the flag file
+     makes the flakiness visible across the forked processes *)
+  let flag =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sb_flaky_%d_%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  let tasks =
+    [
+      Pool.task ~label:"flaky" (fun () ->
+          if Sys.file_exists flag then 42
+          else begin
+            let oc = open_out flag in
+            close_out oc;
+            failwith "first attempt bombs"
+          end);
+    ]
+  in
+  let stats = Pool.stats () in
+  let result = Pool.run ~jobs:2 ~stats ~retries:2 ~backoff:0.01 tasks in
+  if Sys.file_exists flag then Sys.remove flag;
+  (match result with
+  | [ Pool.Retried (42, 1) ] -> ()
+  | [ Pool.Done _ ] -> Alcotest.fail "retry not surfaced as Retried"
+  | _ -> Alcotest.fail "unexpected outcome shape");
+  Alcotest.(check int) "retry counted" 1 stats.Pool.retried;
+  Alcotest.(check int) "both attempts executed" 2 stats.Pool.executed;
+  Alcotest.(check int) "no terminal failure" 0 stats.Pool.failed
+
+let test_retries_exhausted_is_failed () =
+  let tasks = [ Pool.task ~label:"always" (fun () -> failwith "always bombs") ] in
+  let stats = Pool.stats () in
+  (match Pool.run ~jobs:2 ~stats ~retries:1 ~backoff:0.01 tasks with
+  | [ Pool.Failed f ] ->
+    Alcotest.(check bool) "crashed" true (f.Pool.fl_kind = Pool.Crashed);
+    Alcotest.(check int) "both attempts recorded" 2 f.Pool.fl_attempts
+  | _ -> Alcotest.fail "unexpected outcome shape");
+  Alcotest.(check int) "one retry scheduled" 1 stats.Pool.retried;
+  Alcotest.(check int) "terminal failure counted" 1 stats.Pool.failed
+
+let test_quarantine_after_repeated_failures () =
+  Pool.reset_quarantine ();
+  let mk () = [ Pool.task ~label:"repeat-offender" (fun () -> failwith "bombs") ] in
+  (* quarantine_after defaults to 3: three failing runs accumulate the
+     budget... *)
+  for _ = 1 to !Pool.quarantine_after do
+    match Pool.run ~jobs:2 (mk ()) with
+    | [ Pool.Failed f ] ->
+      Alcotest.(check bool) "still actually run" true (f.Pool.fl_kind = Pool.Crashed)
+    | _ -> Alcotest.fail "unexpected outcome shape"
+  done;
+  (* ...and the next run is skipped instantly without forking *)
+  let stats = Pool.stats () in
+  (match Pool.run ~jobs:2 ~stats (mk ()) with
+  | [ Pool.Failed f ] ->
+    Alcotest.(check bool) "quarantined" true (f.Pool.fl_kind = Pool.Quarantined);
+    Alcotest.(check int) "no attempt run" 0 f.Pool.fl_attempts
+  | _ -> Alcotest.fail "unexpected outcome shape");
+  Alcotest.(check int) "nothing forked" 0 stats.Pool.forked;
+  Alcotest.(check int) "quarantine counted" 1 stats.Pool.quarantined;
+  Pool.reset_quarantine ();
+  (* after a reset the task runs again *)
+  match Pool.run ~jobs:2 (mk ()) with
+  | [ Pool.Failed f ] ->
+    Alcotest.(check bool) "runs again after reset" true (f.Pool.fl_kind = Pool.Crashed)
   | _ -> Alcotest.fail "unexpected outcome shape"
 
 (* ------------------------------------------------------------------ *)
@@ -185,7 +326,7 @@ let test_pool_matches_sequential () =
   let rows ~jobs =
     Experiments.reset_memo ();
     Experiments.cell_rows
-      ~opts:{ Experiments.jobs; cache_dir = None }
+      ~opts:{ Experiments.jobs; cache_dir = None; deadline = None; retries = 0 }
       ~config ~arch ~kind:`Suite Sb_dbt.Config.baseline
   in
   let seq = rows ~jobs:1 in
@@ -208,7 +349,9 @@ let test_cell_rows_cached_on_disk () =
   let dir = tmp_dir "sb_jobs_cells" in
   let config = Experiments.quick_config in
   let arch = Sb_isa.Arch_sig.Sba in
-  let opts = { Experiments.jobs = 2; cache_dir = Some dir } in
+  let opts =
+    { Experiments.jobs = 2; cache_dir = Some dir; deadline = None; retries = 0 }
+  in
   let rows ~opts =
     Experiments.reset_memo ();
     Experiments.cell_rows ~opts ~config ~arch ~kind:`Suite Sb_dbt.Config.baseline
@@ -234,6 +377,16 @@ let () =
           Alcotest.test_case "positional results" `Quick test_positional_results;
           Alcotest.test_case "thunk exception" `Quick test_thunk_exception_is_failed;
           Alcotest.test_case "dead worker" `Quick test_dead_worker_reported;
+          Alcotest.test_case "sigkilled worker" `Quick test_sigkilled_worker_reported;
+          Alcotest.test_case "truncated payload" `Quick test_truncated_payload_reported;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "deadline kills straggler" `Quick test_deadline_kills_straggler;
+          Alcotest.test_case "deadline at jobs=1" `Quick test_deadline_applies_at_jobs_1;
+          Alcotest.test_case "retry recovers flaky" `Quick test_retry_recovers_flaky_task;
+          Alcotest.test_case "retries exhausted" `Quick test_retries_exhausted_is_failed;
+          Alcotest.test_case "quarantine" `Quick test_quarantine_after_repeated_failures;
         ] );
       ( "cache",
         [

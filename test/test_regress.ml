@@ -110,7 +110,7 @@ let test_json_error_positions () =
 (* ------------------------------------------------------------------ *)
 
 let cell ?(experiment = "figX") ?(engine = "dbt:v1.7.0") ?(arch = "sba")
-    ?(iters = 1000) ?(insns = 5_000) ~name samples =
+    ?(iters = 1000) ?(insns = 5_000) ?(status = "ok") ~name samples =
   {
     Regress.experiment;
     engine;
@@ -123,6 +123,7 @@ let cell ?(experiment = "figX") ?(engine = "dbt:v1.7.0") ?(arch = "sba")
     samples;
     kernel_insns = insns;
     perf = [];
+    status;
   }
 
 let classify olds news =
@@ -275,6 +276,81 @@ let test_category_attribution () =
   Alcotest.(check bool) "render names the mechanism" true
     (contains rendered "translation / code-generation")
 
+let test_failed_cells_skipped_with_note () =
+  (* a cell whose harness status records a failure must be skipped with a
+     note, never classified — a timeout's nan seconds would otherwise
+     read as a regression (or worse, an improvement) *)
+  let old_run =
+    run ~source:"old"
+      [
+        cell ~name:"Small Blocks" [ 1.0; 1.01 ];
+        cell ~name:"System Call" [ 0.5; 0.51 ];
+      ]
+  in
+  let new_run =
+    run ~source:"new"
+      [
+        cell ~name:"Small Blocks" ~status:"timeout" [ nan ];
+        cell ~name:"System Call" [ 0.5; 0.51 ];
+      ]
+  in
+  let report = Regress.compare_runs ~old_run ~new_run () in
+  Alcotest.(check int) "one comparable pair" 1 (List.length report.Regress.r_pairs);
+  Alcotest.(check int) "one status skip" 1
+    (List.length report.Regress.r_skipped_status);
+  Alcotest.(check int) "no regressions invented" 0
+    (List.length (Regress.regressions report));
+  let rendered = Regress.render report in
+  Alcotest.(check bool) "render lists the skipped cell" true
+    (contains rendered "Small Blocks");
+  Alcotest.(check bool) "render names the status" true
+    (contains rendered "timeout");
+  Alcotest.(check bool) "summary counts the skip" true
+    (contains rendered "skipped (failed/timeout cells)");
+  (* retried cells carry a good value: compared normally *)
+  let report =
+    Regress.compare_runs
+      ~old_run:(run ~source:"o" [ cell ~name:"mcf" [ 1.0; 1.01 ] ])
+      ~new_run:(run ~source:"n" [ cell ~name:"mcf" ~status:"retried 1" [ 1.0; 1.02 ] ])
+      ()
+  in
+  Alcotest.(check int) "retried still compared" 1 (List.length report.Regress.r_pairs);
+  Alcotest.(check int) "no skip for retried" 0
+    (List.length report.Regress.r_skipped_status)
+
+let test_degenerate_samples_skipped () =
+  (* one (or zero) repeats per side: no noise estimate exists, so the
+     pair is reported skipped instead of pretending a verdict *)
+  let report =
+    Regress.compare_runs
+      ~old_run:(run ~source:"o" [ cell ~name:"Small Blocks" [ 1.0 ] ])
+      ~new_run:(run ~source:"n" [ cell ~name:"Small Blocks" [ 1.3 ] ])
+      ()
+  in
+  Alcotest.(check int) "no pairs classified" 0 (List.length report.Regress.r_pairs);
+  Alcotest.(check int) "skipped for samples" 1
+    (List.length report.Regress.r_skipped_samples);
+  Alcotest.(check int) "no regression from a point interval" 0
+    (List.length (Regress.regressions report));
+  let rendered = Regress.render report in
+  Alcotest.(check bool) "summary names insufficient samples" true
+    (contains rendered "insufficient samples");
+  (* zero-sample cells too (a failed cell from a schema-2 file reads as
+     status ok with an empty vector): still skipped, not a crash *)
+  let report =
+    Regress.compare_runs
+      ~old_run:(run ~source:"o" [ cell ~name:"mcf" [] ])
+      ~new_run:(run ~source:"n" [ cell ~name:"mcf" [ 1.0; 1.1 ] ])
+      ()
+  in
+  Alcotest.(check int) "empty vector skipped" 1
+    (List.length report.Regress.r_skipped_samples);
+  (* and the JSON report carries the counts *)
+  let j = Regress.to_json report in
+  match Json.member "skipped_samples" j with
+  | Some (Json.Int 1) -> ()
+  | _ -> Alcotest.fail "skipped_samples missing from JSON report"
+
 let test_exit_codes () =
   let regressing =
     Regress.compare_runs
@@ -423,6 +499,10 @@ let () =
           Alcotest.test_case "engine remap" `Quick test_compare_runs_engine_remap;
           Alcotest.test_case "dedup" `Quick test_duplicate_cells_deduped;
           Alcotest.test_case "attribution" `Quick test_category_attribution;
+          Alcotest.test_case "failed cells skipped" `Quick
+            test_failed_cells_skipped_with_note;
+          Alcotest.test_case "degenerate samples skipped" `Quick
+            test_degenerate_samples_skipped;
           Alcotest.test_case "exit codes" `Quick test_exit_codes;
         ] );
       ( "schema",

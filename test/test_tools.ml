@@ -32,7 +32,7 @@ end
 
 let test_verify_catches_bugs () =
   let arch = Sb_isa.Arch_sig.Sba in
-  let program = V.random_program ~arch ~seed:7 in
+  let program = V.random_program ~arch ~seed:7 () in
   match
     V.compare_engines
       ~engines:[ Simbench.Engines.interp arch; (module Broken) ]
@@ -45,7 +45,7 @@ let test_verify_catches_bugs () =
 
 let test_verify_outcome_fields () =
   let arch = Sb_isa.Arch_sig.Sba in
-  let program = V.random_program ~arch ~seed:11 in
+  let program = V.random_program ~arch ~seed:11 () in
   let o = V.run_outcome ~engine:(Simbench.Engines.interp arch) program in
   Alcotest.(check bool) "halted" true o.V.halted;
   Alcotest.(check int) "all registers" 16 (List.length o.V.regs);
