@@ -280,9 +280,9 @@ let verify_cmd =
     let validate_passes =
       if validate then
         Some
-          (fun ~pass ~before ~after ->
+          (fun ~version ~pass ~before ~after ->
             Option.map Sb_analysis.Ir_check.message
-              (Sb_analysis.Ir_check.check ~pass ~before ~after))
+              (Sb_analysis.Ir_check.check ?version ~pass ~before ~after ()))
       else None
     in
     match
@@ -533,6 +533,40 @@ let lint_cmd =
               benches)
           arches
       in
+      (* Pass-validator sweep: statically prove the DBT optimiser pipeline
+         architecturally transparent over each shipped image.  The newest
+         release runs the longest pass prefix, so validating it under our
+         own chunking subsumes every older release. *)
+      let sweep_version, sweep_config =
+        List.nth Sb_dbt.Version.all (List.length Sb_dbt.Version.all - 1)
+      in
+      let pass_violations =
+        List.concat_map
+          (fun arch ->
+            let support = Simbench.Engines.support arch in
+            List.concat_map
+              (fun bench ->
+                let program =
+                  Simbench.Rt.program ~support
+                    ~platform:Simbench.Platform.sbp_ref ~bench
+                in
+                let image = program.Sb_asm.Program.image in
+                let base = program.Sb_asm.Program.base in
+                let read8 a =
+                  let i = a - base in
+                  if i >= 0 && i < Bytes.length image then
+                    Char.code (Bytes.get image i)
+                  else 0
+                in
+                List.map
+                  (fun v ->
+                    (bench.Simbench.Bench.name, Simbench.Support.name support, v))
+                  (Sb_analysis.Tv.sweep_program ~arch ~config:sweep_config
+                     ~version:sweep_version ~read8 ~base
+                     ~len:(Bytes.length image) ()))
+              benches)
+          arches
+      in
       let n_errors = ref 0 and n_warnings = ref 0 in
       List.iter
         (fun (_, _, fs) ->
@@ -543,6 +577,7 @@ let lint_cmd =
               | Sb_analysis.Lint.Warning -> incr n_warnings)
             fs)
         results;
+      n_errors := !n_errors + List.length pass_violations;
       if json then begin
         let lints =
           List.map
@@ -553,8 +588,22 @@ let lint_cmd =
                 (String.concat "," (List.map finding_json fs)))
             results
         in
-        Printf.printf "{\"lints\":[%s],\"errors\":%d,\"warnings\":%d}\n"
+        let violation_json (bench, arch, (v : Sb_analysis.Ir_check.violation))
+            =
+          Printf.sprintf
+            "{\"bench\":\"%s\",\"arch\":\"%s\",\"pass\":\"%s\",\"version\":%s,\"va\":%d,\"insn\":%d,\"message\":\"%s\"}"
+            (json_escape bench) (json_escape arch)
+            (json_escape v.Sb_analysis.Ir_check.pass)
+            (match v.Sb_analysis.Ir_check.version with
+            | Some ver -> Printf.sprintf "\"%s\"" (json_escape ver)
+            | None -> "null")
+            v.Sb_analysis.Ir_check.va v.Sb_analysis.Ir_check.index
+            (json_escape (Sb_analysis.Ir_check.message v))
+        in
+        Printf.printf
+          "{\"schema\":\"simbench-lint-json-1\",\"lints\":[%s],\"pass_violations\":[%s],\"errors\":%d,\"warnings\":%d}\n"
           (String.concat "," lints)
+          (String.concat "," (List.map violation_json pass_violations))
           !n_errors !n_warnings
       end
       else begin
@@ -566,6 +615,11 @@ let lint_cmd =
                   (Sb_analysis.Lint.render f))
               fs)
           results;
+        List.iter
+          (fun (bench, arch, v) ->
+            Printf.printf "%s [%s]: %s\n" bench arch
+              (Sb_analysis.Ir_check.message v))
+          pass_violations;
         Printf.printf "%d error%s, %d warning%s across %d lints\n" !n_errors
           (if !n_errors = 1 then "" else "s")
           !n_warnings
@@ -582,6 +636,74 @@ let lint_cmd =
     Term.(
       const action $ arch_opt_arg $ json_arg $ strict_arg $ workloads_arg
       $ benches_arg)
+
+(* ---- tv ---- *)
+
+let tv_cmd =
+  let arch_opt_arg =
+    Arg.(
+      value
+      & opt (some arch_conv) None
+      & info [ "a"; "arch" ] ~docv:"ARCH"
+          ~doc:"Validate one architecture only (default: all).")
+  in
+  let versions_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "V"; "dbt-version" ] ~docv:"VERSION"
+          ~doc:
+            "DBT version(s) to validate (repeatable); all registered \
+             versions by default.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Also fail when the encoding enumeration does not tile the \
+             selector space (gaps, overlaps, or an unskipped class without \
+             cases).")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Per-class check-count table.")
+  in
+  let action arch_opt versions json strict verbose =
+    let arches =
+      match arch_opt with Some a -> [ a ] | None -> Simbench.Engines.all_arches
+    in
+    let versions = match versions with [] -> None | vs -> Some vs in
+    match List.map (fun arch -> Sb_analysis.Tv.run ~arch ?versions ()) arches with
+    | exception Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      2
+    | reports ->
+      if json then
+        print_endline
+          (Sb_util.Json.to_string
+             (Sb_util.Json.Obj
+                [
+                  ("schema", Sb_util.Json.String Sb_analysis.Tv.json_schema);
+                  ( "reports",
+                    Sb_util.Json.List
+                      (List.map Sb_analysis.Tv.to_json reports) );
+                ]))
+      else List.iter (fun r -> print_string (Sb_analysis.Tv.render ~verbose r)) reports;
+      if List.for_all (Sb_analysis.Tv.ok ~strict) reports then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "tv"
+       ~doc:
+         "Symbolic translation validation: prove the IR the DBT emits for \
+          every decodable encoding matches the interpreter's reference \
+          semantics, for every registered DBT version.")
+    Term.(
+      const action $ arch_opt_arg $ versions_arg $ json_arg $ strict_arg
+      $ verbose_arg)
 
 (* ---- debug ---- *)
 
@@ -853,5 +975,6 @@ let () =
   exit (Cmd.eval' (Cmd.group info
        [
          list_cmd; run_cmd; suite_cmd; workload_cmd; disasm_cmd; verify_cmd;
-         chaos_cmd; lint_cmd; debug_cmd; report_cmd; baseline_cmd; compare_cmd;
+         chaos_cmd; lint_cmd; tv_cmd; debug_cmd; report_cmd; baseline_cmd;
+         compare_cmd;
        ]))

@@ -1,255 +1,37 @@
-open Sb_isa
-
-let u32_mask = 0xFFFF_FFFF
-
-(* Symbolic values over the initial machine state.  [Mem]/[Cop] are opaque
-   terms indexed by their position in the effect sequence, which also makes
-   "the same load" compare equal across the two runs. *)
-type expr =
-  | Const of int
-  | Init of int  (* initial value of guest register r *)
-  | Flag0 of int  (* initial flag; 0=n 1=z 2=c 3=v *)
-  | Pc0
-  | Binop of Uop.alu_op * expr * expr
-  | Flag of int * Uop.alu_op * expr * expr  (* flag f after a set_flags op *)
-  | Mem of int  (* value produced by effect #i (a load) *)
-  | Cop of int  (* value produced by effect #i (a coprocessor read) *)
-  | Ite of guard * expr * expr
-
-and guard = Uop.cond * expr * expr * expr * expr  (* cond over n z c v *)
-
-type event =
-  | E_load of Uop.width * expr * bool
-  | E_store of Uop.width * expr * expr * bool  (* addr, value, user *)
-  | E_cop_read of int
-  | E_cop_write of int * expr
-  | E_svc of int
-  | E_undef
-  | E_eret
-  | E_tlb_page of expr
-  | E_tlb_all
-  | E_wfi
-  | E_halt
-
-type state = {
-  regs : expr array;
-  flags : expr array;
-  mutable pc : expr;
-  mutable events : event list;  (* newest first *)
-  mutable n_events : int;
+type violation = {
+  pass : string;
+  version : string option;
+  va : int;
+  index : int;
+  detail : string;
 }
-
-let init_state () =
-  {
-    regs = Array.init 16 (fun r -> Init r);
-    flags = Array.init 4 (fun f -> Flag0 f);
-    pc = Pc0;
-    events = [];
-    n_events = 0;
-  }
-
-(* Folding mirrors what the passes may do: constant evaluation goes through
-   the same Alu_eval the optimiser and every engine use, and the algebraic
-   identities are exactly the ones peephole exploits (all exact on u32). *)
-let binop op a b =
-  match (op, a, b) with
-  | _, Const x, Const y -> Const (Sb_sim.Alu_eval.eval op x y)
-  | ( (Uop.Add | Uop.Sub | Uop.Orr | Uop.Xor | Uop.Lsl | Uop.Lsr | Uop.Asr),
-      x,
-      Const 0 ) ->
-    x
-  | (Uop.Add | Uop.Orr), Const 0, x -> x
-  | Uop.Mul, x, Const 1 | Uop.Mul, Const 1, x -> x
-  | Uop.Mul, _, Const 0 | Uop.Mul, Const 0, _ -> Const 0
-  | _ -> Binop (op, a, b)
-
-let operand st = function
-  | Uop.Reg r -> st.regs.(r)
-  | Uop.Imm v -> Const (v land u32_mask)
-
-let push st ev =
-  st.events <- ev :: st.events;
-  st.n_events <- st.n_events + 1
-
-let exec st ~va ~len uop =
-  match uop with
-  | Uop.Nop -> ()
-  | Uop.Alu { op; rd; rn; rm; set_flags } ->
-    let a = operand st rn and b = operand st rm in
-    if set_flags then
-      for f = 0 to 3 do
-        st.flags.(f) <- Flag (f, op, a, b)
-      done;
-    (match rd with
-    | Some rd -> st.regs.(rd) <- binop op a b
-    | None -> ())
-  | Uop.Load { width; rd; base; offset; user } ->
-    let addr = binop Uop.Add (operand st base) (Const offset) in
-    let idx = st.n_events in
-    push st (E_load (width, addr, user));
-    st.regs.(rd) <- Mem idx
-  | Uop.Store { width; rs; base; offset; user } ->
-    let addr = binop Uop.Add (operand st base) (Const offset) in
-    push st (E_store (width, addr, st.regs.(rs), user))
-  | Uop.Branch { cond; target; link } -> (
-    let ret = Const ((va + len) land u32_mask) in
-    match cond with
-    | Uop.Always ->
-      (match link with Some l -> st.regs.(l) <- ret | None -> ());
-      st.pc <-
-        (match target with
-        | Uop.Direct t -> Const t
-        | Uop.Indirect r -> st.regs.(r))
-    | _ ->
-      let g =
-        (cond, st.flags.(0), st.flags.(1), st.flags.(2), st.flags.(3))
-      in
-      (match link with
-      | Some l -> st.regs.(l) <- Ite (g, ret, st.regs.(l))
-      | None -> ());
-      let tgt =
-        match target with
-        | Uop.Direct t -> Const t
-        | Uop.Indirect r -> st.regs.(r)
-      in
-      st.pc <- Ite (g, tgt, st.pc))
-  | Uop.Svc n -> push st (E_svc n)
-  | Uop.Undef -> push st E_undef
-  | Uop.Eret -> push st E_eret
-  | Uop.Cop_read { rd; creg } ->
-    let idx = st.n_events in
-    push st (E_cop_read creg);
-    st.regs.(rd) <- Cop idx
-  | Uop.Cop_write { creg; src } -> push st (E_cop_write (creg, operand st src))
-  | Uop.Tlb_inv_page r -> push st (E_tlb_page st.regs.(r))
-  | Uop.Tlb_inv_all -> push st E_tlb_all
-  | Uop.Wfi -> push st E_wfi
-  | Uop.Halt -> push st E_halt
-
-(* ---------------- pretty-printing ----------------------------------- *)
-
-let op_name = function
-  | Uop.Add -> "add"
-  | Uop.Sub -> "sub"
-  | Uop.And_ -> "and"
-  | Uop.Orr -> "orr"
-  | Uop.Xor -> "xor"
-  | Uop.Lsl -> "lsl"
-  | Uop.Lsr -> "lsr"
-  | Uop.Asr -> "asr"
-  | Uop.Mul -> "mul"
-
-let flag_name = [| "n"; "z"; "c"; "v" |]
-
-let cond_name = function
-  | Uop.Always -> "al"
-  | Uop.Eq -> "eq"
-  | Uop.Ne -> "ne"
-  | Uop.Lt -> "lt"
-  | Uop.Ge -> "ge"
-  | Uop.Ltu -> "ltu"
-  | Uop.Geu -> "geu"
-
-let rec expr_str = function
-  | Const v -> Printf.sprintf "0x%x" v
-  | Init r -> Printf.sprintf "r%d.in" r
-  | Flag0 f -> flag_name.(f) ^ ".in"
-  | Pc0 -> "pc.in"
-  | Binop (op, a, b) ->
-    Printf.sprintf "(%s %s %s)" (op_name op) (expr_str a) (expr_str b)
-  | Flag (f, op, a, b) ->
-    Printf.sprintf "%s(%s %s %s)" flag_name.(f) (op_name op) (expr_str a)
-      (expr_str b)
-  | Mem i -> Printf.sprintf "load#%d" i
-  | Cop i -> Printf.sprintf "cop#%d" i
-  | Ite ((c, _, _, _, _), t, e) ->
-    Printf.sprintf "(if %s then %s else %s)" (cond_name c) (expr_str t)
-      (expr_str e)
-
-let event_str = function
-  | E_load (_, addr, user) ->
-    Printf.sprintf "load%s[%s]" (if user then ".user" else "") (expr_str addr)
-  | E_store (_, addr, v, user) ->
-    Printf.sprintf "store%s[%s]=%s"
-      (if user then ".user" else "")
-      (expr_str addr) (expr_str v)
-  | E_cop_read c -> Printf.sprintf "cop-read[%d]" c
-  | E_cop_write (c, v) -> Printf.sprintf "cop-write[%d]=%s" c (expr_str v)
-  | E_svc n -> Printf.sprintf "svc#%d" n
-  | E_undef -> "undef"
-  | E_eret -> "eret"
-  | E_tlb_page a -> Printf.sprintf "tlb-inv-page[%s]" (expr_str a)
-  | E_tlb_all -> "tlb-inv-all"
-  | E_wfi -> "wfi"
-  | E_halt -> "halt"
-
-(* ---------------- comparison ---------------------------------------- *)
-
-let diff a b =
-  let mismatch = ref None in
-  let note what va vb =
-    if !mismatch = None then mismatch := Some (what, va, vb)
-  in
-  for r = 0 to 15 do
-    if a.regs.(r) <> b.regs.(r) then
-      note (Printf.sprintf "register r%d" r)
-        (expr_str a.regs.(r))
-        (expr_str b.regs.(r))
-  done;
-  for f = 0 to 3 do
-    if a.flags.(f) <> b.flags.(f) then
-      note
-        (Printf.sprintf "flag %s" flag_name.(f))
-        (expr_str a.flags.(f))
-        (expr_str b.flags.(f))
-  done;
-  if a.pc <> b.pc then note "pc" (expr_str a.pc) (expr_str b.pc);
-  (if a.events <> b.events then
-     let ea = List.rev a.events and eb = List.rev b.events in
-     let rec first i = function
-       | [], [] -> ()
-       | x :: xs, y :: ys ->
-         if x = y then first (i + 1) (xs, ys)
-         else
-           note
-             (Printf.sprintf "effect #%d" i)
-             (event_str x) (event_str y)
-       | x :: _, [] -> note (Printf.sprintf "effect #%d" i) (event_str x) "-"
-       | [], y :: _ -> note (Printf.sprintf "effect #%d" i) "-" (event_str y)
-     in
-     first 0 (ea, eb));
-  match !mismatch with
-  | None -> None
-  | Some (what, va, vb) ->
-    Some (Printf.sprintf "%s: %s (before) vs %s (after)" what va vb)
-
-type violation = { pass : string; va : int; index : int; detail : string }
 
 exception Found of violation
 
-let check ~pass ~before ~after =
+let check ?version ~pass ~before ~after () =
   let nb = Array.length before and na = Array.length after in
   if nb <> na then
     Some
       {
         pass;
+        version;
         va = (if nb > 0 then before.(0).Sb_dbt.Ir.va else 0);
         index = 0;
         detail =
           Printf.sprintf "pass changed the instruction count (%d -> %d)" nb na;
       }
   else
-    let sb = init_state () and sa = init_state () in
+    let sb = Sym.init_state () and sa = Sym.init_state () in
     try
       for i = 0 to nb - 1 do
         let ib = before.(i) and ia = after.(i) in
-        List.iter (exec sb ~va:ib.Sb_dbt.Ir.va ~len:ib.Sb_dbt.Ir.len)
+        List.iter (Sym.exec sb ~va:ib.Sb_dbt.Ir.va ~len:ib.Sb_dbt.Ir.len)
           ib.Sb_dbt.Ir.uops;
-        List.iter (exec sa ~va:ia.Sb_dbt.Ir.va ~len:ia.Sb_dbt.Ir.len)
+        List.iter (Sym.exec sa ~va:ia.Sb_dbt.Ir.va ~len:ia.Sb_dbt.Ir.len)
           ia.Sb_dbt.Ir.uops;
-        match diff sb sa with
+        match Sym.diff sb sa with
         | Some detail ->
-          raise (Found { pass; va = ib.Sb_dbt.Ir.va; index = i; detail })
+          raise (Found { pass; version; va = ib.Sb_dbt.Ir.va; index = i; detail })
         | None -> ()
       done;
       None
@@ -257,10 +39,14 @@ let check ~pass ~before ~after =
 
 let message v =
   Printf.sprintf
-    "pass %S is not architecturally transparent at va=0x%x (insn %d): %s"
-    v.pass v.va v.index v.detail
+    "pass %S%s is not architecturally transparent at va=0x%x (insn %d): %s"
+    v.pass
+    (match v.version with
+    | Some ver -> Printf.sprintf " (dbt %s)" ver
+    | None -> "")
+    v.va v.index v.detail
 
-let validator report ~pass ~before ~after =
-  match check ~pass ~before ~after with
+let validator ?version report ~pass ~before ~after =
+  match check ?version ~pass ~before ~after () with
   | Some v -> report v
   | None -> ()

@@ -4,25 +4,34 @@
     register file, flags, program counter and the ordered sequence of
     memory / coprocessor / exception effects must be identical with and
     without the rewrite ({!Sb_dbt.Ir} documentation).  This module proves it
-    per block: both the before- and after-pass IR are run through a symbolic
-    evaluator (constants fold through {!Sb_sim.Alu_eval}, algebraic
-    identities like [x+0] normalise away, loads and coprocessor reads become
-    opaque terms indexed by their position in the effect sequence), and the
-    two symbolic states are compared after every instruction slot.  The
-    first mismatching instruction and component are reported. *)
+    per block: both the before- and after-pass IR are run through the
+    {!Sym} symbolic evaluator and the two symbolic states are compared
+    after every instruction slot.  The first mismatching instruction and
+    component are reported.
+
+    [?version] attributes a violation to the DBT release whose
+    configuration ran the pass — when sweeping {!Sb_dbt.Version.all},
+    reports name the offending release, not just the pass. *)
 
 type violation = {
   pass : string;
+  version : string option;  (** DBT release the pass ran under, if known *)
   va : int;  (** virtual address of the first mismatching instruction *)
   index : int;  (** its index within the block *)
   detail : string;  (** which component diverged, with both symbolic values *)
 }
 
 val check :
-  pass:string -> before:Sb_dbt.Ir.t -> after:Sb_dbt.Ir.t -> violation option
+  ?version:string ->
+  pass:string ->
+  before:Sb_dbt.Ir.t ->
+  after:Sb_dbt.Ir.t ->
+  unit ->
+  violation option
 
 val message : violation -> string
 
-val validator : (violation -> unit) -> Sb_dbt.Ir.pass_validator
+val validator :
+  ?version:string -> (violation -> unit) -> Sb_dbt.Ir.pass_validator
 (** Adapt [check] to the {!Sb_dbt.Ir.pass_validator} hook: runs [check] and
     feeds any violation to the callback. *)

@@ -1,0 +1,325 @@
+open Sb_isa
+
+let u32_mask = 0xFFFF_FFFF
+
+(* Symbolic values over the initial machine state.  [Mem]/[Cop] are opaque
+   terms indexed by their position in the effect sequence, which also makes
+   "the same load" compare equal across the two runs.
+
+   Terms are hash-consed: every expression carries a unique [id], and
+   structurally equal terms built anywhere are the same physical value.
+   Equality is therefore O(1) — the polymorphic comparisons in [diff]
+   resolve on the leading [id] field — where naive structural comparison
+   of two independently built states is exponential on code whose every
+   value references both live values (add r1,r1,r2 / xor r2,r2,r1 chains
+   unfold to Fibonacci-sized trees). *)
+type expr = { id : int; node : node }
+
+and node =
+  | Const of int
+  | Init of int  (* initial value of guest register r *)
+  | Flag0 of int  (* initial flag; 0=n 1=z 2=c 3=v *)
+  | Pc0
+  | Binop of Uop.alu_op * expr * expr
+  | Flag of int * Uop.alu_op * expr * expr  (* flag f after a set_flags op *)
+  | Mem of int  (* value produced by effect #i (a load) *)
+  | Cop of int  (* value produced by effect #i (a coprocessor read) *)
+  | Ite of guard * expr * expr
+
+and guard = Uop.cond * expr * expr * expr * expr  (* cond over n z c v *)
+
+(* Consing key: the node with children collapsed to their ids, so hashing
+   and bucket comparison never traverse the term. *)
+type key =
+  | K_const of int
+  | K_init of int
+  | K_flag0 of int
+  | K_pc0
+  | K_binop of Uop.alu_op * int * int
+  | K_flag of int * Uop.alu_op * int * int
+  | K_mem of int
+  | K_cop of int
+  | K_ite of Uop.cond * int * int * int * int * int * int
+
+let key_of = function
+  | Const v -> K_const v
+  | Init r -> K_init r
+  | Flag0 f -> K_flag0 f
+  | Pc0 -> K_pc0
+  | Binop (op, a, b) -> K_binop (op, a.id, b.id)
+  | Flag (f, op, a, b) -> K_flag (f, op, a.id, b.id)
+  | Mem i -> K_mem i
+  | Cop i -> K_cop i
+  | Ite ((c, n, z, cf, vf), t, e) ->
+    K_ite (c, n.id, z.id, cf.id, vf.id, t.id, e.id)
+
+let cons_tbl : (key, expr) Hashtbl.t = Hashtbl.create 4096
+
+let next_id = ref 0
+
+let mk node =
+  let key = key_of node in
+  match Hashtbl.find_opt cons_tbl key with
+  | Some e -> e
+  | None ->
+    incr next_id;
+    let e = { id = !next_id; node } in
+    Hashtbl.add cons_tbl key e;
+    e
+
+let const v = mk (Const v)
+
+type event =
+  | E_load of Uop.width * expr * bool
+  | E_store of Uop.width * expr * expr * bool  (* addr, value, user *)
+  | E_cop_read of int
+  | E_cop_write of int * expr
+  | E_svc of int
+  | E_undef
+  | E_eret
+  | E_tlb_page of expr
+  | E_tlb_all
+  | E_wfi
+  | E_halt
+
+type state = {
+  regs : expr array;
+  flags : expr array;
+  mutable pc : expr;
+  mutable events : event list;  (* newest first *)
+  mutable n_events : int;
+}
+
+let init_state ?pc () =
+  {
+    regs = Array.init 16 (fun r -> mk (Init r));
+    flags = Array.init 4 (fun f -> mk (Flag0 f));
+    pc = (match pc with Some pc -> pc | None -> mk Pc0);
+    events = [];
+    n_events = 0;
+  }
+
+(* Folding mirrors what the passes and the emitter may do: constant
+   evaluation goes through the same Alu_eval the optimiser and every engine
+   use; the algebraic identities are exactly the ones peephole exploits;
+   and shift amounts normalise to the [land 0xFF] / saturate-at-32
+   semantics Alu_eval defines, so the DBT's specialised shift emissions
+   (amount pre-masked, >=32 folded to zero, arithmetic shifts clamped to
+   31) compare structurally equal to the generic evaluator.  All rules are
+   exact on u32. *)
+let rec binop op a b =
+  match (op, a.node, b.node) with
+  | _, Const x, Const y -> const (Sb_sim.Alu_eval.eval op x y)
+  | (Uop.Lsl | Uop.Lsr), _, Const v when v land 0xFF >= 32 -> const 0
+  | (Uop.Lsl | Uop.Lsr), _, Const v when v land 0xFF <> v ->
+    binop op a (const (v land 0xFF))
+  | Uop.Asr, _, Const v when min 31 (v land 0xFF) <> v ->
+    binop op a (const (min 31 (v land 0xFF)))
+  | ( (Uop.Add | Uop.Sub | Uop.Orr | Uop.Xor | Uop.Lsl | Uop.Lsr | Uop.Asr),
+      _,
+      Const 0 ) ->
+    a
+  | (Uop.Add | Uop.Orr), Const 0, _ -> b
+  | Uop.Mul, _, Const 1 -> a
+  | Uop.Mul, Const 1, _ -> b
+  | Uop.Mul, _, Const 0 | Uop.Mul, Const 0, _ -> const 0
+  | _ -> mk (Binop (op, a, b))
+
+let operand st = function
+  | Uop.Reg r -> st.regs.(r)
+  | Uop.Imm v -> const (v land u32_mask)
+
+let push st ev =
+  st.events <- ev :: st.events;
+  st.n_events <- st.n_events + 1
+
+(* Coprocessor accesses with an out-of-range register raise the undefined
+   exception in every engine (the interpreter through [Sb_sim.Cop], the
+   DBT at emission time), so model them as the undef effect rather than a
+   coprocessor effect.  Decoders can produce such uops: the creg field is a
+   full byte but only [Cregs.count] registers exist. *)
+let creg_valid creg = creg >= 0 && creg < Cregs.count
+
+let exec st ~va ~len uop =
+  match uop with
+  | Uop.Nop -> ()
+  | Uop.Alu { op; rd; rn; rm; set_flags } ->
+    let a = operand st rn and b = operand st rm in
+    if set_flags then
+      for f = 0 to 3 do
+        st.flags.(f) <- mk (Flag (f, op, a, b))
+      done;
+    (match rd with
+    | Some rd -> st.regs.(rd) <- binop op a b
+    | None -> ())
+  | Uop.Load { width; rd; base; offset; user } ->
+    let addr = binop Uop.Add (operand st base) (const offset) in
+    let idx = st.n_events in
+    push st (E_load (width, addr, user));
+    st.regs.(rd) <- mk (Mem idx)
+  | Uop.Store { width; rs; base; offset; user } ->
+    let addr = binop Uop.Add (operand st base) (const offset) in
+    push st (E_store (width, addr, st.regs.(rs), user))
+  | Uop.Branch { cond; target; link } -> (
+    let ret = const ((va + len) land u32_mask) in
+    match cond with
+    | Uop.Always ->
+      (match link with Some l -> st.regs.(l) <- ret | None -> ());
+      st.pc <-
+        (match target with
+        | Uop.Direct t -> const t
+        | Uop.Indirect r -> st.regs.(r))
+    | _ ->
+      let g =
+        (cond, st.flags.(0), st.flags.(1), st.flags.(2), st.flags.(3))
+      in
+      (match link with
+      | Some l -> st.regs.(l) <- mk (Ite (g, ret, st.regs.(l)))
+      | None -> ());
+      let tgt =
+        match target with
+        | Uop.Direct t -> const t
+        | Uop.Indirect r -> st.regs.(r)
+      in
+      st.pc <- mk (Ite (g, tgt, st.pc)))
+  | Uop.Svc n -> push st (E_svc n)
+  | Uop.Undef -> push st E_undef
+  | Uop.Eret -> push st E_eret
+  | Uop.Cop_read { rd; creg } ->
+    if creg_valid creg then begin
+      let idx = st.n_events in
+      push st (E_cop_read creg);
+      st.regs.(rd) <- mk (Cop idx)
+    end
+    else push st E_undef
+  | Uop.Cop_write { creg; src } ->
+    if creg_valid creg then push st (E_cop_write (creg, operand st src))
+    else push st E_undef
+  | Uop.Tlb_inv_page r -> push st (E_tlb_page st.regs.(r))
+  | Uop.Tlb_inv_all -> push st E_tlb_all
+  | Uop.Wfi -> push st E_wfi
+  | Uop.Halt -> push st E_halt
+
+(* ---------------- pretty-printing ----------------------------------- *)
+
+let op_name = function
+  | Uop.Add -> "add"
+  | Uop.Sub -> "sub"
+  | Uop.And_ -> "and"
+  | Uop.Orr -> "orr"
+  | Uop.Xor -> "xor"
+  | Uop.Lsl -> "lsl"
+  | Uop.Lsr -> "lsr"
+  | Uop.Asr -> "asr"
+  | Uop.Mul -> "mul"
+
+let flag_name = [| "n"; "z"; "c"; "v" |]
+
+let cond_name = function
+  | Uop.Always -> "al"
+  | Uop.Eq -> "eq"
+  | Uop.Ne -> "ne"
+  | Uop.Lt -> "lt"
+  | Uop.Ge -> "ge"
+  | Uop.Ltu -> "ltu"
+  | Uop.Geu -> "geu"
+
+(* Deep terms render as "..." past this depth: a shared subterm can unfold
+   to an exponentially large tree (see [mk]), and a divergence message
+   only needs the top of the term to locate the disagreement. *)
+let max_render_depth = 8
+
+let rec expr_at depth e =
+  if depth > max_render_depth then "..."
+  else
+    match e.node with
+    | Const v -> Printf.sprintf "0x%x" v
+    | Init r -> Printf.sprintf "r%d.in" r
+    | Flag0 f -> flag_name.(f) ^ ".in"
+    | Pc0 -> "pc.in"
+    | Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (op_name op)
+        (expr_at (depth + 1) a)
+        (expr_at (depth + 1) b)
+    | Flag (f, op, a, b) ->
+      Printf.sprintf "%s(%s %s %s)" flag_name.(f) (op_name op)
+        (expr_at (depth + 1) a)
+        (expr_at (depth + 1) b)
+    | Mem i -> Printf.sprintf "load#%d" i
+    | Cop i -> Printf.sprintf "cop#%d" i
+    | Ite ((c, _, _, _, _), t, e) ->
+      Printf.sprintf "(if %s then %s else %s)" (cond_name c)
+        (expr_at (depth + 1) t)
+        (expr_at (depth + 1) e)
+
+let expr_str e = expr_at 0 e
+
+let event_str = function
+  | E_load (_, addr, user) ->
+    Printf.sprintf "load%s[%s]" (if user then ".user" else "") (expr_str addr)
+  | E_store (_, addr, v, user) ->
+    Printf.sprintf "store%s[%s]=%s"
+      (if user then ".user" else "")
+      (expr_str addr) (expr_str v)
+  | E_cop_read c -> Printf.sprintf "cop-read[%d]" c
+  | E_cop_write (c, v) -> Printf.sprintf "cop-write[%d]=%s" c (expr_str v)
+  | E_svc n -> Printf.sprintf "svc#%d" n
+  | E_undef -> "undef"
+  | E_eret -> "eret"
+  | E_tlb_page a -> Printf.sprintf "tlb-inv-page[%s]" (expr_str a)
+  | E_tlb_all -> "tlb-inv-all"
+  | E_wfi -> "wfi"
+  | E_halt -> "halt"
+
+(* ---------------- comparison ---------------------------------------- *)
+
+(* Hash-consing makes equal terms physically equal, so these are O(1). *)
+let expr_eq (a : expr) b = a == b
+
+let event_eq a b =
+  match (a, b) with
+  | E_load (w1, a1, u1), E_load (w2, a2, u2) ->
+    w1 = w2 && expr_eq a1 a2 && u1 = u2
+  | E_store (w1, a1, v1, u1), E_store (w2, a2, v2, u2) ->
+    w1 = w2 && expr_eq a1 a2 && expr_eq v1 v2 && u1 = u2
+  | E_cop_write (c1, v1), E_cop_write (c2, v2) -> c1 = c2 && expr_eq v1 v2
+  | E_tlb_page a1, E_tlb_page a2 -> expr_eq a1 a2
+  | (E_cop_read _ | E_svc _ | E_undef | E_eret | E_tlb_all | E_wfi | E_halt), _
+    ->
+    a = b
+  | _, _ -> false
+
+let diff ?(labels = ("before", "after")) a b =
+  let la, lb = labels in
+  let mismatch = ref None in
+  let note what va vb =
+    if !mismatch = None then mismatch := Some (what, va, vb)
+  in
+  for r = 0 to 15 do
+    if not (expr_eq a.regs.(r) b.regs.(r)) then
+      note (Printf.sprintf "register r%d" r)
+        (expr_str a.regs.(r))
+        (expr_str b.regs.(r))
+  done;
+  for f = 0 to 3 do
+    if not (expr_eq a.flags.(f) b.flags.(f)) then
+      note
+        (Printf.sprintf "flag %s" flag_name.(f))
+        (expr_str a.flags.(f))
+        (expr_str b.flags.(f))
+  done;
+  if not (expr_eq a.pc b.pc) then note "pc" (expr_str a.pc) (expr_str b.pc);
+  (let ea = List.rev a.events and eb = List.rev b.events in
+   let rec first i = function
+     | [], [] -> ()
+     | x :: xs, y :: ys ->
+       if event_eq x y then first (i + 1) (xs, ys)
+       else note (Printf.sprintf "effect #%d" i) (event_str x) (event_str y)
+     | x :: _, [] -> note (Printf.sprintf "effect #%d" i) (event_str x) "-"
+     | [], y :: _ -> note (Printf.sprintf "effect #%d" i) "-" (event_str y)
+   in
+   first 0 (ea, eb));
+  match !mismatch with
+  | None -> None
+  | Some (what, va, vb) ->
+    Some (Printf.sprintf "%s: %s (%s) vs %s (%s)" what va la vb lb)

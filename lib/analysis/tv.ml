@@ -1,0 +1,354 @@
+open Sb_isa
+
+let u32_mask = 0xFFFF_FFFF
+
+(* Where a case's bytes are placed for decoding; any code address works
+   because both sides decode the same stream at the same address. *)
+let base_va = 0x10000
+
+type divergence = {
+  arch : string;
+  version : string;
+  cls : string;
+  case : string;
+  bytes : string;  (* hex, fetch order *)
+  sequence : string;  (* "single" or "const-prefixed" *)
+  detail : string;  (* first divergent component, rendered by Sym.diff *)
+}
+
+type coverage = {
+  cov_cls : string;
+  cov_cases : int;
+  cov_checks : int;  (* case x version x sequence checks performed *)
+  cov_skip : string option;
+}
+
+type report = {
+  rep_arch : string;
+  rep_versions : string list;
+  rep_coverage : coverage list;
+  rep_checks : int;
+  rep_divergences : divergence list;
+  rep_truncated : bool;  (* divergence scan stopped at the cap *)
+  rep_selector_space : int;
+  rep_selector_desc : string;
+  rep_gaps : int list;  (* selector values no class claims *)
+  rep_overlaps : int list;  (* selector values claimed twice *)
+}
+
+let arch_module : Arch_sig.arch_id -> (module Arch_sig.ARCH) = function
+  | Arch_sig.Sba -> (module Sb_arch_sba.Arch)
+  | Arch_sig.Vlx -> (module Sb_arch_vlx.Arch)
+
+let encodings = function
+  | Arch_sig.Sba -> Sb_arch_sba.Encodings.set
+  | Arch_sig.Vlx -> Sb_arch_vlx.Encodings.set
+
+let hex_bytes bytes =
+  String.concat "" (List.map (Printf.sprintf "%02x") bytes)
+
+(* Decode the whole byte stream at [base_va].  Bytes past the end read as
+   zero, like the padding after a benchmark image; the stream is finite and
+   every decode consumes at least one byte, so this terminates. *)
+let decode_stream (module A : Arch_sig.ARCH) bytes =
+  let arr = Array.of_list bytes in
+  let n = Array.length arr in
+  let fetch8 a =
+    let i = a - base_va in
+    if i >= 0 && i < n then arr.(i) land 0xFF else 0
+  in
+  let rec go addr acc =
+    if addr - base_va >= n then List.rev acc
+    else
+      let d = A.decode ~fetch8 ~addr in
+      go (addr + max 1 d.Uop.length) (d :: acc)
+  in
+  go base_va []
+
+(* Reference semantics: the interpreter's exec_insn sets pc to the next
+   instruction before running the uops (a branch then overwrites it), and
+   the DBT commits the block-end pc the same way; seeding the symbolic pc
+   identically on both sides makes the final pc concrete and comparable. *)
+let exec_reference ds =
+  let st = Sym.init_state () in
+  List.iter
+    (fun (d : Uop.decoded) ->
+      st.Sym.pc <- Sym.const ((d.Uop.addr + d.Uop.length) land u32_mask);
+      List.iter (Sym.exec st ~va:d.Uop.addr ~len:d.Uop.length) d.Uop.uops)
+    ds;
+  st
+
+let exec_dbt ~config ds =
+  let ir, _ = Sb_dbt.Emission.ir_of_decoded ~config ds in
+  let st = Sym.init_state () in
+  Array.iter
+    (fun (insn : Sb_dbt.Ir.insn) ->
+      st.Sym.pc <- Sym.const ((insn.Sb_dbt.Ir.va + insn.Sb_dbt.Ir.len) land u32_mask);
+      List.iter
+        (fun uop ->
+          List.iter
+            (Sym.exec st ~va:insn.Sb_dbt.Ir.va ~len:insn.Sb_dbt.Ir.len)
+            (Sb_dbt.Emission.model_uop uop))
+        insn.Sb_dbt.Ir.uops)
+    ir;
+  st
+
+let check_case arch_mod ~config bytes =
+  let ds = decode_stream arch_mod bytes in
+  let reference = exec_reference ds in
+  let dbt = exec_dbt ~config ds in
+  Sym.diff ~labels:("reference", "dbt") reference dbt
+
+let default_max_divergences = 50
+
+let run ~arch ?versions ?(max_divergences = default_max_divergences) () =
+  let set = encodings arch in
+  let arch_mod = arch_module arch in
+  let arch_name = Arch_sig.arch_id_name arch in
+  let versions =
+    match versions with
+    | Some vs ->
+      List.map
+        (fun v ->
+          match Sb_dbt.Version.find v with
+          | Some config -> (v, config)
+          | None -> invalid_arg (Printf.sprintf "unknown DBT version %S" v))
+        vs
+    | None -> Sb_dbt.Version.all
+  in
+  let gaps, overlaps = Encoding.gaps set in
+  let divergences = ref [] in
+  let n_div = ref 0 in
+  let truncated = ref false in
+  let checks_total = ref 0 in
+  let coverage =
+    List.map
+      (fun (c : Encoding.cls) ->
+        let checks = ref 0 in
+        (match c.Encoding.skip with
+        | Some _ -> ()
+        | None ->
+          List.iter
+            (fun (case : Encoding.case) ->
+              List.iter
+                (fun (vname, config) ->
+                  List.iter
+                    (fun (sequence, bytes) ->
+                      if not !truncated then begin
+                        incr checks;
+                        incr checks_total;
+                        match check_case arch_mod ~config bytes with
+                        | None -> ()
+                        | Some detail ->
+                          incr n_div;
+                          if !n_div > max_divergences then truncated := true
+                          else
+                            divergences :=
+                              {
+                                arch = arch_name;
+                                version = vname;
+                                cls = c.Encoding.name;
+                                case = case.Encoding.label;
+                                bytes = hex_bytes bytes;
+                                sequence;
+                                detail;
+                              }
+                              :: !divergences
+                      end)
+                    [
+                      ("single", case.Encoding.bytes);
+                      ( "const-prefixed",
+                        set.Encoding.const_prefix.Encoding.bytes
+                        @ case.Encoding.bytes );
+                    ])
+                versions)
+            c.Encoding.cases);
+        {
+          cov_cls = c.Encoding.name;
+          cov_cases = List.length c.Encoding.cases;
+          cov_checks = !checks;
+          cov_skip = c.Encoding.skip;
+        })
+      set.Encoding.classes
+  in
+  {
+    rep_arch = arch_name;
+    rep_versions = List.map fst versions;
+    rep_coverage = coverage;
+    rep_checks = !checks_total;
+    rep_divergences = List.rev !divergences;
+    rep_truncated = !truncated;
+    rep_selector_space = set.Encoding.selector_space;
+    rep_selector_desc = set.Encoding.selector_desc;
+    rep_gaps = gaps;
+    rep_overlaps = overlaps;
+  }
+
+(* A report is clean when nothing diverged and the enumeration tiles the
+   selector space; [strict] additionally rejects classes that are neither
+   skipped-with-a-reason nor backed by at least one case. *)
+let enumeration_complete r =
+  r.rep_gaps = [] && r.rep_overlaps = []
+  && List.for_all
+       (fun c -> c.cov_skip <> None || c.cov_cases > 0)
+       r.rep_coverage
+
+let ok ?(strict = false) r =
+  r.rep_divergences = [] && (not r.rep_truncated)
+  && ((not strict) || enumeration_complete r)
+
+(* ---------------- rendering ----------------------------------------- *)
+
+let render ?(verbose = false) r =
+  let b = Buffer.create 1024 in
+  let n_classes = List.length r.rep_coverage in
+  let n_cases = List.fold_left (fun a c -> a + c.cov_cases) 0 r.rep_coverage in
+  let skipped = List.filter (fun c -> c.cov_skip <> None) r.rep_coverage in
+  Buffer.add_string b
+    (Printf.sprintf
+       "tv %s: %d opcode classes, %d encodings, %d versions -> %d checks, %d \
+        divergence%s\n"
+       r.rep_arch n_classes n_cases
+       (List.length r.rep_versions)
+       r.rep_checks
+       (List.length r.rep_divergences)
+       (if List.length r.rep_divergences = 1 then "" else "s"));
+  Buffer.add_string b
+    (Printf.sprintf "  selector space (%s): %d values, %d gap%s, %d overlap%s\n"
+       r.rep_selector_desc r.rep_selector_space
+       (List.length r.rep_gaps)
+       (if List.length r.rep_gaps = 1 then "" else "s")
+       (List.length r.rep_overlaps)
+       (if List.length r.rep_overlaps = 1 then "" else "s"));
+  if r.rep_gaps <> [] then
+    Buffer.add_string b
+      (Printf.sprintf "  unclaimed selectors: %s\n"
+         (String.concat ", "
+            (List.map (Printf.sprintf "0x%02x") r.rep_gaps)));
+  if r.rep_overlaps <> [] then
+    Buffer.add_string b
+      (Printf.sprintf "  doubly-claimed selectors: %s\n"
+         (String.concat ", "
+            (List.map (Printf.sprintf "0x%02x") r.rep_overlaps)));
+  List.iter
+    (fun c ->
+      match c.cov_skip with
+      | Some reason ->
+        Buffer.add_string b
+          (Printf.sprintf "  skipped %-12s %s\n" c.cov_cls reason)
+      | None -> ())
+    skipped;
+  if verbose then
+    List.iter
+      (fun c ->
+        if c.cov_skip = None then
+          Buffer.add_string b
+            (Printf.sprintf "  %-12s %3d encodings  %5d checks\n" c.cov_cls
+               c.cov_cases c.cov_checks))
+      r.rep_coverage;
+  List.iter
+    (fun d ->
+      Buffer.add_string b
+        (Printf.sprintf "DIVERGENCE %s dbt %s: %s (%s) [%s, %s]: %s\n" d.arch
+           d.version d.cls d.case d.bytes d.sequence d.detail))
+    r.rep_divergences;
+  if r.rep_truncated then
+    Buffer.add_string b
+      (Printf.sprintf "  (divergence scan stopped after %d findings)\n"
+         (List.length r.rep_divergences));
+  Buffer.contents b
+
+let json_schema = "simbench-tv-json-1"
+
+let to_json r =
+  let open Sb_util.Json in
+  Obj
+    [
+      ("schema", String json_schema);
+      ("arch", String r.rep_arch);
+      ("versions", List (List.map (fun v -> String v) r.rep_versions));
+      ("selector_space", Int r.rep_selector_space);
+      ("selector_desc", String r.rep_selector_desc);
+      ("gaps", List (List.map (fun s -> Int s) r.rep_gaps));
+      ("overlaps", List (List.map (fun s -> Int s) r.rep_overlaps));
+      ("checks", Int r.rep_checks);
+      ( "coverage",
+        List
+          (List.map
+             (fun c ->
+               Obj
+                 [
+                   ("class", String c.cov_cls);
+                   ("cases", Int c.cov_cases);
+                   ("checks", Int c.cov_checks);
+                   ( "skipped",
+                     match c.cov_skip with
+                     | Some reason -> String reason
+                     | None -> Null );
+                 ])
+             r.rep_coverage) );
+      ("truncated", Bool r.rep_truncated);
+      ( "divergences",
+        List
+          (List.map
+             (fun d ->
+               Obj
+                 [
+                   ("version", String d.version);
+                   ("class", String d.cls);
+                   ("case", String d.case);
+                   ("bytes", String d.bytes);
+                   ("sequence", String d.sequence);
+                   ("detail", String d.detail);
+                 ])
+             r.rep_divergences) );
+    ]
+
+(* ---------------- whole-image pass-validation sweep ------------------ *)
+
+(* Linearly decode an assembled image and run every optimiser pass of the
+   given configuration over block-sized chunks, collecting pass-validator
+   violations.  This is the static counterpart of `verify
+   --validate-passes`: it sees the shipped benchmark code rather than
+   random programs, and it needs no guest run.  Chunking at block
+   terminators (capped like the DBT's block former) keeps the IR shapes
+   representative; transparency is required of every chunking, so any
+   violation found here is real. *)
+let sweep_program ~arch ?(config = Sb_dbt.Config.default) ?version ~read8 ~base
+    ~len () =
+  let (module A : Arch_sig.ARCH) = arch_module arch in
+  let version =
+    match version with Some _ -> version | None -> Sb_dbt.Version.name_of config
+  in
+  let violations = ref [] in
+  let seen = Hashtbl.create 16 in
+  let validate ~pass ~before ~after =
+    match Ir_check.check ?version ~pass ~before ~after () with
+    | None -> ()
+    | Some v ->
+      let key = (v.Ir_check.pass, v.Ir_check.va, v.Ir_check.detail) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        violations := v :: !violations
+      end
+  in
+  let stop = base + len in
+  let flush chunk =
+    match List.rev chunk with
+    | [] -> ()
+    | ds -> ignore (Sb_dbt.Emission.ir_of_decoded ~config ~validate ds)
+  in
+  let rec go addr chunk n =
+    if addr >= stop then flush chunk
+    else
+      let d = A.decode ~fetch8:read8 ~addr in
+      let chunk = d :: chunk in
+      let n = n + 1 in
+      if d.Uop.terminates_block || n >= 32 then begin
+        flush chunk;
+        go (addr + max 1 d.Uop.length) [] 0
+      end
+      else go (addr + max 1 d.Uop.length) chunk n
+  in
+  go base [] 0;
+  List.rev !violations

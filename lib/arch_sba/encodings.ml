@@ -1,0 +1,235 @@
+open Sb_isa.Encoding
+
+(* Encoding-space enumeration for SBA-32: the selector is the 6-bit opcode
+   in bits [31:26]; every class below lists the concrete words exercising
+   its register fields and its boundary immediates.  Keep in lockstep with
+   Decode.decode_word — the translation validator fails the build when the
+   classes stop tiling the opcode space. *)
+
+let enc ~op ?(rd = 0) ?(rn = 0) ?(rm = 0) ?(imm = 0) () =
+  (op lsl 26) lor ((rd land 15) lsl 22)
+  lor ((rn land 15) lsl 18)
+  lor ((rm land 15) lsl 14)
+  lor (imm land 0x3FFF)
+
+(* imm16 forms (movw/movt/svc/mrc/mcr) use the low 16 bits verbatim *)
+let enc16 ~op ?(rd = 0) ~imm16 () =
+  (op lsl 26) lor ((rd land 15) lsl 22) lor (imm16 land 0xFFFF)
+
+let enc_branch ~op ~disp = (op lsl 26) lor (disp land 0x3FF_FFFF)
+
+let enc_bcc ~cond ~disp =
+  (Opcodes.bcc lsl 26) lor ((cond land 15) lsl 22) lor (disp land 0x3F_FFFF)
+
+let word w =
+  [ w land 0xFF; (w lsr 8) land 0xFF; (w lsr 16) land 0xFF; (w lsr 24) land 0xFF ]
+
+let mk ?skip name selectors cases = { name; selectors; cases; skip }
+
+let reg_combos = [ (0, 1, 2); (15, 14, 13); (3, 3, 3); (1, 2, 1) ]
+
+(* 14-bit sign-extended field: 0, +1, +5, max positive, most negative, -1 *)
+let imm14s = [ 0; 1; 5; 0x1FFF; 0x2000; 0x3FFF ]
+
+(* shift amounts at and across the >=32 cliff, incl. -1 -> 0xFF masked *)
+let shift_imm14s = [ 0; 1; 31; 32; 33; 0x3FFF ]
+
+let cregs = [ 0; Sb_isa.Cregs.asid; Sb_isa.Cregs.count; 0xFF ]
+
+let alu_rr name op =
+  mk name [ op ]
+    (List.map
+       (fun (rd, rn, rm) ->
+         case
+           ~label:(Printf.sprintf "rd=%d rn=%d rm=%d" rd rn rm)
+           (word (enc ~op ~rd ~rn ~rm ())))
+       reg_combos)
+
+let alu_ri ?(imms = imm14s) name op =
+  mk name [ op ]
+    (List.concat_map
+       (fun imm ->
+         List.map
+           (fun (rd, rn, _) ->
+             case
+               ~label:(Printf.sprintf "rd=%d rn=%d imm14=0x%x" rd rn imm)
+               (word (enc ~op ~rd ~rn ~imm ())))
+           [ (0, 1, 2); (15, 14, 13) ])
+       imms)
+
+let mem name op =
+  mk name [ op ]
+    (List.concat_map
+       (fun imm ->
+         List.map
+           (fun (rd, rn, _) ->
+             case
+               ~label:(Printf.sprintf "r=%d base=%d off14=0x%x" rd rn imm)
+               (word (enc ~op ~rd ~rn ~imm ())))
+           [ (0, 1, 2); (15, 14, 13) ])
+       imm14s)
+
+let zero_operand name op =
+  (* operand bits are don't-care; include a word with every low bit set to
+     pin that down *)
+  mk name [ op ]
+    [
+      case ~label:"clean" (word (enc ~op ()));
+      case ~label:"junk operand bits" (word ((op lsl 26) lor 0x3FF_FFFF));
+    ]
+
+(* branch displacements: 0, +1, -1, max positive, most negative (as 26- or
+   22-bit fields; the decoder sign-extends and scales by 4) *)
+let disp26s = [ 0; 1; 0x3FF_FFFF; 0x1FF_FFFF; 0x200_0000 ]
+
+let disp22s = [ 0; 1; 0x3F_FFFF; 0x1F_FFFF; 0x20_0000 ]
+
+let branch name op =
+  mk name [ op ]
+    (List.map
+       (fun disp ->
+         case
+           ~label:(Printf.sprintf "disp26=0x%x" disp)
+           (word (enc_branch ~op ~disp)))
+       disp26s)
+
+let indirect name op =
+  mk name [ op ]
+    (List.map
+       (fun rm -> case ~label:(Printf.sprintf "rm=%d" rm) (word (enc ~op ~rm ())))
+       [ 0; 15 ])
+
+let classes =
+  let open Opcodes in
+  [
+    zero_operand "nop" nop;
+    zero_operand "halt" halt;
+    zero_operand "wfi" wfi;
+    alu_rr "add" add;
+    alu_ri "addi" addi;
+    alu_rr "sub" sub;
+    alu_ri "subi" subi;
+    alu_rr "and" and_;
+    alu_rr "orr" orr;
+    alu_rr "xor" xor;
+    alu_rr "lsl" lsl_;
+    alu_ri ~imms:shift_imm14s "lsli" lsli;
+    alu_rr "lsr" lsr_;
+    alu_ri ~imms:shift_imm14s "lsri" lsri;
+    alu_rr "asr" asr_;
+    alu_ri ~imms:shift_imm14s "asri" asri;
+    alu_rr "mul" mul;
+    mk "movw" [ movw ]
+      (List.concat_map
+         (fun imm16 ->
+           List.map
+             (fun rd ->
+               case
+                 ~label:(Printf.sprintf "rd=%d imm16=0x%x" rd imm16)
+                 (word (enc16 ~op:movw ~rd ~imm16 ())))
+             [ 0; 15 ])
+         [ 0; 5; 0xFFFF ]);
+    mk "movt" [ movt ]
+      (List.concat_map
+         (fun imm16 ->
+           List.map
+             (fun rd ->
+               case
+                 ~label:(Printf.sprintf "rd=%d imm16=0x%x" rd imm16)
+                 (word (enc16 ~op:movt ~rd ~imm16 ())))
+             [ 0; 15 ])
+         [ 0; 5; 0xFFFF ]);
+    mk "mov" [ mov ]
+      (List.map
+         (fun (rd, _, rm) ->
+           case ~label:(Printf.sprintf "rd=%d rm=%d" rd rm)
+             (word (enc ~op:mov ~rd ~rm ())))
+         reg_combos);
+    mk "cmp" [ cmp ]
+      (List.map
+         (fun (_, rn, rm) ->
+           case ~label:(Printf.sprintf "rn=%d rm=%d" rn rm)
+             (word (enc ~op:cmp ~rn ~rm ())))
+         reg_combos);
+    alu_ri "cmpi" cmpi;
+    branch "b" b;
+    branch "bl" bl;
+    mk "bcc" [ bcc ]
+      (List.concat_map
+         (fun cond ->
+           List.map
+             (fun disp ->
+               case
+                 ~label:(Printf.sprintf "cond=%d disp22=0x%x" cond disp)
+                 (word (enc_bcc ~cond ~disp)))
+             disp22s)
+         [ 0; 1; 2; 3; 4; 5; 6 ]
+      @ List.map
+          (fun cond ->
+            case
+              ~label:(Printf.sprintf "invalid cond=%d -> undef" cond)
+              (word (enc_bcc ~cond ~disp:4)))
+          [ 7; 15 ]);
+    indirect "br" br;
+    indirect "blr" blr;
+    mem "ldr" ldr;
+    mem "str" str;
+    mem "ldrb" ldrb;
+    mem "strb" strb;
+    mem "ldrt" ldrt;
+    mem "strt" strt;
+    mk "svc" [ svc ]
+      (List.map
+         (fun imm16 ->
+           case
+             ~label:(Printf.sprintf "imm16=0x%x" imm16)
+             (word (enc16 ~op:svc ~imm16 ())))
+         [ 0; 1; 0xFFFF ]);
+    zero_operand "eret" eret;
+    mk "mrc" [ mrc ]
+      (List.concat_map
+         (fun creg ->
+           List.map
+             (fun rd ->
+               case
+                 ~label:(Printf.sprintf "rd=%d creg=%d" rd creg)
+                 (word (enc16 ~op:mrc ~rd ~imm16:creg ())))
+             [ 0; 15 ])
+         cregs);
+    mk "mcr" [ mcr ]
+      (List.concat_map
+         (fun creg ->
+           List.map
+             (fun rs ->
+               case
+                 ~label:(Printf.sprintf "src=%d creg=%d" rs creg)
+                 (word (enc16 ~op:mcr ~rd:rs ~imm16:creg ())))
+             [ 0; 15 ])
+         cregs);
+    indirect "tlbi" tlbi;
+    zero_operand "tlbiall" tlbiall;
+    zero_operand "udf" udf;
+    (let unallocated =
+       List.filter
+         (fun s -> s >= 0x27 && s <= 0x3E)
+         (List.init 64 (fun i -> i))
+     in
+     mk "undef" unallocated
+       (List.map
+          (fun s ->
+            case
+              ~label:(Printf.sprintf "opcode=0x%02x" s)
+              (word ((s lsl 26) lor 0x15_5555)))
+          unallocated));
+  ]
+
+let set =
+  {
+    arch = Sb_isa.Arch_sig.Sba;
+    selector_space = 64;
+    selector_desc = "opcode bits [31:26]";
+    classes;
+    (* movw r1, #5: the constant seed for cross-instruction const-prop *)
+    const_prefix =
+      case ~label:"movw r1, #5" (word (enc16 ~op:Opcodes.movw ~rd:1 ~imm16:5 ()));
+  }

@@ -1,0 +1,10 @@
+(** Encoding-space enumeration for SBA-32 (see {!Sb_isa.Encoding}).
+
+    One class per opcode, with concrete words exercising register fields
+    and boundary immediates (14-bit sign-extension edges, shift amounts
+    across the >=32 cliff, out-of-range coprocessor registers, invalid
+    condition fields); unallocated opcodes form the "undef" class.  The
+    translation validator ([Sb_analysis.Tv]) checks every case and asserts
+    the classes tile the 64-value opcode space. *)
+
+val set : Sb_isa.Encoding.set

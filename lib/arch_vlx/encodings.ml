@@ -1,0 +1,192 @@
+open Sb_isa.Encoding
+
+(* Encoding-space enumeration for VLX (variable-length, 1-6 bytes): the
+   selector is the first opcode byte.  Keep in lockstep with Decode.decode
+   — the translation validator fails the build when the classes stop
+   tiling the 256-value selector space. *)
+
+let le16 v = [ v land 0xFF; (v lsr 8) land 0xFF ]
+
+let le32 v =
+  [ v land 0xFF; (v lsr 8) land 0xFF; (v lsr 16) land 0xFF; (v lsr 24) land 0xFF ]
+
+let regs_byte ~rd ~rn = ((rd land 15) lsl 4) lor (rn land 15)
+
+let mk ?skip name selectors cases = { name; selectors; cases; skip }
+
+(* register-pair bytes: plain pairs plus a byte with the high bit garbage
+   (fields decode [land 7] / [land 15]) *)
+let pair_cases f =
+  List.map
+    (fun (rd, rn) -> case ~label:(Printf.sprintf "rd=%d rn=%d" rd rn) (f rd rn))
+    [ (0, 1); (7, 6); (3, 3); (15, 9) ]
+
+let imm32s = [ 0; 1; 5; 0x7FFF_FFFF; 0x8000_0000; 0xFFFF_FFFF ]
+
+let shift_imm32s = [ 0; 1; 31; 32; 33; 0xFFFF_FFFF ]
+
+let off16s = [ 0; 4; 0x7FFF; 0x8000; 0xFFFF ]
+
+let rel32s = [ 0; 1; 0x100; 0xFFFF_FFFC; 0xFFFF_FFFF ]
+
+let cregs = [ 0; Sb_isa.Cregs.asid; Sb_isa.Cregs.count; 0xFF ]
+
+let alu_names =
+  [| "add"; "sub"; "and"; "orr"; "xor"; "lsl"; "lsr"; "asr"; "mul" |]
+
+let alu_rr_classes =
+  List.init 9 (fun i ->
+      let op = 0x10 + i in
+      mk (alu_names.(i) ^ "_rr") [ op ]
+        (pair_cases (fun rd rn -> [ op; regs_byte ~rd ~rn; 2 ])
+        @ [ case ~label:"rm byte with garbage high bits" [ op; 0x01; 0xFA ] ]))
+
+let alu_ri_classes =
+  List.init 9 (fun i ->
+      let op = 0x20 + i in
+      let imms = if i >= 5 && i <= 7 then shift_imm32s else imm32s in
+      mk (alu_names.(i) ^ "_ri") [ op ]
+        (List.map
+           (fun imm ->
+             case
+               ~label:(Printf.sprintf "rd=7 rn=1 imm32=0x%x" imm)
+               ([ op; regs_byte ~rd:7 ~rn:1 ] @ le32 imm))
+           imms))
+
+let mem name op =
+  mk name [ op ]
+    (List.map
+       (fun off ->
+         case
+           ~label:(Printf.sprintf "rd=2 base=3 off16=0x%x" off)
+           ([ op; regs_byte ~rd:2 ~rn:3 ] @ le16 off))
+       off16s
+    @ [ case ~label:"reg byte with garbage high bits" ([ op; 0xFA ] @ le16 8) ])
+
+let zero_operand name op = mk name [ op ] [ case ~label:"plain" [ op ] ]
+
+let undef_selectors =
+  List.filter
+    (fun s ->
+      not
+        (List.mem s [ 0x00; 0x01; 0x02; 0x0F ]
+        || (s >= 0x10 && s <= 0x18)
+        || (s >= 0x20 && s <= 0x28)
+        || (s >= 0x30 && s <= 0x33)
+        || (s >= 0x40 && s <= 0x44)
+        || (s >= 0x50 && s <= 0x53)
+        || (s >= 0x60 && s <= 0x66)))
+    (List.init 256 (fun i -> i))
+
+let classes =
+  [
+    zero_operand "nop" 0x00;
+    zero_operand "halt" 0x01;
+    zero_operand "wfi" 0x02;
+    mk "ud2" [ 0x0F ]
+      [
+        case ~label:"0x0F 0x0B (canonical)" [ 0x0F; 0x0B ];
+        (* without the 0x0B suffix the decoder takes only the prefix byte *)
+        case ~label:"0x0F alone" [ 0x0F ];
+      ];
+  ]
+  @ alu_rr_classes @ alu_ri_classes
+  @ [
+      mk "movi" [ 0x30 ]
+        (List.concat_map
+           (fun imm ->
+             List.map
+               (fun rd ->
+                 case
+                   ~label:(Printf.sprintf "rd=%d imm32=0x%x" rd imm)
+                   ([ 0x30; regs_byte ~rd ~rn:0 ] @ le32 imm))
+               [ 0; 7 ])
+           [ 0; 5; 0xFFFF_FFFF ]);
+      mk "mov" [ 0x31 ] (pair_cases (fun rd rn -> [ 0x31; regs_byte ~rd ~rn ]));
+      mk "cmp_rr" [ 0x32 ]
+        (pair_cases (fun rn rm -> [ 0x32; regs_byte ~rd:rn ~rn:rm ]));
+      mk "cmp_ri" [ 0x33 ]
+        (List.map
+           (fun imm ->
+             case
+               ~label:(Printf.sprintf "rn=4 imm32=0x%x" imm)
+               ([ 0x33; regs_byte ~rd:4 ~rn:0 ] @ le32 imm))
+           imm32s);
+      mk "jmp" [ 0x40 ]
+        (List.map
+           (fun rel ->
+             case ~label:(Printf.sprintf "rel32=0x%x" rel) (0x40 :: le32 rel))
+           rel32s);
+      mk "call" [ 0x41 ]
+        (List.map
+           (fun rel ->
+             case ~label:(Printf.sprintf "rel32=0x%x" rel) (0x41 :: le32 rel))
+           rel32s);
+      mk "jcc" [ 0x42 ]
+        (List.concat_map
+           (fun cond ->
+             List.map
+               (fun rel ->
+                 case
+                   ~label:(Printf.sprintf "cond=%d rel32=0x%x" cond rel)
+                   ([ 0x42; cond ] @ le32 rel))
+               [ 4; 0xFFFF_FFFC ])
+           [ 0; 1; 2; 3; 4; 5; 6 ]
+        @ List.map
+            (fun cond ->
+              case
+                ~label:(Printf.sprintf "invalid cond=%d -> undef" cond)
+                ([ 0x42; cond ] @ le32 4))
+            [ 7; 0xFF ]);
+      mk "jmp_r" [ 0x43 ]
+        [
+          case ~label:"r=1" [ 0x43; 0x01 ];
+          case ~label:"reg byte with garbage high bits" [ 0x43; 0xFF ];
+        ];
+      mk "call_r" [ 0x44 ]
+        [
+          case ~label:"r=1" [ 0x44; 0x01 ];
+          case ~label:"reg byte with garbage high bits" [ 0x44; 0xFF ];
+        ];
+      mem "load" 0x50;
+      mem "store" 0x51;
+      mem "loadb" 0x52;
+      mem "storeb" 0x53;
+      mk "svc" [ 0x60 ]
+        [ case ~label:"imm=0" [ 0x60; 0x00 ]; case ~label:"imm=255" [ 0x60; 0xFF ] ];
+      zero_operand "eret" 0x61;
+      mk "cpr" [ 0x62 ]
+        (List.map
+           (fun creg ->
+             case ~label:(Printf.sprintf "rd=2 creg=%d" creg)
+               [ 0x62; regs_byte ~rd:2 ~rn:0; creg ])
+           cregs);
+      mk "cpw" [ 0x63 ]
+        (List.map
+           (fun creg ->
+             case ~label:(Printf.sprintf "rs=2 creg=%d" creg)
+               [ 0x63; regs_byte ~rd:2 ~rn:0; creg ])
+           cregs);
+      mk "tlbi" [ 0x64 ]
+        [
+          case ~label:"r=1" [ 0x64; 0x01 ];
+          case ~label:"reg byte with garbage high bits" [ 0x64; 0xFF ];
+        ];
+      zero_operand "tlbiall" 0x65;
+      zero_operand "copreset" 0x66;
+      mk "undef" undef_selectors
+        (List.map
+           (fun s -> case ~label:(Printf.sprintf "op=0x%02x" s) [ s ])
+           undef_selectors);
+    ]
+
+let set =
+  {
+    arch = Sb_isa.Arch_sig.Vlx;
+    selector_space = 256;
+    selector_desc = "first opcode byte";
+    classes;
+    (* movi r1, 5: the constant seed for cross-instruction const-prop *)
+    const_prefix =
+      case ~label:"movi r1, 5" ([ 0x30; regs_byte ~rd:1 ~rn:0 ] @ le32 5);
+  }

@@ -1,0 +1,12 @@
+(** Encoding-space enumeration for VLX (see {!Sb_isa.Encoding}).
+
+    One class per opcode byte (or per ALU operation within the 0x10/0x20
+    blocks), with concrete encodings exercising register fields through
+    their [land 7] masking, 16- and 32-bit immediate sign-extension edges,
+    shift amounts across the >=32 cliff, out-of-range coprocessor
+    registers and invalid condition bytes; unallocated opcode bytes form
+    the "undef" class.  The translation validator ([Sb_analysis.Tv])
+    checks every case and asserts the classes tile the 256-value selector
+    space. *)
+
+val set : Sb_isa.Encoding.set

@@ -15,8 +15,13 @@ let jmp_hash va = (va lxor (va lsr jmp_cache_bits)) land jmp_cache_mask
 (* Global opt-in hook: when set, every optimiser pass of every block
    translation (across all instantiated engines) is checked.  A ref rather
    than a Config.t knob so that installing a validator does not disturb the
-   version-sweep configuration records. *)
-let pass_validator : Ir.pass_validator option ref = ref None
+   version-sweep configuration records.  The engine labels each check with
+   the release name of its configuration (via Version.name_of) so a sweep
+   over many DBT versions produces attributable reports. *)
+type versioned_validator =
+  version:string option -> pass:string -> before:Ir.t -> after:Ir.t -> unit
+
+let pass_validator : versioned_validator option ref = ref None
 
 module Make_configured
     (A : Arch_sig.ARCH) (C : sig
@@ -24,6 +29,15 @@ module Make_configured
     end) =
 struct
   let cfg = C.config
+
+  (* release attribution for pass-validator reports; lazy because the
+     reverse lookup walks the release table once per engine instance *)
+  let version_name = lazy (Version.name_of cfg)
+
+  let block_validator () =
+    Option.map
+      (fun f -> f ~version:(Lazy.force version_name))
+      !pass_validator
 
   (* trace formation walks direct-chain links, so it needs chaining on and
      room for at least two constituent blocks *)
@@ -694,7 +708,7 @@ struct
     let decodeds = List.rev rev_decodeds in
     let ir = Ir.of_decoded decodeds in
     let passes_run =
-      Ir.run ?validate:!pass_validator ~passes:cfg.Config.opt_passes ir
+      Ir.run ?validate:(block_validator ()) ~passes:cfg.Config.opt_passes ir
     in
     Perf.add ctx.perf Perf.Opt_passes_run passes_run;
     let end_va =
@@ -933,7 +947,7 @@ struct
       done;
       let ir = Ir.of_decoded (List.concat_map (fun (_, ds, _) -> ds) parts) in
       let passes_run =
-        Ir.run ?validate:!pass_validator ~passes:cfg.Config.opt_passes ir
+        Ir.run ?validate:(block_validator ()) ~passes:cfg.Config.opt_passes ir
       in
       Perf.add ctx.perf Perf.Opt_passes_run passes_run;
       (* slice the optimised IR back into per-block segments: passes never

@@ -11,7 +11,14 @@
     translation regime, chained across direct branches, and invalidated by
     physical page when the guest writes to translated code. *)
 
-val pass_validator : Ir.pass_validator option ref
+type versioned_validator =
+  version:string option -> pass:string -> before:Ir.t -> after:Ir.t -> unit
+(** {!Ir.pass_validator} plus the release name of the DBT configuration
+    that ran the pass ({!Version.name_of}; [None] for configurations that
+    are not a registered release), so reports from a version sweep are
+    attributable. *)
+
+val pass_validator : versioned_validator option ref
 (** Opt-in static pass validation.  While set, every optimiser pass of every
     block translation is bracketed by an IR snapshot and the validator call
     ({!Ir.run}).  [Sb_verify.Verify.random_sweep ~validate_passes] installs

@@ -1,0 +1,73 @@
+open Sb_isa
+
+(* The DBT's per-instruction translation pipeline, reachable without a
+   running guest: decode -> Ir.of_decoded -> optimiser passes -> emission.
+   Dbt.Make_configured's emit_uop produces closures over live machine
+   state, which a static checker cannot execute; [model_uop] is its
+   semantic model — the micro-op sequence each emitted closure is
+   equivalent to.  The translation validator (Sb_analysis.Tv) symbolically
+   executes this model against the decoder's reference semantics, so the
+   specialisation table in Dbt.emit_alu / Dbt.emit_uop and the model below
+   must be kept in lockstep; a divergence between the model and the
+   architecture is exactly what Tv exists to report. *)
+
+
+(* Test hook: a deliberately broken emitter.  Applied to every uop before
+   modelling, it simulates a mis-emitted instruction so the validator's
+   mutation tests can prove a real emitter bug would be caught.  Never set
+   outside tests. *)
+let mutation : (Uop.t -> Uop.t) option ref = ref None
+
+let set_mutation f = mutation := f
+
+let ir_of_decoded ~config ?validate decodeds =
+  let ir = Ir.of_decoded decodeds in
+  let passes_run = Ir.run ?validate ~passes:config.Config.opt_passes ir in
+  (ir, passes_run)
+
+let model_uop uop =
+  let uop = match !mutation with None -> uop | Some f -> f uop in
+  match uop with
+  | Uop.Alu { op; rd = Some rd; rn; rm; set_flags = false } -> (
+    (* emit_alu's specialised non-flag forms.  The shift arms pre-compute
+       the architectural amount ([land 0xFF], >=32 folds to zero, Asr
+       saturates at 31); the remaining specialisations (const move,
+       register move, add/sub/logic with pre-masked immediates) are
+       value-identical to the generic Alu_eval path and need no rewrite
+       here — Sym's folding proves them equal. *)
+    match (op, rm) with
+    | (Uop.Lsl | Uop.Lsr), Uop.Imm v when v land 0xFF >= 32 ->
+      [
+        Uop.Alu
+          {
+            op = Uop.Orr;
+            rd = Some rd;
+            rn = Uop.Imm 0;
+            rm = Uop.Imm 0;
+            set_flags = false;
+          };
+      ]
+    | (Uop.Lsl | Uop.Lsr), Uop.Imm v ->
+      [ Uop.Alu { op; rd = Some rd; rn; rm = Uop.Imm (v land 0xFF); set_flags = false } ]
+    | Uop.Asr, Uop.Imm v ->
+      [
+        Uop.Alu
+          {
+            op;
+            rd = Some rd;
+            rn;
+            rm = Uop.Imm (min 31 (v land 0xFF));
+            set_flags = false;
+          };
+      ]
+    | _ -> [ uop ])
+  | Uop.Alu { rd = None; set_flags = false; _ } ->
+    (* no destination, no flags: emit_alu emits nothing *)
+    []
+  | Uop.Cop_read { creg; _ } when creg < 0 || creg >= Cregs.count ->
+    (* emit_uop rejects out-of-range coprocessor registers at emission
+       time; the closure raises the undefined exception *)
+    [ Uop.Undef ]
+  | Uop.Cop_write { creg; _ } when creg < 0 || creg >= Cregs.count ->
+    [ Uop.Undef ]
+  | uop -> [ uop ]

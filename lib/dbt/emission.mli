@@ -1,0 +1,35 @@
+(** Per-instruction translation pipeline, usable without a running guest.
+
+    The DBT proper ({!Dbt.Make_configured}) turns decoded instructions into
+    closures over live machine state; a static checker cannot execute
+    those.  This module exposes the two halves it needs instead: the
+    optimiser front half verbatim ({!ir_of_decoded} is exactly the
+    [Ir.of_decoded] + [Ir.run] sequence [translate_block] performs), and a
+    semantic model of the emission back half ({!model_uop}), kept in
+    lockstep with the specialisation table in [Dbt.emit_alu] /
+    [Dbt.emit_uop].  [Sb_analysis.Tv] symbolically compares the composed
+    pipeline against the decoder's reference semantics for every encoding
+    class of every architecture under every registered release
+    configuration. *)
+
+val ir_of_decoded :
+  config:Config.t ->
+  ?validate:Ir.pass_validator ->
+  Sb_isa.Uop.decoded list ->
+  Ir.t * int
+(** Build the IR for a decoded instruction sequence and run the
+    configuration's optimiser passes over it, exactly as block translation
+    does.  Returns the optimised IR and the number of passes run. *)
+
+val model_uop : Sb_isa.Uop.t -> Sb_isa.Uop.t list
+(** The micro-op sequence the emitted closure for [uop] is equivalent to:
+    shift immediates pre-reduced to their architectural amount, ALU ops
+    with no destination and no flags elided, out-of-range coprocessor
+    registers rejected as undefined at emission time.  Everything else
+    emits generically and models as itself. *)
+
+val set_mutation : (Sb_isa.Uop.t -> Sb_isa.Uop.t) option -> unit
+(** Test hook: install a deliberately broken emitter (applied inside
+    {!model_uop}) to prove the translation validator catches mis-emitted
+    instructions.  Pass [None] to restore the real emitter.  Never set
+    outside tests. *)

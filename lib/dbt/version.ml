@@ -77,4 +77,11 @@ let baseline_name = "v1.7.0"
 
 let find name = List.assoc_opt name all
 
+(* Releases alias configurations (v1.7.1 ships v1.7.0's), so the reverse
+   lookup returns the canonical (first-listed) release name; [None] for
+   configurations that are not a registered release (e.g. Config.default
+   or ad-hoc experiment configs). *)
+let name_of config =
+  Option.map fst (List.find_opt (fun (_, c) -> c = config) all)
+
 let names = List.map fst all

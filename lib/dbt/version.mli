@@ -24,3 +24,8 @@ val baseline_name : string
 
 val find : string -> Config.t option
 val names : string list
+
+val name_of : Config.t -> string option
+(** Canonical (first-listed) release name shipping exactly this
+    configuration; [None] when the configuration is not a registered
+    release.  The inverse of {!find} up to release aliasing. *)

@@ -1,0 +1,49 @@
+(* Encoding-space enumeration, as provided by each architecture support
+   package and consumed by the translation validator (Sb_analysis.Tv).
+
+   A [set] partitions the ISA's opcode-selector space into classes; every
+   class carries concrete byte encodings exercising its register fields and
+   its representative/boundary immediates.  The validator checks that the
+   classes tile the selector space exactly (no gaps, no overlaps), so an
+   opcode added to a decoder without an enumeration entry is a build-time
+   coverage failure, not a silently unchecked instruction. *)
+
+type case = {
+  label : string;  (** human-readable operand description, e.g. "rd=15 imm=-1" *)
+  bytes : int list;  (** the encoding, in fetch order (byte at addr first) *)
+}
+
+type cls = {
+  name : string;  (** opcode-class name, e.g. "addi" or "undef" *)
+  selectors : int list;  (** selector values this class claims *)
+  cases : case list;
+  skip : string option;
+      (** [Some reason] marks the class as enumerated but deliberately not
+          symbolically checked; it still counts toward selector coverage. *)
+}
+
+type set = {
+  arch : Arch_sig.arch_id;
+  selector_space : int;  (** number of selector values, e.g. 64 or 256 *)
+  selector_desc : string;  (** where the selector lives, for reports *)
+  classes : cls list;
+  const_prefix : case;
+      (** a one-instruction encoding that sets a known register to a known
+          constant; the validator prepends it to every case so
+          cross-instruction constant propagation is also exercised *)
+}
+
+let case ~label bytes = { label; bytes }
+
+(* selector values claimed by no class *)
+let gaps set =
+  let claimed = Array.make set.selector_space 0 in
+  List.iter
+    (fun c -> List.iter (fun s -> claimed.(s) <- claimed.(s) + 1) c.selectors)
+    set.classes;
+  let missing = ref [] and dup = ref [] in
+  for s = set.selector_space - 1 downto 0 do
+    if claimed.(s) = 0 then missing := s :: !missing
+    else if claimed.(s) > 1 then dup := s :: !dup
+  done;
+  (!missing, !dup)

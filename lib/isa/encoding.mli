@@ -1,0 +1,35 @@
+(** Encoding-space enumeration hooks for the translation validator.
+
+    Each architecture support package exposes a {!set} describing every
+    decodable encoding class with concrete boundary-operand encodings;
+    [Sb_analysis.Tv] symbolically checks each case against the DBT's
+    emitted IR and asserts the classes tile the selector space. *)
+
+type case = {
+  label : string;  (** human-readable operand description *)
+  bytes : int list;  (** the encoding, in fetch order *)
+}
+
+type cls = {
+  name : string;
+  selectors : int list;  (** selector values this class claims *)
+  cases : case list;
+  skip : string option;
+      (** [Some reason]: enumerated but deliberately unchecked *)
+}
+
+type set = {
+  arch : Arch_sig.arch_id;
+  selector_space : int;
+  selector_desc : string;
+  classes : cls list;
+  const_prefix : case;
+      (** one instruction setting a known register to a known constant,
+          prepended to each case to exercise cross-insn constant folding *)
+}
+
+val case : label:string -> int list -> case
+
+val gaps : set -> int list * int list
+(** [(missing, duplicated)] selector values — both empty iff the classes
+    partition the selector space exactly. *)

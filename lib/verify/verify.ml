@@ -373,8 +373,8 @@ let random_sweep ~arch ~engines ~seeds ?validate_passes () =
   | Some checker ->
     Sb_dbt.Dbt.pass_validator :=
       Some
-        (fun ~pass ~before ~after ->
-          match checker ~pass ~before ~after with
+        (fun ~version ~pass ~before ~after ->
+          match checker ~version ~pass ~before ~after with
           | None -> ()
           | Some detail ->
             if not (Hashtbl.mem seen (pass, detail)) then begin

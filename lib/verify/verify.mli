@@ -84,7 +84,8 @@ val random_sweep :
   engines:Sb_sim.Engine.t list ->
   seeds:int ->
   ?validate_passes:
-    (pass:string ->
+    (version:string option ->
+    pass:string ->
     before:Sb_dbt.Ir.t ->
     after:Sb_dbt.Ir.t ->
     string option) ->
@@ -93,9 +94,11 @@ val random_sweep :
 (** Run [seeds] random programs; empty list means all engines agreed on all
     of them.  [validate_passes] additionally installs a static checker on
     {!Sb_dbt.Dbt.pass_validator} for the duration of the sweep: it sees
-    every optimiser pass of every block any DBT engine translates, and any
-    returned message is reported as a divergence with
-    [reference_engine = "static-ir-check"] and
+    every optimiser pass of every block any DBT engine translates —
+    [version] is the release name of the translating configuration
+    ({!Sb_dbt.Version.name_of}), so reports from a version sweep are
+    attributable — and any returned message is reported as a divergence
+    with [reference_engine = "static-ir-check"] and
     [diverging_engine = "dbt:<pass>"] (deduplicated per distinct message).
     Pair it with {!Sb_analysis.Ir_check.check} — see [simbench verify
     --validate-passes]. *)

@@ -223,7 +223,7 @@ let test_validator_accepts_real_passes () =
       let before = sample_block () in
       let after = Ir.copy before in
       pass after;
-      match Ir_check.check ~pass:name ~before ~after with
+      match Ir_check.check ~pass:name ~before ~after () with
       | None -> ()
       | Some v -> Alcotest.failf "%s rejected: %s" name (Ir_check.message v))
     real_passes
@@ -251,7 +251,7 @@ let test_validator_accepts_stitched_traces () =
       let before = stitched_superblock () in
       let after = Ir.copy before in
       pass after;
-      match Ir_check.check ~pass:name ~before ~after with
+      match Ir_check.check ~pass:name ~before ~after () with
       | None -> ()
       | Some v ->
         Alcotest.failf "%s rejected stitched IR: %s" name (Ir_check.message v))
@@ -262,7 +262,7 @@ let test_validator_accepts_stitched_traces () =
   ignore
     (Ir.run
        ~validate:(fun ~pass ~before ~after ->
-         match Ir_check.check ~pass ~before ~after with
+         match Ir_check.check ~pass ~before ~after () with
          | None -> ()
          | Some v ->
            Alcotest.failf "pipeline pass %s rejected stitched IR: %s" pass
@@ -292,7 +292,7 @@ let test_validator_catches_broken_pass () =
   let before = sample_block () in
   let after = Ir.copy before in
   drop_flags after;
-  match Ir_check.check ~pass:"drop_flags" ~before ~after with
+  match Ir_check.check ~pass:"drop_flags" ~before ~after () with
   | None -> Alcotest.fail "flag-dropping pass not flagged"
   | Some v ->
     Alcotest.(check string) "pass name" "drop_flags" v.Ir_check.pass;
@@ -307,8 +307,8 @@ let test_validated_sweep_is_clean () =
     Sb_verify.Verify.random_sweep ~arch
       ~engines:[ Simbench.Engines.interp arch; Simbench.Engines.dbt arch ]
       ~seeds:4
-      ~validate_passes:(fun ~pass ~before ~after ->
-        Option.map Ir_check.message (Ir_check.check ~pass ~before ~after))
+      ~validate_passes:(fun ~version ~pass ~before ~after ->
+        Option.map Ir_check.message (Ir_check.check ?version ~pass ~before ~after ()))
       ()
   in
   match divergences with
@@ -330,8 +330,8 @@ let test_validated_sweep_covers_traces () =
     Sb_verify.Verify.random_sweep ~arch
       ~engines:[ Simbench.Engines.interp arch; trace_dbt ]
       ~seeds:4
-      ~validate_passes:(fun ~pass ~before ~after ->
-        Option.map Ir_check.message (Ir_check.check ~pass ~before ~after))
+      ~validate_passes:(fun ~version ~pass ~before ~after ->
+        Option.map Ir_check.message (Ir_check.check ?version ~pass ~before ~after ()))
       ()
   in
   match divergences with

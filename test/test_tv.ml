@@ -1,0 +1,252 @@
+(* Tests for the symbolic translation validator: a clean run over every
+   registered DBT version on both ISAs, enumeration-coverage assertions,
+   and mutation tests proving that a deliberately broken emitter is caught
+   and attributed to the offending encoding class, version and state
+   component. *)
+
+module Tv = Sb_analysis.Tv
+module Encoding = Sb_isa.Encoding
+module Uop = Sb_isa.Uop
+
+let arches = [ Sb_isa.Arch_sig.Sba; Sb_isa.Arch_sig.Vlx ]
+
+let with_mutation f body =
+  Sb_dbt.Emission.set_mutation (Some f);
+  Fun.protect ~finally:(fun () -> Sb_dbt.Emission.set_mutation None) body
+
+(* ---------------- clean validation ---------------- *)
+
+let test_clean_all_versions () =
+  List.iter
+    (fun arch ->
+      let r = Tv.run ~arch () in
+      (match r.Tv.rep_divergences with
+      | [] -> ()
+      | d :: _ ->
+        Alcotest.failf "%s dbt %s: %s (%s): %s" d.Tv.arch d.Tv.version d.Tv.cls
+          d.Tv.case d.Tv.detail);
+      Alcotest.(check bool)
+        (r.Tv.rep_arch ^ " strict-clean")
+        true (Tv.ok ~strict:true r);
+      Alcotest.(check int)
+        (r.Tv.rep_arch ^ " all versions covered")
+        (List.length Sb_dbt.Version.all)
+        (List.length r.Tv.rep_versions))
+    arches
+
+let test_enumeration_tiles_selector_space () =
+  List.iter
+    (fun arch ->
+      let set = Tv.encodings arch in
+      let gaps, overlaps = Encoding.gaps set in
+      Alcotest.(check (list int))
+        (Sb_isa.Arch_sig.arch_id_name arch ^ " gaps")
+        [] gaps;
+      Alcotest.(check (list int))
+        (Sb_isa.Arch_sig.arch_id_name arch ^ " overlaps")
+        [] overlaps;
+      (* every class is either skipped with a reason or carries cases *)
+      List.iter
+        (fun (c : Encoding.cls) ->
+          if c.Encoding.skip = None && c.Encoding.cases = [] then
+            Alcotest.failf "class %s has no cases and no skip reason"
+              c.Encoding.name)
+        set.Encoding.classes)
+    arches
+
+let test_every_class_checked () =
+  List.iter
+    (fun arch ->
+      let r = Tv.run ~arch ~versions:[ Sb_dbt.Version.baseline_name ] () in
+      List.iter
+        (fun c ->
+          match c.Tv.cov_skip with
+          | Some _ -> ()
+          | None ->
+            if c.Tv.cov_checks < 2 * c.Tv.cov_cases then
+              Alcotest.failf "%s %s: %d cases but only %d checks"
+                r.Tv.rep_arch c.Tv.cov_cls c.Tv.cov_cases c.Tv.cov_checks)
+        r.Tv.rep_coverage)
+    arches
+
+(* ---------------- mutation tests ---------------- *)
+
+(* A wrong-operation emitter: every non-flag-setting add comes out as a
+   subtract.  The validator must report the first affected encoding class
+   under the first version checked, pinned to the destination register. *)
+let test_mutation_wrong_op_caught () =
+  let mutate = function
+    | Uop.Alu ({ op = Uop.Add; rd = Some _; set_flags = false; _ } as a) ->
+      Uop.Alu { a with op = Uop.Sub }
+    | u -> u
+  in
+  with_mutation mutate (fun () ->
+      List.iter
+        (fun arch ->
+          let r = Tv.run ~arch ~versions:[ "v1.7.0"; "v2.6.0" ] () in
+          match r.Tv.rep_divergences with
+          | [] -> Alcotest.failf "%s: broken emitter not caught" r.Tv.rep_arch
+          | d :: _ ->
+            Alcotest.(check bool) "not ok" false (Tv.ok r);
+            Alcotest.(check string) "first version" "v1.7.0" d.Tv.version;
+            (* both ISAs enumerate plain register add first among the
+               affected classes *)
+            Alcotest.(check bool)
+              (Printf.sprintf "class %s is an add form" d.Tv.cls)
+              true
+              (d.Tv.cls = "add" || d.Tv.cls = "add_rr");
+            Alcotest.(check bool)
+              (Printf.sprintf "component names a register: %s" d.Tv.detail)
+              true
+              (String.length d.Tv.detail >= 8
+              && String.sub d.Tv.detail 0 8 = "register"))
+        arches)
+
+(* A dropped-effect emitter: stores vanish.  The divergence must be in the
+   ordered effect sequence, not the register file. *)
+let test_mutation_dropped_store_caught () =
+  let mutate = function Uop.Store _ -> Uop.Nop | u -> u in
+  with_mutation mutate (fun () ->
+      List.iter
+        (fun arch ->
+          let r = Tv.run ~arch ~versions:[ "v2.6.0" ] () in
+          match r.Tv.rep_divergences with
+          | [] -> Alcotest.failf "%s: dropped store not caught" r.Tv.rep_arch
+          | d :: _ ->
+            Alcotest.(check bool)
+              (Printf.sprintf "component is an effect: %s" d.Tv.detail)
+              true
+              (String.length d.Tv.detail >= 6
+              && String.sub d.Tv.detail 0 6 = "effect"))
+        arches)
+
+(* The report must carry the offending encoding bytes so the finding is
+   reproducible from the JSON alone. *)
+let test_mutation_reports_bytes () =
+  let mutate = function
+    | Uop.Alu ({ op = Uop.Xor; rd = Some _; set_flags = false; _ } as a) ->
+      Uop.Alu { a with op = Uop.Orr }
+    | u -> u
+  in
+  with_mutation mutate (fun () ->
+      let r = Tv.run ~arch:Sb_isa.Arch_sig.Sba ~versions:[ "v1.7.0" ] () in
+      match r.Tv.rep_divergences with
+      | [] -> Alcotest.fail "xor mutation not caught"
+      | d :: _ ->
+        Alcotest.(check bool) "bytes present" true (String.length d.Tv.bytes > 0);
+        String.iter
+          (fun c ->
+            match c with
+            | '0' .. '9' | 'a' .. 'f' -> ()
+            | _ -> Alcotest.failf "non-hex byte rendering %S" d.Tv.bytes)
+          d.Tv.bytes)
+
+(* ---------------- check_case unit ---------------- *)
+
+let sba_add_r0_r1_r2 =
+  (* add r0, r1, r2 under SBA-32 field placement *)
+  let w =
+    (Sb_arch_sba.Opcodes.add lsl 26) lor (0 lsl 22) lor (1 lsl 18)
+    lor (2 lsl 14)
+  in
+  [ w land 0xFF; (w lsr 8) land 0xFF; (w lsr 16) land 0xFF; (w lsr 24) land 0xFF ]
+
+let test_check_case_direct () =
+  let config = Sb_dbt.Config.default in
+  (match
+     Tv.check_case (module Sb_arch_sba.Arch) ~config sba_add_r0_r1_r2
+   with
+  | None -> ()
+  | Some detail -> Alcotest.failf "clean add diverged: %s" detail);
+  let mutate = function
+    | Uop.Alu ({ op = Uop.Add; rd = Some _; set_flags = false; _ } as a) ->
+      Uop.Alu { a with op = Uop.Sub }
+    | u -> u
+  in
+  with_mutation mutate (fun () ->
+      match
+        Tv.check_case (module Sb_arch_sba.Arch) ~config sba_add_r0_r1_r2
+      with
+      | None -> Alcotest.fail "mutated add not caught"
+      | Some detail ->
+        Alcotest.(check bool)
+          (Printf.sprintf "names r0: %s" detail)
+          true
+          (String.length detail >= 11
+          && String.sub detail 0 11 = "register r0"))
+
+(* ---------------- whole-image sweep ---------------- *)
+
+let test_sweep_program_clean () =
+  let arch = Sb_isa.Arch_sig.Sba in
+  let support = Simbench.Engines.support arch in
+  let bench =
+    match Simbench.Suite.find "Small Blocks" with
+    | Some b -> b
+    | None -> Alcotest.fail "Small Blocks bench missing"
+  in
+  let program =
+    Simbench.Rt.program ~support ~platform:Simbench.Platform.sbp_ref ~bench
+  in
+  let image = program.Sb_asm.Program.image in
+  let base = program.Sb_asm.Program.base in
+  let read8 a =
+    let i = a - base in
+    if i >= 0 && i < Bytes.length image then Char.code (Bytes.get image i)
+    else 0
+  in
+  match
+    Tv.sweep_program ~arch ~read8 ~base ~len:(Bytes.length image) ()
+  with
+  | [] -> ()
+  | v :: _ ->
+    Alcotest.failf "pass violation in shipped image: %s"
+      (Sb_analysis.Ir_check.message v)
+
+(* ---------------- JSON ---------------- *)
+
+let test_json_shape () =
+  let r = Tv.run ~arch:Sb_isa.Arch_sig.Vlx ~versions:[ "v2.0.0" ] () in
+  match Sb_util.Json.of_string (Sb_util.Json.to_string (Tv.to_json r)) with
+  | Ok (Sb_util.Json.Obj fields) ->
+    let has k = List.mem_assoc k fields in
+    List.iter
+      (fun k ->
+        Alcotest.(check bool) ("field " ^ k) true (has k))
+      [ "schema"; "arch"; "versions"; "coverage"; "divergences"; "gaps" ];
+    Alcotest.(check bool)
+      "schema id" true
+      (List.assoc "schema" fields
+      = Sb_util.Json.String Tv.json_schema)
+  | _ -> Alcotest.fail "tv JSON did not round-trip through the parser"
+
+let () =
+  Alcotest.run "sb_analysis tv"
+    [
+      ( "translation-validation",
+        [
+          Alcotest.test_case "clean across all versions" `Quick
+            test_clean_all_versions;
+          Alcotest.test_case "enumeration tiles selector space" `Quick
+            test_enumeration_tiles_selector_space;
+          Alcotest.test_case "every class checked" `Quick
+            test_every_class_checked;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "wrong-op emitter caught" `Quick
+            test_mutation_wrong_op_caught;
+          Alcotest.test_case "dropped store caught" `Quick
+            test_mutation_dropped_store_caught;
+          Alcotest.test_case "reports offending bytes" `Quick
+            test_mutation_reports_bytes;
+          Alcotest.test_case "check_case direct" `Quick test_check_case_direct;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "shipped image is pass-clean" `Quick
+            test_sweep_program_clean;
+        ] );
+      ( "json",
+        [ Alcotest.test_case "schema and fields" `Quick test_json_shape ] );
+    ]
