@@ -59,6 +59,8 @@ let experiments =
       fun config opts -> Sb_report.Ablations.optimiser ~config:(abl config) ~opts () );
     ( "abl-traces",
       fun config opts -> Sb_report.Ablations.traces ~config:(abl config) ~opts () );
+    ( "abl-threaded",
+      fun config opts -> Sb_report.Ablations.threaded ~config:(abl config) ~opts () );
     ( "abl-vmexit",
       fun config opts -> Sb_report.Ablations.vm_exit ~config:(abl config) ~opts () );
     ( "abl-predecode",
@@ -146,6 +148,10 @@ let bechamel_tests () =
     Simbench.Engines.dbt_configured arch
       { Sb_dbt.Config.default with Sb_dbt.Config.trace_threshold = 0 }
   in
+  let dbt_closure =
+    Simbench.Engines.dbt_configured arch
+      { Sb_dbt.Config.default with Sb_dbt.Config.threaded = false }
+  in
   let interp = Simbench.Engines.interp arch in
   Test.make_grouped ~name:"simbench"
     [
@@ -162,6 +168,10 @@ let bechamel_tests () =
           (* direct chained loops are exactly what hot traces stitch, so
              this pair isolates the superblock win on the same workload *)
           engine_test "intra-direct/dbt-notrace" dbt_notrace
+            Simbench.Suite.intra_page_direct ~iters:100_000;
+          (* the same compute-dense loop through the closure backend: this
+             pair measures the token-threaded opstream win directly *)
+          engine_test "intra-direct/dbt-closure" dbt_closure
             Simbench.Suite.intra_page_direct ~iters:100_000;
           engine_test "intra-direct/interp" interp Simbench.Suite.intra_page_direct
             ~iters:100_000;
@@ -180,6 +190,10 @@ let bechamel_tests () =
       Test.make_grouped ~name:"memory"
         [
           engine_test "hot/dbt" dbt Simbench.Suite.hot_memory_access ~iters:50_000;
+          (* threaded vs closure on a load-dominated kernel isolates the
+             micro-TLB flat-memory fast path from the dispatch win *)
+          engine_test "hot/dbt-closure" dbt_closure Simbench.Suite.hot_memory_access
+            ~iters:50_000;
           engine_test "hot/interp" interp Simbench.Suite.hot_memory_access ~iters:50_000;
         ];
       Test.make_grouped ~name:"workloads"

@@ -13,6 +13,7 @@ type divergence = {
   case : string;
   bytes : string;  (* hex, fetch order *)
   sequence : string;  (* "single" or "const-prefixed" *)
+  component : string;  (* "closure", "threaded" or "threaded+mmu" *)
   detail : string;  (* first divergent component, rendered by Sym.diff *)
 }
 
@@ -93,11 +94,44 @@ let exec_dbt ~config ds =
     ir;
   st
 
+(* The threaded backend's lowering for the same sequence: the decoded
+   instructions go through the identical IR pipeline, then through the real
+   token encoder and back out of its decoder
+   ({!Sb_dbt.Emission.model_threaded}).  Executing that model symbolically
+   proves the opstream — not just the closure emission — preserves the
+   architecture. *)
+let exec_threaded ~config ~mmu ds =
+  let modeled = Sb_dbt.Emission.model_threaded ~config ~mmu ds in
+  let st = Sym.init_state () in
+  List.iter
+    (fun (va, len, uops) ->
+      st.Sym.pc <- Sym.const ((va + len) land u32_mask);
+      List.iter (Sym.exec st ~va ~len) uops)
+    modeled;
+  st
+
+(* Every version is checked against all three lowerings — the closure
+   emission and the threaded opstream under both translation regimes — so
+   `tv --strict` enumerates the threaded backend for every registered DBT
+   version, and a divergence names the broken component. *)
 let check_case arch_mod ~config bytes =
   let ds = decode_stream arch_mod bytes in
   let reference = exec_reference ds in
-  let dbt = exec_dbt ~config ds in
-  Sym.diff ~labels:("reference", "dbt") reference dbt
+  match Sym.diff ~labels:("reference", "dbt") reference (exec_dbt ~config ds) with
+  | Some detail -> Some ("closure", detail)
+  | None -> (
+    match
+      Sym.diff ~labels:("reference", "threaded") reference
+        (exec_threaded ~config ~mmu:false ds)
+    with
+    | Some detail -> Some ("threaded", detail)
+    | None -> (
+      match
+        Sym.diff ~labels:("reference", "threaded") reference
+          (exec_threaded ~config ~mmu:true ds)
+      with
+      | Some detail -> Some ("threaded+mmu", detail)
+      | None -> None))
 
 let default_max_divergences = 50
 
@@ -139,7 +173,7 @@ let run ~arch ?versions ?(max_divergences = default_max_divergences) () =
                         incr checks_total;
                         match check_case arch_mod ~config bytes with
                         | None -> ()
-                        | Some detail ->
+                        | Some (component, detail) ->
                           incr n_div;
                           if !n_div > max_divergences then truncated := true
                           else
@@ -151,6 +185,7 @@ let run ~arch ?versions ?(max_divergences = default_max_divergences) () =
                                 case = case.Encoding.label;
                                 bytes = hex_bytes bytes;
                                 sequence;
+                                component;
                                 detail;
                               }
                               :: !divergences
@@ -249,8 +284,9 @@ let render ?(verbose = false) r =
   List.iter
     (fun d ->
       Buffer.add_string b
-        (Printf.sprintf "DIVERGENCE %s dbt %s: %s (%s) [%s, %s]: %s\n" d.arch
-           d.version d.cls d.case d.bytes d.sequence d.detail))
+        (Printf.sprintf "DIVERGENCE %s dbt %s [%s]: %s (%s) [%s, %s]: %s\n"
+           d.arch d.version d.component d.cls d.case d.bytes d.sequence
+           d.detail))
     r.rep_divergences;
   if r.rep_truncated then
     Buffer.add_string b
@@ -258,7 +294,7 @@ let render ?(verbose = false) r =
          (List.length r.rep_divergences));
   Buffer.contents b
 
-let json_schema = "simbench-tv-json-1"
+let json_schema = "simbench-tv-json-2"
 
 let to_json r =
   let open Sb_util.Json in
@@ -299,6 +335,7 @@ let to_json r =
                    ("case", String d.case);
                    ("bytes", String d.bytes);
                    ("sequence", String d.sequence);
+                   ("component", String d.component);
                    ("detail", String d.detail);
                  ])
              r.rep_divergences) );

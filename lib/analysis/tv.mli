@@ -24,6 +24,10 @@ type divergence = {
   case : string;  (** case label within the class *)
   bytes : string;  (** the encoding, hex, in fetch order *)
   sequence : string;  (** ["single"] or ["const-prefixed"] *)
+  component : string;
+      (** which lowering diverged: ["closure"] for the closure emitter's
+          model, ["threaded"] / ["threaded+mmu"] for the token-threaded
+          opstream under the physical / virtual memory regime *)
   detail : string;  (** first divergent component, with both symbolic values *)
 }
 
@@ -72,7 +76,9 @@ val render : ?verbose:bool -> report -> string
     check-count table. *)
 
 val json_schema : string
-(** ["simbench-tv-json-1"] — the [schema] field of {!to_json} output. *)
+(** ["simbench-tv-json-2"] — the [schema] field of {!to_json} output
+    (bumped when the threaded-lowering [component] attribution was added
+    to divergence records). *)
 
 val to_json : report -> Sb_util.Json.t
 
@@ -80,9 +86,11 @@ val check_case :
   (module Sb_isa.Arch_sig.ARCH) ->
   config:Sb_dbt.Config.t ->
   int list ->
-  string option
-(** One byte sequence under one configuration; [Some detail] on the first
-    divergent component.  Exposed for unit tests. *)
+  (string * string) option
+(** One byte sequence under one configuration, checked against the closure
+    emission model and the threaded opstream lowering (both translation
+    regimes); [Some (component, detail)] on the first divergence.  Exposed
+    for unit tests. *)
 
 val sweep_program :
   arch:Sb_isa.Arch_sig.arch_id ->

@@ -15,6 +15,8 @@ type t = {
   front_cache : bool;
   trace_threshold : int;
   max_trace_blocks : int;
+  threaded : bool;
+  reg_cache : bool;
 }
 
 let baseline =
@@ -35,6 +37,8 @@ let baseline =
     front_cache = true;
     trace_threshold = 0;
     max_trace_blocks = 8;
+    threaded = false;
+    reg_cache = false;
   }
 
 let default =
@@ -49,4 +53,6 @@ let default =
     data_fault_fast_path = true;
     trace_threshold = 16;
     max_trace_blocks = 8;
+    threaded = true;
+    reg_cache = true;
   }

@@ -48,6 +48,16 @@ type t = {
   max_trace_blocks : int;
       (** upper bound on blocks stitched into one trace (>= 2 for traces to
           form at all) *)
+  threaded : bool;
+      (** lower blocks and traces to a token-threaded opstream (flat
+          [int array] executed by a tail-dispatched loop) instead of a
+          closure array, with micro-TLB flat-memory fast paths for guest
+          loads/stores and code fetch; see docs/threaded.md *)
+  reg_cache : bool;
+      (** cache the two hottest guest registers of a translation unit in
+          dispatch-loop locals, spilled only at side exits, seams, and
+          before any operation that can fault (trace-scope register
+          allocation); only meaningful when [threaded] is on *)
 }
 
 val default : t

@@ -54,7 +54,8 @@ struct
       ( "Memory Access",
         if cfg.Config.tlb_l2_entries > 0 then "Multi-level Page Cache"
         else "Single Level Page Cache" );
-      ("Code Generation", "Block-based");
+      ( "Code Generation",
+        if cfg.Config.threaded then "Threaded Code" else "Block-based" );
       ( "Control Flow",
         if tracing then "Block Cache + Chaining + Hot Traces"
         else if cfg.Config.chain_direct then "Block Cache + Chaining"
@@ -78,12 +79,22 @@ struct
 
   exception Stop_in_block of { reason : Run_result.stop_reason; retired : int }
 
+  (* Two code representations share the dispatch machinery: the closure
+     backend emits one host closure per micro-op; the threaded backend
+     lowers the whole unit to a flat token opstream (see threaded.ml /
+     docs/threaded.md) selected by [Config.threaded]. *)
+  type blk_code =
+    | Ops of (unit -> unit) array
+    | Prog of Threaded.program * (unit -> unit)
+        (* opstream plus its host-bound runner (Threaded.prepare), built
+           at translation time so dispatch pays no setup *)
+
   type block = {
     key : int;
     va : int;
     end_va : int;
     mmu_on : bool;
-    ops : (unit -> unit) array;
+    code : blk_code;
     insns : int;
     uops_total : int;
     page : int;  (* physical page of the first byte *)
@@ -123,7 +134,7 @@ struct
         (* the seam into the next segment is an unconditional direct branch
            whose pc write was elided at emission; the runtime pc check is
            skipped (and pc must be restored if the trace side-exits here) *)
-    s_ops : (unit -> unit) array;
+    s_code : blk_code;
   }
 
   type ctx = {
@@ -144,6 +155,14 @@ struct
     code_pages : Bytes.t;
     shadow_regs : int array;
     shadow_cop : int array;
+    dtlb_r : Sb_mmu.Mtlb.t;
+        (* (va -> host page offset) micro-TLBs backing the threaded
+           backend's flat-memory fast paths; filled by the slow paths below,
+           shot down with the page cache (TLB maintenance, translation
+           changes).  Unused by the closure backend. *)
+    dtlb_w : Sb_mmu.Mtlb.t;
+    itlb : Sb_mmu.Mtlb.t;
+    mutable thost : Threaded.host option;  (* built lazily on first Prog *)
     mutable sync_token : int;
     mutable cur_page : int;
     mutable cur_page2 : int;
@@ -172,6 +191,10 @@ struct
       code_pages = Bytes.make ((ram_pages + 7) / 8) '\000';
       shadow_regs = Array.make 16 0;
       shadow_cop = Array.make Cregs.count 0;
+      dtlb_r = Sb_mmu.Mtlb.create ~entries:256;
+      dtlb_w = Sb_mmu.Mtlb.create ~entries:256;
+      itlb = Sb_mmu.Mtlb.create ~entries:256;
+      thost = None;
       sync_token = 0;
       cur_page = -1;
       cur_page2 = -1;
@@ -655,16 +678,195 @@ struct
     | Uop.Halt ->
       fun () -> raise (Stop_in_block { reason = Run_result.Halted; retired = iidx })
 
+  (* ---------------- threaded-backend host ------------------------------ *)
+
+  let priv_code = function Sb_mmu.Access.Kernel -> 1 | Sb_mmu.Access.User -> 0
+
+  (* Fill a micro-TLB entry after a successful walk + permission check,
+     provided the whole guest page is backed by flat RAM (RAM occupies
+     [0, ram_size), so host offset = physical address).  [priv] is the
+     privilege the permission check actually used; it tags the entry, so a
+     mode change can never satisfy a probe the check didn't cover. *)
+  let mtlb_fill ctx mtlb ~va ~pa ~priv =
+    let page_base = pa land lnot page_mask in
+    if page_base + page_size <= Sb_mem.Bus.ram_size ctx.bus then
+      Sb_mmu.Mtlb.fill mtlb ~vpn:(va lsr page_shift)
+        ~asid:ctx.cpu.Cpu.cop.(Cregs.asid)
+        ~priv:(priv_code priv) ~base:page_base
+
+  let mtlb_flush_all ctx =
+    Sb_mmu.Mtlb.flush ctx.dtlb_r;
+    Sb_mmu.Mtlb.flush ctx.dtlb_w;
+    Sb_mmu.Mtlb.flush ctx.itlb
+
+  (* The callbacks behind Threaded.exec: the architectural slow paths of
+     the closure backend, re-entered from opstream tokens.  Loads/stores
+     land here on a micro-TLB miss (or MMIO / page-crossing / user-mode
+     access) and refill the micro-TLB on a successful RAM translation. *)
+  let make_host ctx =
+    let cpu = ctx.cpu in
+    let h_load_slow ~mmu ~width ~user ~va ~iva ~iidx =
+      if not mmu then read_phys ctx ~iaddr:iva ~retired:iidx ~va width va
+      else begin
+        let priv = if user then Sb_mmu.Access.User else cpu.Cpu.mode in
+        let vpn = va lsr page_shift in
+        let pa =
+          match
+            Page_cache.lookup_l1 ctx.pcache ~vpn ~asid:cpu.Cpu.cop.(Cregs.asid)
+          with
+          | Some e
+            when Sb_mmu.Access.Ap.permits ~ap:e.Page_cache.ap ~xn:e.Page_cache.xn
+                   Sb_mmu.Access.Read priv ->
+            Perf.incr ctx.perf Perf.Tlb_hit;
+            (e.Page_cache.ppn lsl page_shift) lor (va land page_mask)
+          | _ ->
+            translate_slow ctx ~va ~kind:Sb_mmu.Access.Read ~priv ~iaddr:iva
+              ~retired:iidx
+        in
+        mtlb_fill ctx ctx.dtlb_r ~va ~pa ~priv;
+        read_phys ctx ~iaddr:iva ~retired:iidx ~va width pa
+      end
+    in
+    let h_store_slow ~mmu ~width ~user ~va ~v ~iva ~resume_va ~iidx =
+      if not mmu then
+        write_phys ctx ~iaddr:iva ~retired:iidx ~resume_va ~va width va v
+      else begin
+        let priv = if user then Sb_mmu.Access.User else cpu.Cpu.mode in
+        let vpn = va lsr page_shift in
+        let pa =
+          match
+            Page_cache.lookup_l1 ctx.pcache ~vpn ~asid:cpu.Cpu.cop.(Cregs.asid)
+          with
+          | Some e
+            when Sb_mmu.Access.Ap.permits ~ap:e.Page_cache.ap ~xn:e.Page_cache.xn
+                   Sb_mmu.Access.Write priv ->
+            Perf.incr ctx.perf Perf.Tlb_hit;
+            (e.Page_cache.ppn lsl page_shift) lor (va land page_mask)
+          | _ ->
+            translate_slow ctx ~va ~kind:Sb_mmu.Access.Write ~priv ~iaddr:iva
+              ~retired:iidx
+        in
+        mtlb_fill ctx ctx.dtlb_w ~va ~pa ~priv;
+        write_phys ctx ~iaddr:iva ~retired:iidx ~resume_va ~va width pa v
+      end
+    in
+    let h_store_smc ~ppage ~resume_va ~iidx =
+      invalidate_page ctx ppage;
+      if ppage = ctx.cur_page || ppage = ctx.cur_page2 then
+        raise (Smc_restart { resume_va; retired = iidx + 1 })
+    in
+    let h_svc ~ret ~iidx =
+      raise
+        (Guest_fault
+           {
+             vector = Exn.Syscall;
+             cause = Exn.Cause.syscall;
+             far = None;
+             return_addr = ret;
+             retired = iidx;
+           })
+    in
+    let h_undef ~iva ~iidx = undef_fault ~iva ~iidx () in
+    let h_cop_write ~creg ~value ~iva ~iidx =
+      Perf.incr ctx.perf Perf.Cop_writes;
+      match Cop.write cpu ~creg ~value with
+      | Ok Cop.No_effect -> ()
+      | Ok Cop.Asid_changed ->
+        (* micro-TLB entries are asid-tagged, like the page cache *)
+        ()
+      | Ok Cop.Translation_changed ->
+        Page_cache.flush ctx.pcache;
+        ctx.chain_gen <- ctx.chain_gen + 1;
+        mtlb_flush_all ctx
+      | Error `Undefined -> undef_fault ~iva ~iidx ()
+    in
+    let h_tlb_inv_page ~va =
+      Perf.incr ctx.perf Perf.Tlb_inv_page_ops;
+      let vpn = va lsr page_shift in
+      Page_cache.invalidate_page ctx.pcache ~vpn ~asid:cpu.Cpu.cop.(Cregs.asid);
+      ctx.chain_gen <- ctx.chain_gen + 1;
+      Sb_mmu.Mtlb.invalidate_page ctx.dtlb_r ~vpn;
+      Sb_mmu.Mtlb.invalidate_page ctx.dtlb_w ~vpn;
+      Sb_mmu.Mtlb.invalidate_page ctx.itlb ~vpn
+    in
+    let h_tlb_inv_all () =
+      Perf.incr ctx.perf Perf.Tlb_flush_ops;
+      Page_cache.flush ctx.pcache;
+      ctx.chain_gen <- ctx.chain_gen + 1;
+      mtlb_flush_all ctx
+    in
+    let h_wfi ~iidx =
+      match Runner.wait_for_interrupt ctx.machine ~perf:ctx.perf with
+      | `Wake -> ()
+      | `Deadlock ->
+        raise (Stop_in_block { reason = Run_result.Wfi_deadlock; retired = iidx })
+    in
+    let h_halt ~iidx =
+      raise (Stop_in_block { reason = Run_result.Halted; retired = iidx })
+    in
+    {
+      Threaded.h_cpu = cpu;
+      h_perf = ctx.perf;
+      h_ram = Sb_mem.Bus.ram ctx.bus;
+      h_ram_limit = Sb_mem.Bus.ram_size ctx.bus;
+      h_code_pages = ctx.code_pages;
+      h_dtlb_r = ctx.dtlb_r;
+      h_dtlb_w = ctx.dtlb_w;
+      h_load_slow;
+      h_store_slow;
+      h_store_smc;
+      h_svc;
+      h_undef;
+      h_cop_write;
+      h_tlb_inv_page;
+      h_tlb_inv_all;
+      h_wfi;
+      h_halt;
+    }
+
+  let host_of ctx =
+    match ctx.thost with
+    | Some h -> h
+    | None ->
+      let h = make_host ctx in
+      ctx.thost <- Some h;
+      h
+
+  let exec_code _ctx = function
+    | Ops ops ->
+      for i = 0 to Array.length ops - 1 do
+        (Array.unsafe_get ops i) ()
+      done
+    | Prog (_, run) -> run ()
+
   (* ---------------- translation --------------------------------------- *)
 
   let trans_fetch8 ctx ~iaddr a =
-    let pa =
-      translate ctx ~va:a ~kind:Sb_mmu.Access.Execute ~priv:ctx.cpu.Cpu.mode
-        ~iaddr ~retired:0
+    let fast =
+      (* threaded backend: code fetch probes its own micro-TLB before the
+         page cache, mirroring the data-side fast path *)
+      if cfg.Config.threaded && Cpu.mmu_enabled ctx.cpu then
+        Sb_mmu.Mtlb.probe ctx.itlb ~vpn:(a lsr page_shift)
+          ~asid:ctx.cpu.Cpu.cop.(Cregs.asid)
+          ~priv:(priv_code ctx.cpu.Cpu.mode)
+      else -1
     in
-    if Sb_mem.Bus.is_ram ctx.bus pa then
-      Sb_mem.Phys_mem.read8 (Sb_mem.Bus.ram ctx.bus) pa
-    else bus_fault ~iaddr ~retired:0 ~kind:Sb_mmu.Access.Execute ~va:a
+    if fast >= 0 then begin
+      Perf.incr ctx.perf Perf.Tlb_fast_hits;
+      Sb_mem.Phys_mem.unsafe_read8 (Sb_mem.Bus.ram ctx.bus)
+        (fast lor (a land page_mask))
+    end
+    else
+      let pa =
+        translate ctx ~va:a ~kind:Sb_mmu.Access.Execute ~priv:ctx.cpu.Cpu.mode
+          ~iaddr ~retired:0
+      in
+      if Sb_mem.Bus.is_ram ctx.bus pa then begin
+        if cfg.Config.threaded && Cpu.mmu_enabled ctx.cpu then
+          mtlb_fill ctx ctx.itlb ~va:a ~pa ~priv:ctx.cpu.Cpu.mode;
+        Sb_mem.Phys_mem.read8 (Sb_mem.Bus.ram ctx.bus) pa
+      end
+      else bus_fault ~iaddr ~retired:0 ~kind:Sb_mmu.Access.Execute ~va:a
 
   let ends_in_direct_or_fallthrough (decodeds : Uop.decoded list) =
     (* decodeds is in reverse order (head = last decoded) *)
@@ -717,25 +919,52 @@ struct
       | [] -> va
     in
     (* emit *)
-    let ops = ref [] in
     let uops_total = ref 0 in
-    Array.iteri
-      (fun iidx (insn : Ir.insn) ->
-        List.iter
-          (fun uop ->
-            incr uops_total;
-            (* host machine-code emission: select, encode and write the
-               "code bytes" for this micro-op into the code buffer *)
-            for unit = 1 to cfg.Config.emission_work do
-              ctx.sync_token <-
-                (ctx.sync_token + (insn.Ir.va lxor (unit * 0x9E37))) land max_int
-            done;
-            ops :=
-              emit_uop ctx ~mmu_on ~iva:insn.Ir.va ~ilen:insn.Ir.len ~iidx uop
-              :: !ops)
-          insn.Ir.uops)
-      ir;
-    let ops = Array.of_list (List.rev !ops) in
+    let code =
+      if cfg.Config.threaded then begin
+        (* token lowering pays the same per-uop host-emission cost as the
+           closure backend — the win is on the execution side *)
+        Array.iter
+          (fun (insn : Ir.insn) ->
+            List.iter
+              (fun _uop ->
+                incr uops_total;
+                for unit = 1 to cfg.Config.emission_work do
+                  ctx.sync_token <-
+                    (ctx.sync_token + (insn.Ir.va lxor (unit * 0x9E37)))
+                    land max_int
+                done)
+              insn.Ir.uops)
+          ir;
+        let p =
+          Threaded.compile ~reg_cache:cfg.Config.reg_cache ~mmu:mmu_on ir
+        in
+        Perf.add ctx.perf Perf.Opstream_bytes (8 * Array.length p.Threaded.code);
+        Prog (p, Threaded.prepare (host_of ctx) p)
+      end
+      else begin
+        let ops = ref [] in
+        Array.iteri
+          (fun iidx (insn : Ir.insn) ->
+            List.iter
+              (fun uop ->
+                incr uops_total;
+                (* host machine-code emission: select, encode and write the
+                   "code bytes" for this micro-op into the code buffer *)
+                for unit = 1 to cfg.Config.emission_work do
+                  ctx.sync_token <-
+                    (ctx.sync_token + (insn.Ir.va lxor (unit * 0x9E37)))
+                    land max_int
+                done;
+                ops :=
+                  emit_uop ctx ~mmu_on ~iva:insn.Ir.va ~ilen:insn.Ir.len ~iidx
+                    uop
+                  :: !ops)
+              insn.Ir.uops)
+          ir;
+        Ops (Array.of_list (List.rev !ops))
+      end
+    in
     (* physical placement for invalidation *)
     let start_pa =
       translate ctx ~va ~kind:Sb_mmu.Access.Execute ~priv:ctx.cpu.Cpu.mode ~iaddr:va
@@ -761,7 +990,7 @@ struct
         va;
         end_va;
         mmu_on;
-        ops;
+        code;
         insns = Array.length ir;
         uops_total = !uops_total;
         page;
@@ -954,6 +1183,17 @@ struct
          change instruction counts, so slice boundaries are exact and
          per-segment retirement stays truthful *)
       let n_parts = List.length parts in
+      (* trace-scope register allocation: the slot pair is chosen once over
+         the whole stitched IR and shared by every segment, so the cached
+         registers survive the seams and spill only at segment boundaries *)
+      let slots =
+        if cfg.Config.threaded then
+          Some
+            (if cfg.Config.reg_cache then
+               Threaded.choose_slots ~spill_points:n_parts ir
+             else (-1, -1))
+        else None
+      in
       let off = ref 0 in
       let segs =
         List.mapi
@@ -963,45 +1203,75 @@ struct
               pi < n_parts - 1
               && match seam with Seam_uncond _ -> true | _ -> false
             in
-            let ops = ref [] in
             let uops = ref 0 in
-            for i = 0 to n - 1 do
-              let insn = ir.(!off + i) in
-              let last_insn = i = n - 1 in
-              List.iter
-                (fun uop ->
-                  incr uops;
-                  for unit = 1 to cfg.Config.emission_work do
-                    ctx.sync_token <-
-                      (ctx.sync_token + (insn.Ir.va lxor (unit * 0x9E37))) land max_int
-                  done;
-                  let closure =
-                    match uop with
-                    | Uop.Branch { cond = Uop.Always; target = Uop.Direct _; link }
-                      when elide_uncond && last_insn ->
-                      (* seam branch into the next segment: keep the
-                         architectural effects (counters, link write), drop
-                         the pc write the stitching makes redundant *)
-                      let regs = ctx.cpu.Cpu.regs in
-                      let perf = ctx.perf in
-                      let ret = (insn.Ir.va + insn.Ir.len) land u32_mask in
-                      (match link with
-                      | Some l ->
-                        fun () ->
-                          Perf.incr perf Perf.Branch_direct;
-                          Perf.incr perf Perf.Branch_taken;
-                          regs.(l) <- ret
-                      | None ->
-                        fun () ->
-                          Perf.incr perf Perf.Branch_direct;
-                          Perf.incr perf Perf.Branch_taken)
-                    | _ ->
-                      emit_uop ctx ~mmu_on:b.mmu_on ~iva:insn.Ir.va
-                        ~ilen:insn.Ir.len ~iidx:i uop
-                  in
-                  ops := closure :: !ops)
-                insn.Ir.uops
-            done;
+            let s_code =
+              if cfg.Config.threaded then begin
+                for i = 0 to n - 1 do
+                  let insn = ir.(!off + i) in
+                  List.iter
+                    (fun _uop ->
+                      incr uops;
+                      for unit = 1 to cfg.Config.emission_work do
+                        ctx.sync_token <-
+                          (ctx.sync_token + (insn.Ir.va lxor (unit * 0x9E37)))
+                          land max_int
+                      done)
+                    insn.Ir.uops
+                done;
+                let p =
+                  Threaded.compile ?slots ~elide_uncond_seam:elide_uncond
+                    ~reg_cache:cfg.Config.reg_cache ~mmu:b.mmu_on
+                    (Array.sub ir !off n)
+                in
+                Perf.add ctx.perf Perf.Opstream_bytes
+                  (8 * Array.length p.Threaded.code);
+                Prog (p, Threaded.prepare (host_of ctx) p)
+              end
+              else begin
+                let ops = ref [] in
+                for i = 0 to n - 1 do
+                  let insn = ir.(!off + i) in
+                  let last_insn = i = n - 1 in
+                  List.iter
+                    (fun uop ->
+                      incr uops;
+                      for unit = 1 to cfg.Config.emission_work do
+                        ctx.sync_token <-
+                          (ctx.sync_token + (insn.Ir.va lxor (unit * 0x9E37)))
+                          land max_int
+                      done;
+                      let closure =
+                        match uop with
+                        | Uop.Branch
+                            { cond = Uop.Always; target = Uop.Direct _; link }
+                          when elide_uncond && last_insn ->
+                          (* seam branch into the next segment: keep the
+                             architectural effects (counters, link write),
+                             drop the pc write the stitching makes
+                             redundant *)
+                          let regs = ctx.cpu.Cpu.regs in
+                          let perf = ctx.perf in
+                          let ret = (insn.Ir.va + insn.Ir.len) land u32_mask in
+                          (match link with
+                          | Some l ->
+                            fun () ->
+                              Perf.incr perf Perf.Branch_direct;
+                              Perf.incr perf Perf.Branch_taken;
+                              regs.(l) <- ret
+                          | None ->
+                            fun () ->
+                              Perf.incr perf Perf.Branch_direct;
+                              Perf.incr perf Perf.Branch_taken)
+                        | _ ->
+                          emit_uop ctx ~mmu_on:b.mmu_on ~iva:insn.Ir.va
+                            ~ilen:insn.Ir.len ~iidx:i uop
+                      in
+                      ops := closure :: !ops)
+                    insn.Ir.uops
+                done;
+                Ops (Array.of_list (List.rev !ops))
+              end
+            in
             off := !off + n;
             {
               s_va = b.va;
@@ -1011,7 +1281,7 @@ struct
               s_insns = n;
               s_uops = !uops;
               s_uncond = elide_uncond;
-              s_ops = Array.of_list (List.rev !ops);
+              s_code;
             })
           parts
       in
@@ -1108,10 +1378,7 @@ struct
       ctx.cur_page <- seg.s_page;
       ctx.cur_page2 <- seg.s_page2;
       cpu.Cpu.pc <- seg.s_end_va;
-      let ops = seg.s_ops in
-      for i = 0 to Array.length ops - 1 do
-        (Array.unsafe_get ops i) ()
-      done;
+      exec_code ctx seg.s_code;
       retire ctx seg.s_insns;
       Perf.add ctx.perf Perf.Uops seg.s_uops;
       if s + 1 >= n then s
@@ -1182,10 +1449,7 @@ struct
               ctx.cur_page <- blk.page;
               ctx.cur_page2 <- blk.page2;
               cpu.Cpu.pc <- blk.end_va;
-              let ops = blk.ops in
-              for i = 0 to Array.length ops - 1 do
-                (Array.unsafe_get ops i) ()
-              done;
+              exec_code ctx blk.code;
               retire ctx blk.insns;
               Perf.add ctx.perf Perf.Uops blk.uops_total;
               last := Some blk)

@@ -20,10 +20,40 @@ let mutation : (Uop.t -> Uop.t) option ref = ref None
 
 let set_mutation f = mutation := f
 
+(* Same idea for the threaded backend: applied to every IR micro-op just
+   before [Threaded.compile], it simulates the token lowering emitting the
+   wrong opstream while the closure emitter stays correct — so the
+   validator's attribution of a divergence to the threaded component can be
+   proven.  Never set outside tests. *)
+let threaded_mutation : (Uop.t -> Uop.t) option ref = ref None
+
+let set_threaded_mutation f = threaded_mutation := f
+
 let ir_of_decoded ~config ?validate decodeds =
   let ir = Ir.of_decoded decodeds in
   let passes_run = Ir.run ?validate ~passes:config.Config.opt_passes ir in
   (ir, passes_run)
+
+(* The threaded backend's semantic model: lower the optimised IR to an
+   opstream with [Threaded.compile] and decode it straight back with
+   [Threaded.model].  Unlike [model_uop] (a hand-written description of
+   what each closure does), this round-trips the *actual* token encoder, so
+   a wrong opcode, a misplaced operand word or a bad redundant-operand
+   check shows up as a semantic divergence — attributed by the validator to
+   the threaded component of the offending version. *)
+let model_threaded ~config ~mmu decodeds =
+  let ir, _ = ir_of_decoded ~config decodeds in
+  let ir =
+    match !threaded_mutation with
+    | None -> ir
+    | Some f ->
+      Array.map
+        (fun (insn : Ir.insn) ->
+          { insn with Ir.uops = List.map f insn.Ir.uops })
+        ir
+  in
+  let p = Threaded.compile ~reg_cache:config.Config.reg_cache ~mmu ir in
+  Threaded.model ~mmu p
 
 let model_uop uop =
   let uop = match !mutation with None -> uop | Some f -> f uop in

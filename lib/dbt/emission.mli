@@ -28,8 +28,26 @@ val model_uop : Sb_isa.Uop.t -> Sb_isa.Uop.t list
     registers rejected as undefined at emission time.  Everything else
     emits generically and models as itself. *)
 
+val model_threaded :
+  config:Config.t ->
+  mmu:bool ->
+  Sb_isa.Uop.decoded list ->
+  (int * int * Sb_isa.Uop.t list) list
+(** The threaded backend's semantic model for a decoded sequence: build the
+    IR, run the configuration's optimiser passes, lower through the real
+    token encoder ({!Threaded.compile}) and decode the opstream back with
+    {!Threaded.model}, yielding [(va, len, uops)] per instruction.  [mmu]
+    selects which memory fast-path lowering is exercised; the validator
+    checks both regimes. *)
+
 val set_mutation : (Sb_isa.Uop.t -> Sb_isa.Uop.t) option -> unit
 (** Test hook: install a deliberately broken emitter (applied inside
     {!model_uop}) to prove the translation validator catches mis-emitted
     instructions.  Pass [None] to restore the real emitter.  Never set
     outside tests. *)
+
+val set_threaded_mutation : (Sb_isa.Uop.t -> Sb_isa.Uop.t) option -> unit
+(** Test hook: break only the threaded lowering (applied to the IR before
+    {!Threaded.compile} inside {!model_threaded}) so the validator's
+    component attribution can be proven.  Pass [None] to restore.  Never
+    set outside tests. *)

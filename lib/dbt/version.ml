@@ -48,6 +48,8 @@ let v2_5_0_rc0 =
 let v2_6_0 =
   { v2_5_0_rc0 with Config.trace_threshold = 16; max_trace_blocks = 8 }
 
+let v2_7_0 = { v2_6_0 with Config.threaded = true; reg_cache = true }
+
 let all =
   [
     ("v1.7.0", v1_7_0);
@@ -71,6 +73,7 @@ let all =
     ("v2.5.0-rc1", v2_5_0_rc0);
     ("v2.5.0-rc2", v2_5_0_rc0);
     ("v2.6.0", v2_6_0);
+    ("v2.7.0", v2_7_0);
   ]
 
 let baseline_name = "v1.7.0"

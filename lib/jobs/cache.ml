@@ -4,7 +4,7 @@ type t = { dir : string }
    so stale cache files from older schemas can never be mis-decoded.
    3: Experiments.row gained row_samples (raw per-repeat kernel seconds)
    4: Experiments.row gained row_status/row_note (failure-as-data) *)
-let schema = "sb-jobs-cache-4"
+let schema = "sb-jobs-cache-5"
 
 let rec mkdir_p dir =
   if dir = "" || dir = "." || dir = "/" then ()

@@ -1,48 +1,89 @@
-type t = { data : Bytes.t; size : int }
+type t = { data : Bytes.t; size : int; hi_mask : int }
 
 exception Out_of_range of int
 
-let create ~size = { data = Bytes.make size '\000'; size }
+let create ~size =
+  (* power-of-two sizes (every shipped machine) get a single-compare bounds
+     test: any address bit at or above the size bit — including the sign
+     bit of a negative address — lands in [hi_mask] *)
+  let hi_mask =
+    if size > 0 && size land (size - 1) = 0 then lnot (size - 1) else 0
+  in
+  { data = Bytes.make size '\000'; size; hi_mask }
 
 let size t = t.size
 
 let check t addr width =
-  if addr < 0 || addr + width > t.size then raise (Out_of_range addr)
+  if t.hi_mask <> 0 then begin
+    if (addr lor (addr + width - 1)) land t.hi_mask <> 0 then
+      (* [addr + width - 1] underflows for width 0; an empty access in
+         range ([0, size]) is still fine, matching the two-compare form *)
+      if not (width = 0 && addr >= 0 && addr <= t.size) then
+        raise (Out_of_range addr)
+  end
+  else if addr < 0 || addr + width > t.size then raise (Out_of_range addr)
 
-let read8 t addr =
-  check t addr 1;
-  Char.code (Bytes.unsafe_get t.data addr)
+(* Unchecked accessors for callers that have already validated the window
+   [addr, addr + width) — the DBT's micro-TLB fast path proves a whole page
+   resident at fill time and then skips [check] per access. *)
 
-let read16 t addr =
-  check t addr 2;
-  Bytes.get_uint16_le t.data addr
+let unsafe_read8 t addr = Char.code (Bytes.unsafe_get t.data addr)
 
-(* recompose from unchecked byte reads: [Bytes.get_int32_le] allocates a
-   boxed [Int32] on every call, and this is the hottest path in the whole
-   simulator (every guest load/store and every code fetch lands here) *)
-let read32 t addr =
-  check t addr 4;
+let unsafe_read16 t addr =
+  let b = t.data in
+  Char.code (Bytes.unsafe_get b addr)
+  lor (Char.code (Bytes.unsafe_get b (addr + 1)) lsl 8)
+
+let unsafe_read32 t addr =
   let b = t.data in
   Char.code (Bytes.unsafe_get b addr)
   lor (Char.code (Bytes.unsafe_get b (addr + 1)) lsl 8)
   lor (Char.code (Bytes.unsafe_get b (addr + 2)) lsl 16)
   lor (Char.code (Bytes.unsafe_get b (addr + 3)) lsl 24)
 
-let write8 t addr v =
-  check t addr 1;
+let unsafe_write8 t addr v =
   Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF))
 
-let write16 t addr v =
-  check t addr 2;
-  Bytes.set_uint16_le t.data addr (v land 0xFFFF)
+let unsafe_write16 t addr v =
+  let b = t.data in
+  Bytes.unsafe_set b addr (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set b (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF))
 
-let write32 t addr v =
-  check t addr 4;
+let unsafe_write32 t addr v =
   let b = t.data in
   Bytes.unsafe_set b addr (Char.unsafe_chr (v land 0xFF));
   Bytes.unsafe_set b (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
   Bytes.unsafe_set b (addr + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
   Bytes.unsafe_set b (addr + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+
+let read8 t addr =
+  check t addr 1;
+  unsafe_read8 t addr
+
+(* recompose from unchecked byte reads, like [read32]: [Bytes.get_uint16_le]
+   goes through the generic safe accessor and its bounds re-check *)
+let read16 t addr =
+  check t addr 2;
+  unsafe_read16 t addr
+
+(* recompose from unchecked byte reads: [Bytes.get_int32_le] allocates a
+   boxed [Int32] on every call, and this is the hottest path in the whole
+   simulator (every guest load/store and every code fetch lands here) *)
+let read32 t addr =
+  check t addr 4;
+  unsafe_read32 t addr
+
+let write8 t addr v =
+  check t addr 1;
+  unsafe_write8 t addr v
+
+let write16 t addr v =
+  check t addr 2;
+  unsafe_write16 t addr v
+
+let write32 t addr v =
+  check t addr 4;
+  unsafe_write32 t addr v
 
 let load t ~addr image =
   check t addr (Bytes.length image);

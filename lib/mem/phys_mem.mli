@@ -3,7 +3,11 @@
     All addresses are physical byte addresses starting at 0.  Accesses out of
     range raise [Out_of_range]; the bus maps only valid RAM addresses here,
     so in a correctly configured machine this exception indicates a simulator
-    bug rather than a guest fault. *)
+    bug rather than a guest fault.
+
+    Power-of-two sizes get a single-compare bounds test (one [land] against
+    the high-bit mask covers negative addresses and overruns at once); other
+    sizes fall back to the two-compare form. *)
 
 type t
 
@@ -21,6 +25,19 @@ val read32 : t -> int -> int
 val write8 : t -> int -> int -> unit
 val write16 : t -> int -> int -> unit
 val write32 : t -> int -> int -> unit
+
+(** Unchecked accessors: no bounds test at all.  The caller must have
+    proved the whole window [addr, addr + width) resident — the DBT's
+    micro-TLB fast path does this once per page fill (see
+    {!Sb_mmu.Mtlb}) and then reads/writes flat memory per access. *)
+
+val unsafe_read8 : t -> int -> int
+val unsafe_read16 : t -> int -> int
+val unsafe_read32 : t -> int -> int
+
+val unsafe_write8 : t -> int -> int -> unit
+val unsafe_write16 : t -> int -> int -> unit
+val unsafe_write32 : t -> int -> int -> unit
 
 val load : t -> addr:int -> Bytes.t -> unit
 (** Copy an image into memory at [addr]. *)

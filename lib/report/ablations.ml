@@ -237,6 +237,33 @@ let traces ?(config = default_config) ?opts () =
       ]
     ()
 
+let threaded ?(config = default_config) ?opts () =
+  let backend threaded reg_cache =
+    dbt_with (fun c -> { c with Sb_dbt.Config.threaded; reg_cache })
+  in
+  sweep ?opts ~config
+    ~title:
+      "Ablation: token-threaded code generation (docs/threaded.md).  The\n\
+       flat opstream and micro-TLB fast paths pay on compute-dense kernels\n\
+       (no per-uop closure dispatch, no bus call per access); the middle\n\
+       column isolates the trace-scope register cache from the threading\n\
+       itself.  Self-modifying code bounds the retranslation cost of the\n\
+       denser encoding."
+    ~benches:
+      [
+        Simbench.Suite.intra_page_direct;
+        Simbench.Suite.inter_page_direct;
+        Simbench.Suite.hot_memory_access;
+        Simbench.Suite.small_blocks;
+      ]
+    ~variants:
+      [
+        ("closure", backend false false);
+        ("threaded/no-regcache", backend true false);
+        ("threaded (default)", backend true true);
+      ]
+    ()
+
 let all ?(config = default_config) ?opts () =
   String.concat "\n\n"
     [
@@ -244,6 +271,7 @@ let all ?(config = default_config) ?opts () =
       page_cache ~config ?opts ();
       optimiser ~config ?opts ();
       traces ~config ?opts ();
+      threaded ~config ?opts ();
       vm_exit ~config ?opts ();
       predecode ~config ?opts ();
     ]

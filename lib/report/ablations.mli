@@ -30,6 +30,11 @@ val traces : ?config:config -> ?opts:Experiments.run_opts -> unit -> string
     maximum trace length) against the control-flow and self-modifying-code
     benchmarks; see docs/traces.md. *)
 
+val threaded : ?config:config -> ?opts:Experiments.run_opts -> unit -> string
+(** Token-threaded code generation vs the closure backend, with and without
+    the trace-scope register cache, against the compute-dense and
+    self-modifying benchmarks; see docs/threaded.md. *)
+
 val vm_exit : ?config:config -> ?opts:Experiments.run_opts -> unit -> string
 (** Virtualization exit cost sweep against the trap-heavy benchmarks (the
     KVM signature). *)

@@ -38,6 +38,9 @@ type counter =
   | Trace_dispatches
   | Trace_side_exits
   | Trace_invalidations
+  | Tlb_fast_hits
+  | Spills
+  | Opstream_bytes
 [@@deriving enum, show { with_path = false }]
 
 let all =

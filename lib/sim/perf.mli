@@ -54,6 +54,15 @@ type counter =
   | Trace_invalidations
       (** traces discarded by SMC writes, TLB maintenance or translation
           changes *)
+  | Tlb_fast_hits
+      (** guest memory accesses and code fetches served entirely by the
+          threaded backend's (va -> host offset) micro-TLB fast path *)
+  | Spills
+      (** cached-register spill events in the threaded backend (side exits,
+          segment seams, pre-fault synchronisation) *)
+  | Opstream_bytes
+      (** bytes of token-threaded opstream emitted (translation-unit code
+          size; the closure backend reports nothing here) *)
 
 val all : counter list
 val to_string : counter -> string

@@ -351,6 +351,11 @@ let default_engines arch =
        cross-block stitched IR, not just single-block IR *)
     Simbench.Engines.dbt_configured arch
       { Sb_dbt.Config.default with Sb_dbt.Config.trace_threshold = 2 };
+    (* the closure (pre-threaded) emission backend: every sweep pits the
+       token-threaded opstream against both the interpreter and the
+       closure emitter it replaced *)
+    Simbench.Engines.dbt_configured arch
+      { Sb_dbt.Config.default with Sb_dbt.Config.threaded = false };
     Simbench.Engines.detailed arch;
     Simbench.Engines.virt arch;
     Simbench.Engines.native arch;

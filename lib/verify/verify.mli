@@ -104,6 +104,9 @@ val random_sweep :
     --validate-passes]. *)
 
 val default_engines : Sb_isa.Arch_sig.arch_id -> Sb_sim.Engine.t list
-(** interp, dbt, dbt with aggressive hot-trace formation, detailed, virt,
-    native.  The trace-aggressive DBT makes the sweep cover superblock
-    dispatch and gives [validate_passes] stitched cross-block IR to check. *)
+(** interp, dbt (threaded), dbt with aggressive hot-trace formation, dbt
+    with the closure emission backend, detailed, virt, native.  The
+    trace-aggressive DBT makes the sweep cover superblock dispatch and
+    gives [validate_passes] stitched cross-block IR to check; the closure
+    backend pits the token-threaded opstream against the emitter it
+    replaced on every sweep, chaos plans included. *)

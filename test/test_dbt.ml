@@ -284,7 +284,7 @@ let test_page_cache_invalidate_page () =
 (* ---------------- version table ---------------- *)
 
 let test_version_table () =
-  Alcotest.(check int) "twenty-one releases" 21 (List.length Sb_dbt.Version.all);
+  Alcotest.(check int) "twenty-two releases" 22 (List.length Sb_dbt.Version.all);
   Alcotest.(check string) "baseline first" Sb_dbt.Version.baseline_name
     (fst (List.hd Sb_dbt.Version.all));
   Alcotest.(check bool) "find known" true (Sb_dbt.Version.find "v2.0.0" <> None);
@@ -315,7 +315,21 @@ let test_version_table () =
   (* the contemporary default enables traces like the newest entry *)
   Alcotest.(check int) "default traces on"
     (cfg "v2.6.0").Sb_dbt.Config.trace_threshold
-    Sb_dbt.Config.default.Sb_dbt.Config.trace_threshold
+    Sb_dbt.Config.default.Sb_dbt.Config.trace_threshold;
+  (* threaded code with register caching appears at 2.7.0 and nowhere
+     before; the contemporary default matches *)
+  Alcotest.(check bool) "no threaded code before" false
+    (cfg "v2.6.0").Sb_dbt.Config.threaded;
+  Alcotest.(check bool) "no reg cache before" false
+    (cfg "v2.6.0").Sb_dbt.Config.reg_cache;
+  Alcotest.(check bool) "threaded at 2.7.0" true
+    ((cfg "v2.7.0").Sb_dbt.Config.threaded
+    && (cfg "v2.7.0").Sb_dbt.Config.reg_cache);
+  Alcotest.(check bool) "default is threaded" true
+    (Sb_dbt.Config.default.Sb_dbt.Config.threaded
+    && Sb_dbt.Config.default.Sb_dbt.Config.reg_cache);
+  Alcotest.(check bool) "baseline is not" false
+    Sb_dbt.Config.baseline.Sb_dbt.Config.threaded
 
 (* Optimised and unoptimised DBT engines must agree architecturally: run a
    program that the optimiser rewrites heavily under both pass budgets. *)

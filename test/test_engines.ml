@@ -32,6 +32,23 @@ module Dbt_sba_traces =
       let config = { Sb_dbt.Config.default with Sb_dbt.Config.trace_threshold = 2 }
     end)
 
+(* The closure emission backend the threaded opstream replaced: keeping it
+   in every behavioural test pins threaded-vs-closure equivalence on real
+   guest programs, not just the symbolic validator. *)
+module Dbt_sba_closure =
+  Sb_dbt.Dbt.Make_configured
+    (Sb_arch_sba.Arch)
+    (struct
+      let config = { Sb_dbt.Config.default with Sb_dbt.Config.threaded = false }
+    end)
+
+module Dbt_vlx_closure =
+  Sb_dbt.Dbt.Make_configured
+    (Sb_arch_vlx.Arch)
+    (struct
+      let config = { Sb_dbt.Config.default with Sb_dbt.Config.threaded = false }
+    end)
+
 module Detailed_sba = Sb_detailed.Detailed.Make (Sb_arch_sba.Arch)
 module Detailed_vlx = Sb_detailed.Detailed.Make (Sb_arch_vlx.Arch)
 module Virt_sba = Sb_virt.Virt.Make_virt (Sb_arch_sba.Arch)
@@ -45,6 +62,7 @@ let sba_engines : Sb_sim.Engine.t list =
     (module Dbt_sba);
     (module Dbt_sba_baseline);
     (module Dbt_sba_traces);
+    (module Dbt_sba_closure);
     (module Detailed_sba);
     (module Virt_sba);
     (module Native_sba);
@@ -54,6 +72,7 @@ let vlx_engines : Sb_sim.Engine.t list =
   [
     (module Interp_vlx);
     (module Dbt_vlx);
+    (module Dbt_vlx_closure);
     (module Detailed_vlx);
     (module Virt_vlx);
     (module Native_vlx);
@@ -224,6 +243,72 @@ let test_sba_data_abort_mmu () =
       Alcotest.(check int) "far" 0x0080_0000 (Sb_mem.Phys_mem.read32 ram 0x30004);
       Alcotest.(check int) "one data abort" 1
         (Sb_sim.Perf.get result.Sb_sim.Run_result.perf Sb_sim.Perf.Data_abort))
+    sba_engines
+
+let test_sba_tlbi_remap () =
+  (* Micro-TLB shootdown: with the MMU on, the guest reads a page-mapped
+     address twice (the second read is served from the DBT's flat-memory
+     fast path), rewrites the L2 entry to point the same VA at a different
+     physical page, executes TLBI for that VA, and reads again.  A stale
+     micro-TLB entry surviving the invalidation would return the old
+     page's value on the third read. *)
+  let ttbr = 0x0010_0000 in
+  let l2_base = 0x0011_0000 in
+  let va = 0x0040_0000 in
+  let page_a = 0x0005_0000 and page_b = 0x0005_1000 in
+  let pte_b =
+    Sb_mmu.Pte.encode_page ~pa_base:page_b ~ap:Sb_mmu.Access.Ap.kernel_only
+      ~xn:true
+  in
+  let program =
+    SI.Asm.assemble ~base:0 ~entry:"start"
+      ([ Label "start" ]
+      @ sba_insns
+          (SI.li 0 ttbr
+          @ [ SI.Mcr (Sb_isa.Cregs.ttbr, 0) ]
+          @ [ SI.Movw (0, 1); SI.Mcr (Sb_isa.Cregs.sctlr, 0) ]
+          @ SI.li 5 va
+          @ [ SI.Ldr (2, 5, 0) ] (* page A, slow walk fills the fast path *)
+          @ [ SI.Ldr (6, 5, 0) ] (* page A again, fast-path hit *)
+          (* remap the VA to page B by rewriting the (identity-mapped) L2
+             entry, then shoot down the page *)
+          @ SI.li 0 (l2_base + (Sb_mmu.Pte.l2_index va * 4))
+          @ SI.li 1 pte_b
+          @ [ SI.Str (1, 0, 0) ]
+          @ [ SI.Tlbi 5 ]
+          @ [ SI.Ldr (3, 5, 0) ] (* must observe page B *)
+          @ SI.li 7 0x30000
+          @ [ SI.Str (2, 7, 0); SI.Str (6, 7, 4); SI.Str (3, 7, 8); SI.Halt ]))
+  in
+  List.iter
+    (fun engine ->
+      let machine = Machine.create ~ram_size:(4 * 1024 * 1024) () in
+      Machine.load_program machine program;
+      let ram = Sb_mem.Bus.ram machine.Machine.bus in
+      (* identity-map the first 1 MiB (code, scratch, the two physical
+         pages), table-map the test VA to page A *)
+      Sb_mem.Phys_mem.write32 ram
+        (ttbr + (Sb_mmu.Pte.l1_index 0 * 4))
+        (Sb_mmu.Pte.encode_section ~pa_base:0 ~ap:Sb_mmu.Access.Ap.kernel_only
+           ~xn:false);
+      Sb_mem.Phys_mem.write32 ram
+        (ttbr + (Sb_mmu.Pte.l1_index va * 4))
+        (Sb_mmu.Pte.encode_table ~l2_base);
+      Sb_mem.Phys_mem.write32 ram
+        (l2_base + (Sb_mmu.Pte.l2_index va * 4))
+        (Sb_mmu.Pte.encode_page ~pa_base:page_a
+           ~ap:Sb_mmu.Access.Ap.kernel_only ~xn:true);
+      Sb_mem.Phys_mem.write32 ram page_a 0x1111;
+      Sb_mem.Phys_mem.write32 ram page_b 0x2222;
+      let result = Sb_sim.Engine.run engine ~max_insns:1_000_000 machine in
+      check_halted result;
+      let name = result.Sb_sim.Run_result.engine in
+      Alcotest.(check int) (name ^ " first read, page A") 0x1111
+        (Sb_mem.Phys_mem.read32 ram 0x30000);
+      Alcotest.(check int) (name ^ " cached read, page A") 0x1111
+        (Sb_mem.Phys_mem.read32 ram 0x30004);
+      Alcotest.(check int) (name ^ " read after remap+tlbi, page B") 0x2222
+        (Sb_mem.Phys_mem.read32 ram 0x30008))
     sba_engines
 
 let test_sba_self_modifying_code () =
@@ -827,6 +912,7 @@ let () =
           Alcotest.test_case "loop sum" `Quick test_sba_loop_sum;
           Alcotest.test_case "svc/undef" `Quick test_sba_svc_and_undef;
           Alcotest.test_case "mmu data abort" `Quick test_sba_data_abort_mmu;
+          Alcotest.test_case "tlbi remap shootdown" `Quick test_sba_tlbi_remap;
           Alcotest.test_case "self-modifying code" `Quick test_sba_self_modifying_code;
           Alcotest.test_case "software interrupt" `Quick test_sba_software_interrupt;
         ] );

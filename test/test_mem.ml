@@ -57,6 +57,91 @@ let test_phys_mem_word_recomposition () =
   (try Sb_mem.Phys_mem.write32 m 61 0xFFFFFFFF with Sb_mem.Phys_mem.Out_of_range _ -> ());
   Alcotest.(check int) "no partial write" 0x11223344 (Sb_mem.Phys_mem.read32 m 60)
 
+(* pins the unboxed read16/write16 recomposition exactly like the 32-bit
+   test above: round-trips at every alignment, truncation to 16 bits,
+   little-endian order, and Out_of_range before any partial write *)
+let test_phys_mem_halfword_recomposition () =
+  let m = Sb_mem.Phys_mem.create ~size:64 in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun addr ->
+          Sb_mem.Phys_mem.write16 m addr v;
+          Alcotest.(check int)
+            (Printf.sprintf "round trip %#x @%d" v addr)
+            (v land 0xFFFF)
+            (Sb_mem.Phys_mem.read16 m addr))
+        [ 0; 1; 2; 3; 17 ])
+    [ 0; 1; 0xFFFF; 0x8000; 0x0102; 0xBEEF ];
+  (* values above 16 bits truncate to the low halfword *)
+  Sb_mem.Phys_mem.write16 m 0 0x1_2345;
+  Alcotest.(check int) "truncated" 0x2345 (Sb_mem.Phys_mem.read16 m 0);
+  (* little-endian byte order is observable through read8 *)
+  Sb_mem.Phys_mem.write16 m 8 0xAABB;
+  Alcotest.(check int) "byte 0" 0xBB (Sb_mem.Phys_mem.read8 m 8);
+  Alcotest.(check int) "byte 1" 0xAA (Sb_mem.Phys_mem.read8 m 9);
+  Alcotest.check_raises "oob write16" (Sb_mem.Phys_mem.Out_of_range 63) (fun () ->
+      Sb_mem.Phys_mem.write16 m 63 0);
+  Alcotest.check_raises "negative write16" (Sb_mem.Phys_mem.Out_of_range (-1))
+    (fun () -> Sb_mem.Phys_mem.write16 m (-1) 0);
+  Alcotest.check_raises "oob read16" (Sb_mem.Phys_mem.Out_of_range 63) (fun () ->
+      ignore (Sb_mem.Phys_mem.read16 m 63));
+  Alcotest.check_raises "negative read16" (Sb_mem.Phys_mem.Out_of_range (-1))
+    (fun () -> ignore (Sb_mem.Phys_mem.read16 m (-1)));
+  (* a refused write left the last halfword intact *)
+  Sb_mem.Phys_mem.write16 m 62 0x1122;
+  (try Sb_mem.Phys_mem.write16 m 63 0xFFFF with Sb_mem.Phys_mem.Out_of_range _ -> ());
+  Alcotest.(check int) "no partial write" 0x1122 (Sb_mem.Phys_mem.read16 m 62)
+
+(* the hoisted single-compare bounds check (power-of-two sizes compare the
+   high address bits against one mask) must agree with the generic
+   two-compare form at every boundary address: sweep [size-3 .. size] for
+   every width on both a power-of-two and an odd-sized memory *)
+let test_phys_mem_bounds_boundary () =
+  List.iter
+    (fun size ->
+      let m = Sb_mem.Phys_mem.create ~size in
+      List.iter
+        (fun (width, read, write) ->
+          for addr = size - 3 to size do
+            let in_range = addr >= 0 && addr + width <= size in
+            let label = Printf.sprintf "size=%d w=%d @%d" size width addr in
+            if in_range then begin
+              write m addr 0x5A;
+              Alcotest.(check int) label 0x5A (read m addr land 0xFF)
+            end
+            else begin
+              Alcotest.check_raises (label ^ " read")
+                (Sb_mem.Phys_mem.Out_of_range addr) (fun () ->
+                  ignore (read m addr));
+              Alcotest.check_raises (label ^ " write")
+                (Sb_mem.Phys_mem.Out_of_range addr) (fun () -> write m addr 0)
+            end
+          done)
+        [
+          (1, Sb_mem.Phys_mem.read8, Sb_mem.Phys_mem.write8);
+          (2, Sb_mem.Phys_mem.read16, Sb_mem.Phys_mem.write16);
+          (4, Sb_mem.Phys_mem.read32, Sb_mem.Phys_mem.write32);
+        ])
+    [ 64; 80 ]
+
+(* the unchecked accessors must agree byte-for-byte with the checked ones
+   inside a validated window (the micro-TLB fast path relies on this) *)
+let test_phys_mem_unsafe_parity () =
+  let m = Sb_mem.Phys_mem.create ~size:4096 in
+  Sb_mem.Phys_mem.unsafe_write32 m 0 0xDEADBEEF;
+  Sb_mem.Phys_mem.unsafe_write16 m 4 0xCAFE;
+  Sb_mem.Phys_mem.unsafe_write8 m 6 0x42;
+  Alcotest.(check int) "checked read32 sees unsafe write" 0xDEADBEEF
+    (Sb_mem.Phys_mem.read32 m 0);
+  Alcotest.(check int) "checked read16 sees unsafe write" 0xCAFE
+    (Sb_mem.Phys_mem.read16 m 4);
+  Alcotest.(check int) "unsafe read8" 0x42 (Sb_mem.Phys_mem.unsafe_read8 m 6);
+  Alcotest.(check int) "unsafe read32" 0xDEADBEEF
+    (Sb_mem.Phys_mem.unsafe_read32 m 0);
+  Alcotest.(check int) "unsafe read16" 0xCAFE
+    (Sb_mem.Phys_mem.unsafe_read16 m 4)
+
 let test_phys_mem_load () =
   let m = Sb_mem.Phys_mem.create ~size:64 in
   Sb_mem.Phys_mem.load m ~addr:8 (Bytes.of_string "abcd");
@@ -197,6 +282,12 @@ let () =
           Alcotest.test_case "bounds" `Quick test_phys_mem_bounds;
           Alcotest.test_case "word recomposition" `Quick
             test_phys_mem_word_recomposition;
+          Alcotest.test_case "halfword recomposition" `Quick
+            test_phys_mem_halfword_recomposition;
+          Alcotest.test_case "bounds boundary sweep" `Quick
+            test_phys_mem_bounds_boundary;
+          Alcotest.test_case "unsafe accessor parity" `Quick
+            test_phys_mem_unsafe_parity;
           Alcotest.test_case "load/blit" `Quick test_phys_mem_load;
         ] );
       ( "bus",

@@ -4,6 +4,7 @@ module Access = Sb_mmu.Access
 module Pte = Sb_mmu.Pte
 module Walker = Sb_mmu.Walker
 module Tlb = Sb_mmu.Tlb
+module Mtlb = Sb_mmu.Mtlb
 
 (* A tiny physical memory to hold page tables. *)
 let make_phys () = Sb_mem.Phys_mem.create ~size:(1 lsl 20)
@@ -177,6 +178,63 @@ let test_tlb_geometry_validation () =
   Alcotest.(check bool) "non power of two" true (raised 24);
   Alcotest.(check bool) "ok" false (raised 64)
 
+(* --- host-side micro-TLB (the DBT flat-memory fast path) --- *)
+
+let test_mtlb_fill_probe () =
+  let m = Mtlb.create ~entries:16 in
+  Alcotest.(check int) "entries" 16 (Mtlb.entries m);
+  Alcotest.(check int) "miss on empty" (-1) (Mtlb.probe m ~vpn:5 ~asid:1 ~priv:1);
+  Mtlb.fill m ~vpn:5 ~asid:1 ~priv:1 ~base:0x5000;
+  Alcotest.(check int) "hit" 0x5000 (Mtlb.probe m ~vpn:5 ~asid:1 ~priv:1);
+  (* every component of the key must match *)
+  Alcotest.(check int) "wrong asid" (-1) (Mtlb.probe m ~vpn:5 ~asid:2 ~priv:1);
+  Alcotest.(check int) "wrong priv" (-1) (Mtlb.probe m ~vpn:5 ~asid:1 ~priv:0);
+  Alcotest.(check int) "wrong vpn" (-1) (Mtlb.probe m ~vpn:6 ~asid:1 ~priv:1)
+
+let test_mtlb_conflict_eviction () =
+  let m = Mtlb.create ~entries:16 in
+  Mtlb.fill m ~vpn:3 ~asid:0 ~priv:0 ~base:0x1000;
+  (* vpn 19 lands in the same direct-mapped slot (19 mod 16 = 3) *)
+  Mtlb.fill m ~vpn:19 ~asid:0 ~priv:0 ~base:0x2000;
+  Alcotest.(check int) "old evicted" (-1) (Mtlb.probe m ~vpn:3 ~asid:0 ~priv:0);
+  Alcotest.(check int) "new present" 0x2000 (Mtlb.probe m ~vpn:19 ~asid:0 ~priv:0)
+
+let test_mtlb_invalidate_page () =
+  let m = Mtlb.create ~entries:16 in
+  Mtlb.fill m ~vpn:1 ~asid:7 ~priv:1 ~base:0x1000;
+  Mtlb.fill m ~vpn:2 ~asid:7 ~priv:0 ~base:0x2000;
+  (* asid/priv-blind: drops the entry no matter how it was tagged *)
+  Mtlb.invalidate_page m ~vpn:1;
+  Alcotest.(check int) "invalidated" (-1) (Mtlb.probe m ~vpn:1 ~asid:7 ~priv:1);
+  Alcotest.(check int) "other kept" 0x2000 (Mtlb.probe m ~vpn:2 ~asid:7 ~priv:0);
+  (* an aliasing vpn that does not match must not clobber the slot *)
+  Mtlb.invalidate_page m ~vpn:18;
+  Alcotest.(check int) "alias kept" 0x2000 (Mtlb.probe m ~vpn:2 ~asid:7 ~priv:0)
+
+let test_mtlb_flush_generation () =
+  let m = Mtlb.create ~entries:16 in
+  for vpn = 0 to 15 do
+    Mtlb.fill m ~vpn ~asid:0 ~priv:1 ~base:(vpn * 0x1000)
+  done;
+  let g0 = Mtlb.generation m in
+  Mtlb.flush m;
+  Alcotest.(check bool) "generation bumped" true (Mtlb.generation m > g0);
+  for vpn = 0 to 15 do
+    Alcotest.(check int)
+      (Printf.sprintf "vpn %d flushed" vpn)
+      (-1)
+      (Mtlb.probe m ~vpn ~asid:0 ~priv:1)
+  done;
+  (* refills after a flush are visible again *)
+  Mtlb.fill m ~vpn:4 ~asid:0 ~priv:1 ~base:0x4000;
+  Alcotest.(check int) "refill after flush" 0x4000 (Mtlb.probe m ~vpn:4 ~asid:0 ~priv:1)
+
+let test_mtlb_geometry_validation () =
+  let raised n = try ignore (Mtlb.create ~entries:n); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "zero" true (raised 0);
+  Alcotest.(check bool) "non power of two" true (raised 24);
+  Alcotest.(check bool) "ok" false (raised 256)
+
 (* Property: for random page tables, a TLB filled from walks always agrees
    with a fresh walk. *)
 let prop_tlb_coherent_with_walk =
@@ -230,4 +288,12 @@ let () =
           Alcotest.test_case "asid tagging" `Quick test_tlb_asid_tagging;
         ]
         @ [ QCheck_alcotest.to_alcotest prop_tlb_coherent_with_walk ] );
+      ( "mtlb",
+        [
+          Alcotest.test_case "fill/probe" `Quick test_mtlb_fill_probe;
+          Alcotest.test_case "conflict eviction" `Quick test_mtlb_conflict_eviction;
+          Alcotest.test_case "invalidate page" `Quick test_mtlb_invalidate_page;
+          Alcotest.test_case "flush/generation" `Quick test_mtlb_flush_generation;
+          Alcotest.test_case "geometry" `Quick test_mtlb_geometry_validation;
+        ] );
     ]

@@ -43,7 +43,7 @@ let test_fig4_structure () =
   List.iter
     (fun name -> Alcotest.(check bool) (name ^ " column") true (contains out name))
     [ "QEMU-DBT"; "SimIt-ARM"; "Gem5"; "QEMU-KVM"; "Hardware" ];
-  Alcotest.(check bool) "DBT row" true (contains out "Block-based");
+  Alcotest.(check bool) "DBT row" true (contains out "Threaded Code");
   Alcotest.(check bool) "KVM hypercall" true (contains out "Hypercall")
 
 let test_fig5_structure () =

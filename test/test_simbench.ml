@@ -264,7 +264,7 @@ let test_fig4_features () =
     List.assoc key (Sb_sim.Engine.features engine)
   in
   let arch = Sb_isa.Arch_sig.Sba in
-  Alcotest.(check string) "dbt codegen" "Block-based"
+  Alcotest.(check string) "dbt codegen" "Threaded Code"
     (feature (Simbench.Engines.dbt arch) "Code Generation");
   Alcotest.(check string) "interp codegen" "None"
     (feature (Simbench.Engines.interp arch) "Code Generation");
@@ -399,11 +399,38 @@ let test_front_cache_signature () =
   Alcotest.(check int) "interp: off means zero hits" 0 interp_off;
   Alcotest.(check int) "interp: same instruction stream" i_insns i_insns'
 
+(* The token-threaded opstream backend must retire exactly the same
+   instruction stream as the closure backend it replaced, on every
+   benchmark of the suite.  (The interpreter is not a valid baseline here:
+   the DBT retires in block units, so the kernel-phase boundary attributes
+   a handful of extra instructions to the DBT's kernel window on every
+   benchmark — a pre-existing property shared by both backends.) *)
+let test_kernel_insns_identity arch () =
+  let threaded = Simbench.Engines.dbt arch in
+  let closure =
+    Simbench.Engines.dbt_configured arch
+      { Sb_dbt.Config.default with Sb_dbt.Config.threaded = false }
+  in
+  List.iter
+    (fun bench ->
+      let insns engine = (run ~arch ~engine bench).H.kernel_insns in
+      Alcotest.(check int)
+        (bench.Simbench.Bench.name ^ " threaded vs closure")
+        (insns closure) (insns threaded))
+    Simbench.Suite.all
+
 let () =
   Alcotest.run "simbench"
     [
       ("suite-sba", suite_cases Sb_isa.Arch_sig.Sba);
       ("suite-vlx", suite_cases Sb_isa.Arch_sig.Vlx);
+      ( "kernel-insns",
+        [
+          Alcotest.test_case "sba threaded/closure identical" `Quick
+            (test_kernel_insns_identity Sb_isa.Arch_sig.Sba);
+          Alcotest.test_case "vlx threaded/closure identical" `Quick
+            (test_kernel_insns_identity Sb_isa.Arch_sig.Vlx);
+        ] );
       ( "registry",
         [
           Alcotest.test_case "structure" `Quick test_suite_registry;

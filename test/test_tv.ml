@@ -14,6 +14,12 @@ let with_mutation f body =
   Sb_dbt.Emission.set_mutation (Some f);
   Fun.protect ~finally:(fun () -> Sb_dbt.Emission.set_mutation None) body
 
+let with_threaded_mutation f body =
+  Sb_dbt.Emission.set_threaded_mutation (Some f);
+  Fun.protect
+    ~finally:(fun () -> Sb_dbt.Emission.set_threaded_mutation None)
+    body
+
 (* ---------------- clean validation ---------------- *)
 
 let test_clean_all_versions () =
@@ -89,6 +95,8 @@ let test_mutation_wrong_op_caught () =
           | d :: _ ->
             Alcotest.(check bool) "not ok" false (Tv.ok r);
             Alcotest.(check string) "first version" "v1.7.0" d.Tv.version;
+            Alcotest.(check string) "closure component" "closure"
+              d.Tv.component;
             (* both ISAs enumerate plain register add first among the
                affected classes *)
             Alcotest.(check bool)
@@ -119,6 +127,58 @@ let test_mutation_dropped_store_caught () =
               (String.length d.Tv.detail >= 6
               && String.sub d.Tv.detail 0 6 = "effect"))
         arches)
+
+(* A broken threaded emitter only: the closure model stays correct, so the
+   divergence must be attributed to the threaded component — named by
+   encoding class, version and component. *)
+let test_mutation_threaded_only_caught () =
+  let mutate = function
+    | Uop.Alu ({ op = Uop.Add; rd = Some _; set_flags = false; _ } as a) ->
+      Uop.Alu { a with op = Uop.Sub }
+    | u -> u
+  in
+  with_threaded_mutation mutate (fun () ->
+      List.iter
+        (fun arch ->
+          let r = Tv.run ~arch ~versions:[ "v1.7.0"; "v2.7.0" ] () in
+          match r.Tv.rep_divergences with
+          | [] ->
+            Alcotest.failf "%s: broken threaded emitter not caught"
+              r.Tv.rep_arch
+          | d :: _ ->
+            Alcotest.(check bool) "not ok" false (Tv.ok r);
+            (* the closure lowering is clean, so attribution must land on
+               the threaded opstream *)
+            Alcotest.(check bool)
+              (Printf.sprintf "threaded component: %s" d.Tv.component)
+              true
+              (d.Tv.component = "threaded" || d.Tv.component = "threaded+mmu");
+            Alcotest.(check bool)
+              (Printf.sprintf "class %s is an add form" d.Tv.cls)
+              true
+              (d.Tv.cls = "add" || d.Tv.cls = "add_rr");
+            Alcotest.(check bool) "version named" true
+              (d.Tv.version = "v1.7.0" || d.Tv.version = "v2.7.0"))
+        arches)
+
+(* A dropped threaded store: the opstream loses the effect while the
+   closure model keeps it. *)
+let test_mutation_threaded_dropped_store_caught () =
+  let mutate = function Uop.Store _ -> Uop.Nop | u -> u in
+  with_threaded_mutation mutate (fun () ->
+      let r = Tv.run ~arch:Sb_isa.Arch_sig.Sba ~versions:[ "v2.7.0" ] () in
+      match r.Tv.rep_divergences with
+      | [] -> Alcotest.fail "dropped threaded store not caught"
+      | d :: _ ->
+        Alcotest.(check bool)
+          (Printf.sprintf "threaded component: %s" d.Tv.component)
+          true
+          (d.Tv.component = "threaded" || d.Tv.component = "threaded+mmu");
+        Alcotest.(check bool)
+          (Printf.sprintf "component is an effect: %s" d.Tv.detail)
+          true
+          (String.length d.Tv.detail >= 6
+          && String.sub d.Tv.detail 0 6 = "effect"))
 
 (* The report must carry the offending encoding bytes so the finding is
    reproducible from the JSON alone. *)
@@ -157,7 +217,8 @@ let test_check_case_direct () =
      Tv.check_case (module Sb_arch_sba.Arch) ~config sba_add_r0_r1_r2
    with
   | None -> ()
-  | Some detail -> Alcotest.failf "clean add diverged: %s" detail);
+  | Some (component, detail) ->
+    Alcotest.failf "clean add diverged (%s): %s" component detail);
   let mutate = function
     | Uop.Alu ({ op = Uop.Add; rd = Some _; set_flags = false; _ } as a) ->
       Uop.Alu { a with op = Uop.Sub }
@@ -168,7 +229,20 @@ let test_check_case_direct () =
         Tv.check_case (module Sb_arch_sba.Arch) ~config sba_add_r0_r1_r2
       with
       | None -> Alcotest.fail "mutated add not caught"
-      | Some detail ->
+      | Some (component, detail) ->
+        Alcotest.(check string) "closure component" "closure" component;
+        Alcotest.(check bool)
+          (Printf.sprintf "names r0: %s" detail)
+          true
+          (String.length detail >= 11
+          && String.sub detail 0 11 = "register r0"));
+  with_threaded_mutation mutate (fun () ->
+      match
+        Tv.check_case (module Sb_arch_sba.Arch) ~config sba_add_r0_r1_r2
+      with
+      | None -> Alcotest.fail "threaded-mutated add not caught"
+      | Some (component, detail) ->
+        Alcotest.(check string) "threaded component" "threaded" component;
         Alcotest.(check bool)
           (Printf.sprintf "names r0: %s" detail)
           true
@@ -238,6 +312,10 @@ let () =
             test_mutation_wrong_op_caught;
           Alcotest.test_case "dropped store caught" `Quick
             test_mutation_dropped_store_caught;
+          Alcotest.test_case "threaded-only breakage attributed" `Quick
+            test_mutation_threaded_only_caught;
+          Alcotest.test_case "threaded dropped store caught" `Quick
+            test_mutation_threaded_dropped_store_caught;
           Alcotest.test_case "reports offending bytes" `Quick
             test_mutation_reports_bytes;
           Alcotest.test_case "check_case direct" `Quick test_check_case_direct;
