@@ -24,6 +24,12 @@
      bench/main.exe --insn-budget N - watchdog: any engine run past N
                                       guest instructions stops (runaway
                                       cells fail instead of spinning)
+     bench/main.exe --switch-at P   - checkpointed fast-forward: run (or
+                                      restore) each cell's setup phase up
+                                      to P ("kernel" or "insn:N") and
+                                      start the timed engine there; pair
+                                      with --cache DIR to share one warm
+                                      boot across the grid and repeats
      bench/main.exe --bechamel      - Bechamel micro-benchmarks of the
                                       engine hot paths (one Test per suite
                                       category, plus workloads)
@@ -109,6 +115,11 @@ let json_of_rows ~experiment ~(opts : Sb_report.Experiments.run_opts)
             ("scale", Int config.scale);
             ("workload_iters", Int config.workload_iters);
             ("repeats", Int config.repeats);
+            ( "switch_at",
+              String
+                (match config.switch_at with
+                | None -> "cold"
+                | Some p -> Simbench.Checkpoint.point_to_string p) );
           ] );
       ("cells", List (List.map cell rows));
     ]
@@ -204,6 +215,57 @@ let bechamel_tests () =
                    (Sb_workloads.Workloads.run ~iters:50 ~support ~engine:dbt
                       Sb_workloads.Workloads.sjeng)));
         ];
+      (* checkpointed fast-forward on the detailed engine: each cold/ckpt
+         pair runs the same cell end to end (machine build, assembly, and
+         either setup simulation or checkpoint restore, then the timed
+         kernel), so the ratio is the wall-clock win a grid cell sees.
+         Setup-heavy cells — high scale, so the kernel is a few hundred
+         instructions against a few thousand of setup — are where the
+         paper-grid sweeps pay the most per repeat. *)
+      (let detailed = Simbench.Engines.detailed arch in
+       let store =
+         let dir =
+           Filename.concat
+             (Filename.get_temp_dir_name ())
+             (Printf.sprintf "sb-bench-ckpt-%d" (Unix.getpid ()))
+         in
+         Simbench.Checkpoint.open_store ~dir
+       in
+       let ckpt_pair name bench ~scale =
+         [
+           Test.make ~name:(name ^ "/detailed-cold")
+             (Staged.stage (fun () ->
+                  ignore (Simbench.Harness.run ~scale ~support ~engine:detailed bench)));
+           Test.make ~name:(name ^ "/detailed-ckpt")
+             (Staged.stage (fun () ->
+                  ignore
+                    (Simbench.Harness.run ~scale
+                       ~switch_at:Simbench.Checkpoint.Kernel_phase
+                       ~checkpoints:store ~support ~engine:detailed bench)));
+         ]
+       in
+       (* the workload pair is the setup-heavy case: mcf's graph
+          initialization is ~19ms of detailed-engine setup against a
+          ~7ms two-pass kernel *)
+       let workload_pair name w ~iters =
+         [
+           Test.make ~name:(name ^ "/detailed-cold")
+             (Staged.stage (fun () ->
+                  ignore
+                    (Sb_workloads.Workloads.run ~iters ~support
+                       ~engine:detailed w)));
+           Test.make ~name:(name ^ "/detailed-ckpt")
+             (Staged.stage (fun () ->
+                  ignore
+                    (Sb_workloads.Workloads.run ~iters
+                       ~switch_at:Simbench.Checkpoint.Kernel_phase
+                       ~checkpoints:store ~support ~engine:detailed w)));
+         ]
+       in
+       Test.make_grouped ~name:"checkpoint"
+         (workload_pair "mcf" Sb_workloads.Workloads.mcf ~iters:2
+         @ workload_pair "sjeng" Sb_workloads.Workloads.sjeng ~iters:2
+         @ ckpt_pair "tlb-flush" Simbench.Suite.tlb_flush ~scale:20_000));
     ]
 
 let run_bechamel () =
@@ -240,6 +302,7 @@ type cli = {
   mutable cache_dir : string option;
   mutable deadline : float option;
   mutable retries : int;
+  mutable switch_at : Simbench.Checkpoint.point option;
   mutable names : string list; (* reversed *)
 }
 
@@ -247,7 +310,8 @@ let usage () =
   prerr_endline
     "usage: main.exe [--quick] [--all] [-j N] [--repeats N] [--json DIR]\n\
     \                [--cache DIR] [--deadline SEC] [--retries N]\n\
-    \                [--insn-budget N] [--bechamel] [experiment ...]";
+    \                [--insn-budget N] [--switch-at POINT] [--bechamel]\n\
+    \                [experiment ...]";
   exit 2
 
 let parse_args args =
@@ -262,6 +326,7 @@ let parse_args args =
       cache_dir = None;
       deadline = None;
       retries = 0;
+      switch_at = None;
       names = [];
     }
   in
@@ -303,6 +368,13 @@ let parse_args args =
     | "--retries" :: v :: rest ->
       cli.retries <- nat_of "--retries" v;
       go rest
+    | "--switch-at" :: v :: rest ->
+      (match Simbench.Checkpoint.parse_point v with
+      | Ok p -> cli.switch_at <- Some p
+      | Error msg ->
+        Printf.eprintf "--switch-at: %s\n" msg;
+        usage ());
+      go rest
     | "--insn-budget" :: v :: rest ->
       Sb_sim.Runner.set_insn_budget (int_of "--insn-budget" v);
       go rest
@@ -330,6 +402,12 @@ let () =
       match cli.repeats with
       | None -> config
       | Some r -> { config with Sb_report.Experiments.repeats = r }
+    in
+    (* checkpointed fast-forward: run (or restore) each cell's setup up to
+       POINT and start the timed engine there; pair with --cache so the
+       warm boots persist and the whole grid shares them *)
+    let config =
+      { config with Sb_report.Experiments.switch_at = cli.switch_at }
     in
     let opts =
       {

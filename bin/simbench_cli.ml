@@ -66,6 +66,46 @@ let iters_arg =
     value & opt (some int) None
     & info [ "iters" ] ~docv:"N" ~doc:"Exact iteration count (overrides --scale).")
 
+let switch_at_conv =
+  let parse s =
+    match Simbench.Checkpoint.parse_point s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Simbench.Checkpoint.point_to_string p)
+  in
+  Arg.conv (parse, print)
+
+let switch_at_arg =
+  Arg.(
+    value
+    & opt (some switch_at_conv) None
+    & info [ "switch-at" ] ~docv:"POINT"
+        ~doc:
+          "Checkpointed fast-forward: run setup under a cheap engine (or \
+           restore a checkpoint), switch to the timed engine at POINT — \
+           $(b,kernel) (the kernel-start phase write) or $(b,insn:N).")
+
+let setup_engine_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "setup-engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Engine for the fast-forward phase (default: matched to the timed \
+           engine's granularity — interp for per-insn engines, the DBT for \
+           itself).")
+
+let ckpt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ckpt" ] ~docv:"DIR"
+        ~doc:
+          "Checkpoint store directory: snapshots taken at --switch-at are \
+           saved here and reused by later runs with the same setup key.")
+
 let print_outcome (o : Simbench.Harness.outcome) =
   Printf.printf "%-28s %-18s iters=%-9d kernel=%.4fs total=%.4fs insns=%d density=%.4f\n"
     o.Simbench.Harness.bench_name o.Simbench.Harness.engine_name
@@ -127,7 +167,8 @@ let run_cmd =
       value & flag
       & info [ "counters" ] ~doc:"Print the kernel-phase perf counters.")
   in
-  let action arch engine_name bench_name scale iters counters =
+  let action arch engine_name bench_name scale iters counters switch_at
+      setup_engine_name ckpt_dir =
     let found =
       match Simbench.Suite.find bench_name with
       | Some _ as b -> b
@@ -140,7 +181,24 @@ let run_cmd =
     | Some bench ->
       with_engine arch engine_name (fun engine ->
           let support = Simbench.Engines.support arch in
-          let o = Simbench.Harness.run ~scale ?iters ~support ~engine bench in
+          let setup_engine =
+            match setup_engine_name with
+            | None -> None
+            | Some s -> (
+              match engine_of_string arch s with
+              | Ok e -> Some e
+              | Error msg ->
+                prerr_endline msg;
+                exit 1)
+          in
+          let checkpoints =
+            Option.map (fun dir -> Simbench.Checkpoint.open_store ~dir)
+              ckpt_dir
+          in
+          let o =
+            Simbench.Harness.run ~scale ?iters ?switch_at ?setup_engine
+              ?checkpoints ~support ~engine bench
+          in
           print_outcome o;
           if counters then begin
             match o.Simbench.Harness.result.Sb_sim.Run_result.kernel_perf with
@@ -157,22 +215,29 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark on one engine.")
     Term.(
       const action $ arch_arg $ engine_arg $ bench_arg $ scale_arg $ iters_arg
-      $ counters_arg)
+      $ counters_arg $ switch_at_arg $ setup_engine_arg $ ckpt_arg)
 
 (* ---- suite ---- *)
 
 let suite_cmd =
-  let action arch engine_name scale =
+  let action arch engine_name scale switch_at ckpt_dir =
     with_engine arch engine_name (fun engine ->
         let support = Simbench.Engines.support arch in
+        let checkpoints =
+          Option.map (fun dir -> Simbench.Checkpoint.open_store ~dir) ckpt_dir
+        in
         List.iter
           (fun bench ->
-            print_outcome (Simbench.Harness.run ~scale ~support ~engine bench))
+            print_outcome
+              (Simbench.Harness.run ~scale ?switch_at ?checkpoints ~support
+                 ~engine bench))
           Simbench.Suite.all;
         0)
   in
   Cmd.v (Cmd.info "suite" ~doc:"Run the full 18-benchmark suite on one engine.")
-    Term.(const action $ arch_arg $ engine_arg $ scale_arg)
+    Term.(
+      const action $ arch_arg $ engine_arg $ scale_arg $ switch_at_arg
+      $ ckpt_arg)
 
 (* ---- workload ---- *)
 
@@ -186,7 +251,7 @@ let workload_cmd =
   let iters_arg =
     Arg.(value & opt int 40 & info [ "iters" ] ~docv:"N" ~doc:"Kernel passes.")
   in
-  let action arch engine_name name iters =
+  let action arch engine_name name iters switch_at ckpt_dir =
     match Sb_workloads.Workloads.find name with
     | None ->
       Printf.eprintf "unknown workload %S; try the list command\n" name;
@@ -194,11 +259,19 @@ let workload_cmd =
     | Some w ->
       with_engine arch engine_name (fun engine ->
           let support = Simbench.Engines.support arch in
-          print_outcome (Sb_workloads.Workloads.run ~iters ~support ~engine w);
+          let checkpoints =
+            Option.map (fun dir -> Simbench.Checkpoint.open_store ~dir)
+              ckpt_dir
+          in
+          print_outcome
+            (Sb_workloads.Workloads.run ~iters ?switch_at ?checkpoints ~support
+               ~engine w);
           0)
   in
   Cmd.v (Cmd.info "workload" ~doc:"Run one SPEC-analog workload on one engine.")
-    Term.(const action $ arch_arg $ engine_arg $ name_arg $ iters_arg)
+    Term.(
+      const action $ arch_arg $ engine_arg $ name_arg $ iters_arg
+      $ switch_at_arg $ ckpt_arg)
 
 (* ---- disasm ---- *)
 
@@ -938,20 +1011,41 @@ let report_cmd =
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Cheap settings for a smoke run.")
   in
-  let action quick figs =
+  let report_switch_arg =
+    Arg.(
+      value
+      & opt (some switch_at_conv) None
+      & info [ "switch-at" ] ~docv:"POINT"
+          ~doc:
+            "Checkpointed fast-forward for every grid cell: run (or \
+             restore) setup up to $(docv) and start the timed engine \
+             there.  Pair with $(b,--cache) to persist the warm boots.")
+  in
+  let report_cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Persist measured cells (and, with $(b,--switch-at), setup \
+             checkpoints) to $(docv).")
+  in
+  let action quick switch_at cache_dir figs =
     let config =
       if quick then Sb_report.Experiments.quick_config
       else Sb_report.Experiments.default_config
     in
+    let config = { config with Sb_report.Experiments.switch_at } in
+    let opts = { Sb_report.Experiments.sequential with cache_dir } in
     let all =
       [
-        ("fig2", fun () -> Sb_report.Experiments.fig2 ~config ());
+        ("fig2", fun () -> Sb_report.Experiments.fig2 ~config ~opts ());
         ("fig3", fun () -> Sb_report.Experiments.fig3 ~config ());
         ("fig4", fun () -> Sb_report.Experiments.fig4 ());
         ("fig5", fun () -> Sb_report.Experiments.fig5 ());
-        ("fig6", fun () -> Sb_report.Experiments.fig6 ~config ());
-        ("fig7", fun () -> Sb_report.Experiments.fig7 ~config ());
-        ("fig8", fun () -> Sb_report.Experiments.fig8 ~config ());
+        ("fig6", fun () -> Sb_report.Experiments.fig6 ~config ~opts ());
+        ("fig7", fun () -> Sb_report.Experiments.fig7 ~config ~opts ());
+        ("fig8", fun () -> Sb_report.Experiments.fig8 ~config ~opts ());
       ]
     in
     let selected = if figs = [] then List.map fst all else figs in
@@ -967,7 +1061,7 @@ let report_cmd =
       0 selected
   in
   Cmd.v (Cmd.info "report" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const action $ quick_arg $ figs_arg)
+    Term.(const action $ quick_arg $ report_switch_arg $ report_cache_arg $ figs_arg)
 
 let () =
   let doc = "SimBench: targeted micro-benchmarks for full-system simulators" in

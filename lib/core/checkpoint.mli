@@ -1,0 +1,83 @@
+(** Checkpointed fast-forward for the benchmark grid.
+
+    Runs a benchmark's setup phase once under a cheap engine, snapshots the
+    machine at the switch point ({!Sb_sim.Snapshot}), and shares that warm
+    boot — on disk via {!Sb_jobs.Cache} — across every engine column and
+    repeat of the grid.  The gem5 [switch_cpus] idiom: fast-forward on a
+    cheap CPU, switch to the expensive one at the region of interest. *)
+
+type point =
+  | Kernel_phase  (** switch when the guest signals kernel start *)
+  | At_insns of int  (** switch after executing this many instructions *)
+
+val point_to_string : point -> string
+
+val parse_point : string -> (point, string) result
+(** Accepts ["kernel"], ["phase:kernel"], ["insn:<n>"], or a bare positive
+    instruction count. *)
+
+type store
+
+val open_store : dir:string -> store
+(** Opens (creating if needed) a checkpoint store backed by
+    {!Sb_jobs.Cache.create} in [dir] — checkpoint files share the result
+    cache's directory layout, atomicity, and create-time corruption
+    sweep. *)
+
+val of_cache : Sb_jobs.Cache.t -> store
+(** Reuse an existing cache (e.g. the experiment result cache) as the
+    checkpoint store; keys never collide because checkpoint keys carry the
+    [ckpt_] prefix. *)
+
+val cache : store -> Sb_jobs.Cache.t
+
+val key :
+  arch:string ->
+  bench:string ->
+  iters:int ->
+  ram_size:int ->
+  setup_engine:string ->
+  point:point ->
+  Sb_asm.Program.t ->
+  string
+(** Digest of everything that determines machine state at the switch point
+    (ISA, benchmark, iteration count, exact program image, RAM size, setup
+    engine, switch point, snapshot schema).  The timed engine is absent by
+    design: one warm boot feeds the whole engine grid. *)
+
+val load : store -> key:string -> Sb_sim.Snapshot.t option
+(** [None] on miss or on a corrupt file: unmarshalling failures are
+    evicted by the cache layer, and a snapshot that unmarshals but fails
+    its own page-digest check ({!Sb_sim.Snapshot.validate}) is evicted
+    here.  A snapshot is read and validated once per process; later loads
+    of the same key return the memoized (immutable) value, which restores
+    may then apply without re-validating. *)
+
+val save : store -> key:string -> Sb_sim.Snapshot.t -> unit
+
+exception Fast_forward_failed of string
+(** The setup run halted, deadlocked, or hit its budget before reaching
+    the requested switch point. *)
+
+val run_to_point :
+  setup_engine:Sb_sim.Engine.t ->
+  point:point ->
+  Sb_sim.Machine.t ->
+  Sb_sim.Snapshot.t
+(** Execute the (loaded, ready-to-run) machine under [setup_engine] to the
+    switch point and snapshot it there.  Phase points stop exactly at the
+    phase-write instruction on per-insn engines and at the enclosing block
+    boundary on the DBT; any overshoot into the kernel is recorded in the
+    snapshot and credited back by resumed runs. *)
+
+val fast_forward :
+  ?store:store ->
+  setup_engine:Sb_sim.Engine.t ->
+  point:point ->
+  key:string ->
+  Sb_sim.Machine.t ->
+  Sb_sim.Snapshot.t
+(** Fetch-or-compute a checkpoint for [key], then restore it into
+    [machine].  Both hit and miss paths end in {!Sb_sim.Snapshot.restore},
+    so a checkpointed run always starts the timed engine from identical,
+    restore-validated state. *)

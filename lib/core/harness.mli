@@ -31,11 +31,26 @@ val run :
   ?platform:Platform.t ->
   ?scale:int ->
   ?iters:int ->
+  ?switch_at:Checkpoint.point ->
+  ?setup_engine:Sb_sim.Engine.t ->
+  ?checkpoints:Checkpoint.store ->
   support:Support.t ->
   engine:Sb_sim.Engine.t ->
   Bench.t ->
   outcome
-(** [iters] overrides the scaled default entirely. *)
+(** [iters] overrides the scaled default entirely.
+
+    [switch_at] enables checkpointed fast-forward: the run executes up to
+    the switch point under [setup_engine] — or restores a matching
+    snapshot from [checkpoints] — and only then runs the timed kernel
+    under [engine].  The default setup engine matches the timed engine's
+    retirement granularity: per-insn engines (interp, detailed, virt,
+    native) all share one interpreter-produced checkpoint, while the DBT
+    fast-forwards under itself so its block-aligned perf attribution at
+    phase edges cancels out of the count.  [kernel_insns] credits back any
+    instructions the setup run overshot into the kernel, so checkpointed
+    and cold runs report identical counts.  [kernel_seconds] and the
+    kernel perf counters cover the timed engine's share only. *)
 
 val density : outcome -> float
 (** Tested operations per kernel instruction (the Figure 3 metric). *)
@@ -43,6 +58,9 @@ val density : outcome -> float
 val run_suite :
   ?platform:Platform.t ->
   ?scale:int ->
+  ?switch_at:Checkpoint.point ->
+  ?setup_engine:Sb_sim.Engine.t ->
+  ?checkpoints:Checkpoint.store ->
   support:Support.t ->
   engine:Sb_sim.Engine.t ->
   unit ->

@@ -1406,11 +1406,37 @@ struct
     in
     Array.unsafe_get tr.t_blocks (go 0)
 
+  (* Leaving at a switch point.  The DBT honours switch requests at
+     block/trace boundaries (the same granularity as interrupt delivery),
+     so the stop lands a few instructions past the phase write — the
+     runner reports the overshoot as [insns_into_kernel] and the resumed
+     run credits it back.  Batched timer ticks are flushed so the snapshot
+     sees the timer state a cold run would at this instruction. *)
+  let flush_timer ctx =
+    if ctx.timer_backlog > 0 then begin
+      Sb_mem.Timer.advance ctx.machine.Machine.timer ctx.timer_backlog;
+      ctx.timer_backlog <- 0
+    end
+
+  let switch_stop ctx =
+    flush_timer ctx;
+    raise (Stop Run_result.Switch_point)
+
+  (* Phase boundary: flush batched device time at the next dispatch check
+     (block granularity, like interrupt delivery) so timer state realigns
+     to the retired-instruction count at every phase edge. *)
+  let phase_sync ctx benchdev =
+    flush_timer ctx;
+    Sb_mem.Benchdev.clear_sync benchdev;
+    if Sb_mem.Benchdev.stop_pending benchdev then switch_stop ctx
+
   let execute ctx ~max_insns =
     let cpu = ctx.cpu in
     let last : block option ref = ref None in
+    let benchdev = ctx.machine.Machine.benchdev in
     try
       while Perf.get ctx.perf Perf.Insns < max_insns do
+        if Sb_mem.Benchdev.sync_pending benchdev then phase_sync ctx benchdev;
         if Machine.irq_pending ctx.machine then begin
           sync_state ctx;
           deliver ctx ~vector:Exn.Irq ~cause:Exn.Cause.irq ~far:None
@@ -1470,13 +1496,40 @@ struct
       Run_result.Insn_limit
     with Stop reason -> reason
 
+  (* Any run exit flushes the batched ticks, so snapshots taken between
+     runs carry complete device time (see interp). *)
+  let execute ctx ~max_insns =
+    let stop = execute ctx ~max_insns in
+    flush_timer ctx;
+    stop
+
+  (* Keep the last run's translations (block cache, traces, micro-TLBs)
+     when the machine is unchanged ([(machine, state_gen)] match): a
+     debugger stepping the same machine stays warm instead of
+     re-translating per instruction, while external state changes
+     (load_program, reset, snapshot restore) force a rebuild. *)
+  let session : (Machine.t * int * ctx) option ref = ref None
+
+  let ctx_for machine =
+    match !session with
+    | Some (m, gen, ctx)
+      when m == machine && gen = machine.Machine.state_gen ->
+      (* the ctx owns its counter array — compiled blocks and the threaded
+         host capture it — so a new run starts it from zero in place *)
+      Perf.reset ctx.perf;
+      ctx
+    | _ ->
+      let ctx = make_ctx machine (Perf.create ()) in
+      session := Some (machine, machine.Machine.state_gen, ctx);
+      ctx
+
   let run ?max_insns machine =
     let max_insns =
       match max_insns with Some n -> n | None -> !Runner.insn_budget
     in
-    let perf = Perf.create () in
-    let ctx = make_ctx machine perf in
-    Runner.wrap ~name ~machine ~perf ~execute:(fun () -> execute ctx ~max_insns)
+    let ctx = ctx_for machine in
+    Runner.wrap ~name ~machine ~perf:ctx.perf
+      ~execute:(fun () -> execute ctx ~max_insns)
 end
 
 module Make (A : Arch_sig.ARCH) =

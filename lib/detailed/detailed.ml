@@ -382,10 +382,31 @@ module Make (A : Arch_sig.ARCH) = struct
     ctx.cycles <- ctx.cycles + timing.Timing.exception_latency;
     Exn.enter ctx.cpu vector ~return_addr ?far ~cause ()
 
+  let flush_timer ctx =
+    if ctx.timer_backlog > 0 then begin
+      Sb_mem.Timer.advance ctx.machine.Machine.timer ctx.timer_backlog;
+      ctx.timer_backlog <- 0
+    end
+
+  (* Leaving at a switch point: flush batched timer ticks so the snapshot
+     sees the timer state a cold run would at this instruction. *)
+  let switch_stop ctx =
+    flush_timer ctx;
+    raise (Stop Run_result.Switch_point)
+
+  (* Phase boundary: flush batched device time so timer state is a pure
+     function of retired instructions at every phase edge (see interp). *)
+  let phase_sync ctx benchdev =
+    flush_timer ctx;
+    Sb_mem.Benchdev.clear_sync benchdev;
+    if Sb_mem.Benchdev.stop_pending benchdev then switch_stop ctx
+
   let execute ctx ~max_insns =
     let steps = ref 0 in
+    let benchdev = ctx.machine.Machine.benchdev in
     try
       while !steps < max_insns do
+        if Sb_mem.Benchdev.sync_pending benchdev then phase_sync ctx benchdev;
         if Machine.irq_pending ctx.machine then
           deliver ctx (Exn.Irq, Exn.Cause.irq, None, ctx.cpu.Cpu.pc)
         else begin
@@ -406,16 +427,40 @@ module Make (A : Arch_sig.ARCH) = struct
       Event_queue.clear ctx.events;
       reason
 
+  (* Any run exit flushes the batched ticks, so snapshots taken between
+     runs carry complete device time (see interp). *)
+  let execute ctx ~max_insns =
+    let stop = execute ctx ~max_insns in
+    flush_timer ctx;
+    stop
+
   let last_cycles () = !cycles_of_last_run
+
+  (* Keep the last run's TLBs and cache models when the machine is
+     unchanged ([(machine, state_gen)] match): stepping under a debugger
+     stays warm, while external state changes force a rebuild. *)
+  let session : (Machine.t * int * ctx) option ref = ref None
+
+  let ctx_for machine =
+    match !session with
+    | Some (m, gen, ctx)
+      when m == machine && gen = machine.Machine.state_gen ->
+      (* the ctx owns its counter array; a new run starts it from zero *)
+      Perf.reset ctx.perf;
+      ctx
+    | _ ->
+      let ctx = make_ctx machine (Perf.create ()) in
+      session := Some (machine, machine.Machine.state_gen, ctx);
+      ctx
 
   let run ?max_insns machine =
     let max_insns =
       match max_insns with Some n -> n | None -> !Runner.insn_budget
     in
-    let perf = Perf.create () in
-    let ctx = make_ctx machine perf in
+    let ctx = ctx_for machine in
     let result =
-      Runner.wrap ~name ~machine ~perf ~execute:(fun () -> execute ctx ~max_insns)
+      Runner.wrap ~name ~machine ~perf:ctx.perf
+        ~execute:(fun () -> execute ctx ~max_insns)
     in
     cycles_of_last_run := ctx.cycles;
     result

@@ -468,10 +468,34 @@ struct
       ctx.timer_backlog <- 0
     end
 
+  let flush_timer ctx =
+    if ctx.timer_backlog > 0 then begin
+      Sb_mem.Timer.advance ctx.machine.Machine.timer ctx.timer_backlog;
+      ctx.timer_backlog <- 0
+    end
+
+  (* Leaving at a switch point: push any batched timer ticks to the device
+     so the snapshot (and the engine that resumes it) sees the same timer
+     state a cold run would at this instruction. *)
+  let switch_stop ctx =
+    flush_timer ctx;
+    raise (Stop Run_result.Switch_point)
+
+  (* A phase boundary was crossed: flush batched device time so timer
+     state is a pure function of retired instructions at every phase
+     edge — a run resumed from a phase snapshot then ticks identically
+     to one that crossed the boundary itself. *)
+  let phase_sync ctx benchdev =
+    flush_timer ctx;
+    Sb_mem.Benchdev.clear_sync benchdev;
+    if Sb_mem.Benchdev.stop_pending benchdev then switch_stop ctx
+
   let execute ctx ~max_insns =
     let steps = ref 0 in
+    let benchdev = ctx.machine.Machine.benchdev in
     try
       while !steps < max_insns do
+        if Sb_mem.Benchdev.sync_pending benchdev then phase_sync ctx benchdev;
         if Machine.irq_pending ctx.machine then take_irq ctx
         else begin
           (try
@@ -486,13 +510,42 @@ struct
       Run_result.Insn_limit
     with Stop reason -> reason
 
+  (* Any run exit flushes the batched ticks: at every run boundary the
+     timer count is then an exact function of retired instructions, so a
+     snapshot taken between runs (engine switch, debugger step) carries
+     complete device time and no ticks are stranded in the context. *)
+  let execute ctx ~max_insns =
+    let stop = execute ctx ~max_insns in
+    flush_timer ctx;
+    stop
+
+  (* The last run's translation state (TLB, decode cache, fetch front) is
+     kept and revalidated against [(machine, state_gen)]: a debugger
+     stepping the same machine reuses it instead of re-deriving everything
+     per instruction, while any external state change (load_program,
+     reset, snapshot restore, Machine.touch) forces a rebuild. *)
+  let session : (Machine.t * int * ctx) option ref = ref None
+
+  let ctx_for machine =
+    match !session with
+    | Some (m, gen, ctx)
+      when m == machine && gen = machine.Machine.state_gen ->
+      (* the ctx owns its counter array (compiled state may capture it);
+         a new run starts it from zero in place *)
+      Perf.reset ctx.perf;
+      ctx
+    | _ ->
+      let ctx = make_ctx machine (Perf.create ()) in
+      session := Some (machine, machine.Machine.state_gen, ctx);
+      ctx
+
   let run ?max_insns machine =
     let max_insns =
       match max_insns with Some n -> n | None -> !Runner.insn_budget
     in
-    let perf = Perf.create () in
-    let ctx = make_ctx machine perf in
-    Runner.wrap ~name ~machine ~perf ~execute:(fun () -> execute ctx ~max_insns)
+    let ctx = ctx_for machine in
+    Runner.wrap ~name ~machine ~perf:ctx.perf
+      ~execute:(fun () -> execute ctx ~max_insns)
 end
 
 module Make (A : Arch_sig.ARCH) =

@@ -1,10 +1,16 @@
 type t = { dir : string }
 
+(* Version tag of the checkpoint store layered on this cache (keys prefixed
+   [ckpt_], values of type Sb_sim.Snapshot.t).  Folded into [schema] so any
+   checkpoint-format change invalidates every fingerprint along with it. *)
+let checkpoint_schema = "ckpt-1"
+
 (* bumped whenever the stored value shape changes; part of every fingerprint
    so stale cache files from older schemas can never be mis-decoded.
    3: Experiments.row gained row_samples (raw per-repeat kernel seconds)
-   4: Experiments.row gained row_status/row_note (failure-as-data) *)
-let schema = "sb-jobs-cache-5"
+   4: Experiments.row gained row_status/row_note (failure-as-data)
+   6: checkpoint store (snapshot values under ckpt_ keys) *)
+let schema = "sb-jobs-cache-6+" ^ checkpoint_schema
 
 let rec mkdir_p dir =
   if dir = "" || dir = "." || dir = "/" then ()
@@ -74,9 +80,55 @@ let sweep_stale_tmp dir =
         | _ -> ())
       entries
 
+(* Checkpoint files are long-lived (one warm boot feeds a whole grid), so
+   a corrupt one is swept at create time rather than on first load: the
+   structural check below (both marshal segments decode and the stored key
+   matches the filename) catches truncation and bit rot up front, and the
+   snapshot's own memory digest still guards the restore path. *)
+let sweep_corrupt_checkpoints dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+    Array.iter
+      (fun name ->
+        if
+          String.length name > 8
+          && String.sub name 0 8 = "sb_ckpt_"
+          && Filename.check_suffix name ".cache"
+        then begin
+          let file = Filename.concat dir name in
+          let expect_key =
+            String.sub name 3 (String.length name - 3 - String.length ".cache")
+          in
+          let ok =
+            match open_in_bin file with
+            | exception Sys_error _ -> true (* raced away; nothing to sweep *)
+            | ic ->
+              let r =
+                match
+                  let stored_key : string = Marshal.from_channel ic in
+                  let (_ : Obj.t) = Marshal.from_channel ic in
+                  stored_key
+                with
+                | stored_key -> String.equal stored_key expect_key
+                | exception _ -> false
+              in
+              close_in_noerr ic;
+              r
+          in
+          if not ok then begin
+            incr evicted;
+            Printf.eprintf
+              "[sb-jobs] cache: sweeping corrupt checkpoint %s\n%!" file;
+            try Sys.remove file with Sys_error _ -> ()
+          end
+        end)
+      entries
+
 let create ~dir =
   mkdir_p dir;
   sweep_stale_tmp dir;
+  sweep_corrupt_checkpoints dir;
   { dir }
 
 let load (type a) t ~key : a option =

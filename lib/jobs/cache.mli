@@ -15,8 +15,14 @@ type t
 val create : dir:string -> t
 (** Creates [dir] (and parents) if needed, and sweeps stale [*.tmp.<pid>]
     files left by writers that died mid-{!store} (only when the owning
-    pid is gone — a live pid is a concurrent writer, not litter).  Swept
-    files count as {!evictions}. *)
+    pid is gone — a live pid is a concurrent writer, not litter), plus any
+    structurally corrupt checkpoint files ([sb_ckpt_*.cache] whose marshal
+    segments no longer decode or whose stored key disagrees with the
+    filename).  Swept files count as {!evictions}. *)
+
+val checkpoint_schema : string
+(** Version tag of the checkpoint store layered on this cache; folded into
+    the cache schema (and thus every {!fingerprint}). *)
 
 val dir : t -> string
 
@@ -32,6 +38,11 @@ val load : t -> key:string -> 'a option
     to stderr, the file is removed, and {!evictions} is incremented — a
     poisoned CI cache shows up in the logs instead of silently re-running
     every cell. *)
+
+val evict : t -> key:string -> reason:string -> unit
+(** Remove one entry's file, warn on stderr and count an eviction — for
+    callers (the checkpoint store) whose payloads carry their own
+    integrity checks beyond what {!load} verifies. *)
 
 val evictions : unit -> int
 (** Corrupt-entry evictions and stale-temp sweeps since start (or

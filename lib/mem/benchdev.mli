@@ -42,3 +42,38 @@ val op_count : t -> int
 val exit_code : t -> int option
 val exited : t -> bool
 val reset : t -> unit
+
+val set_stop_phase : t -> phase option -> unit
+(** Arm (or disarm, with [None]) a switch point: the next PHASE write that
+    lands the device in the given phase sets {!stop_pending}.  Engines poll
+    the flag at their dispatch safe points and stop with
+    [Run_result.Switch_point], leaving the machine resumable.  Arming
+    clears any pending stop. *)
+
+val stop_pending : t -> bool
+
+val sync_pending : t -> bool
+(** Set by every PHASE write: the running engine should flush batched
+    device time (e.g. its timer tick backlog) at the next safe point and
+    then {!clear_sync}.  Aligning device time to phase boundaries makes a
+    run resumed from a phase snapshot tick-identical to a cold run. *)
+
+val clear_sync : t -> unit
+
+val mark_kernel_start : t -> unit
+(** Record "now" as the kernel-start timestamp if none is recorded — used
+    by the runner when a run begins from a snapshot taken mid-kernel, so
+    [kernel_seconds] measures only this run's clock. *)
+
+type state = {
+  s_phase : phase;
+  s_iters : int;
+  s_args : int array;
+  s_ops : int;
+  s_exit_code : int option;
+}
+(** Serializable architectural state.  Host timestamps are deliberately
+    excluded: a restored run times its own kernel phase. *)
+
+val state : t -> state
+val restore : t -> state -> unit

@@ -114,5 +114,6 @@ let write8 t addr v =
     dev_write32 t addr merged
 
 let device_accesses t = t.dev_accesses
+let set_device_accesses t n = t.dev_accesses <- n
 
 let set_fault_injector t f = t.fault_injector <- f

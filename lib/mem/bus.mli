@@ -30,6 +30,12 @@ val write32 : t -> int -> int -> unit
 val device_accesses : t -> int
 (** Total accesses routed to device windows since creation. *)
 
+val set_device_accesses : t -> int -> unit
+(** Overwrite the device-access ordinal counter.  Used by snapshot restore
+    so a resumed run consults a fault injector with the same ordinals a
+    cold run would — the counter is architectural state for {!Sb_fault}'s
+    deterministic injection. *)
+
 val set_fault_injector :
   t -> (nth:int -> rw:[ `Read | `Write ] -> addr:int -> bool) option -> unit
 (** Install (or clear) a deterministic bus-error injector consulted on

@@ -18,6 +18,27 @@ let reset t =
   t.led_writes <- 0;
   t.accesses <- 0
 
+type state = {
+  s_scratch : int;
+  s_led : int;
+  s_led_writes : int;
+  s_accesses : int;
+}
+
+let state t =
+  {
+    s_scratch = t.scratch;
+    s_led = t.led;
+    s_led_writes = t.led_writes;
+    s_accesses = t.accesses;
+  }
+
+let restore t s =
+  t.scratch <- s.s_scratch;
+  t.led <- s.s_led;
+  t.led_writes <- s.s_led_writes;
+  t.accesses <- s.s_accesses
+
 let device t =
   let read32 offset =
     t.accesses <- t.accesses + 1;

@@ -19,3 +19,14 @@ val device : t -> Device.t
 val access_count : t -> int
 val led_writes : t -> int
 val reset : t -> unit
+
+type state = {
+  s_scratch : int;
+  s_led : int;
+  s_led_writes : int;
+  s_accesses : int;
+}
+(** Serializable architectural state. *)
+
+val state : t -> state
+val restore : t -> state -> unit

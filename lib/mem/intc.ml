@@ -22,6 +22,15 @@ let reset t =
   t.enable <- 0;
   t.acks <- 0
 
+type state = { s_pending : int; s_enable : int; s_acks : int }
+
+let state t = { s_pending = t.pending; s_enable = t.enable; s_acks = t.acks }
+
+let restore t s =
+  t.pending <- s.s_pending;
+  t.enable <- s.s_enable;
+  t.acks <- s.s_acks
+
 let device t =
   let read32 = function
     | 0x0 -> t.pending

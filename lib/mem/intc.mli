@@ -30,3 +30,9 @@ val irq_delivered : t -> int
 (** Count of ACK writes — used as the delivered-interrupt perf counter. *)
 
 val reset : t -> unit
+
+type state = { s_pending : int; s_enable : int; s_acks : int }
+(** Serializable architectural state. *)
+
+val state : t -> state
+val restore : t -> state -> unit

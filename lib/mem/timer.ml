@@ -24,6 +24,27 @@ let reset t =
   t.irq_enabled <- false;
   t.armed <- false
 
+type state = {
+  s_count : int;
+  s_compare : int;
+  s_irq_enabled : bool;
+  s_armed : bool;
+}
+
+let state t =
+  {
+    s_count = t.count;
+    s_compare = t.compare;
+    s_irq_enabled = t.irq_enabled;
+    s_armed = t.armed;
+  }
+
+let restore t s =
+  t.count <- s.s_count;
+  t.compare <- s.s_compare;
+  t.irq_enabled <- s.s_irq_enabled;
+  t.armed <- s.s_armed
+
 let device t =
   let read32 = function
     | 0x0 -> t.count land 0xFFFF_FFFF

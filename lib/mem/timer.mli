@@ -19,3 +19,15 @@ val advance : t -> int -> unit
 
 val count : t -> int
 val reset : t -> unit
+
+type state = {
+  s_count : int;
+  s_compare : int;
+  s_irq_enabled : bool;
+  s_armed : bool;
+}
+(** Serializable architectural state.  The [on_fire] wiring is part of the
+    machine, not the state, so restore targets an already-wired timer. *)
+
+val state : t -> state
+val restore : t -> state -> unit

@@ -6,6 +6,14 @@ let contents t = Buffer.contents t.buf
 let tx_count t = Buffer.length t.buf
 let reset t = Buffer.clear t.buf
 
+type state = string
+
+let state t = Buffer.contents t.buf
+
+let restore t s =
+  Buffer.clear t.buf;
+  Buffer.add_string t.buf s
+
 let device t =
   let read32 = function
     | 0x4 -> 1 (* always ready *)

@@ -13,3 +13,9 @@ val contents : t -> string
 
 val tx_count : t -> int
 val reset : t -> unit
+
+type state = string
+(** Serializable architectural state: the transmitted bytes. *)
+
+val state : t -> state
+val restore : t -> state -> unit

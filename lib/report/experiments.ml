@@ -8,13 +8,30 @@ type config = {
   workload_iters : int;
   repeats : int;
   spec_density_iters : int;
+  switch_at : Simbench.Checkpoint.point option;
 }
 
 let default_config =
-  { scale = 2_000; workload_iters = 60; repeats = 2; spec_density_iters = 10 }
+  {
+    scale = 2_000;
+    workload_iters = 60;
+    repeats = 2;
+    spec_density_iters = 10;
+    switch_at = None;
+  }
 
 let quick_config =
-  { scale = 100_000; workload_iters = 5; repeats = 1; spec_density_iters = 6 }
+  {
+    scale = 100_000;
+    workload_iters = 5;
+    repeats = 1;
+    spec_density_iters = 6;
+    switch_at = None;
+  }
+
+let switch_name = function
+  | None -> "cold"
+  | Some p -> Simbench.Checkpoint.point_to_string p
 
 type run_opts = {
   jobs : int;
@@ -61,6 +78,8 @@ type key = {
   k_scale : int;
   k_repeats : int;
   k_kind : cell_kind;
+  k_switch : string;  (** {!switch_name}: cold and fast-forwarded cells
+                          are distinct measurements *)
 }
 
 let memo : (key, row list) Hashtbl.t = Hashtbl.create 64
@@ -159,25 +178,38 @@ let version_label dbt_config =
   | Some (name, _) -> "dbt:" ^ name
   | None -> "dbt:custom"
 
+(* Checkpoint store for fast-forwarded cells: shares the result cache's
+   directory, so one --cache DIR gets both row caching and warm boots.
+   Opened inside the worker (workers share it through the filesystem, the
+   cache layer's atomic writes make that safe), and only when a switch
+   point is set — a cold grid never touches checkpoint machinery. *)
+let checkpoint_store ~config ~ckpt_dir =
+  match (config.switch_at, ckpt_dir) with
+  | Some _, Some dir -> Some (Simbench.Checkpoint.open_store ~dir)
+  | _ -> None
+
 (* runs inside a pool worker: must touch no shared mutable state *)
-let compute_cell ~config ~arch ~kind dbt_config =
+let compute_cell ~config ~ckpt_dir ~arch ~kind dbt_config =
   let support = Simbench.Engines.support arch in
   let engine = Simbench.Engines.dbt_configured arch dbt_config in
   let label = version_label dbt_config in
+  let checkpoints = checkpoint_store ~config ~ckpt_dir in
   match kind with
   | `Suite ->
     List.map
       (fun bench ->
         row_of ~label ~arch ~repeats:config.repeats
           ~cell:bench.Simbench.Bench.name (fun () ->
-            Simbench.Harness.run ~scale:config.scale ~support ~engine bench))
+            Simbench.Harness.run ~scale:config.scale ?switch_at:config.switch_at
+              ?checkpoints ~support ~engine bench))
       Simbench.Suite.all
   | `Workloads iters ->
     List.map
       (fun w ->
         row_of ~label ~arch ~repeats:config.repeats
           ~cell:w.Sb_workloads.Workloads.name (fun () ->
-            Sb_workloads.Workloads.run ~iters ~support ~engine w))
+            Sb_workloads.Workloads.run ~iters ?switch_at:config.switch_at
+              ?checkpoints ~support ~engine w))
       Sb_workloads.Workloads.all
 
 let key_of ~config ~arch ~kind dbt_config =
@@ -187,11 +219,18 @@ let key_of ~config ~arch ~kind dbt_config =
     k_scale = config.scale;
     k_repeats = config.repeats;
     k_kind = kind;
+    k_switch = switch_name config.switch_at;
   }
 
 let cell_fingerprint ~config ~arch ~kind dbt_config =
   Cache.fingerprint
-    ("simbench-cell", arch, dbt_config, kind, config.scale, config.repeats)
+    ( "simbench-cell",
+      arch,
+      dbt_config,
+      kind,
+      config.scale,
+      config.repeats,
+      switch_name config.switch_at )
 
 let cache_of opts = Option.map (fun dir -> Cache.create ~dir) opts.cache_dir
 
@@ -234,7 +273,8 @@ let prefetch ?(opts = sequential) ~config cells =
             ~label:
               (Printf.sprintf "%s/%s/%s" (version_label dbt) (arch_name arch)
                  (kind_name kind))
-            (fun () -> compute_cell ~config ~arch ~kind dbt))
+            (fun () ->
+              compute_cell ~config ~ckpt_dir:opts.cache_dir ~arch ~kind dbt))
         todo
     in
     let results = run_pool ~opts tasks in
@@ -321,13 +361,21 @@ let version_cells ~arch ~kind () =
 (* Paper-engine columns (Figures 7 and the extension table)             *)
 (* ------------------------------------------------------------------ *)
 
-let compute_column ~config ~arch ~benches (label, engine) =
+(* runs inside a pool worker, like [compute_cell].  With a switch point
+   set, the first bench run of the grid fast-forwards setup once and every
+   later (engine, repeat) cell of the same bench restores that checkpoint:
+   the store key excludes the timed engine (per-insn engines share one
+   interpreter-produced boot; the block-granular DBT keeps its own, see
+   {!Simbench.Harness.run}). *)
+let compute_column ~config ~ckpt_dir ~arch ~benches (label, engine) =
   let support = Simbench.Engines.support arch in
+  let checkpoints = checkpoint_store ~config ~ckpt_dir in
   List.map
     (fun bench ->
       row_of ~label ~arch ~repeats:config.repeats ~cell:bench.Simbench.Bench.name
         (fun () ->
-          Simbench.Harness.run ~scale:config.scale ~support ~engine bench))
+          Simbench.Harness.run ~scale:config.scale ?switch_at:config.switch_at
+            ?checkpoints ~support ~engine bench))
     benches
 
 let column_fingerprint ~config ~arch ~tag (label, engine) =
@@ -338,7 +386,8 @@ let column_fingerprint ~config ~arch ~tag (label, engine) =
       Sb_sim.Engine.features engine,
       arch,
       config.scale,
-      config.repeats )
+      config.repeats,
+      switch_name config.switch_at )
 
 let engine_columns ~opts ~config ~arch ~tag ~benches engines =
   let tasks =
@@ -347,7 +396,9 @@ let engine_columns ~opts ~config ~arch ~tag ~benches engines =
         Pool.task
           ~key:(column_fingerprint ~config ~arch ~tag (label, engine))
           ~label:(Printf.sprintf "%s/%s/%s" tag label (arch_name arch))
-          (fun () -> compute_column ~config ~arch ~benches (label, engine)))
+          (fun () ->
+            compute_column ~config ~ckpt_dir:opts.cache_dir ~arch ~benches
+              (label, engine)))
       engines
   in
   let results = run_pool ~opts tasks in

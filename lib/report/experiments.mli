@@ -18,6 +18,15 @@ type config = {
   workload_iters : int; (** kernel passes per workload run *)
   repeats : int;        (** timing repeats; the minimum is reported *)
   spec_density_iters : int;
+  switch_at : Simbench.Checkpoint.point option;
+      (** checkpointed fast-forward for every grid cell: run (or restore)
+          setup up to this point and start the timed engine there — the
+          gem5 [switch_cpus] idiom; see {!Simbench.Harness.run}.  When
+          [opts.cache_dir] is set the checkpoints live in the same
+          directory as the result cache, so one warm boot is shared by
+          every engine column, repeat and later process.  [None] (the
+          default) is a cold run; cold and fast-forwarded cells have
+          distinct memo keys and cache fingerprints. *)
 }
 
 val default_config : config

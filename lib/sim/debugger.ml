@@ -28,7 +28,7 @@ let step_once t =
   match result.Run_result.stop with
   | Run_result.Halted -> Some Halted
   | Run_result.Wfi_deadlock -> Some Deadlocked
-  | Run_result.Insn_limit ->
+  | Run_result.Insn_limit | Run_result.Switch_point ->
     if List.mem (pc t) t.breakpoints then Some (Breakpoint (pc t)) else None
 
 let rec run_steps t n =
@@ -55,3 +55,9 @@ let disassemble_here ?(count = 8) t =
     (List.map (fun l -> Format.asprintf "%a" Sb_isa.Disasm.pp_line l) truncated)
 
 let dump_registers t = Format.asprintf "%a" Cpu.pp t.machine.Machine.cpu
+
+let snapshot t = Snapshot.save ~insns:t.retired t.machine
+
+let restore t snap =
+  Snapshot.restore snap t.machine;
+  t.retired <- Snapshot.insns snap

@@ -2,8 +2,10 @@
     of any engine.
 
     Stepping drives the engine one instruction at a time
-    ([run ~max_insns:1]); engine-internal caches are rebuilt every step, so
-    debugging is slow but architecturally exact on every engine.
+    ([run ~max_insns:1]).  Engines keep their translation caches across
+    steps (they are keyed on the machine's state generation and only
+    rebuilt when the machine changes behind the engine's back), so
+    stepping is cheap while staying architecturally exact on every engine.
     Disassembly reads guest memory physically, which matches the
     identity-mapped layout the SimBench runtime sets up. *)
 
@@ -36,3 +38,13 @@ val disassemble_here : ?count:int -> t -> string
 (** Disassembly starting at the current PC (default 8 instructions). *)
 
 val dump_registers : t -> string
+
+val snapshot : t -> Snapshot.t
+(** Capture the debuggee's architectural state (the retired-instruction
+    count rides along in the snapshot). *)
+
+val restore : t -> Snapshot.t -> unit
+(** Rewind/fast-forward the debuggee to a previously captured snapshot.
+    Engine caches are invalidated via the machine's state generation and
+    rebuilt lazily on the next step.  Raises {!Snapshot.Corrupt} if the
+    snapshot fails validation. *)

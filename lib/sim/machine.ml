@@ -16,6 +16,7 @@ type t = {
   devid : Sb_mem.Devid.t;
   benchdev : Sb_mem.Benchdev.t;
   ram_size : int;
+  mutable state_gen : int;
 }
 
 let default_ram_size = 32 * 1024 * 1024
@@ -44,11 +45,24 @@ let create ?(ram_size = default_ram_size) ?now () =
         (Map.bench_base, Map.window_size, Sb_mem.Benchdev.device benchdev);
       ]
   in
-  { bus; cpu = Cpu.create (); uart; intc; timer; devid; benchdev; ram_size }
+  {
+    bus;
+    cpu = Cpu.create ();
+    uart;
+    intc;
+    timer;
+    devid;
+    benchdev;
+    ram_size;
+    state_gen = 0;
+  }
+
+let touch t = t.state_gen <- t.state_gen + 1
 
 let load_program t (program : Sb_asm.Program.t) =
   Sb_mem.Phys_mem.load (Sb_mem.Bus.ram t.bus) ~addr:program.base program.image;
-  t.cpu.Cpu.pc <- program.entry
+  t.cpu.Cpu.pc <- program.entry;
+  touch t
 
 let reset t =
   Cpu.reset t.cpu;
@@ -56,6 +70,7 @@ let reset t =
   Sb_mem.Intc.reset t.intc;
   Sb_mem.Timer.reset t.timer;
   Sb_mem.Devid.reset t.devid;
-  Sb_mem.Benchdev.reset t.benchdev
+  Sb_mem.Benchdev.reset t.benchdev;
+  touch t
 
 let irq_pending t = t.cpu.Cpu.irq_enabled && Sb_mem.Intc.asserted t.intc

@@ -22,6 +22,11 @@ type t = {
   devid : Sb_mem.Devid.t;
   benchdev : Sb_mem.Benchdev.t;
   ram_size : int;
+  mutable state_gen : int;
+      (** Bumped whenever machine state changes behind the engines' backs
+          ({!load_program}, {!reset}, snapshot restore, or an explicit
+          {!touch}).  Engines key cached translation state on
+          [(machine, state_gen)] so stale caches are rebuilt lazily. *)
 }
 
 val create : ?ram_size:int -> ?now:(unit -> float) -> unit -> t
@@ -39,3 +44,8 @@ val reset : t -> unit
 val irq_pending : t -> bool
 (** True when the interrupt controller asserts and the CPU has IRQs
     enabled. *)
+
+val touch : t -> unit
+(** Invalidate engine-cached state derived from this machine (bump
+    {!field-state_gen}).  Call after mutating RAM or CPU state directly,
+    outside an engine run. *)

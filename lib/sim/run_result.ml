@@ -1,4 +1,4 @@
-type stop_reason = Halted | Insn_limit | Wfi_deadlock
+type stop_reason = Halted | Insn_limit | Wfi_deadlock | Switch_point
 
 type t = {
   engine : string;
@@ -10,6 +10,7 @@ type t = {
   exit_code : int;
   uart_output : string;
   tested_ops : int;
+  insns_into_kernel : int option;
 }
 
 let insns t = Perf.get t.perf Perf.Insns
@@ -22,7 +23,8 @@ let pp_stop ppf reason =
     (match reason with
     | Halted -> "halted"
     | Insn_limit -> "insn-limit"
-    | Wfi_deadlock -> "wfi-deadlock")
+    | Wfi_deadlock -> "wfi-deadlock"
+    | Switch_point -> "switch-point")
 
 let pp_summary ppf t =
   Format.fprintf ppf "[%s] %a in %.3fs (%d insns%s, exit %d)" t.engine pp_stop

@@ -4,6 +4,8 @@ type stop_reason =
   | Halted            (** guest executed HALT *)
   | Insn_limit        (** [max_insns] reached *)
   | Wfi_deadlock      (** WFI with no interrupt source able to fire *)
+  | Switch_point      (** stopped at an armed benchdev phase switch point;
+                          the machine is resumable (snapshot/engine switch) *)
 
 type t = {
   engine : string;
@@ -15,6 +17,12 @@ type t = {
   exit_code : int;
   uart_output : string;
   tested_ops : int;              (** guest-reported OPCOUNT total *)
+  insns_into_kernel : int option;
+      (** When the run ended with the benchmark still in its kernel phase
+          (e.g. at a switch point just past the kernel-start write): the
+          number of instructions retired since kernel start.  A resumed run
+          adds this to its own kernel count so checkpointed [kernel_insns]
+          match a cold run exactly. *)
 }
 
 val insns : t -> int

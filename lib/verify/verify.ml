@@ -9,6 +9,7 @@ type outcome = {
   flags : bool * bool * bool * bool;
   memory_digest : string;
   counters : (string * int) list;
+  snapshots : (int * string) list;
   halted : bool;
 }
 
@@ -47,13 +48,43 @@ let default_mem_window =
   (Simbench.Platform.sbp_ref.Simbench.Platform.scratch_base, 16 * 4096)
 
 let run_outcome ~engine ?(mem_window = default_mem_window) ?(max_insns = 10_000_000)
-    ?prepare program =
+    ?(checkpoints = []) ?prepare program =
   let machine = Sb_sim.Machine.create () in
   Sb_sim.Machine.load_program machine program;
   (* arm deterministic machine-level faults (Sb_fault) after the image is
      loaded, before the engine runs *)
   (match prepare with Some f -> f machine | None -> ());
-  let result = Sb_sim.Engine.run engine ~max_insns machine in
+  (* With checkpoints the program runs in segments, and a full-machine
+     snapshot digest is taken at each boundary (recorded against the
+     actual retired-instruction count, which block-granular engines may
+     overshoot).  Architectural counters are summed over the segments, so
+     they equal the single-run values regardless of segmentation. *)
+  let checkpoints =
+    List.sort_uniq compare
+      (List.filter (fun n -> n > 0 && n < max_insns) checkpoints)
+  in
+  let retired = ref 0 in
+  let segments = ref [] in
+  let halted = ref false in
+  let run budget =
+    let r = Sb_sim.Engine.run engine ~max_insns:budget machine in
+    retired := !retired + Sb_sim.Run_result.insns r;
+    segments := r :: !segments;
+    if r.Sb_sim.Run_result.stop = Sb_sim.Run_result.Halted then halted := true
+  in
+  let snapshots =
+    List.filter_map
+      (fun target ->
+        if !halted || target <= !retired then None
+        else begin
+          run (target - !retired);
+          if !halted then None
+          else
+            Some (!retired, Sb_sim.Snapshot.digest (Sb_sim.Snapshot.save machine))
+        end)
+      checkpoints
+  in
+  if not !halted then run (max_insns - !retired);
   let addr, len = mem_window in
   let window = Sb_mem.Phys_mem.blit_out (Sb_mem.Bus.ram machine.Sb_sim.Machine.bus) ~addr ~len in
   {
@@ -69,9 +100,14 @@ let run_outcome ~engine ?(mem_window = default_mem_window) ?(max_insns = 10_000_
     counters =
       List.map
         (fun c ->
-          (Sb_sim.Perf.to_string c, Sb_sim.Perf.get result.Sb_sim.Run_result.perf c))
+          ( Sb_sim.Perf.to_string c,
+            List.fold_left
+              (fun acc r ->
+                acc + Sb_sim.Perf.get r.Sb_sim.Run_result.perf c)
+              0 !segments ))
         architectural_counters;
-    halted = result.Sb_sim.Run_result.stop = Sb_sim.Run_result.Halted;
+    snapshots;
+    halted = !halted;
   }
 
 let first_difference ~nregs a b =
@@ -85,6 +121,23 @@ let first_difference ~nregs a b =
   else if a.memory_digest <> b.memory_digest then Some "memory window differs"
   else if a.halted <> b.halted then Some "stop reasons differ"
   else
+    (* snapshot-diff: full-machine digests at matching retirement counts.
+       Engines that overshoot a checkpoint (block-granular DBT) record it
+       at a different count and are simply not joined there — the final
+       state above still covers them. *)
+    match
+      List.find_map
+        (fun (n, da) ->
+          match List.assoc_opt n b.snapshots with
+          | Some db when db <> da ->
+            Some
+              (Printf.sprintf "machine state diverges at checkpoint insn %d"
+                 n)
+          | _ -> None)
+        a.snapshots
+    with
+    | Some d -> Some d
+    | None ->
     List.fold_left2
       (fun acc (name, va) (_, vb) ->
         match acc with
@@ -95,18 +148,22 @@ let first_difference ~nregs a b =
           else None)
       None a.counters b.counters
 
-let compare_engines ~engines ?mem_window ?max_insns ?(nregs = 16) ?prepare
-    program =
+let compare_engines ~engines ?mem_window ?max_insns ?checkpoints
+    ?(nregs = 16) ?prepare program =
   match engines with
   | [] -> invalid_arg "Verify.compare_engines: no engines"
   | first :: rest ->
     let reference =
-      run_outcome ~engine:first ?mem_window ?max_insns ?prepare program
+      run_outcome ~engine:first ?mem_window ?max_insns ?checkpoints ?prepare
+        program
     in
     let rec check = function
       | [] -> Ok reference
       | engine :: tail -> (
-        let o = run_outcome ~engine ?mem_window ?max_insns ?prepare program in
+        let o =
+          run_outcome ~engine ?mem_window ?max_insns ?checkpoints ?prepare
+            program
+        in
         match first_difference ~nregs reference o with
         | None -> check tail
         | Some detail ->

@@ -23,6 +23,10 @@ type outcome = {
   flags : bool * bool * bool * bool;
   memory_digest : string;  (** digest of the scratch window *)
   counters : (string * int) list;
+  snapshots : (int * string) list;
+      (** full-machine {!Sb_sim.Snapshot} digests taken at the requested
+          checkpoints, keyed by the actual retired-instruction count at
+          the stop (block-granular engines may overshoot the target) *)
   halted : bool;
 }
 
@@ -37,18 +41,25 @@ val run_outcome :
   engine:Sb_sim.Engine.t ->
   ?mem_window:int * int ->
   ?max_insns:int ->
+  ?checkpoints:int list ->
   ?prepare:(Sb_sim.Machine.t -> unit) ->
   Sb_asm.Program.t ->
   outcome
 (** Run a program on a fresh machine; [mem_window] is [(addr, len)] of the
     memory region to digest (defaults to the scratch arena).  [prepare]
     runs after the image is loaded and before the engine starts — the hook
-    {!Sb_fault.Fault.arm} uses to install deterministic faults. *)
+    {!Sb_fault.Fault.arm} uses to install deterministic faults.
+
+    [checkpoints] (absolute retired-instruction counts) make the run
+    segmented: at each count the engine stops, a full-machine snapshot
+    digest is recorded, and the run resumes — the architectural counters
+    reported are summed over segments, so they match an unsegmented run. *)
 
 val compare_engines :
   engines:Sb_sim.Engine.t list ->
   ?mem_window:int * int ->
   ?max_insns:int ->
+  ?checkpoints:int list ->
   ?nregs:int ->
   ?prepare:(Sb_sim.Machine.t -> unit) ->
   Sb_asm.Program.t ->
@@ -56,7 +67,15 @@ val compare_engines :
 (** [Ok] with the (shared) outcome when every engine agrees with the first;
     the first divergence otherwise.  [prepare] is applied to each engine's
     fresh machine, so deterministic fault plans perturb every engine
-    identically. *)
+    identically.
+
+    With [checkpoints], engines are additionally snapshot-diffed
+    mid-flight: full-machine state (registers, memory pages, MMU, devices)
+    must agree at every checkpoint two engines reach at the same retired
+    count.  Per-insn engines stop exactly on target, so any divergence is
+    pinned to the first checkpoint after it happens; the block-granular
+    DBT overshoots to its next block boundary and is only joined where
+    counts coincide (its final state is still fully compared). *)
 
 val random_program :
   ?mmio_chunks:int ->

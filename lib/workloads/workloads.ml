@@ -478,5 +478,7 @@ let find name = List.find_opt (fun w -> w.name = name) all
 
 let default_iters = 40
 
-let run ?platform ?(iters = default_iters) ~support ~engine w =
-  Simbench.Harness.run ?platform ~iters ~support ~engine w.bench
+let run ?platform ?(iters = default_iters) ?switch_at ?setup_engine ?checkpoints
+    ~support ~engine w =
+  Simbench.Harness.run ?platform ~iters ?switch_at ?setup_engine ?checkpoints
+    ~support ~engine w.bench

@@ -38,8 +38,12 @@ val default_iters : int
 val run :
   ?platform:Simbench.Platform.t ->
   ?iters:int ->
+  ?switch_at:Simbench.Checkpoint.point ->
+  ?setup_engine:Sb_sim.Engine.t ->
+  ?checkpoints:Simbench.Checkpoint.store ->
   support:Simbench.Support.t ->
   engine:Sb_sim.Engine.t ->
   t ->
   Simbench.Harness.outcome
-(** Run one workload; same contract as {!Simbench.Harness.run}. *)
+(** Run one workload; same contract as {!Simbench.Harness.run}, including
+    checkpointed fast-forward through [switch_at]/[checkpoints]. *)

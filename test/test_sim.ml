@@ -198,6 +198,7 @@ let test_run_result_accessors () =
       exit_code = 0;
       uart_output = "";
       tested_ops = 0;
+      insns_into_kernel = None;
     }
   in
   Alcotest.(check int) "insns" 7 (Sb_sim.Run_result.insns r);
