@@ -9,7 +9,9 @@
      lint        statically check benchmark programs and conventions
      report      regenerate paper figures (same drivers as bench/main.exe)
      baseline    snapshot a --json run directory as a regression baseline
-     compare     statistical regression detection between two recorded runs *)
+     compare     statistical regression detection between two recorded runs
+     serve       persistent benchmark service over a Unix/TCP socket
+     client      submit jobs to / query a running benchmark service *)
 
 open Cmdliner
 
@@ -28,25 +30,7 @@ let arch_arg =
     & opt arch_conv Sb_isa.Arch_sig.Sba
     & info [ "a"; "arch" ] ~docv:"ARCH" ~doc:"Guest architecture: sba (ARM analog) or vlx (x86 analog).")
 
-let engine_of_string arch s =
-  match String.split_on_char '@' s with
-  | [ "interp" ] -> Ok (Simbench.Engines.interp arch)
-  | [ "dbt" ] -> Ok (Simbench.Engines.dbt arch)
-  | [ "detailed" ] | [ "gem5" ] -> Ok (Simbench.Engines.detailed arch)
-  | [ "virt" ] | [ "kvm" ] -> Ok (Simbench.Engines.virt arch)
-  | [ "native" ] | [ "hw" ] -> Ok (Simbench.Engines.native arch)
-  | [ "dbt"; "" ] ->
-    Error
-      (Printf.sprintf "missing DBT version after \"dbt@\"; valid versions: %s"
-         (String.concat ", " Sb_dbt.Version.names))
-  | [ "dbt"; version ] -> (
-    match Sb_dbt.Version.find version with
-    | Some config -> Ok (Simbench.Engines.dbt_configured arch config)
-    | None ->
-      Error
-        (Printf.sprintf "unknown DBT version %S; valid versions: %s" version
-           (String.concat ", " Sb_dbt.Version.names)))
-  | _ -> Error (Printf.sprintf "unknown engine %S" s)
+let engine_of_string arch s = Simbench.Engines.of_string arch s
 
 let engine_arg =
   Arg.(
@@ -849,7 +833,388 @@ let debug_cmd =
        ~doc:"Single-step a benchmark under a debugger with breakpoints.")
     Term.(const action $ arch_arg $ engine_arg $ bench_arg $ break_arg $ steps_arg)
 
+(* ---- serve / client ---- *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain listener socket path.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"N" ~doc:"Loopback TCP listener port.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker processes in the pool.")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Persistent result cache shared by every client (and with \
+             $(b,report --cache) runs): identical cells across requests and \
+             restarts cost one simulation.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:"Per-cell wall-clock budget; overruns report status timeout.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "Max in-flight cells per client (backpressure); default 2x \
+             --jobs.")
+  in
+  let max_buffer_arg =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-buffer" ] ~docv:"BYTES"
+          ~doc:
+            "Outbound watermark per client: no new cells are dispatched for \
+             a client buffering more result bytes than this.")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Log connections and jobs to stderr.")
+  in
+  let action socket port jobs cache deadline window max_buffer verbose =
+    if socket = None && port = None then begin
+      prerr_endline "serve: need --socket PATH and/or --port N";
+      2
+    end
+    else if jobs < 1 then begin
+      prerr_endline "serve: --jobs must be >= 1";
+      2
+    end
+    else begin
+      let cfg =
+        {
+          Sb_serve.Serve.unix_path = socket;
+          tcp_port = port;
+          jobs;
+          cache_dir = cache;
+          deadline;
+          window;
+          max_buffer;
+          verbose;
+        }
+      in
+      match Sb_serve.Serve.create cfg with
+      | exception Invalid_argument msg ->
+        prerr_endline msg;
+        2
+      | exception Unix.Unix_error (e, fn, arg) ->
+        Printf.eprintf "serve: %s %s: %s\n" fn arg (Unix.error_message e);
+        2
+      | t ->
+        Sb_serve.Serve.run t;
+        0
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the benchmark service: a persistent daemon that accepts JSON \
+          job submissions over a socket, shards cells across a worker pool, \
+          deduplicates identical requests through a shared \
+          content-addressed result store, and streams rows back as they \
+          land.  SIGTERM drains gracefully and exits 0.  See docs/serve.md.")
+    Term.(
+      const action $ socket_arg $ port_arg $ jobs_arg $ cache_arg
+      $ deadline_arg $ window_arg $ max_buffer_arg $ verbose_arg)
+
+let client_cmd =
+  let connect_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Server address: unix:PATH, tcp:HOST:PORT, or a bare Unix \
+             socket path.")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC.json"
+          ~doc:
+            "Job spec file: a JSON object with a \"cells\" array of \
+             $(i,{bench, engine, arch, iters?, repeats?}) objects.")
+  in
+  let cell_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "cell" ] ~docv:"BENCH"
+          ~doc:
+            "Inline cell (repeatable): run $(docv) with the --engine/--arch/\
+             --iters/--repeats settings.")
+  in
+  let repeats_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeats" ] ~docv:"N" ~doc:"Timing repeats per inline cell.")
+  in
+  let id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID" ~doc:"Job id (default: derived from the pid).")
+  in
+  let cancel_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cancel" ] ~docv:"N"
+          ~doc:
+            "Cancel the job after receiving N rows; remaining queued cells \
+             are dropped without killing workers.")
+  in
+  let wait_arg =
+    Arg.(
+      value & flag
+      & info [ "wait" ]
+          ~doc:
+            "With --cancel: keep reading until the server confirms the \
+             cancellation (this is the default behaviour; flag kept for \
+             scripting clarity).")
+  in
+  let status_arg =
+    Arg.(
+      value & flag
+      & info [ "status" ] ~doc:"Print the server's status counters as JSON.")
+  in
+  let dump_arg =
+    Arg.(
+      value & flag
+      & info [ "dump" ]
+          ~doc:
+            "Print every row the server knows as a bench-schema run (pipe to \
+             a file and feed it to compare/baseline).")
+  in
+  let stop_arg =
+    Arg.(
+      value & flag
+      & info [ "stop" ] ~doc:"Ask the server to shut down gracefully.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the received rows as a bench-schema JSON file \
+             (readable by compare/baseline).")
+  in
+  let bench_run_json cells =
+    Sb_util.Json.Obj
+      [
+        ("schema", Sb_util.Json.String Sb_regress.Baseline.bench_schema);
+        ("experiment", Sb_util.Json.String "serve");
+        ("cells", Sb_util.Json.List cells);
+      ]
+  in
+  let write_file path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    output_char oc '\n';
+    close_out oc
+  in
+  let print_row ~cached cell =
+    let s name =
+      match
+        Option.bind (Sb_util.Json.member name cell) Sb_util.Json.string_opt
+      with
+      | Some v -> v
+      | None -> "?"
+    in
+    let seconds =
+      match
+        Option.bind (Sb_util.Json.member "seconds" cell) Sb_util.Json.float_opt
+      with
+      | Some v -> Printf.sprintf "%.4fs" v
+      | None -> "-"
+    in
+    Printf.printf "%-12s %-28s %-14s %-5s %10s%s\n%!" (s "status") (s "cell")
+      (s "engine") (s "arch") seconds
+      (if cached then "  (cached)" else "")
+  in
+  let specs_of_file file =
+    match open_in_bin file with
+    | exception Sys_error msg -> Error msg
+    | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in_noerr ic;
+      (match Sb_util.Json.of_string s with
+      | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+      | Ok j -> (
+        match
+          Option.bind (Sb_util.Json.member "schema" j) Sb_util.Json.string_opt
+        with
+        | Some tag when tag <> Sb_serve.Protocol.schema ->
+          Error
+            (Printf.sprintf "%s: unsupported schema %S (expected %S)" file tag
+               Sb_serve.Protocol.schema)
+        | _ -> Sb_serve.Protocol.specs_of_json j))
+  in
+  let action addr spec_file cells arch engine iters repeats id cancel_after
+      wait status dump stop json_out =
+    ignore wait;
+    match Sb_serve.Client.connect addr with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok conn ->
+      let finish code =
+        Sb_serve.Client.close conn;
+        code
+      in
+      if status then (
+        match Sb_serve.Client.status conn with
+        | Ok j ->
+          print_endline (Sb_util.Json.to_string j);
+          finish 0
+        | Error msg ->
+          prerr_endline msg;
+          finish 2)
+      else if dump then (
+        match Sb_serve.Client.dump conn with
+        | Ok (_source, cells) ->
+          print_endline (Sb_util.Json.to_string (bench_run_json cells));
+          finish 0
+        | Error msg ->
+          prerr_endline msg;
+          finish 2)
+      else if stop then (
+        match Sb_serve.Client.shutdown conn with
+        | Ok () -> finish 0
+        | Error msg ->
+          prerr_endline msg;
+          finish 2)
+      else begin
+        let specs =
+          match (spec_file, cells) with
+          | Some file, [] -> specs_of_file file
+          | None, (_ :: _ as names) ->
+            Ok
+              (List.map
+                 (fun name ->
+                   {
+                     Sb_serve.Protocol.sp_bench = name;
+                     sp_engine = engine;
+                     sp_arch = arch;
+                     sp_iters = iters;
+                     sp_repeats = repeats;
+                   })
+                 names)
+          | Some _, _ :: _ -> Error "give a spec file or --cell, not both"
+          | None, [] ->
+            Error
+              "nothing to do: give a spec file, --cell, --status, --dump or \
+               --stop"
+        in
+        match specs with
+        | Error msg ->
+          prerr_endline msg;
+          finish 2
+        | Ok specs ->
+          let id =
+            match id with
+            | Some id -> id
+            | None -> Printf.sprintf "job-%d" (Unix.getpid ())
+          in
+          let rows = ref [] in
+          let on_row ~cached cell =
+            rows := cell :: !rows;
+            print_row ~cached cell
+          in
+          (match
+             Sb_serve.Client.submit ?cancel_after ~on_row conn ~id
+               ~cells:specs
+           with
+          | Error msg ->
+            prerr_endline msg;
+            finish 2
+          | Ok outcome ->
+            (match json_out with
+            | Some path ->
+              write_file path
+                (Sb_util.Json.to_string (bench_run_json (List.rev !rows)))
+            | None -> ());
+            (match outcome with
+            | Sb_serve.Client.Completed { rows; failed = 0 } ->
+              Printf.printf "done: %d rows\n" rows;
+              finish 0
+            | Sb_serve.Client.Completed { rows; failed } ->
+              Printf.eprintf "done with failures: %d rows, %d failed\n" rows
+                failed;
+              finish 1
+            | Sb_serve.Client.Was_cancelled { dropped } ->
+              Printf.printf "cancelled: %d cells dropped\n" dropped;
+              finish (if cancel_after <> None then 0 else 1)
+            | Sb_serve.Client.Server_bye reason ->
+              Printf.eprintf "server shut down mid-job: %s\n" reason;
+              finish 1))
+      end
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running benchmark service: submit jobs (spec file or \
+          inline --cell), stream rows, cancel mid-run, query status, or \
+          dump the server's accumulated rows as a bench-schema run.")
+    Term.(
+      const action $ connect_arg $ spec_arg $ cell_arg $ arch_arg $ engine_arg
+      $ iters_arg $ repeats_arg $ id_arg $ cancel_after_arg $ wait_arg
+      $ status_arg $ dump_arg $ stop_arg $ json_arg)
+
 (* ---- baseline / compare ---- *)
+
+(* baseline/compare accept "serve:ADDR" run paths: the rows are pulled from
+   a live server's dump instead of a file or --json directory. *)
+let load_run path =
+  let prefix = "serve:" in
+  if
+    String.length path > String.length prefix
+    && String.sub path 0 (String.length prefix) = prefix
+  then
+    let addr =
+      String.sub path (String.length prefix)
+        (String.length path - String.length prefix)
+    in
+    match Sb_serve.Client.connect addr with
+    | Error msg -> Error msg
+    | Ok conn ->
+      let r = Sb_serve.Client.dump conn in
+      Sb_serve.Client.close conn;
+      Result.bind r (fun (_source, cells) ->
+          List.fold_left
+            (fun acc c ->
+              Result.bind acc (fun acc ->
+                  Result.map
+                    (fun cell -> cell :: acc)
+                    (Sb_regress.Baseline.cell_of_json ~source:path
+                       ~experiment:"serve" c)))
+            (Ok []) cells
+          |> Result.map (fun cells ->
+                 { Sb_regress.Regress.source = path; cells = List.rev cells }))
+  else Sb_regress.Baseline.load path
 
 let baseline_cmd =
   let json_dir_arg =
@@ -857,7 +1222,10 @@ let baseline_cmd =
       required
       & opt (some string) None
       & info [ "json" ] ~docv:"DIR"
-          ~doc:"Run directory: the BENCH_*.json files written by bench/main.exe --json DIR.")
+          ~doc:
+            "Run to snapshot: a BENCH_*.json directory written by \
+             bench/main.exe --json DIR, a single run file, or serve:ADDR to \
+             pull the rows from a live benchmark service.")
   in
   let out_arg =
     Arg.(
@@ -865,7 +1233,7 @@ let baseline_cmd =
       & info [ "out" ] ~docv:"FILE" ~doc:"Snapshot file to write.")
   in
   let action dir out =
-    match Sb_regress.Baseline.load_run_dir dir with
+    match load_run dir with
     | Error msg ->
       prerr_endline msg;
       2
@@ -889,13 +1257,19 @@ let compare_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"OLD" ~doc:"Baseline run: a snapshot file or a --json directory.")
+      & info [] ~docv:"OLD"
+          ~doc:
+            "Baseline run: a snapshot file, a --json directory, or \
+             serve:ADDR for a live benchmark service.")
   in
   let new_arg =
     Arg.(
       required
       & pos 1 (some string) None
-      & info [] ~docv:"NEW" ~doc:"Candidate run: a snapshot file or a --json directory.")
+      & info [] ~docv:"NEW"
+          ~doc:
+            "Candidate run: a snapshot file, a --json directory, or \
+             serve:ADDR for a live benchmark service.")
   in
   let threshold_arg =
     Arg.(
@@ -963,9 +1337,7 @@ let compare_cmd =
       2
     end
     else
-      match
-        (Sb_regress.Baseline.load old_path, Sb_regress.Baseline.load new_path)
-      with
+      match (load_run old_path, load_run new_path) with
       | Error msg, _ | _, Error msg ->
         prerr_endline msg;
         2
@@ -1070,5 +1442,5 @@ let () =
        [
          list_cmd; run_cmd; suite_cmd; workload_cmd; disasm_cmd; verify_cmd;
          chaos_cmd; lint_cmd; tv_cmd; debug_cmd; report_cmd; baseline_cmd;
-         compare_cmd;
+         compare_cmd; serve_cmd; client_cmd;
        ]))

@@ -64,6 +64,47 @@ let interp_configured arch config : Sb_sim.Engine.t =
                 let config = config
               end))
 
+(* Engine naming shared by the CLI and the serve protocol: the paper-role
+   aliases (gem5 = detailed, kvm = virt, hw = native) and dbt@VERSION
+   release names all resolve here, so every front end accepts the same
+   spellings and rejects unknown ones with the same message. *)
+let of_string arch s =
+  match String.split_on_char '@' s with
+  | [ "interp" ] -> Ok (interp arch)
+  | [ "dbt" ] -> Ok (dbt arch)
+  | [ "detailed" ] | [ "gem5" ] -> Ok (detailed arch)
+  | [ "virt" ] | [ "kvm" ] -> Ok (virt arch)
+  | [ "native" ] | [ "hw" ] -> Ok (native arch)
+  | [ "dbt"; "" ] ->
+    Error
+      (Printf.sprintf "missing DBT version after \"dbt@\"; valid versions: %s"
+         (String.concat ", " Sb_dbt.Version.names))
+  | [ "dbt"; version ] -> (
+    match Sb_dbt.Version.find version with
+    | Some config -> Ok (dbt_configured arch config)
+    | None ->
+      Error
+        (Printf.sprintf "unknown DBT version %S; valid versions: %s" version
+           (String.concat ", " Sb_dbt.Version.names)))
+  | _ -> Error (Printf.sprintf "unknown engine %S" s)
+
+let canonical_name s =
+  match String.split_on_char '@' s with
+  | [ "gem5" ] -> "detailed"
+  | [ "kvm" ] -> "virt"
+  | [ "hw" ] -> "native"
+  | [ "dbt"; version ] -> (
+    (* release aliases (v2.5.0-rc1/-rc2 sharing v2.5.0-rc0's config)
+       canonicalise to the first name registered for the configuration,
+       so content-addressed result keys deduplicate across aliases *)
+    match Sb_dbt.Version.find version with
+    | None -> s
+    | Some config -> (
+      match List.find_opt (fun (_, c) -> c = config) Sb_dbt.Version.all with
+      | Some (name, _) -> "dbt@" ^ name
+      | None -> s))
+  | _ -> s
+
 let paper_set arch =
   match arch with
   | Sb_isa.Arch_sig.Sba ->

@@ -23,6 +23,20 @@ val dbt_version : arch -> string -> Sb_sim.Engine.t
 
 val interp_configured : arch -> Sb_interp.Interp.Config.t -> Sb_sim.Engine.t
 
+val of_string : arch -> string -> (Sb_sim.Engine.t, string) result
+(** Parse an engine spelling: [interp], [dbt], [detailed]/[gem5],
+    [virt]/[kvm], [native]/[hw], or [dbt\@VERSION] by {!Sb_dbt.Version}
+    release name.  The shared parser behind the CLI's [--engine] and the
+    serve protocol's ["engine"] field; errors list the valid versions. *)
+
+val canonical_name : string -> string
+(** Canonical form of an engine spelling accepted by {!of_string}:
+    paper-role aliases map to their engine ([gem5] -> [detailed]), and
+    [dbt\@ALIAS] release aliases map to the first registered name of the
+    same configuration — so equal canonical names mean equal engines, the
+    property content-addressed result keys need.  Unknown spellings are
+    returned unchanged ({!of_string} is the validator). *)
+
 val paper_set : arch -> (string * Sb_sim.Engine.t) list
 (** The Figure 7 column set, labelled with the paper's platform names. *)
 

@@ -4,7 +4,7 @@ let task ?key ~label run = { key; label; run }
 
 let label t = t.label
 
-type fail_kind = Crashed | Timed_out | Quarantined
+type fail_kind = Crashed | Timed_out | Quarantined | Cancelled
 
 type failure = {
   fl_label : string;
@@ -25,6 +25,7 @@ type stats = {
   mutable retried : int;
   mutable timed_out : int;
   mutable quarantined : int;
+  mutable cancelled : int;
 }
 
 let stats () =
@@ -36,6 +37,32 @@ let stats () =
     retried = 0;
     timed_out = 0;
     quarantined = 0;
+    cancelled = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cancellation tokens: a shared flag that abandons queued-but-unstarted *)
+(* work.  Cancelling never SIGKILLs a healthy worker: attempts already   *)
+(* running complete normally (and still populate the cache); entries     *)
+(* still waiting in the queue — or in the retry-backoff list — are       *)
+(* dropped with [Failed {fl_kind = Cancelled}] the next time the         *)
+(* scheduler touches them.                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token = { mutable tk_cancelled : bool }
+
+let token () = { tk_cancelled = false }
+
+let cancel tok = tok.tk_cancelled <- true
+
+let cancelled tok = tok.tk_cancelled
+
+let cancelled_failure t =
+  {
+    fl_label = t.label;
+    fl_kind = Cancelled;
+    fl_attempts = 0;
+    fl_detail = "cancelled before running";
   }
 
 (* ------------------------------------------------------------------ *)
@@ -95,15 +122,30 @@ let cache_store cache t v =
 let backoff_delay ~backoff attempt =
   backoff *. (2. ** float_of_int (attempt - 1))
 
+let rec restart_on_intr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_intr f
+
+let describe_status = function
+  | Unix.WEXITED n -> Printf.sprintf "exited with code %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "was killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "was stopped by signal %d" n
+
 (* ------------------------------------------------------------------ *)
 (* Sequential path: -j 1 runs every thunk in-process, in order — the    *)
 (* exact code path the pre-pool harness took (retries happen inline).   *)
 (* ------------------------------------------------------------------ *)
 
-let run_seq ~cache ~stats ~retries ~backoff tasks =
+let run_seq ?cancel ~cache ~stats ~retries ~backoff tasks =
+  let is_cancelled () =
+    match cancel with Some tok -> tok.tk_cancelled | None -> false
+  in
   List.map
     (fun t ->
-      if is_quarantined t then begin
+      if is_cancelled () then begin
+        stats.cancelled <- stats.cancelled + 1;
+        Failed (cancelled_failure t)
+      end
+      else if is_quarantined t then begin
         stats.quarantined <- stats.quarantined + 1;
         Failed (quarantine_failure t)
       end
@@ -121,7 +163,7 @@ let run_seq ~cache ~stats ~retries ~backoff tasks =
               if k = 1 then Done v else Retried (v, k - 1)
             | Error msg ->
               record_failure t;
-              if k <= retries then begin
+              if k <= retries && not (is_cancelled ()) then begin
                 stats.retried <- stats.retried + 1;
                 Unix.sleepf (backoff_delay ~backoff k);
                 attempt (k + 1)
@@ -141,205 +183,290 @@ let run_seq ~cache ~stats ~retries ~backoff tasks =
     tasks
 
 (* ------------------------------------------------------------------ *)
-(* Parallel path: fork one worker per attempt, at most [jobs] live at   *)
-(* once; each worker marshals an [('a, string) result] back over a      *)
-(* pipe and exits.  The event loop multiplexes pipe reads, per-child    *)
-(* wall-clock deadlines (stragglers are SIGKILLed) and delayed retry    *)
-(* wake-ups through one [Unix.select] timeout.                          *)
+(* Incremental scheduler: the forked-worker event machinery exposed as  *)
+(* a pump-style API so a surrounding event loop (the batch [run] below, *)
+(* or the [Sb_serve] daemon's socket loop) can multiplex worker pipes   *)
+(* alongside its own file descriptors.  Each submitted task resolves    *)
+(* through quarantine and the cache first; misses fork one worker per   *)
+(* attempt, at most [jobs] live at once, and the completion callback    *)
+(* fires as outcomes land (completion order, not submission order).     *)
 (* ------------------------------------------------------------------ *)
 
-type 'a child = {
-  c_idx : int;
-  c_task : 'a task;
-  c_attempt : int; (* 1-based *)
-  c_pid : int;
-  c_fd : Unix.file_descr;
-  c_buf : Buffer.t;
-  c_start : float;
-}
+module Sched = struct
+  type 'a entry = {
+    e_task : 'a task;
+    e_cancel : token option;
+    e_k : 'a outcome -> unit;
+  }
 
-let rec restart_on_intr f =
-  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_intr f
+  type 'a child = {
+    c_entry : 'a entry;
+    c_attempt : int; (* 1-based *)
+    c_pid : int;
+    c_fd : Unix.file_descr;
+    c_buf : Buffer.t;
+    c_start : float;
+  }
 
-let describe_status = function
-  | Unix.WEXITED n -> Printf.sprintf "exited with code %d" n
-  | Unix.WSIGNALED n -> Printf.sprintf "was killed by signal %d" n
-  | Unix.WSTOPPED n -> Printf.sprintf "was stopped by signal %d" n
+  type 'a t = {
+    s_jobs : int;
+    s_cache : Cache.t option;
+    s_stats : stats;
+    s_deadline : float option;
+    s_retries : int;
+    s_backoff : float;
+    s_queue : ('a entry * int) Queue.t;
+    (* delayed retries: (ready_at, entry, attempt) *)
+    mutable s_delayed : (float * 'a entry * int) list;
+    (* children keyed by read-end fd: [Unix.select] hands fds back, and a
+       Hashtbl lookup is total — no [List.find] that can raise if an fd
+       number is recycled between loop iterations *)
+    s_active : (Unix.file_descr, 'a child) Hashtbl.t;
+    s_read_buf : Bytes.t;
+  }
 
-let spawn ~stats idx t ~attempt =
-  let r, w = Unix.pipe () in
-  flush stdout;
-  flush stderr;
-  match Unix.fork () with
-  | 0 ->
-    Unix.close r;
-    let result = run_task t in
-    let oc = Unix.out_channel_of_descr w in
-    (try
-       Marshal.to_channel oc result [];
-       flush oc
-     with _ -> ());
-    (* _exit: skip at_exit handlers and buffered output shared with the
-       parent *)
-    Unix._exit 0
-  | pid ->
-    Unix.close w;
-    stats.forked <- stats.forked + 1;
-    stats.executed <- stats.executed + 1;
+  let create ?(jobs = 1) ?cache ?stats:(s = stats ()) ?deadline ?(retries = 0)
+      ?(backoff = 0.05) () =
+    (match deadline with
+    | Some d when d <= 0.0 -> invalid_arg "Sched.create: deadline must be positive"
+    | _ -> ());
+    if retries < 0 then invalid_arg "Sched.create: retries must be non-negative";
+    if backoff < 0.0 then invalid_arg "Sched.create: backoff must be non-negative";
     {
-      c_idx = idx;
-      c_task = t;
-      c_attempt = attempt;
-      c_pid = pid;
-      c_fd = r;
-      c_buf = Buffer.create 256;
-      c_start = Unix.gettimeofday ();
+      s_jobs = max 1 jobs;
+      s_cache = cache;
+      s_stats = s;
+      s_deadline = deadline;
+      s_retries = retries;
+      s_backoff = backoff;
+      s_queue = Queue.create ();
+      s_delayed = [];
+      s_active = Hashtbl.create 16;
+      s_read_buf = Bytes.create 65536;
     }
 
-let run_par ~jobs ~cache ~stats ~deadline ~retries ~backoff tasks =
-  let n = List.length tasks in
-  let results = Array.make n None in
-  let queue = Queue.create () in
-  (* delayed retries: (ready_at, idx, task, attempt) *)
-  let delayed = ref [] in
-  (* quarantine and cache hits resolve up front; only misses cost a fork *)
-  List.iteri
-    (fun idx t ->
-      if is_quarantined t then begin
-        stats.quarantined <- stats.quarantined + 1;
-        results.(idx) <- Some (Failed (quarantine_failure t))
-      end
-      else
-        match cache_load cache t with
-        | Some v ->
-          stats.cache_hits <- stats.cache_hits + 1;
-          results.(idx) <- Some (Done v)
-        | None -> Queue.add (idx, t, 1) queue)
-    tasks;
-  (* children keyed by read-end fd: [Unix.select] hands fds back, and a
-     Hashtbl lookup is total — no [List.find] that can raise if an fd
-     number is recycled between loop iterations *)
-  let active : (Unix.file_descr, _ child) Hashtbl.t = Hashtbl.create 16 in
-  let read_buf = Bytes.create 65536 in
-  let finish idx outcome = results.(idx) <- Some outcome in
-  let fail ~idx ~task ~attempt ~timed_out ~detail =
-    record_failure task;
-    if (not timed_out) && attempt <= retries then begin
+  let entry_cancelled e =
+    match e.e_cancel with Some tok -> tok.tk_cancelled | None -> false
+
+  let deliver_cancelled st e =
+    st.s_stats.cancelled <- st.s_stats.cancelled + 1;
+    e.e_k (Failed (cancelled_failure e.e_task))
+
+  let spawn st e ~attempt =
+    let r, w = Unix.pipe () in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      Unix.close r;
+      let result = run_task e.e_task in
+      let oc = Unix.out_channel_of_descr w in
+      (try
+         Marshal.to_channel oc result [];
+         flush oc
+       with _ -> ());
+      (* _exit: skip at_exit handlers and buffered output shared with the
+         parent *)
+      Unix._exit 0
+    | pid ->
+      Unix.close w;
+      st.s_stats.forked <- st.s_stats.forked + 1;
+      st.s_stats.executed <- st.s_stats.executed + 1;
+      Hashtbl.replace st.s_active r
+        {
+          c_entry = e;
+          c_attempt = attempt;
+          c_pid = pid;
+          c_fd = r;
+          c_buf = Buffer.create 256;
+          c_start = Unix.gettimeofday ();
+        }
+
+  let fill st =
+    while
+      Hashtbl.length st.s_active < st.s_jobs && not (Queue.is_empty st.s_queue)
+    do
+      let e, attempt = Queue.pop st.s_queue in
+      if entry_cancelled e then deliver_cancelled st e
+      else spawn st e ~attempt
+    done
+
+  let submit st ?cancel t ~k =
+    let e = { e_task = t; e_cancel = cancel; e_k = k } in
+    if entry_cancelled e then deliver_cancelled st e
+    else if is_quarantined t then begin
+      st.s_stats.quarantined <- st.s_stats.quarantined + 1;
+      k (Failed (quarantine_failure t))
+    end
+    else
+      match cache_load st.s_cache t with
+      | Some v ->
+        st.s_stats.cache_hits <- st.s_stats.cache_hits + 1;
+        k (Done v)
+      | None ->
+        Queue.add (e, 1) st.s_queue;
+        fill st
+
+  let fail st e ~attempt ~timed_out ~detail =
+    record_failure e.e_task;
+    if (not timed_out) && attempt <= st.s_retries && not (entry_cancelled e)
+    then begin
       (* crashes are retried with exponential backoff; timeouts are not —
          a cell that hit the deadline once would burn deadline seconds per
          extra attempt for a result the budget already rejected *)
-      stats.retried <- stats.retried + 1;
-      delayed :=
-        ( Unix.gettimeofday () +. backoff_delay ~backoff attempt,
-          idx,
-          task,
+      st.s_stats.retried <- st.s_stats.retried + 1;
+      st.s_delayed <-
+        ( Unix.gettimeofday () +. backoff_delay ~backoff:st.s_backoff attempt,
+          e,
           attempt + 1 )
-        :: !delayed
+        :: st.s_delayed
     end
     else begin
-      if timed_out then stats.timed_out <- stats.timed_out + 1;
-      stats.failed <- stats.failed + 1;
-      finish idx
+      if timed_out then st.s_stats.timed_out <- st.s_stats.timed_out + 1;
+      st.s_stats.failed <- st.s_stats.failed + 1;
+      e.e_k
         (Failed
            {
-             fl_label = task.label;
+             fl_label = e.e_task.label;
              fl_kind = (if timed_out then Timed_out else Crashed);
              fl_attempts = attempt;
              fl_detail = detail;
            })
     end
-  in
-  let reap child =
+
+  let reap st (child : _ child) =
     let _, status =
       restart_on_intr (fun () -> Unix.waitpid [] child.c_pid)
     in
+    let e = child.c_entry in
     let payload = Buffer.contents child.c_buf in
     match (Marshal.from_string payload 0 : (_, string) result) with
     | Ok v ->
-      cache_store cache child.c_task v;
-      finish child.c_idx
+      cache_store st.s_cache e.e_task v;
+      e.e_k
         (if child.c_attempt = 1 then Done v else Retried (v, child.c_attempt - 1))
     | Error msg ->
-      fail ~idx:child.c_idx ~task:child.c_task ~attempt:child.c_attempt
-        ~timed_out:false ~detail:msg
+      fail st e ~attempt:child.c_attempt ~timed_out:false ~detail:msg
     | exception _ ->
       (* the worker died before (or while) writing its result *)
-      fail ~idx:child.c_idx ~task:child.c_task ~attempt:child.c_attempt
-        ~timed_out:false
+      fail st e ~attempt:child.c_attempt ~timed_out:false
         ~detail:
           (Printf.sprintf "worker %s without reporting a result"
              (describe_status status))
-  in
-  let kill_expired d =
-    let now = Unix.gettimeofday () in
-    let expired =
-      Hashtbl.fold
-        (fun _ c acc -> if now -. c.c_start >= d then c :: acc else acc)
-        active []
-    in
-    List.iter
-      (fun c ->
-        Hashtbl.remove active c.c_fd;
-        Unix.close c.c_fd;
-        (try Unix.kill c.c_pid Sys.sigkill with Unix.Unix_error _ -> ());
-        ignore (restart_on_intr (fun () -> Unix.waitpid [] c.c_pid));
-        fail ~idx:c.c_idx ~task:c.c_task ~attempt:c.c_attempt ~timed_out:true
-          ~detail:(Printf.sprintf "exceeded %.1fs deadline; killed" d))
-      expired
-  in
-  while
-    (not (Queue.is_empty queue)) || !delayed <> [] || Hashtbl.length active > 0
-  do
+
+  let kill_expired st =
+    match st.s_deadline with
+    | None -> ()
+    | Some d ->
+      let now = Unix.gettimeofday () in
+      let expired =
+        Hashtbl.fold
+          (fun _ c acc -> if now -. c.c_start >= d then c :: acc else acc)
+          st.s_active []
+      in
+      List.iter
+        (fun c ->
+          Hashtbl.remove st.s_active c.c_fd;
+          Unix.close c.c_fd;
+          (try Unix.kill c.c_pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (restart_on_intr (fun () -> Unix.waitpid [] c.c_pid));
+          fail st c.c_entry ~attempt:c.c_attempt ~timed_out:true
+            ~detail:(Printf.sprintf "exceeded %.1fs deadline; killed" d))
+        expired
+
+  let sweep_cancelled st =
+    if
+      Queue.fold (fun acc (e, _) -> acc || entry_cancelled e) false st.s_queue
+    then begin
+      let keep = Queue.create () in
+      Queue.iter
+        (fun (e, attempt) ->
+          if entry_cancelled e then deliver_cancelled st e
+          else Queue.add (e, attempt) keep)
+        st.s_queue;
+      Queue.clear st.s_queue;
+      Queue.transfer keep st.s_queue
+    end
+
+  let pump st ~readable =
     (* promote retries whose backoff has elapsed *)
     let now = Unix.gettimeofday () in
     let due, still =
-      List.partition (fun (at, _, _, _) -> at <= now) !delayed
+      List.partition (fun (at, _, _) -> at <= now) st.s_delayed
     in
-    delayed := still;
-    List.iter (fun (_, idx, t, attempt) -> Queue.add (idx, t, attempt) queue) due;
-    while Hashtbl.length active < jobs && not (Queue.is_empty queue) do
-      let idx, t, attempt = Queue.pop queue in
-      let c = spawn ~stats idx t ~attempt in
-      Hashtbl.replace active c.c_fd c
-    done;
-    (* one select timeout serves both child deadlines and retry wake-ups:
-       sleep until the earliest of them, or forever when neither applies *)
-    let timeout =
-      let wakeups =
-        (match deadline with
-        | None -> []
-        | Some d ->
-          Hashtbl.fold (fun _ c acc -> (c.c_start +. d) :: acc) active [])
-        @ List.map (fun (at, _, _, _) -> at) !delayed
-      in
-      match wakeups with
-      | [] -> -1.0
-      | l ->
-        Float.max 0.0 (List.fold_left Float.min infinity l -. Unix.gettimeofday ())
-    in
-    let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) active [] in
-    let readable, _, _ =
-      restart_on_intr (fun () -> Unix.select fds [] [] timeout)
-    in
+    st.s_delayed <- still;
+    List.iter
+      (fun (_, e, attempt) ->
+        if entry_cancelled e then deliver_cancelled st e
+        else Queue.add (e, attempt) st.s_queue)
+      due;
+    sweep_cancelled st;
     List.iter
       (fun fd ->
-        match Hashtbl.find_opt active fd with
-        | None -> ()
+        match Hashtbl.find_opt st.s_active fd with
+        | None -> () (* not one of ours: the caller multiplexes other fds *)
         | Some child ->
           let got =
             restart_on_intr (fun () ->
-                Unix.read fd read_buf 0 (Bytes.length read_buf))
+                Unix.read fd st.s_read_buf 0 (Bytes.length st.s_read_buf))
           in
-          if got > 0 then Buffer.add_subbytes child.c_buf read_buf 0 got
+          if got > 0 then Buffer.add_subbytes child.c_buf st.s_read_buf 0 got
           else begin
             (* EOF: the worker exited and the pipe is drained *)
-            Hashtbl.remove active fd;
+            Hashtbl.remove st.s_active fd;
             Unix.close fd;
-            reap child
+            reap st child
           end)
       readable;
-    match deadline with None -> () | Some d -> kill_expired d
-  done;
+    kill_expired st;
+    fill st
+
+  let fds st = Hashtbl.fold (fun fd _ acc -> fd :: acc) st.s_active []
+
+  let timeout st =
+    (* one select timeout serves both child deadlines and retry wake-ups:
+       sleep until the earliest of them, or forever when neither applies *)
+    let wakeups =
+      (match st.s_deadline with
+      | None -> []
+      | Some d ->
+        Hashtbl.fold (fun _ c acc -> (c.c_start +. d) :: acc) st.s_active [])
+      @ List.map (fun (at, _, _) -> at) st.s_delayed
+    in
+    match wakeups with
+    | [] -> -1.0
+    | l ->
+      Float.max 0.0
+        (List.fold_left Float.min infinity l -. Unix.gettimeofday ())
+
+  let queued st = Queue.length st.s_queue + List.length st.s_delayed
+
+  let active st = Hashtbl.length st.s_active
+
+  let idle st = queued st = 0 && active st = 0
+
+  let drain st =
+    while not (idle st) do
+      let readable, _, _ =
+        restart_on_intr (fun () -> Unix.select (fds st) [] [] (timeout st))
+      in
+      pump st ~readable
+    done
+end
+
+(* ------------------------------------------------------------------ *)
+(* Batch entry point: the parallel path is the incremental scheduler    *)
+(* driven to completion, with results re-ordered back to task order.    *)
+(* ------------------------------------------------------------------ *)
+
+let run_par ~jobs ~cache ~stats ~deadline ~retries ~backoff ~cancel tasks =
+  let st = Sched.create ~jobs ?cache ~stats ?deadline ~retries ~backoff () in
+  let n = List.length tasks in
+  let results = Array.make n None in
+  List.iteri
+    (fun i t -> Sched.submit st ?cancel t ~k:(fun o -> results.(i) <- Some o))
+    tasks;
+  Sched.drain st;
   Array.to_list
     (Array.map
        (function
@@ -355,7 +482,7 @@ let run_par ~jobs ~cache ~stats ~deadline ~retries ~backoff tasks =
        results)
 
 let run ?(jobs = 1) ?cache ?stats:(s = stats ()) ?deadline ?(retries = 0)
-    ?(backoff = 0.05) tasks =
+    ?(backoff = 0.05) ?cancel tasks =
   (match deadline with
   | Some d when d <= 0.0 -> invalid_arg "Pool.run: deadline must be positive"
   | _ -> ());
@@ -363,9 +490,9 @@ let run ?(jobs = 1) ?cache ?stats:(s = stats ()) ?deadline ?(retries = 0)
   if backoff < 0.0 then invalid_arg "Pool.run: backoff must be non-negative";
   match deadline with
   | None when jobs <= 1 || List.length tasks <= 1 ->
-    run_seq ~cache ~stats:s ~retries ~backoff tasks
+    run_seq ?cancel ~cache ~stats:s ~retries ~backoff tasks
   | _ ->
     (* a deadline forces the forked path even at -j 1: only a child
        process can be killed when it hangs *)
     run_par ~jobs:(max 1 jobs) ~cache ~stats:s ~deadline ~retries ~backoff
-      tasks
+      ~cancel tasks

@@ -1,5 +1,5 @@
 (** [Unix.fork]-based worker pool for independent experiment cells, with
-    deadlines, bounded retries and failure quarantine.
+    deadlines, bounded retries, failure quarantine and cancellation.
 
     Each task is an (optionally cache-keyed) thunk.  With [jobs <= 1] and
     no deadline the thunks run sequentially in-process — byte-for-byte the
@@ -17,7 +17,11 @@
     runtime — yields [Failed] with the wait status; a worker that
     overruns [?deadline] is SIGKILLed and yields [Failed] with
     [fl_kind = Timed_out].  The pool never hangs and never poisons the
-    cache. *)
+    cache.
+
+    Long-running callers (the [Sb_serve] daemon) that need to submit work
+    incrementally and multiplex worker pipes with their own sockets use
+    {!Sched} directly; {!run} is the batch wrapper over it. *)
 
 type 'a task
 
@@ -34,11 +38,14 @@ type fail_kind =
   | Quarantined
       (** skipped without running: the task's identity has accumulated
           {!quarantine_after} failures in this process *)
+  | Cancelled
+      (** abandoned while still queued: its {!token} was cancelled before
+          a worker picked it up *)
 
 type failure = {
   fl_label : string;  (** the task's label *)
   fl_kind : fail_kind;
-  fl_attempts : int;  (** attempts actually run (0 when quarantined) *)
+  fl_attempts : int;  (** attempts actually run (0 when quarantined/cancelled) *)
   fl_detail : string;  (** human-readable cause *)
 }
 
@@ -52,6 +59,25 @@ type 'a outcome =
 val failure_message : failure -> string
 (** ["label: detail"], for log lines and legacy call sites. *)
 
+(** {2 Cancellation}
+
+    A token is a shared flag attached to one or more submitted tasks.
+    Cancelling it abandons every attached task that has not started yet
+    (queued, or waiting out a retry backoff) with
+    [Failed {fl_kind = Cancelled}]; attempts already running in a worker
+    are {e not} killed — they complete, report, and still populate the
+    cache.  This is the primitive behind [simbench client --cancel] and
+    the serve daemon's graceful drain: queued work disappears instantly,
+    healthy workers are never SIGKILLed. *)
+
+type token
+
+val token : unit -> token
+
+val cancel : token -> unit
+
+val cancelled : token -> bool
+
 type stats = {
   mutable executed : int;
       (** attempts actually run (in-process or forked); retries count *)
@@ -61,6 +87,7 @@ type stats = {
   mutable retried : int;  (** extra attempts scheduled after a crash *)
   mutable timed_out : int;  (** workers killed at the deadline *)
   mutable quarantined : int;  (** tasks skipped by the quarantine *)
+  mutable cancelled : int;  (** tasks abandoned by a cancelled token *)
 }
 
 val stats : unit -> stats
@@ -74,6 +101,64 @@ val reset_quarantine : unit -> unit
 (** Forget all recorded failures (tests; or to deliberately re-run cells
     that were quarantined earlier in the process). *)
 
+(** Incremental scheduler over the same forked-worker machinery.
+
+    Designed to be driven by an external [Unix.select] loop: {!fds} are
+    the live worker pipe read-ends, {!timeout} is how long the loop may
+    sleep before a deadline or retry wake-up is due, and {!pump} must be
+    called with whatever subset of those fds became readable (fds the
+    scheduler does not own are ignored, so the caller can pass its whole
+    readable set).  {!submit} resolves quarantine and the cache
+    synchronously — the callback can fire before [submit] returns — and
+    otherwise queues the task, forking immediately if a worker slot is
+    free.  Callbacks fire in completion order, not submission order. *)
+module Sched : sig
+  type 'a t
+
+  val create :
+    ?jobs:int ->
+    ?cache:Cache.t ->
+    ?stats:stats ->
+    ?deadline:float ->
+    ?retries:int ->
+    ?backoff:float ->
+    unit ->
+    'a t
+  (** Same parameter semantics as {!run}.  Raises [Invalid_argument] on a
+      non-positive deadline or negative retries/backoff. *)
+
+  val submit : 'a t -> ?cancel:token -> 'a task -> k:('a outcome -> unit) -> unit
+  (** [k] is called exactly once with the task's outcome — possibly
+      synchronously (cache hit, quarantine, already-cancelled token). *)
+
+  val fds : _ t -> Unix.file_descr list
+  (** Read-ends of the live worker pipes, for the caller's select set. *)
+
+  val timeout : _ t -> float
+  (** Seconds until the earliest internal wake-up (child deadline or retry
+      backoff), or [-1.0] when there is none (sleep as long as you like). *)
+
+  val pump : 'a t -> readable:Unix.file_descr list -> unit
+  (** Process events: drain readable worker pipes, reap finished workers
+      (firing their callbacks), kill deadline overruns, promote due
+      retries, drop cancelled queue entries, and refill free worker slots
+      from the queue. *)
+
+  val queued : _ t -> int
+  (** Tasks waiting for a worker slot (including retry backoffs). *)
+
+  val active : _ t -> int
+  (** Live forked workers. *)
+
+  val idle : _ t -> bool
+  (** No queued tasks, no waiting retries, no live workers. *)
+
+  val drain : 'a t -> unit
+  (** Run a private select loop until {!idle} — the batch mode.  Queued
+      tasks whose token is cancelled mid-drain are dropped; active
+      workers always complete. *)
+end
+
 val run :
   ?jobs:int ->
   ?cache:Cache.t ->
@@ -81,6 +166,7 @@ val run :
   ?deadline:float ->
   ?retries:int ->
   ?backoff:float ->
+  ?cancel:token ->
   'a task list ->
   'a outcome list
 (** Results are positional: [List.nth (run ts) i] belongs to
@@ -95,5 +181,8 @@ val run :
     backoff 0.05); timeouts are never retried — a second attempt would
     burn another whole deadline for a result the budget already
     rejected.  A success on attempt [> 1] is reported as [Retried].
+    [cancel], when provided and cancelled (by a task thunk on the
+    sequential path, or from the callback of another scheduler sharing
+    the token), abandons the not-yet-started remainder as [Cancelled].
     Raises [Invalid_argument] on a non-positive deadline or negative
     retries/backoff. *)

@@ -153,6 +153,7 @@ let status_of_failure (f : Pool.failure) =
   | Pool.Crashed -> "failed"
   | Pool.Timed_out -> "timeout"
   | Pool.Quarantined -> "quarantined"
+  | Pool.Cancelled -> "cancelled"
 
 let failure_row ~arch ~label ~cell (f : Pool.failure) =
   {

@@ -1,0 +1,199 @@
+module Json = Sb_util.Json
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_of_string s =
+  let prefix p = String.length s > String.length p
+                 && String.sub s 0 (String.length p) = p in
+  let after p = String.sub s (String.length p) (String.length s - String.length p) in
+  if prefix "unix:" then Ok (Unix_sock (after "unix:"))
+  else if prefix "tcp:" then
+    match String.rindex_opt (after "tcp:") ':' with
+    | None -> (
+      (* bare port *)
+      match int_of_string_opt (after "tcp:") with
+      | Some port -> Ok (Tcp ("127.0.0.1", port))
+      | None -> Error (Printf.sprintf "bad tcp address %S (HOST:PORT)" s))
+    | Some i -> (
+      let hp = after "tcp:" in
+      let host = String.sub hp 0 i in
+      let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+      match int_of_string_opt port with
+      | Some port -> Ok (Tcp ((if host = "" then "127.0.0.1" else host), port))
+      | None -> Error (Printf.sprintf "bad tcp port in %S" s))
+  else if s <> "" then Ok (Unix_sock s)
+  else Error "empty server address"
+
+let addr_to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+type t = {
+  fd : Unix.file_descr;
+  addr : addr;
+  mutable pending : Buffer.t;  (* bytes read past the last frame *)
+}
+
+let connect_addr addr =
+  try
+    let fd =
+      match addr with
+      | Unix_sock path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      | Tcp (host, port) ->
+        let ip =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+            | h -> h.Unix.h_addr_list.(0))
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (ip, port));
+        fd
+    in
+    Ok { fd; addr; pending = Buffer.create 256 }
+  with
+  | Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf "cannot connect to %s: %s" (addr_to_string addr)
+         (Unix.error_message e))
+  | Not_found ->
+    Error (Printf.sprintf "cannot resolve host in %s" (addr_to_string addr))
+
+let connect s = Result.bind (addr_of_string s) connect_addr
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t req =
+  let data = Protocol.frame (Protocol.request_to_json req) in
+  let n = String.length data in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring t.fd data off (n - off) with
+      | 0 -> Error "server closed the connection"
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "write failed: %s" (Unix.error_message e))
+    else Ok ()
+  in
+  go 0
+
+let read_frame t =
+  let buf = Bytes.create 65536 in
+  let rec take_line () =
+    let data = Buffer.contents t.pending in
+    match String.index_opt data '\n' with
+    | Some nl ->
+      let line = String.sub data 0 nl in
+      Buffer.clear t.pending;
+      Buffer.add_substring t.pending data (nl + 1)
+        (String.length data - nl - 1);
+      Ok line
+    | None -> (
+      match Unix.read t.fd buf 0 (Bytes.length buf) with
+      | 0 -> Error "server closed the connection"
+      | n ->
+        Buffer.add_subbytes t.pending buf 0 n;
+        take_line ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> take_line ())
+  in
+  match take_line () with
+  | Error _ as e -> e
+  | Ok line -> Protocol.response_of_line line
+
+(* ------------------------------------------------------------------ *)
+(* High-level verbs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type job_end =
+  | Completed of { rows : int; failed : int }
+  | Was_cancelled of { dropped : int }
+  | Server_bye of string
+
+(* Stream one job: send the submission, call [on_row] per row, return how
+   the job ended.  [cancel_after], when set, sends a cancel frame as soon
+   as that many rows have arrived — the [--cancel N] test hook. *)
+let submit ?cancel_after ?(on_row = fun ~cached:_ _ -> ()) t ~id ~cells =
+  match send t (Protocol.Submit { id; cells }) with
+  | Error _ as e -> e
+  | Ok () ->
+    let seen = ref 0 in
+    let cancel_sent = ref false in
+    let rec loop () =
+      match read_frame t with
+      | Error _ as e -> e
+      | Ok (Protocol.Ack _) -> loop ()
+      | Ok (Protocol.Row { id = rid; cached; cell }) ->
+        if rid = id then begin
+          incr seen;
+          on_row ~cached cell;
+          (match cancel_after with
+          | Some n when !seen >= n && not !cancel_sent -> (
+            cancel_sent := true;
+            match send t (Protocol.Cancel { id }) with
+            | Ok () -> ()
+            | Error _ -> ())
+          | _ -> ())
+        end;
+        loop ()
+      | Ok (Protocol.Job_done { id = rid; rows; failed }) ->
+        if rid = id then Ok (Completed { rows; failed }) else loop ()
+      | Ok (Protocol.Cancelled { id = rid; dropped }) ->
+        if rid = id then Ok (Was_cancelled { dropped }) else loop ()
+      | Ok (Protocol.Error_msg { message; _ }) -> Error message
+      | Ok (Protocol.Bye { reason }) -> Ok (Server_bye reason)
+      | Ok (Protocol.Status_report _) | Ok (Protocol.Run_dump _) -> loop ()
+    in
+    loop ()
+
+let cancel t ~id =
+  match send t (Protocol.Cancel { id }) with
+  | Error _ as e -> e
+  | Ok () ->
+    let rec loop () =
+      match read_frame t with
+      | Error _ as e -> e
+      | Ok (Protocol.Cancelled { id = rid; dropped }) when rid = id ->
+        Ok dropped
+      | Ok (Protocol.Error_msg { message; _ }) -> Error message
+      | Ok (Protocol.Bye { reason }) ->
+        Error ("server shut down: " ^ reason)
+      | Ok _ -> loop ()
+    in
+    loop ()
+
+let status t =
+  match send t Protocol.Status with
+  | Error _ as e -> e
+  | Ok () ->
+    let rec loop () =
+      match read_frame t with
+      | Error _ as e -> e
+      | Ok (Protocol.Status_report payload) -> Ok payload
+      | Ok (Protocol.Error_msg { message; _ }) -> Error message
+      | Ok (Protocol.Bye { reason }) ->
+        Error ("server shut down: " ^ reason)
+      | Ok _ -> loop ()
+    in
+    loop ()
+
+let dump t =
+  match send t Protocol.Dump with
+  | Error _ as e -> e
+  | Ok () ->
+    let rec loop () =
+      match read_frame t with
+      | Error _ as e -> e
+      | Ok (Protocol.Run_dump { source; cells }) -> Ok (source, cells)
+      | Ok (Protocol.Error_msg { message; _ }) -> Error message
+      | Ok (Protocol.Bye { reason }) ->
+        Error ("server shut down: " ^ reason)
+      | Ok _ -> loop ()
+    in
+    loop ()
+
+let shutdown t = send t Protocol.Shutdown

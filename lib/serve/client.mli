@@ -1,0 +1,52 @@
+(** Blocking client for the benchmark service.
+
+    Addresses are ["unix:PATH"], ["tcp:HOST:PORT"], ["tcp:PORT"]
+    (loopback), or a bare path (treated as a Unix socket).  All calls
+    block until the server replies; errors are strings, never
+    exceptions. *)
+
+module Json = Sb_util.Json
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_of_string : string -> (addr, string) result
+val addr_to_string : addr -> string
+
+type t
+
+val connect : string -> (t, string) result
+val close : t -> unit
+
+val send : t -> Protocol.request -> (unit, string) result
+val read_frame : t -> (Protocol.response, string) result
+
+(** How a streamed job ended. *)
+type job_end =
+  | Completed of { rows : int; failed : int }
+  | Was_cancelled of { dropped : int }
+  | Server_bye of string  (** the server shut down mid-job *)
+
+val submit :
+  ?cancel_after:int ->
+  ?on_row:(cached:bool -> Json.t -> unit) ->
+  t ->
+  id:string ->
+  cells:Protocol.cell_spec list ->
+  (job_end, string) result
+(** Submit one job and stream its rows through [on_row] until the
+    server reports it done (or cancelled, or shuts down).
+    [cancel_after n] sends a cancel frame after the [n]-th row — the
+    mid-run cancellation path, exercised by tests and [--cancel]. *)
+
+val cancel : t -> id:string -> (int, string) result
+(** Returns the number of dropped (never-run) cells. *)
+
+val status : t -> (Json.t, string) result
+(** The server's {!Serve.status_json} payload. *)
+
+val dump : t -> (string * Json.t list, string) result
+(** [(source, cells)]: every row the server knows, as bench-JSON cell
+    objects — the feed for [compare]/[baseline] against a live server. *)
+
+val shutdown : t -> (unit, string) result
+(** Fire-and-forget graceful-shutdown request. *)

@@ -1,0 +1,104 @@
+(* Turning a cell spec into a measured row.  [validate] runs in the daemon
+   at submit time so a bad job is rejected whole with an [Error] frame;
+   [measure] runs inside a forked pool worker and rebuilds everything from
+   the spec's plain strings — rows it returns are marshallable records. *)
+
+type target =
+  | Bench of Simbench.Bench.t
+  | Workload of Sb_workloads.Workloads.t
+
+let resolve_target name =
+  match Simbench.Suite.find name with
+  | Some b -> Ok (Bench b)
+  | None -> (
+    match Simbench.Suite_ext.find name with
+    | Some b -> Ok (Bench b)
+    | None -> (
+      match Sb_workloads.Workloads.find name with
+      | Some w -> Ok (Workload w)
+      | None ->
+        Error (Printf.sprintf "unknown benchmark or workload %S" name)))
+
+let validate (sp : Protocol.cell_spec) =
+  match Simbench.Engines.of_string sp.Protocol.sp_arch sp.Protocol.sp_engine with
+  | Error e -> Error e
+  | Ok _ -> Result.map (fun _ -> ()) (resolve_target sp.Protocol.sp_bench)
+
+let min_of = List.fold_left min infinity
+
+let mean = function
+  | [] -> nan
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let perf_alist (o : Simbench.Harness.outcome) =
+  match o.Simbench.Harness.result.Sb_sim.Run_result.kernel_perf with
+  | None -> []
+  | Some p ->
+    List.map
+      (fun (c, n) -> (Sb_sim.Perf.to_string c, n))
+      (Sb_sim.Perf.to_alist p)
+
+let measure (sp : Protocol.cell_spec) : Sb_report.Experiments.row =
+  let arch = sp.Protocol.sp_arch in
+  let support = Simbench.Engines.support arch in
+  let engine =
+    match Simbench.Engines.of_string arch sp.Protocol.sp_engine with
+    | Ok e -> e
+    | Error msg -> failwith msg
+  in
+  let run1 () =
+    match resolve_target sp.Protocol.sp_bench with
+    | Error msg -> failwith msg
+    | Ok (Bench b) ->
+      Simbench.Harness.run ?iters:sp.Protocol.sp_iters ~support ~engine b
+    | Ok (Workload w) ->
+      Sb_workloads.Workloads.run ?iters:sp.Protocol.sp_iters ~support ~engine w
+  in
+  let repeats = max 1 sp.Protocol.sp_repeats in
+  let first = ref None in
+  let times = ref [] in
+  for _ = 1 to repeats do
+    let o = run1 () in
+    if !first = None then first := Some o;
+    times := o.Simbench.Harness.kernel_seconds :: !times
+  done;
+  let o = Option.get !first in
+  let times = List.rev !times in
+  {
+    Sb_report.Experiments.row_cell = sp.Protocol.sp_bench;
+    row_engine = sp.Protocol.sp_engine;
+    row_arch = Protocol.arch_name arch;
+    row_iters = o.Simbench.Harness.iters;
+    row_repeats = repeats;
+    row_seconds = min_of times;
+    row_mean_seconds = mean times;
+    row_samples = times;
+    row_kernel_insns = o.Simbench.Harness.kernel_insns;
+    row_perf = perf_alist o;
+    row_status = "ok";
+    row_note = "";
+  }
+
+let failure_row (sp : Protocol.cell_spec) (f : Sb_jobs.Pool.failure) :
+    Sb_report.Experiments.row =
+  let status =
+    match f.Sb_jobs.Pool.fl_kind with
+    | Sb_jobs.Pool.Crashed -> "failed"
+    | Sb_jobs.Pool.Timed_out -> "timeout"
+    | Sb_jobs.Pool.Quarantined -> "quarantined"
+    | Sb_jobs.Pool.Cancelled -> "cancelled"
+  in
+  {
+    Sb_report.Experiments.row_cell = sp.Protocol.sp_bench;
+    row_engine = sp.Protocol.sp_engine;
+    row_arch = Protocol.arch_name sp.Protocol.sp_arch;
+    row_iters = 0;
+    row_repeats = 0;
+    row_seconds = nan;
+    row_mean_seconds = nan;
+    row_samples = [];
+    row_kernel_insns = 0;
+    row_perf = [];
+    row_status = status;
+    row_note = f.Sb_jobs.Pool.fl_detail;
+  }

@@ -1,0 +1,19 @@
+(** Measuring one cell spec.
+
+    [validate] runs in the daemon before a job is accepted — an unknown
+    engine or bench rejects the whole submission with one error frame
+    instead of producing a half-failed job.  [measure] is the pool-worker
+    thunk: it rebuilds the engine and the bench from the spec's strings
+    and returns a marshallable {!Sb_report.Experiments.row}. *)
+
+val validate : Protocol.cell_spec -> (unit, string) result
+
+val measure : Protocol.cell_spec -> Sb_report.Experiments.row
+(** Runs the simulation ([repeats] times, min reported).  Raises on an
+    invalid spec or a guest failure — inside a worker that becomes a
+    [Failed] outcome. *)
+
+val failure_row :
+  Protocol.cell_spec -> Sb_jobs.Pool.failure -> Sb_report.Experiments.row
+(** The placeholder row for a cell the pool could not produce, with
+    status ["failed"], ["timeout"], ["quarantined"] or ["cancelled"]. *)

@@ -1,0 +1,380 @@
+module Json = Sb_util.Json
+
+let schema = "simbench-serve-json-1"
+
+(* ------------------------------------------------------------------ *)
+(* Cell specs                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type cell_spec = {
+  sp_bench : string;
+  sp_engine : string;
+  sp_arch : Sb_isa.Arch_sig.arch_id;
+  sp_iters : int option;
+  sp_repeats : int;
+}
+
+let arch_name = function
+  | Sb_isa.Arch_sig.Sba -> "sba"
+  | Sb_isa.Arch_sig.Vlx -> "vlx"
+
+let arch_of_name = function
+  | "sba" | "sba32" | "arm" -> Ok Sb_isa.Arch_sig.Sba
+  | "vlx" | "vlx32" | "x86" -> Ok Sb_isa.Arch_sig.Vlx
+  | s -> Error (Printf.sprintf "unknown architecture %S (sba|vlx)" s)
+
+let spec_label sp =
+  Printf.sprintf "%s/%s/%s" sp.sp_engine (arch_name sp.sp_arch) sp.sp_bench
+
+(* The content address of one cell: everything that determines its row.
+   The engine string must be canonical (Simbench.Engines.canonical_name)
+   before keying, so dbt release aliases share one entry. *)
+let spec_key sp =
+  Sb_jobs.Cache.fingerprint
+    ( "simbench-serve-cell",
+      schema,
+      sp.sp_bench,
+      sp.sp_engine,
+      arch_name sp.sp_arch,
+      sp.sp_iters,
+      sp.sp_repeats )
+
+let spec_to_json sp =
+  Json.Obj
+    ([
+       ("bench", Json.String sp.sp_bench);
+       ("engine", Json.String sp.sp_engine);
+       ("arch", Json.String (arch_name sp.sp_arch));
+     ]
+    @ (match sp.sp_iters with
+      | None -> []
+      | Some n -> [ ("iters", Json.Int n) ])
+    @ [ ("repeats", Json.Int sp.sp_repeats) ])
+
+let ( let* ) = Result.bind
+
+let str_field obj name =
+  match Option.bind (Json.member name obj) Json.string_opt with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "cell spec: missing string field %S" name)
+
+let spec_of_json j =
+  let* bench = str_field j "bench" in
+  let* engine = str_field j "engine" in
+  let* arch_s = str_field j "arch" in
+  let* arch = arch_of_name arch_s in
+  let* iters =
+    match Json.member "iters" j with
+    | None | Some Json.Null -> Ok None
+    | Some v -> (
+      match Json.int_opt v with
+      | Some n when n >= 1 -> Ok (Some n)
+      | _ -> Error "cell spec: \"iters\" must be a positive integer")
+  in
+  let* repeats =
+    match Json.member "repeats" j with
+    | None | Some Json.Null -> Ok 1
+    | Some v -> (
+      match Json.int_opt v with
+      | Some n when n >= 1 -> Ok n
+      | _ -> Error "cell spec: \"repeats\" must be a positive integer")
+  in
+  Ok
+    {
+      sp_bench = bench;
+      sp_engine = engine;
+      sp_arch = arch;
+      sp_iters = iters;
+      sp_repeats = repeats;
+    }
+
+let specs_of_json j =
+  match Option.bind (Json.member "cells" j) Json.list_opt with
+  | None -> Error "missing \"cells\" array"
+  | Some cells ->
+    if cells = [] then Error "\"cells\" is empty"
+    else
+      List.fold_left
+        (fun acc c ->
+          let* acc = acc in
+          let* sp = spec_of_json c in
+          Ok (sp :: acc))
+        (Ok []) cells
+      |> Result.map List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Rows: the same cell shape bench/main.exe --json writes, so serve     *)
+(* output feeds straight into Sb_regress.Baseline readers.              *)
+(* ------------------------------------------------------------------ *)
+
+let row_to_json (r : Sb_report.Experiments.row) =
+  Json.Obj
+    [
+      ("cell", Json.String r.Sb_report.Experiments.row_cell);
+      ("engine", Json.String r.Sb_report.Experiments.row_engine);
+      ("arch", Json.String r.Sb_report.Experiments.row_arch);
+      ("iters", Json.Int r.Sb_report.Experiments.row_iters);
+      ("repeats", Json.Int r.Sb_report.Experiments.row_repeats);
+      ("seconds", Json.Float r.Sb_report.Experiments.row_seconds);
+      ("mean_seconds", Json.Float r.Sb_report.Experiments.row_mean_seconds);
+      ( "samples",
+        Json.List
+          (List.map
+             (fun s -> Json.Float s)
+             r.Sb_report.Experiments.row_samples) );
+      ("kernel_insns", Json.Int r.Sb_report.Experiments.row_kernel_insns);
+      ( "kernel_perf",
+        Json.Obj
+          (List.map
+             (fun (name, n) -> (name, Json.Int n))
+             r.Sb_report.Experiments.row_perf) );
+      ("status", Json.String r.Sb_report.Experiments.row_status);
+      ("status_note", Json.String r.Sb_report.Experiments.row_note);
+    ]
+
+let int_field obj name =
+  match Option.bind (Json.member name obj) Json.int_opt with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "row: missing integer field %S" name)
+
+let float_field obj name =
+  match Option.bind (Json.member name obj) Json.float_opt with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "row: missing number field %S" name)
+
+let row_of_json j =
+  let* cell = str_field j "cell" in
+  let* engine = str_field j "engine" in
+  let* arch = str_field j "arch" in
+  let* iters = int_field j "iters" in
+  let* repeats = int_field j "repeats" in
+  let* seconds = float_field j "seconds" in
+  let* mean_seconds = float_field j "mean_seconds" in
+  let* samples =
+    match Option.bind (Json.member "samples" j) Json.list_opt with
+    | None -> Error "row: missing \"samples\" array"
+    | Some l ->
+      List.fold_left
+        (fun acc s ->
+          let* acc = acc in
+          match Json.float_opt s with
+          | Some f -> Ok (f :: acc)
+          | None -> Error "row: non-numeric entry in \"samples\"")
+        (Ok []) l
+      |> Result.map List.rev
+  in
+  let* kernel_insns = int_field j "kernel_insns" in
+  let perf =
+    match Json.member "kernel_perf" j with
+    | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (name, v) -> Option.map (fun n -> (name, n)) (Json.int_opt v))
+        fields
+    | _ -> []
+  in
+  let* status = str_field j "status" in
+  let note =
+    match Option.bind (Json.member "status_note" j) Json.string_opt with
+    | Some s -> s
+    | None -> ""
+  in
+  Ok
+    {
+      Sb_report.Experiments.row_cell = cell;
+      row_engine = engine;
+      row_arch = arch;
+      row_iters = iters;
+      row_repeats = repeats;
+      row_seconds = seconds;
+      row_mean_seconds = mean_seconds;
+      row_samples = samples;
+      row_kernel_insns = kernel_insns;
+      row_perf = perf;
+      row_status = status;
+      row_note = note;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type request =
+  | Submit of { id : string; cells : cell_spec list }
+  | Cancel of { id : string }
+  | Status
+  | Dump
+  | Shutdown
+
+let tagged fields = Json.Obj (("schema", Json.String schema) :: fields)
+
+let request_to_json = function
+  | Submit { id; cells } ->
+    tagged
+      [
+        ("op", Json.String "submit");
+        ("id", Json.String id);
+        ("cells", Json.List (List.map spec_to_json cells));
+      ]
+  | Cancel { id } ->
+    tagged [ ("op", Json.String "cancel"); ("id", Json.String id) ]
+  | Status -> tagged [ ("op", Json.String "status") ]
+  | Dump -> tagged [ ("op", Json.String "dump") ]
+  | Shutdown -> tagged [ ("op", Json.String "shutdown") ]
+
+let check_schema j =
+  match Option.bind (Json.member "schema" j) Json.string_opt with
+  | Some s when s = schema -> Ok ()
+  | Some s ->
+    Error
+      (Printf.sprintf "unsupported schema %S (this server speaks %S)" s schema)
+  | None ->
+    Error (Printf.sprintf "missing \"schema\" field (expected %S)" schema)
+
+let op_of j =
+  match Option.bind (Json.member "op" j) Json.string_opt with
+  | Some op -> Ok op
+  | None -> Error "missing \"op\" field"
+
+let id_of j =
+  match Option.bind (Json.member "id" j) Json.string_opt with
+  | Some id when id <> "" -> Ok id
+  | Some _ -> Error "\"id\" must be non-empty"
+  | None -> Error "missing \"id\" field"
+
+let request_of_json j =
+  let* () = check_schema j in
+  let* op = op_of j in
+  match op with
+  | "submit" ->
+    let* id = id_of j in
+    let* cells = specs_of_json j in
+    Ok (Submit { id; cells })
+  | "cancel" ->
+    let* id = id_of j in
+    Ok (Cancel { id })
+  | "status" -> Ok Status
+  | "dump" -> Ok Dump
+  | "shutdown" -> Ok Shutdown
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+let request_of_line line =
+  match Json.of_string line with
+  | Error msg -> Error ("malformed frame: " ^ msg)
+  | Ok j -> request_of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type response =
+  | Ack of { id : string; cells : int }
+  | Row of { id : string; cached : bool; cell : Json.t }
+  | Job_done of { id : string; rows : int; failed : int }
+  | Cancelled of { id : string; dropped : int }
+  | Status_report of Json.t
+  | Run_dump of { source : string; cells : Json.t list }
+  | Error_msg of { id : string option; message : string }
+  | Bye of { reason : string }
+
+let response_to_json = function
+  | Ack { id; cells } ->
+    tagged
+      [
+        ("op", Json.String "ack");
+        ("id", Json.String id);
+        ("cells", Json.Int cells);
+      ]
+  | Row { id; cached; cell } ->
+    tagged
+      [
+        ("op", Json.String "row");
+        ("id", Json.String id);
+        ("cached", Json.Bool cached);
+        ("cell", cell);
+      ]
+  | Job_done { id; rows; failed } ->
+    tagged
+      [
+        ("op", Json.String "done");
+        ("id", Json.String id);
+        ("rows", Json.Int rows);
+        ("failed", Json.Int failed);
+      ]
+  | Cancelled { id; dropped } ->
+    tagged
+      [
+        ("op", Json.String "cancelled");
+        ("id", Json.String id);
+        ("dropped", Json.Int dropped);
+      ]
+  | Status_report payload -> tagged [ ("op", Json.String "status"); ("report", payload) ]
+  | Run_dump { source; cells } ->
+    tagged
+      [
+        ("op", Json.String "run");
+        ("source", Json.String source);
+        ("cells", Json.List cells);
+      ]
+  | Error_msg { id; message } ->
+    tagged
+      ([ ("op", Json.String "error") ]
+      @ (match id with None -> [] | Some id -> [ ("id", Json.String id) ])
+      @ [ ("message", Json.String message) ])
+  | Bye { reason } ->
+    tagged [ ("op", Json.String "bye"); ("reason", Json.String reason) ]
+
+let response_of_json j =
+  let* () = check_schema j in
+  let* op = op_of j in
+  match op with
+  | "ack" ->
+    let* id = id_of j in
+    let* cells = int_field j "cells" in
+    Ok (Ack { id; cells })
+  | "row" ->
+    let* id = id_of j in
+    let cached =
+      match Json.member "cached" j with Some (Json.Bool b) -> b | _ -> false
+    in
+    let* cell =
+      match Json.member "cell" j with
+      | Some c -> Ok c
+      | None -> Error "row response: missing \"cell\""
+    in
+    Ok (Row { id; cached; cell })
+  | "done" ->
+    let* id = id_of j in
+    let* rows = int_field j "rows" in
+    let* failed = int_field j "failed" in
+    Ok (Job_done { id; rows; failed })
+  | "cancelled" ->
+    let* id = id_of j in
+    let* dropped = int_field j "dropped" in
+    Ok (Cancelled { id; dropped })
+  | "status" -> (
+    match Json.member "report" j with
+    | Some payload -> Ok (Status_report payload)
+    | None -> Error "status response: missing \"report\"")
+  | "run" ->
+    let* source = str_field j "source" in
+    let* cells =
+      match Option.bind (Json.member "cells" j) Json.list_opt with
+      | Some l -> Ok l
+      | None -> Error "run response: missing \"cells\" array"
+    in
+    Ok (Run_dump { source; cells })
+  | "error" ->
+    let id = Option.bind (Json.member "id" j) Json.string_opt in
+    let* message = str_field j "message" in
+    Ok (Error_msg { id; message })
+  | "bye" ->
+    let* reason = str_field j "reason" in
+    Ok (Bye { reason })
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+let response_of_line line =
+  match Json.of_string line with
+  | Error msg -> Error ("malformed frame: " ^ msg)
+  | Ok j -> response_of_json j
+
+let frame j = Json.to_string j ^ "\n"

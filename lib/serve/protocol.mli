@@ -1,0 +1,93 @@
+(** Wire protocol of the benchmark service: newline-delimited JSON frames,
+    schema [simbench-serve-json-1].
+
+    Every frame — request or response — is one JSON object on one line,
+    carrying a ["schema"] field; frames with a different schema value are
+    rejected before any other field is inspected, so old clients get one
+    clear error instead of a field-by-field parse failure.  Malformed JSON
+    is reported with {!Sb_util.Json}'s line/column positions.
+
+    Row cells reuse the exact JSON shape of [bench/main.exe --json] cells,
+    so rows streamed from a server feed straight into
+    [Sb_regress.Baseline.cell_of_json] and the [compare]/[baseline]
+    verbs. *)
+
+module Json = Sb_util.Json
+
+val schema : string
+(** ["simbench-serve-json-1"]. *)
+
+(** {2 Cell specs} *)
+
+type cell_spec = {
+  sp_bench : string;  (** suite bench, extension bench or workload name *)
+  sp_engine : string;  (** engine spelling per {!Simbench.Engines.of_string} *)
+  sp_arch : Sb_isa.Arch_sig.arch_id;
+  sp_iters : int option;  (** [None] = the bench/workload default *)
+  sp_repeats : int;  (** >= 1 *)
+}
+
+val arch_name : Sb_isa.Arch_sig.arch_id -> string
+(** ["sba"] / ["vlx"] — the row-JSON arch names. *)
+
+val arch_of_name : string -> (Sb_isa.Arch_sig.arch_id, string) result
+(** Accepts [sba]/[sba32]/[arm] and [vlx]/[vlx32]/[x86]. *)
+
+val spec_label : cell_spec -> string
+(** ["engine/arch/bench"], for logs and failure rows. *)
+
+val spec_key : cell_spec -> string
+(** Content address of the cell's result: a {!Sb_jobs.Cache.fingerprint}
+    over the schema version and every spec field.  The engine string must
+    already be canonical ({!Simbench.Engines.canonical_name}) so alias
+    spellings of the same engine share one cache entry. *)
+
+val spec_to_json : cell_spec -> Json.t
+val spec_of_json : Json.t -> (cell_spec, string) result
+
+val specs_of_json : Json.t -> (cell_spec list, string) result
+(** The non-empty ["cells"] array of a submission frame or a spec file. *)
+
+(** {2 Rows} *)
+
+val row_to_json : Sb_report.Experiments.row -> Json.t
+val row_of_json : Json.t -> (Sb_report.Experiments.row, string) result
+
+(** {2 Requests (client to server)} *)
+
+type request =
+  | Submit of { id : string; cells : cell_spec list }
+  | Cancel of { id : string }
+  | Status
+  | Dump  (** every row the server has produced or loaded, as a run *)
+  | Shutdown
+
+val request_to_json : request -> Json.t
+
+val request_of_line : string -> (request, string) result
+(** Parse one frame (without its trailing newline).  Errors cover
+    malformed JSON (with line/column), schema mismatch, and missing or
+    ill-typed fields. *)
+
+(** {2 Responses (server to client)} *)
+
+type response =
+  | Ack of { id : string; cells : int }  (** job accepted, cells validated *)
+  | Row of { id : string; cached : bool; cell : Json.t }
+      (** one result row; [cached] when it was served without running a
+          simulation (persistent cache hit or coalesced with an in-flight
+          computation) *)
+  | Job_done of { id : string; rows : int; failed : int }
+  | Cancelled of { id : string; dropped : int }
+      (** [dropped] cells were abandoned before running *)
+  | Status_report of Json.t
+  | Run_dump of { source : string; cells : Json.t list }
+  | Error_msg of { id : string option; message : string }
+      (** [id] present when the error rejects a specific job *)
+  | Bye of { reason : string }  (** server is shutting down *)
+
+val response_to_json : response -> Json.t
+val response_of_line : string -> (response, string) result
+
+val frame : Json.t -> string
+(** One wire frame: the compact JSON encoding plus the ['\n'] terminator. *)

@@ -368,6 +368,114 @@ let test_cell_rows_cached_on_disk () =
     first second;
   rm_rf dir
 
+(* --- cancellation tokens & external scheduling ----------------------- *)
+
+let test_cancelled_token_skips_everything () =
+  let tok = Pool.token () in
+  Pool.cancel tok;
+  let stats = Pool.stats () in
+  let tasks =
+    List.init 3 (fun i -> Pool.task ~label:(Printf.sprintf "t%d" i) (fun () -> i))
+  in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (function
+          | Pool.Failed f ->
+            Alcotest.(check bool) "kind is Cancelled" true
+              (f.Pool.fl_kind = Pool.Cancelled);
+            Alcotest.(check int) "no attempts run" 0 f.Pool.fl_attempts
+          | _ -> Alcotest.fail "expected Failed Cancelled")
+        (Pool.run ~jobs ~stats ~cancel:tok tasks))
+    [ 1; 3 ];
+  Alcotest.(check int) "all counted cancelled" 6 stats.Pool.cancelled;
+  Alcotest.(check int) "nothing forked" 0 stats.Pool.forked
+
+let test_sequential_thunk_cancels_remainder () =
+  (* at jobs=1 the thunks run in-process, so a task can cancel the rest *)
+  let tok = Pool.token () in
+  let task label v = Pool.task ~label (fun () -> v) in
+  let tasks =
+    [
+      Pool.task ~label:"first" (fun () ->
+          Pool.cancel tok;
+          "ran");
+      task "second" "ran";
+      task "third" "ran";
+    ]
+  in
+  match Pool.run ~jobs:1 ~cancel:tok tasks with
+  | [ Pool.Done "ran"; Pool.Failed f2; Pool.Failed f3 ] ->
+    Alcotest.(check bool) "second cancelled" true
+      (f2.Pool.fl_kind = Pool.Cancelled);
+    Alcotest.(check bool) "third cancelled" true
+      (f3.Pool.fl_kind = Pool.Cancelled)
+  | _ -> Alcotest.fail "expected Done then two Cancelled"
+
+let test_sched_external_select_loop () =
+  (* the serve daemon's usage: callers own the select loop and feed
+     readable fds to pump *)
+  let stats = Pool.stats () in
+  let s = Pool.Sched.create ~jobs:2 ~stats () in
+  let got = Array.make 5 None in
+  for i = 0 to 4 do
+    Pool.Sched.submit s
+      (Pool.task ~label:(Printf.sprintf "mul%d" i) (fun () -> i * 3))
+      ~k:(fun o -> got.(i) <- Some o)
+  done;
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  while (not (Pool.Sched.idle s)) && Unix.gettimeofday () < deadline do
+    let tmo = Pool.Sched.timeout s in
+    let tmo = if tmo < 0.0 then 0.2 else Float.min tmo 0.2 in
+    let readable, _, _ =
+      try Unix.select (Pool.Sched.fds s) [] [] tmo
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    Pool.Sched.pump s ~readable
+  done;
+  Alcotest.(check bool) "scheduler drained" true (Pool.Sched.idle s);
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Some (Pool.Done v) -> Alcotest.(check int) "positional result" (i * 3) v
+      | _ -> Alcotest.fail "missing or failed outcome")
+    got;
+  Alcotest.(check int) "five attempts run" 5 stats.Pool.executed
+
+let test_sched_cancel_drops_queued_only () =
+  (* cancelling from a completion callback must drop queued work without
+     SIGKILLing the worker that is already running *)
+  let stats = Pool.stats () in
+  let s = Pool.Sched.create ~jobs:1 ~stats () in
+  let tok = Pool.token () in
+  let outcomes = Array.make 4 None in
+  Pool.Sched.submit s
+    (Pool.task ~label:"runner" (fun () ->
+         Unix.sleepf 0.05;
+         "ran"))
+    ~k:(fun o ->
+      Pool.cancel tok;
+      outcomes.(0) <- Some o);
+  for i = 1 to 3 do
+    Pool.Sched.submit s ~cancel:tok
+      (Pool.task ~label:(Printf.sprintf "queued%d" i) (fun () -> "ran"))
+      ~k:(fun o -> outcomes.(i) <- Some o)
+  done;
+  Pool.Sched.drain s;
+  (match outcomes.(0) with
+  | Some (Pool.Done "ran") -> ()
+  | _ -> Alcotest.fail "running task should complete, not be killed");
+  for i = 1 to 3 do
+    match outcomes.(i) with
+    | Some (Pool.Failed f) ->
+      Alcotest.(check bool) "queued task cancelled" true
+        (f.Pool.fl_kind = Pool.Cancelled)
+    | _ -> Alcotest.fail "queued task should be dropped as Cancelled"
+  done;
+  Alcotest.(check int) "three cancellations counted" 3 stats.Pool.cancelled;
+  Alcotest.(check int) "only the runner forked" 1 stats.Pool.forked;
+  Alcotest.(check bool) "drained" true (Pool.Sched.idle s)
+
 let () =
   Random.self_init ();
   Alcotest.run "sb_jobs"
@@ -393,6 +501,17 @@ let () =
           Alcotest.test_case "hit without fork" `Quick test_cache_hit_without_fork;
           Alcotest.test_case "corruption is a miss" `Quick test_cache_rejects_corruption;
           Alcotest.test_case "fingerprint knobs" `Quick test_fingerprint_moves_with_knobs;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "cancelled token skips all" `Quick
+            test_cancelled_token_skips_everything;
+          Alcotest.test_case "thunk cancels remainder" `Quick
+            test_sequential_thunk_cancels_remainder;
+          Alcotest.test_case "external select loop" `Quick
+            test_sched_external_select_loop;
+          Alcotest.test_case "cancel drops queued only" `Quick
+            test_sched_cancel_drops_queued_only;
         ] );
       ( "experiments",
         [

@@ -1,0 +1,551 @@
+(* Tests for the benchmark service (Sb_serve): the wire protocol must
+   round-trip specs and rows and reject malformed or wrong-schema frames
+   with precise errors; the daemon — driven here one select-step at a
+   time, in-process — must stream rows, deduplicate identical cells
+   through the shared store, bound each client's in-flight window, survive
+   mid-run cancellation with the pool and cache left consistent, and
+   reject bad jobs atomically. *)
+
+module Json = Sb_util.Json
+module Protocol = Sb_serve.Protocol
+module Serve = Sb_serve.Serve
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec loop i =
+    if i + n > String.length haystack then false
+    else String.sub haystack i n = needle || loop (i + 1)
+  in
+  loop 0
+
+let check_contains what haystack needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (%S in %S)" what needle haystack)
+    true (contains haystack needle)
+
+let tmp_dir prefix =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s_%d_%d" prefix (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Sb_jobs.Cache.mkdir_p dir;
+  dir
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+let spec ?(bench = "System Call") ?(engine = "interp")
+    ?(arch = Sb_isa.Arch_sig.Sba) ?iters ?(repeats = 1) () =
+  {
+    Protocol.sp_bench = bench;
+    sp_engine = engine;
+    sp_arch = arch;
+    sp_iters = iters;
+    sp_repeats = repeats;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_round_trip () =
+  let specs =
+    [
+      spec ();
+      spec ~bench:"Small Blocks" ~engine:"dbt@v2.0.0" ~arch:Sb_isa.Arch_sig.Vlx
+        ~iters:123 ~repeats:3 ();
+    ]
+  in
+  List.iter
+    (fun sp ->
+      match Protocol.spec_of_json (Protocol.spec_to_json sp) with
+      | Ok sp' ->
+        Alcotest.(check bool) "spec round-trips" true (sp = sp')
+      | Error msg -> Alcotest.fail msg)
+    specs
+
+let test_spec_key_canonical () =
+  (* alias spellings of the same engine share a content address once
+     canonicalised — the property the serve dedup relies on *)
+  Alcotest.(check string)
+    "gem5 canonicalises" "detailed"
+    (Simbench.Engines.canonical_name "gem5");
+  Alcotest.(check string)
+    "hw canonicalises" "native"
+    (Simbench.Engines.canonical_name "hw");
+  let k e =
+    Protocol.spec_key
+      (spec ~engine:(Simbench.Engines.canonical_name e) ~iters:50 ())
+  in
+  Alcotest.(check string) "alias keys collide" (k "gem5") (k "detailed");
+  Alcotest.(check bool) "different engines differ" true (k "interp" <> k "dbt");
+  Alcotest.(check bool)
+    "iters moves the key" true
+    (Protocol.spec_key (spec ~iters:50 ())
+    <> Protocol.spec_key (spec ~iters:51 ()))
+
+let test_row_round_trip () =
+  let row =
+    {
+      Sb_report.Experiments.row_cell = "System Call";
+      row_engine = "interp";
+      row_arch = "sba";
+      row_iters = 50;
+      row_repeats = 2;
+      row_seconds = 0.125;
+      row_mean_seconds = 0.25;
+      row_samples = [ 0.25; 0.125 ];
+      row_kernel_insns = 4242;
+      row_perf = [ ("Instructions", 4242); ("Loads", 7) ];
+      row_status = "ok";
+      row_note = "";
+    }
+  in
+  match Protocol.row_of_json (Protocol.row_to_json row) with
+  | Ok row' -> Alcotest.(check bool) "row round-trips" true (row = row')
+  | Error msg -> Alcotest.fail msg
+
+let test_request_round_trip () =
+  let reqs =
+    [
+      Protocol.Submit { id = "j1"; cells = [ spec ~iters:9 () ] };
+      Protocol.Cancel { id = "j1" };
+      Protocol.Status;
+      Protocol.Dump;
+      Protocol.Shutdown;
+    ]
+  in
+  List.iter
+    (fun req ->
+      match
+        Protocol.request_of_line (Json.to_string (Protocol.request_to_json req))
+      with
+      | Ok req' -> Alcotest.(check bool) "request round-trips" true (req = req')
+      | Error msg -> Alcotest.fail msg)
+    reqs
+
+let test_response_round_trip () =
+  let resps =
+    [
+      Protocol.Ack { id = "j"; cells = 3 };
+      Protocol.Row
+        { id = "j"; cached = true; cell = Json.Obj [ ("cell", Json.String "x") ] };
+      Protocol.Job_done { id = "j"; rows = 2; failed = 1 };
+      Protocol.Cancelled { id = "j"; dropped = 4 };
+      Protocol.Status_report (Json.Obj [ ("clients", Json.Int 1) ]);
+      Protocol.Run_dump { source = "serve"; cells = [ Json.Null ] };
+      Protocol.Error_msg { id = Some "j"; message = "nope" };
+      Protocol.Error_msg { id = None; message = "nope" };
+      Protocol.Bye { reason = "stopping" };
+    ]
+  in
+  List.iter
+    (fun resp ->
+      match
+        Protocol.response_of_line
+          (Json.to_string (Protocol.response_to_json resp))
+      with
+      | Ok resp' ->
+        Alcotest.(check bool) "response round-trips" true (resp = resp')
+      | Error msg -> Alcotest.fail msg)
+    resps
+
+let test_malformed_frame_has_position () =
+  match Protocol.request_of_line "{\"schema\": \"x\", " with
+  | Ok _ -> Alcotest.fail "parsed garbage"
+  | Error msg ->
+    check_contains "malformed" msg "malformed frame";
+    check_contains "line" msg "line 1";
+    check_contains "column" msg "column"
+
+let test_schema_version_rejected () =
+  let frame =
+    Json.to_string
+      (Json.Obj
+         [
+           ("schema", Json.String "simbench-serve-json-0");
+           ("op", Json.String "status");
+         ])
+  in
+  (match Protocol.request_of_line frame with
+  | Ok _ -> Alcotest.fail "accepted an old schema"
+  | Error msg ->
+    check_contains "names the offender" msg "simbench-serve-json-0";
+    check_contains "names the expectation" msg Protocol.schema);
+  match Protocol.request_of_line "{\"op\": \"status\"}" with
+  | Ok _ -> Alcotest.fail "accepted an untagged frame"
+  | Error msg -> check_contains "missing schema" msg "schema"
+
+(* ------------------------------------------------------------------ *)
+(* In-process server harness                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_server ?(jobs = 1) ?(window = 0) ?cache_dir f =
+  let dir = tmp_dir "sb_serve" in
+  let path = Filename.concat dir "s.sock" in
+  let cfg =
+    {
+      Serve.default_config with
+      Serve.unix_path = Some path;
+      jobs;
+      window;
+      cache_dir;
+    }
+  in
+  let t = Serve.create cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.close t;
+      rm_rf dir)
+    (fun () -> f t path)
+
+type tclient = {
+  fd : Unix.file_descr;
+  partial : Buffer.t;
+  mutable frames : Protocol.response list;  (* arrival order *)
+}
+
+let tconnect server path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Unix.set_nonblock fd;
+  Serve.step ~timeout:0.01 server;
+  { fd; partial = Buffer.create 256; frames = [] }
+
+let tclose tc = try Unix.close tc.fd with Unix.Unix_error _ -> ()
+
+let tsend_raw tc line =
+  let data = line ^ "\n" in
+  let n = Unix.write_substring tc.fd data 0 (String.length data) in
+  Alcotest.(check int) "frame written whole" (String.length data) n
+
+let tsend tc req = tsend_raw tc (Json.to_string (Protocol.request_to_json req))
+
+let tread tc =
+  let buf = Bytes.create 4096 in
+  let rec slurp () =
+    match Unix.read tc.fd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes tc.partial buf 0 n;
+      slurp ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> slurp ()
+  in
+  slurp ();
+  let data = Buffer.contents tc.partial in
+  Buffer.clear tc.partial;
+  let rec split start =
+    match String.index_from_opt data start '\n' with
+    | None ->
+      Buffer.add_substring tc.partial data start (String.length data - start)
+    | Some nl ->
+      let line = String.sub data start (nl - start) in
+      (match Protocol.response_of_line line with
+      | Ok resp -> tc.frames <- tc.frames @ [ resp ]
+      | Error msg -> Alcotest.fail ("unparsable server frame: " ^ msg));
+      split (nl + 1)
+  in
+  split 0
+
+let wait_for ?(timeout = 60.0) ?(read = true) server tc pred what =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if read then tread tc;
+    if List.exists pred tc.frames then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail ("timed out waiting for " ^ what)
+    else begin
+      Serve.step ~timeout:0.02 server;
+      go ()
+    end
+  in
+  go ()
+
+let rows_of tc id =
+  List.filter_map
+    (function
+      | Protocol.Row { id = rid; cached; cell } when rid = id ->
+        Some (cached, cell)
+      | _ -> None)
+    tc.frames
+
+let row_status cell =
+  match Option.bind (Json.member "status" cell) Json.string_opt with
+  | Some s -> s
+  | None -> "?"
+
+let counter server name =
+  match
+    Option.bind (Json.member "counters" (Serve.status_json server)) (fun c ->
+        Option.bind (Json.member name c) Json.int_opt)
+  with
+  | Some n -> n
+  | None -> Alcotest.fail ("status_json has no counter " ^ name)
+
+let is_done id = function
+  | Protocol.Job_done { id = rid; _ } -> rid = id
+  | _ -> false
+
+let is_cancelled id = function
+  | Protocol.Cancelled { id = rid; _ } -> rid = id
+  | _ -> false
+
+let is_error = function Protocol.Error_msg _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Daemon behaviour                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let quick_cells = [ spec ~iters:30 (); spec ~iters:40 () ]
+
+let test_submit_streams_rows () =
+  with_server ~jobs:2 (fun server path ->
+      let tc = tconnect server path in
+      Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
+      tsend tc (Protocol.Submit { id = "j1"; cells = quick_cells });
+      wait_for server tc (is_done "j1") "job j1 done";
+      let rows = rows_of tc "j1" in
+      Alcotest.(check int) "one row per cell" 2 (List.length rows);
+      List.iter
+        (fun (cached, cell) ->
+          Alcotest.(check bool) "freshly simulated" false cached;
+          Alcotest.(check string) "status ok" "ok" (row_status cell))
+        rows;
+      (match List.find_opt (is_done "j1") tc.frames with
+      | Some (Protocol.Job_done { rows; failed; _ }) ->
+        Alcotest.(check int) "done counts rows" 2 rows;
+        Alcotest.(check int) "no failures" 0 failed
+      | _ -> assert false);
+      Alcotest.(check bool) "scheduler drained" true (Serve.idle server))
+
+let test_identical_jobs_deduplicate () =
+  with_server ~jobs:2 (fun server path ->
+      let tc = tconnect server path in
+      Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
+      tsend tc (Protocol.Submit { id = "a"; cells = quick_cells });
+      wait_for server tc (is_done "a") "job a done";
+      Alcotest.(check int) "cold run simulated" 2 (counter server "simulated");
+      tsend tc (Protocol.Submit { id = "b"; cells = quick_cells });
+      wait_for server tc (is_done "b") "job b done";
+      let rows = rows_of tc "b" in
+      Alcotest.(check int) "full row set again" 2 (List.length rows);
+      List.iter
+        (fun (cached, _) ->
+          Alcotest.(check bool) "served without simulating" true cached)
+        rows;
+      Alcotest.(check int) "nothing new simulated" 2
+        (counter server "simulated");
+      Alcotest.(check bool)
+        "dedup counter moved" true
+        (counter server "deduplicated" >= 2))
+
+let test_two_clients_share_results () =
+  with_server ~jobs:1 (fun server path ->
+      let a = tconnect server path in
+      let b = tconnect server path in
+      Fun.protect ~finally:(fun () -> tclose a; tclose b) @@ fun () ->
+      (* same cells submitted by both clients back to back: the second
+         client's cells either coalesce onto the in-flight computation or
+         hit the store — never a second simulation *)
+      tsend a (Protocol.Submit { id = "j"; cells = quick_cells });
+      tsend b (Protocol.Submit { id = "j"; cells = quick_cells });
+      wait_for server a (is_done "j") "client a done";
+      wait_for server b (is_done "j") "client b done";
+      Alcotest.(check int) "each client got all rows (a)" 2
+        (List.length (rows_of a "j"));
+      Alcotest.(check int) "each client got all rows (b)" 2
+        (List.length (rows_of b "j"));
+      Alcotest.(check int) "one simulation per distinct cell" 2
+        (counter server "simulated");
+      Alcotest.(check bool)
+        "b deduplicated" true
+        (counter server "deduplicated" >= 2))
+
+let test_window_bounds_inflight () =
+  with_server ~jobs:4 ~window:1 (fun server path ->
+      let tc = tconnect server path in
+      Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
+      let cells = List.map (fun i -> spec ~iters:(20 + i) ()) [ 0; 1; 2; 3 ] in
+      tsend tc (Protocol.Submit { id = "w"; cells });
+      (* the client reads nothing: the server may buffer rows, but must
+         never have more than [window] of this client's cells in flight *)
+      let max_seen = ref 0 in
+      let deadline = Unix.gettimeofday () +. 60.0 in
+      let rec pump () =
+        Serve.step ~timeout:0.02 server;
+        (match Json.member "per_client" (Serve.status_json server) with
+        | Some (Json.List [ Json.Obj fields ]) -> (
+          match List.assoc_opt "inflight" fields with
+          | Some (Json.Int n) -> if n > !max_seen then max_seen := n
+          | _ -> ())
+        | _ -> ());
+        tread tc;
+        if not (List.exists (is_done "w") tc.frames) then
+          if Unix.gettimeofday () > deadline then
+            Alcotest.fail "timed out waiting for windowed job"
+          else pump ()
+      in
+      pump ();
+      Alcotest.(check int) "all rows still delivered" 4
+        (List.length (rows_of tc "w"));
+      Alcotest.(check bool)
+        (Printf.sprintf "in-flight bounded by window (saw %d)" !max_seen)
+        true (!max_seen <= 1))
+
+let test_cancel_mid_run () =
+  with_server ~jobs:1 (fun server path ->
+      let tc = tconnect server path in
+      Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
+      let cells = List.map (fun i -> spec ~iters:(50 + i) ()) [ 0; 1; 2; 3 ] in
+      tsend tc (Protocol.Submit { id = "c"; cells });
+      wait_for server tc
+        (function Protocol.Row { id = "c"; _ } -> true | _ -> false)
+        "first row";
+      tsend tc (Protocol.Cancel { id = "c" });
+      wait_for server tc (is_cancelled "c") "cancellation confirmed";
+      (match List.find_opt (is_cancelled "c") tc.frames with
+      | Some (Protocol.Cancelled { dropped; _ }) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "dropped some cells (%d)" dropped)
+          true (dropped >= 1)
+      | _ -> assert false);
+      (* the pool drains to idle: queued work vanished, running workers
+         completed — nothing was SIGKILLed mid-simulation *)
+      let deadline = Unix.gettimeofday () +. 60.0 in
+      while (not (Serve.idle server)) && Unix.gettimeofday () < deadline do
+        Serve.step ~timeout:0.02 server
+      done;
+      Alcotest.(check bool) "pool drained after cancel" true (Serve.idle server);
+      Alcotest.(check bool)
+        "cancellations counted" true
+        (counter server "cancelled_cells" >= 1);
+      (* resubmitting the same cells works, and previously-finished cells
+         come back from the store *)
+      tsend tc (Protocol.Submit { id = "c2"; cells });
+      wait_for server tc (is_done "c2") "resubmission done";
+      let rows = rows_of tc "c2" in
+      Alcotest.(check int) "complete row set after cancel" 4
+        (List.length rows);
+      List.iter
+        (fun (_, cell) ->
+          Alcotest.(check string) "all ok" "ok" (row_status cell))
+        rows;
+      Alcotest.(check bool)
+        "at least the finished cell was cached" true
+        (List.exists (fun (cached, _) -> cached) rows))
+
+let test_bad_jobs_rejected_atomically () =
+  with_server (fun server path ->
+      let tc = tconnect server path in
+      Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
+      (* unknown bench: the whole job is rejected, nothing runs *)
+      tsend tc
+        (Protocol.Submit { id = "bad"; cells = [ spec (); spec ~bench:"Nope" () ] });
+      wait_for server tc is_error "rejection";
+      (match List.find_opt is_error tc.frames with
+      | Some (Protocol.Error_msg { id; message }) ->
+        Alcotest.(check (option string)) "error names the job" (Some "bad") id;
+        check_contains "error names the cell" message "Nope"
+      | _ -> assert false);
+      Alcotest.(check int) "nothing simulated" 0 (counter server "simulated");
+      Alcotest.(check int) "rejection counted" 1
+        (counter server "jobs_rejected");
+      (* wrong schema over the wire *)
+      tc.frames <- [];
+      tsend_raw tc "{\"schema\":\"simbench-serve-json-0\",\"op\":\"status\"}";
+      wait_for server tc is_error "schema rejection";
+      (match tc.frames with
+      | [ Protocol.Error_msg { message; _ } ] ->
+        check_contains "unsupported schema" message "unsupported schema"
+      | _ -> Alcotest.fail "expected one error frame");
+      (* malformed JSON gets a position *)
+      tc.frames <- [];
+      tsend_raw tc "{\"schema\":";
+      wait_for server tc is_error "parse rejection";
+      match tc.frames with
+      | [ Protocol.Error_msg { message; _ } ] ->
+        check_contains "line/column" message "column"
+      | _ -> Alcotest.fail "expected one error frame")
+
+let test_shutdown_drains () =
+  with_server ~jobs:1 (fun server path ->
+      let tc = tconnect server path in
+      Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
+      tsend tc (Protocol.Submit { id = "s"; cells = quick_cells });
+      wait_for server tc (is_done "s") "job done";
+      Serve.begin_shutdown server ~reason:"test";
+      Alcotest.(check bool) "shutting down" true (Serve.shutting_down server);
+      (* new submissions are refused *)
+      tsend tc (Protocol.Submit { id = "late"; cells = quick_cells });
+      wait_for server tc is_error "late submission refused";
+      match List.find_opt is_error tc.frames with
+      | Some (Protocol.Error_msg { message; _ }) ->
+        check_contains "says why" message "shutting down"
+      | _ -> assert false)
+
+let test_persistent_cache_across_servers () =
+  let cache = tmp_dir "sb_serve_cache" in
+  Fun.protect ~finally:(fun () -> rm_rf cache) @@ fun () ->
+  let first_simulated = ref (-1) in
+  with_server ~jobs:1 ~cache_dir:cache (fun server path ->
+      let tc = tconnect server path in
+      Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
+      tsend tc (Protocol.Submit { id = "p"; cells = quick_cells });
+      wait_for server tc (is_done "p") "first server done";
+      first_simulated := counter server "simulated");
+  Alcotest.(check int) "first server simulated both" 2 !first_simulated;
+  (* a fresh server over the same cache dir answers from disk *)
+  with_server ~jobs:1 ~cache_dir:cache (fun server path ->
+      let tc = tconnect server path in
+      Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
+      tsend tc (Protocol.Submit { id = "p2"; cells = quick_cells });
+      wait_for server tc (is_done "p2") "second server done";
+      Alcotest.(check int) "second server simulated nothing" 0
+        (counter server "simulated");
+      List.iter
+        (fun (cached, _) ->
+          Alcotest.(check bool) "rows marked cached" true cached)
+        (rows_of tc "p2"))
+
+let () =
+  Random.self_init ();
+  Alcotest.run "sb_serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "spec round trip" `Quick test_spec_round_trip;
+          Alcotest.test_case "spec key canonical" `Quick test_spec_key_canonical;
+          Alcotest.test_case "row round trip" `Quick test_row_round_trip;
+          Alcotest.test_case "request round trip" `Quick test_request_round_trip;
+          Alcotest.test_case "response round trip" `Quick
+            test_response_round_trip;
+          Alcotest.test_case "malformed frame position" `Quick
+            test_malformed_frame_has_position;
+          Alcotest.test_case "schema version rejected" `Quick
+            test_schema_version_rejected;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "submit streams rows" `Quick
+            test_submit_streams_rows;
+          Alcotest.test_case "identical jobs deduplicate" `Quick
+            test_identical_jobs_deduplicate;
+          Alcotest.test_case "two clients share results" `Quick
+            test_two_clients_share_results;
+          Alcotest.test_case "window bounds in-flight" `Quick
+            test_window_bounds_inflight;
+          Alcotest.test_case "cancel mid-run" `Quick test_cancel_mid_run;
+          Alcotest.test_case "bad jobs rejected" `Quick
+            test_bad_jobs_rejected_atomically;
+          Alcotest.test_case "shutdown drains" `Quick test_shutdown_drains;
+          Alcotest.test_case "persistent cache across servers" `Quick
+            test_persistent_cache_across_servers;
+        ] );
+    ]
