@@ -11,7 +11,9 @@
      baseline    snapshot a --json run directory as a regression baseline
      compare     statistical regression detection between two recorded runs
      serve       persistent benchmark service over a Unix/TCP socket
-     client      submit jobs to / query a running benchmark service *)
+     client      submit jobs to / query a running benchmark service
+     fsck        check/repair a result-store directory
+     chaos-proxy seeded transport-fault proxy for resilience testing *)
 
 open Cmdliner
 
@@ -892,7 +894,26 @@ let serve_cmd =
       value & flag
       & info [ "v"; "verbose" ] ~doc:"Log connections and jobs to stderr.")
   in
-  let action socket port jobs cache deadline window max_buffer verbose =
+  let heartbeat_arg =
+    Arg.(
+      value
+      & opt float Sb_serve.Serve.default_config.Sb_serve.Serve.heartbeat
+      & info [ "heartbeat" ] ~docv:"SECS"
+          ~doc:
+            "Client-liveness interval announced in the hello frame; any \
+             inbound byte counts.  0 disables dropping silent clients.")
+  in
+  let miss_limit_arg =
+    Arg.(
+      value
+      & opt int Sb_serve.Serve.default_config.Sb_serve.Serve.miss_limit
+      & info [ "miss-limit" ] ~docv:"N"
+          ~doc:
+            "Consecutive missed heartbeat intervals before a silent client \
+             is dropped.")
+  in
+  let action socket port jobs cache deadline window max_buffer heartbeat
+      miss_limit verbose =
     if socket = None && port = None then begin
       prerr_endline "serve: need --socket PATH and/or --port N";
       2
@@ -911,6 +932,8 @@ let serve_cmd =
           deadline;
           window;
           max_buffer;
+          heartbeat;
+          miss_limit;
           verbose;
         }
       in
@@ -936,7 +959,8 @@ let serve_cmd =
           land.  SIGTERM drains gracefully and exits 0.  See docs/serve.md.")
     Term.(
       const action $ socket_arg $ port_arg $ jobs_arg $ cache_arg
-      $ deadline_arg $ window_arg $ max_buffer_arg $ verbose_arg)
+      $ deadline_arg $ window_arg $ max_buffer_arg $ heartbeat_arg
+      $ miss_limit_arg $ verbose_arg)
 
 let client_cmd =
   let connect_arg =
@@ -1021,6 +1045,25 @@ let client_cmd =
             "Also write the received rows as a bench-schema JSON file \
              (readable by compare/baseline).")
   in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int Sb_serve.Resilient.default_config.Sb_serve.Resilient.retries
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Reconnect budget for a submission: on a lost or garbled \
+             connection the client reconnects and resumes the cells it has \
+             not yet received (rows are never duplicated).  0 fails fast.")
+  in
+  let backoff_arg =
+    Arg.(
+      value
+      & opt float Sb_serve.Resilient.default_config.Sb_serve.Resilient.backoff
+      & info [ "backoff" ] ~docv:"SECS"
+          ~doc:
+            "First reconnect delay; doubles per attempt (with jitter) up to \
+             a 5 s ceiling.")
+  in
   let bench_run_json cells =
     Sb_util.Json.Obj
       [
@@ -1035,7 +1078,7 @@ let client_cmd =
     output_char oc '\n';
     close_out oc
   in
-  let print_row ~cached cell =
+  let print_row ?(retried = false) ~cached cell =
     let s name =
       match
         Option.bind (Sb_util.Json.member name cell) Sb_util.Json.string_opt
@@ -1050,9 +1093,10 @@ let client_cmd =
       | Some v -> Printf.sprintf "%.4fs" v
       | None -> "-"
     in
-    Printf.printf "%-12s %-28s %-14s %-5s %10s%s\n%!" (s "status") (s "cell")
+    Printf.printf "%-12s %-28s %-14s %-5s %10s%s%s\n%!" (s "status") (s "cell")
       (s "engine") (s "arch") seconds
       (if cached then "  (cached)" else "")
+      (if retried then "  (retried)" else "")
   in
   let specs_of_file file =
     match open_in_bin file with
@@ -1073,105 +1117,152 @@ let client_cmd =
                Sb_serve.Protocol.schema)
         | _ -> Sb_serve.Protocol.specs_of_json j))
   in
+  (* transport failures get their own exit codes so scripts (and the CI
+     soak gates) can tell "no server there" (3) from "the server died
+     under me" (4) from usage/protocol errors (2) *)
+  let err_exit = function
+    | Sb_serve.Client.Connect_failed _ -> 3
+    | Sb_serve.Client.Server_gone _ -> 4
+    | Sb_serve.Client.Protocol_error _ | Sb_serve.Client.Server_error _ -> 2
+  in
+  let fail err =
+    prerr_endline (Sb_serve.Client.error_message err);
+    err_exit err
+  in
   let action addr spec_file cells arch engine iters repeats id cancel_after
-      wait status dump stop json_out =
+      wait status dump stop json_out retries backoff =
     ignore wait;
-    match Sb_serve.Client.connect addr with
-    | Error msg ->
-      prerr_endline msg;
-      2
-    | Ok conn ->
-      let finish code =
+    let with_conn f =
+      match Sb_serve.Client.connect addr with
+      | Error err -> fail err
+      | Ok conn ->
+        let code = f conn in
         Sb_serve.Client.close conn;
         code
+    in
+    let report_outcome ?stats outcome rows_acc =
+      (match json_out with
+      | Some path ->
+        write_file path
+          (Sb_util.Json.to_string (bench_run_json (List.rev rows_acc)))
+      | None -> ());
+      (match stats with
+      | Some s when s.Sb_serve.Resilient.st_reconnects > 0 ->
+        Printf.printf "reconnects: %d (rows retried: %d, duplicates dropped: %d)\n"
+          s.Sb_serve.Resilient.st_reconnects s.Sb_serve.Resilient.st_rows_retried
+          s.Sb_serve.Resilient.st_duplicates
+      | _ -> ());
+      match outcome with
+      | Sb_serve.Client.Completed { rows; failed = 0 } ->
+        Printf.printf "done: %d rows\n" rows;
+        0
+      | Sb_serve.Client.Completed { rows; failed } ->
+        Printf.eprintf "done with failures: %d rows, %d failed\n" rows failed;
+        1
+      | Sb_serve.Client.Was_cancelled { dropped } ->
+        Printf.printf "cancelled: %d cells dropped\n" dropped;
+        if cancel_after <> None then 0 else 1
+      | Sb_serve.Client.Server_bye reason ->
+        Printf.eprintf "server shut down mid-job: %s\n" reason;
+        1
+    in
+    if status then
+      with_conn (fun conn ->
+          match Sb_serve.Client.status conn with
+          | Ok j ->
+            print_endline (Sb_util.Json.to_string j);
+            0
+          | Error err ->
+            prerr_endline (Sb_serve.Client.error_message err);
+            err_exit err)
+    else if dump then
+      with_conn (fun conn ->
+          match Sb_serve.Client.dump conn with
+          | Ok (_source, cells) ->
+            print_endline (Sb_util.Json.to_string (bench_run_json cells));
+            0
+          | Error err ->
+            prerr_endline (Sb_serve.Client.error_message err);
+            err_exit err)
+    else if stop then
+      with_conn (fun conn ->
+          match Sb_serve.Client.shutdown conn with
+          | Ok () -> 0
+          | Error err ->
+            prerr_endline (Sb_serve.Client.error_message err);
+            err_exit err)
+    else begin
+      let specs =
+        match (spec_file, cells) with
+        | Some file, [] -> specs_of_file file
+        | None, (_ :: _ as names) ->
+          Ok
+            (List.map
+               (fun name ->
+                 {
+                   Sb_serve.Protocol.sp_bench = name;
+                   sp_engine = engine;
+                   sp_arch = arch;
+                   sp_iters = iters;
+                   sp_repeats = repeats;
+                 })
+               names)
+        | Some _, _ :: _ -> Error "give a spec file or --cell, not both"
+        | None, [] ->
+          Error
+            "nothing to do: give a spec file, --cell, --status, --dump or \
+             --stop"
       in
-      if status then (
-        match Sb_serve.Client.status conn with
-        | Ok j ->
-          print_endline (Sb_util.Json.to_string j);
-          finish 0
-        | Error msg ->
-          prerr_endline msg;
-          finish 2)
-      else if dump then (
-        match Sb_serve.Client.dump conn with
-        | Ok (_source, cells) ->
-          print_endline (Sb_util.Json.to_string (bench_run_json cells));
-          finish 0
-        | Error msg ->
-          prerr_endline msg;
-          finish 2)
-      else if stop then (
-        match Sb_serve.Client.shutdown conn with
-        | Ok () -> finish 0
-        | Error msg ->
-          prerr_endline msg;
-          finish 2)
-      else begin
-        let specs =
-          match (spec_file, cells) with
-          | Some file, [] -> specs_of_file file
-          | None, (_ :: _ as names) ->
-            Ok
-              (List.map
-                 (fun name ->
-                   {
-                     Sb_serve.Protocol.sp_bench = name;
-                     sp_engine = engine;
-                     sp_arch = arch;
-                     sp_iters = iters;
-                     sp_repeats = repeats;
-                   })
-                 names)
-          | Some _, _ :: _ -> Error "give a spec file or --cell, not both"
-          | None, [] ->
-            Error
-              "nothing to do: give a spec file, --cell, --status, --dump or \
-               --stop"
+      match specs with
+      | Error msg ->
+        prerr_endline msg;
+        2
+      | Ok specs -> (
+        let id =
+          match id with
+          | Some id -> id
+          | None -> Printf.sprintf "job-%d" (Unix.getpid ())
         in
-        match specs with
-        | Error msg ->
-          prerr_endline msg;
-          finish 2
-        | Ok specs ->
-          let id =
-            match id with
-            | Some id -> id
-            | None -> Printf.sprintf "job-%d" (Unix.getpid ())
+        let rows = ref [] in
+        match cancel_after with
+        | Some _ ->
+          (* the cancellation path drives one connection by hand; a
+             reconnect would defeat the point of the test *)
+          with_conn (fun conn ->
+              let on_row ~key:_ ~cached cell =
+                rows := cell :: !rows;
+                print_row ~cached cell
+              in
+              match
+                Sb_serve.Client.submit ?cancel_after ~on_row conn ~id
+                  ~cells:specs
+              with
+              | Error err ->
+                prerr_endline (Sb_serve.Client.error_message err);
+                err_exit err
+              | Ok outcome -> report_outcome outcome !rows)
+        | None -> (
+          let cfg =
+            {
+              Sb_serve.Resilient.default_config with
+              Sb_serve.Resilient.retries;
+              backoff;
+              seed = Unix.getpid ();
+            }
           in
-          let rows = ref [] in
-          let on_row ~cached cell =
+          let on_row ~key:_ ~cached ~retried cell =
             rows := cell :: !rows;
-            print_row ~cached cell
+            print_row ~retried ~cached cell
           in
-          (match
-             Sb_serve.Client.submit ?cancel_after ~on_row conn ~id
-               ~cells:specs
-           with
-          | Error msg ->
-            prerr_endline msg;
-            finish 2
-          | Ok outcome ->
-            (match json_out with
-            | Some path ->
-              write_file path
-                (Sb_util.Json.to_string (bench_run_json (List.rev !rows)))
-            | None -> ());
-            (match outcome with
-            | Sb_serve.Client.Completed { rows; failed = 0 } ->
-              Printf.printf "done: %d rows\n" rows;
-              finish 0
-            | Sb_serve.Client.Completed { rows; failed } ->
-              Printf.eprintf "done with failures: %d rows, %d failed\n" rows
-                failed;
-              finish 1
-            | Sb_serve.Client.Was_cancelled { dropped } ->
-              Printf.printf "cancelled: %d cells dropped\n" dropped;
-              finish (if cancel_after <> None then 0 else 1)
-            | Sb_serve.Client.Server_bye reason ->
-              Printf.eprintf "server shut down mid-job: %s\n" reason;
-              finish 1))
-      end
+          let on_event msg = Printf.eprintf "client: %s\n%!" msg in
+          match
+            Sb_serve.Resilient.submit ~cfg ~on_event ~on_row ~addr ~id
+              ~cells:specs ()
+          with
+          | Error err -> fail err
+          | Ok { Sb_serve.Resilient.ended; stats } ->
+            report_outcome ~stats ended !rows))
+    end
   in
   Cmd.v
     (Cmd.info "client"
@@ -1182,7 +1273,172 @@ let client_cmd =
     Term.(
       const action $ connect_arg $ spec_arg $ cell_arg $ arch_arg $ engine_arg
       $ iters_arg $ repeats_arg $ id_arg $ cancel_after_arg $ wait_arg
-      $ status_arg $ dump_arg $ stop_arg $ json_arg)
+      $ status_arg $ dump_arg $ stop_arg $ json_arg $ retries_arg
+      $ backoff_arg)
+
+(* ---- fsck ---- *)
+
+let fsck_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:"Cache/checkpoint/baseline directory to check.")
+  in
+  let repair_arg =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Evict damaged entries (truncated, key-mismatched, stale temp \
+             files); the store degrades to cache misses instead of poisoning \
+             a run.  Good entries are never touched.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Machine-readable report on stdout.")
+  in
+  let action dir repair json =
+    match Sb_jobs.Fsck.scan ~repair ~dir () with
+    | Error msg ->
+      Printf.eprintf "fsck: %s\n" msg;
+      2
+    | Ok r ->
+      if json then
+        print_endline (Sb_util.Json.to_string (Sb_jobs.Fsck.report_to_json r))
+      else begin
+        List.iter
+          (fun e ->
+            if e.Sb_jobs.Fsck.verdict <> Sb_jobs.Fsck.Ok_entry then
+              Printf.printf "%-12s %s%s\n"
+                (Sb_jobs.Fsck.verdict_name e.Sb_jobs.Fsck.verdict)
+                e.Sb_jobs.Fsck.file
+                (if e.Sb_jobs.Fsck.detail = "" then ""
+                 else " (" ^ e.Sb_jobs.Fsck.detail ^ ")"))
+          r.Sb_jobs.Fsck.entries;
+        Printf.printf
+          "fsck %s: %d ok, %d truncated, %d key-mismatch, %d stale-tmp, %d \
+           live-tmp%s\n"
+          r.Sb_jobs.Fsck.dir r.Sb_jobs.Fsck.ok r.Sb_jobs.Fsck.truncated
+          r.Sb_jobs.Fsck.key_mismatch r.Sb_jobs.Fsck.stale_tmp
+          r.Sb_jobs.Fsck.live_tmp
+          (if repair then
+             Printf.sprintf " (%d repaired, %d unrepairable)"
+               r.Sb_jobs.Fsck.repaired r.Sb_jobs.Fsck.unrepairable
+           else "")
+      end;
+      if r.Sb_jobs.Fsck.unrepairable > 0 then 2
+      else if repair || Sb_jobs.Fsck.clean r then 0
+      else 1
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Check (and with --repair, heal) a result-store directory: classify \
+          every entry as ok, truncated, key-mismatched or a stale temp file. \
+          Exits 0 when clean or fully repaired, 1 when damage was found \
+          without --repair, 2 on unrepairable damage.")
+    Term.(const action $ dir_arg $ repair_arg $ json_arg)
+
+(* ---- chaos-proxy ---- *)
+
+let chaos_proxy_cmd =
+  let listen_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:"Address to accept clients on (unix:PATH or tcp:PORT).")
+  in
+  let upstream_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "upstream" ] ~docv:"ADDR"
+          ~doc:"The real server's address.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Fault-schedule seed: the same seed replays the same resets, \
+             corruptions and delays.")
+  in
+  let reset_arg =
+    Arg.(
+      value
+      & opt (pair ~sep:',' int int) (0, 0)
+      & info [ "reset-after" ] ~docv:"MIN,MAX"
+          ~doc:
+            "Inject a mid-message connection reset every MIN..MAX forwarded \
+             bytes per direction; 0,0 disables.")
+  in
+  let corrupt_arg =
+    Arg.(
+      value
+      & opt (pair ~sep:',' int int) (0, 0)
+      & info [ "corrupt-after" ] ~docv:"MIN,MAX"
+          ~doc:
+            "Corrupt one byte (to NUL — never valid frame JSON, so always \
+             detected) every MIN..MAX forwarded bytes; 0,0 disables.")
+  in
+  let delay_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "max-delay" ] ~docv:"SECS"
+          ~doc:"Upper bound of injected per-chunk delays; 0 disables.")
+  in
+  let chunk_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "chunk" ] ~docv:"BYTES"
+          ~doc:"Max bytes forwarded per read (small values force partial \
+                frames).")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Log injected faults to stderr.")
+  in
+  let action listen upstream seed reset_after corrupt_after max_delay chunk
+      verbose =
+    let cfg =
+      {
+        Sb_serve.Chaosproxy.listen;
+        upstream;
+        seed;
+        reset_after;
+        corrupt_after;
+        max_delay;
+        chunk;
+        verbose;
+      }
+    in
+    match Sb_serve.Chaosproxy.create cfg with
+    | exception Invalid_argument msg ->
+      prerr_endline msg;
+      2
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "chaos-proxy: %s %s: %s\n" fn arg (Unix.error_message e);
+      2
+    | t ->
+      Sb_serve.Chaosproxy.run t;
+      0
+  in
+  Cmd.v
+    (Cmd.info "chaos-proxy"
+       ~doc:
+         "Run a seeded transport-chaos proxy in front of the benchmark \
+          service: partial frames, bounded delays, mid-message resets and \
+          byte corruption, replayable per seed.  What the resilient client \
+          and the CI chaos-soak gate are tested against.  SIGTERM exits \
+          cleanly.")
+    Term.(
+      const action $ listen_arg $ upstream_arg $ seed_arg $ reset_arg
+      $ corrupt_arg $ delay_arg $ chunk_arg $ verbose_arg)
 
 (* ---- baseline / compare ---- *)
 
@@ -1199,9 +1455,12 @@ let load_run path =
         (String.length path - String.length prefix)
     in
     match Sb_serve.Client.connect addr with
-    | Error msg -> Error msg
+    | Error err -> Error (Sb_serve.Client.error_message err)
     | Ok conn ->
-      let r = Sb_serve.Client.dump conn in
+      let r =
+        Result.map_error Sb_serve.Client.error_message
+          (Sb_serve.Client.dump conn)
+      in
       Sb_serve.Client.close conn;
       Result.bind r (fun (_source, cells) ->
           List.fold_left
@@ -1442,5 +1701,5 @@ let () =
        [
          list_cmd; run_cmd; suite_cmd; workload_cmd; disasm_cmd; verify_cmd;
          chaos_cmd; lint_cmd; tv_cmd; debug_cmd; report_cmd; baseline_cmd;
-         compare_cmd; serve_cmd; client_cmd;
+         compare_cmd; serve_cmd; client_cmd; fsck_cmd; chaos_proxy_cmd;
        ]))

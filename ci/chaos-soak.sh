@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# Chaos gate for the self-healing service layer (docs/serve.md): the
+# eight-client soak, but run through `simbench chaos-proxy` — a seeded
+# fault injector that forwards in tiny chunks and resets connections
+# mid-message — across three fixed seeds.  Asserts that every client
+# still receives the complete, duplicate-free row set (the resilient
+# client reconnects and resumes; the content-addressed store makes the
+# resumes free), that no cell was ever simulated twice, and that the
+# store scans clean.  Then the recovery check: SIGKILL the daemon (no
+# graceful anything), restart it over the same store, and require a
+# resumed client to be served entirely from disk.
+#
+# Runs anywhere: bash ci/chaos-soak.sh _build/default/bin/simbench_cli.exe
+set -euo pipefail
+
+cli=${1:?usage: chaos-soak.sh path/to/simbench_cli.exe}
+clients=${2:-8}
+seeds=(101 202 303)
+
+work=$(mktemp -d)
+sock=$work/serve.sock
+cache=$work/cache
+daemon=
+proxy=
+client_pids=()
+
+cleanup() {
+  [ -n "$proxy" ] && kill -9 "$proxy" 2>/dev/null
+  [ -n "$daemon" ] && kill -9 "$daemon" 2>/dev/null
+  for p in "${client_pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+  rm -f "$sock" "$work"/proxy-*.sock
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+cat > "$work/spec.json" <<'EOF'
+{
+  "schema": "simbench-serve-json-2",
+  "cells": [
+    {"bench": "Small Blocks", "engine": "interp", "arch": "sba", "iters": 400, "repeats": 2},
+    {"bench": "Hot Memory Access", "engine": "dbt", "arch": "sba", "iters": 400},
+    {"bench": "System Call", "engine": "interp", "arch": "vlx", "iters": 400}
+  ]
+}
+EOF
+
+start_daemon() {
+  "$cli" serve --socket "$sock" -j 2 --cache "$cache" -v \
+    > "$work/daemon-$1.log" 2>&1 &
+  daemon=$!
+  for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
+  if [ ! -S "$sock" ]; then
+    echo "daemon never bound $sock" >&2; cat "$work/daemon-$1.log" >&2; exit 1
+  fi
+}
+
+start_daemon boot
+
+for seed in "${seeds[@]}"; do
+  psock=$work/proxy-$seed.sock
+  "$cli" chaos-proxy --listen "unix:$psock" --upstream "unix:$sock" \
+    --seed "$seed" --reset-after 1200,2400 --chunk 96 -v \
+    > "$work/proxy-$seed.log" 2>&1 &
+  proxy=$!
+  for _ in $(seq 1 100); do [ -S "$psock" ] && break; sleep 0.1; done
+  if [ ! -S "$psock" ]; then
+    echo "proxy never bound $psock" >&2; cat "$work/proxy-$seed.log" >&2; exit 1
+  fi
+
+  client_pids=()
+  for i in $(seq 1 "$clients"); do
+    "$cli" client --connect "unix:$psock" "$work/spec.json" \
+      --id "chaos-$seed-$i" --retries 20 --backoff 0.05 \
+      --json "$work/rows-$seed-$i.json" \
+      > "$work/client-$seed-$i.log" 2>&1 &
+    client_pids+=("$!")
+  done
+
+  fail=0
+  for p in "${client_pids[@]}"; do wait "$p" || fail=1; done
+  client_pids=()
+  if [ "$fail" -ne 0 ]; then
+    echo "a chaos client (seed $seed) exited nonzero:" >&2
+    tail -n +1 "$work"/client-"$seed"-*.log >&2
+    cat "$work/proxy-$seed.log" >&2
+    exit 1
+  fi
+
+  # complete and duplicate-free: exactly one row per cell, all ok
+  for i in $(seq 1 "$clients"); do
+    rows=$(grep -o '"cell":' "$work/rows-$seed-$i.json" | wc -l)
+    ok=$(grep -o '"status":"ok"' "$work/rows-$seed-$i.json" | wc -l)
+    if [ "$rows" -ne 3 ] || [ "$ok" -ne 3 ]; then
+      echo "client $i (seed $seed) got $rows rows / $ok ok (wanted 3/3):" >&2
+      cat "$work/client-$seed-$i.log" >&2
+      exit 1
+    fi
+  done
+
+  kill -TERM "$proxy" 2>/dev/null || true
+  wait "$proxy" 2>/dev/null || true
+  proxy=
+  echo "seed $seed: $clients clients survived the chaos"
+done
+
+# chaos never caused a re-run: still at most one simulation per distinct cell
+"$cli" client --connect "unix:$sock" --status > "$work/status.json"
+sim=$(grep -o '"simulated":[0-9]*' "$work/status.json" | head -1 | cut -d: -f2)
+reconnects=$(grep -o '"reconnects":[0-9]*' "$work/status.json" | head -1 | cut -d: -f2)
+echo "simulated=$sim reconnects=$reconnects"
+if [ "${sim:-99}" -gt 3 ]; then
+  echo "chaos caused re-simulation ($sim > 3 distinct cells)" >&2
+  cat "$work/status.json" >&2
+  exit 1
+fi
+
+# the store survived the chaos intact
+"$cli" fsck "$cache"
+
+# recovery check: SIGKILL the daemon, restart over the same store, and a
+# resumed client must be served entirely from disk (nothing simulated)
+kill -9 "$daemon"
+wait "$daemon" 2>/dev/null || true
+daemon=
+"$cli" fsck --repair "$cache" > /dev/null  # a SIGKILL may strand a temp file
+rm -f "$sock"
+start_daemon restart
+
+"$cli" client --connect "unix:$sock" "$work/spec.json" \
+  --id "resume-after-kill" --retries 5 --backoff 0.05 \
+  --json "$work/rows-resume.json" > "$work/client-resume.log" 2>&1
+ok=$(grep -o '"status":"ok"' "$work/rows-resume.json" | wc -l)
+if [ "$ok" -ne 3 ]; then
+  echo "resumed client got $ok ok rows (wanted 3):" >&2
+  cat "$work/client-resume.log" >&2
+  exit 1
+fi
+"$cli" client --connect "unix:$sock" --status > "$work/status2.json"
+sim2=$(grep -o '"simulated":[0-9]*' "$work/status2.json" | head -1 | cut -d: -f2)
+if [ "${sim2:-99}" -ne 0 ]; then
+  echo "restarted daemon re-simulated $sim2 cells instead of serving the store" >&2
+  cat "$work/status2.json" >&2
+  exit 1
+fi
+
+kill -TERM "$daemon"
+wait "$daemon" || { echo "daemon exited nonzero after SIGTERM" >&2; exit 1; }
+daemon=
+
+echo "chaos soak ok: ${#seeds[@]} seeds x $clients clients, simulated=$sim, restart served from store"

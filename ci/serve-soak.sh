@@ -15,11 +15,22 @@ clients=${2:-8}
 work=$(mktemp -d)
 sock=$work/serve.sock
 daemon=
-trap '[ -n "$daemon" ] && kill -9 "$daemon" 2>/dev/null; rm -rf "$work"' EXIT
+client_pids=()
+
+# every failure path must leave nothing behind: kill the daemon and any
+# straggling clients hard, and unlink the socket even if the daemon died
+# before its own cleanup ran
+cleanup() {
+  [ -n "$daemon" ] && kill -9 "$daemon" 2>/dev/null
+  for p in "${client_pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+  rm -f "$sock"
+  rm -rf "$work"
+}
+trap cleanup EXIT
 
 cat > "$work/spec.json" <<'EOF'
 {
-  "schema": "simbench-serve-json-1",
+  "schema": "simbench-serve-json-2",
   "cells": [
     {"bench": "Small Blocks", "engine": "interp", "arch": "sba", "iters": 400, "repeats": 2},
     {"bench": "Hot Memory Access", "engine": "dbt", "arch": "sba", "iters": 400},
@@ -37,16 +48,16 @@ if [ ! -S "$sock" ]; then
   echo "daemon never bound $sock" >&2; cat "$work/daemon.log" >&2; exit 1
 fi
 
-pids=()
 for i in $(seq 1 "$clients"); do
   "$cli" client --connect "unix:$sock" "$work/spec.json" \
     --id "soak-$i" --json "$work/rows-$i.json" \
     > "$work/client-$i.log" 2>&1 &
-  pids+=("$!")
+  client_pids+=("$!")
 done
 
 fail=0
-for p in "${pids[@]}"; do wait "$p" || fail=1; done
+for p in "${client_pids[@]}"; do wait "$p" || fail=1; done
+client_pids=()
 if [ "$fail" -ne 0 ]; then
   echo "a soak client exited nonzero:" >&2
   tail -n +1 "$work"/client-*.log >&2
@@ -74,6 +85,9 @@ fi
 if [ "${sim:-99}" -gt 3 ]; then
   echo "more simulations than distinct cells" >&2; cat "$work/status.json" >&2; exit 1
 fi
+
+# the persistent store must scan clean while the daemon is live
+"$cli" fsck "$work/cache"
 
 # graceful SIGTERM shutdown: drain, exit 0, unlink the socket
 kill -TERM "$daemon"

@@ -152,21 +152,46 @@ let load (type a) t ~key : a option =
     close_in_noerr ic;
     v
 
+(* Durability is best-effort by nature: some filesystems (and the
+   directory fsync on a few) refuse the call, and a cache entry is never
+   worth failing the run over — the crash-consistency invariant that
+   matters is the ordering (data on disk before the rename publishes it),
+   which fsync establishes wherever it is supported. *)
+let fsync_quietly fd = try Unix.fsync fd with Unix.Unix_error _ -> ()
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    fsync_quietly fd;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
 let store t ~key v =
   let file = path t key in
-  (* write-then-rename: concurrent writers (pool workers of separate bench
-     invocations) can race on the same cell without corrupting it *)
+  (* crash-consistent publish: marshal to a private temp file, fsync the
+     data, rename into place, fsync the directory.  Concurrent writers
+     (pool workers of separate bench invocations) can race on the same
+     cell without corrupting it, and a crash at any point leaves either
+     the old entry, the new entry, or a temp file [sweep_stale_tmp] /
+     [fsck] reclaims — never a half-written entry under the real name *)
+  let payload = Marshal.to_string key [] ^ Marshal.to_string v [] in
   let tmp = Printf.sprintf "%s.tmp.%d" file (Unix.getpid ()) in
-  let oc = open_out_bin tmp in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   match
-    Marshal.to_channel oc key [];
-    Marshal.to_channel oc v [];
-    close_out oc
+    let len = String.length payload in
+    let off = ref 0 in
+    while !off < len do
+      off := !off + Unix.write_substring fd payload !off (len - !off)
+    done;
+    fsync_quietly fd;
+    Unix.close fd
   with
-  | () -> Sys.rename tmp file
+  | () ->
+    Sys.rename tmp file;
+    fsync_dir t.dir
   | exception e ->
-    (* unmarshallable value, ENOSPC, ...: leave no litter behind *)
-    close_out_noerr oc;
+    (* ENOSPC, ...: leave no litter behind *)
+    (try Unix.close fd with Unix.Unix_error _ -> ());
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e
 

@@ -51,8 +51,13 @@ val evictions : unit -> int
 val reset_evictions : unit -> unit
 
 val store : t -> key:string -> 'a -> unit
-(** Atomic (write to a temp file, then rename).  If the write itself
-    fails the temp file is removed before the exception propagates. *)
+(** Atomic and crash-consistent: the value is written to a private temp
+    file, fsynced, renamed into place, and the directory entry is
+    fsynced — a crash at any point leaves either the old entry, the new
+    entry, or a reclaimable temp file, never a torn entry under the real
+    name.  (fsync is best-effort: filesystems that refuse it are
+    tolerated.)  If the write itself fails the temp file is removed
+    before the exception propagates. *)
 
 val clear : t -> unit
 (** Remove every cache file in the directory. *)

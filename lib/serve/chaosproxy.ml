@@ -1,0 +1,309 @@
+(* Seeded transport-chaos proxy.
+
+   Sits between a client and the benchmark service and injects the
+   failures the resilient layer must survive: forwarding in small
+   chunks (partial frames), bounded random delays, mid-message
+   connection resets, and byte corruption.  Corrupted bytes are NUL
+   (0x00): {!Sb_util.Json}'s parser rejects unescaped control
+   characters inside strings and NUL is never valid frame JSON, so a
+   corrupted frame always surfaces as a detectable protocol error —
+   never as silently altered data.
+
+   All fault decisions are drawn from seeded {!Sb_util.Xorshift}
+   streams keyed on absolute byte ordinals per direction, so a given
+   (seed, connection, direction) replays the same fault schedule
+   regardless of how reads happen to be chunked by the kernel. *)
+
+module X = Sb_util.Xorshift
+
+type config = {
+  listen : string;
+  upstream : string;
+  seed : int;
+  reset_after : int * int;
+  corrupt_after : int * int;
+  max_delay : float;
+  chunk : int;
+  verbose : bool;
+}
+
+let default_config =
+  { listen = "";
+    upstream = "";
+    seed = 1;
+    reset_after = (0, 0);
+    corrupt_after = (0, 0);
+    max_delay = 0.0;
+    chunk = 256;
+    verbose = false
+  }
+
+(* One forwarding direction of one connection.  [sched] drives the
+   reset/corruption ordinals: its draws happen only when an event
+   ordinal is crossed, and those ordinals are themselves functions of
+   earlier draws, so the schedule is chunking-independent.  [jrng]
+   (delays) is consumed once per chunk — timing-dependent, hence its
+   own stream so it cannot perturb the fault schedule. *)
+type dir = {
+  tag : string;
+  mutable sent : int;
+  mutable next_reset : int;
+  mutable next_corrupt : int;
+  sched : X.t;
+  jrng : X.t;
+}
+
+type conn = {
+  cn_id : int;
+  cl_fd : Unix.file_descr;
+  up_fd : Unix.file_descr;
+  c2s : dir;
+  s2c : dir;
+  mutable cn_open : bool;
+}
+
+type t = {
+  cfg : config;
+  lfd : Unix.file_descr;
+  listen_addr : Client.addr;
+  upstream_addr : Client.addr;
+  mutable conns : conn list;
+  mutable next_conn : int;
+  mutable stop : bool;
+  mutable resets : int;
+  mutable corruptions : int;
+}
+
+let log t fmt =
+  Printf.ksprintf
+    (fun s -> if t.cfg.verbose then Printf.eprintf "[chaos] %s\n%!" s)
+    fmt
+
+let draw_interval rng (lo, hi) =
+  if hi <= 0 then max_int
+  else begin
+    let lo = max 1 lo in
+    let hi = max lo hi in
+    lo + X.int rng (hi - lo + 1)
+  end
+
+let make_dir t ~conn_id ~dirno tag cfg =
+  let mix k = cfg.seed lxor (conn_id * 0x9e3779b9) lxor (dirno * 0x85eb) lxor k in
+  let sched = X.create ~seed:(mix 0x1) in
+  let d =
+    { tag;
+      sent = 0;
+      next_reset = 0;
+      next_corrupt = 0;
+      sched;
+      jrng = X.create ~seed:(mix 0x2)
+    }
+  in
+  d.next_reset <- draw_interval sched cfg.reset_after;
+  d.next_corrupt <- draw_interval sched cfg.corrupt_after;
+  ignore t;
+  d
+
+let bind_listener addr =
+  match addr with
+  | Client.Unix_sock path ->
+    if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | Client.Tcp (host, port) ->
+    let ip =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_loopback
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (ip, port));
+    Unix.listen fd 64;
+    fd
+
+let connect_upstream addr =
+  match addr with
+  | Client.Unix_sock path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e -> Unix.close fd; raise e);
+    fd
+  | Client.Tcp (host, port) ->
+    let ip =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_loopback
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (ip, port))
+     with e -> Unix.close fd; raise e);
+    fd
+
+let addr_or_fail what s =
+  match Client.addr_of_string s with
+  | Ok a -> a
+  | Error e -> invalid_arg (Printf.sprintf "chaos-proxy %s address: %s" what e)
+
+let create cfg =
+  if cfg.chunk < 1 then invalid_arg "chaos-proxy: chunk must be >= 1";
+  let listen_addr = addr_or_fail "listen" cfg.listen in
+  let upstream_addr = addr_or_fail "upstream" cfg.upstream in
+  let lfd = bind_listener listen_addr in
+  { cfg;
+    lfd;
+    listen_addr;
+    upstream_addr;
+    conns = [];
+    next_conn = 0;
+    stop = false;
+    resets = 0;
+    corruptions = 0
+  }
+
+let close_conn c =
+  if c.cn_open then begin
+    c.cn_open <- false;
+    (* an abrupt RST (not a tidy FIN) is the failure mode we are
+       simulating; zero linger makes TCP closes look like crashes *)
+    (try Unix.setsockopt_optint c.cl_fd Unix.SO_LINGER (Some 0)
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
+    (try Unix.setsockopt_optint c.up_fd Unix.SO_LINGER (Some 0)
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
+    (try Unix.close c.cl_fd with Unix.Unix_error _ -> ());
+    (try Unix.close c.up_fd with Unix.Unix_error _ -> ())
+  end
+
+let write_all fd buf len =
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd buf !off (len - !off) in
+    if n = 0 then raise (Unix.Unix_error (Unix.EPIPE, "write", ""));
+    off := !off + n
+  done
+
+let accept_conn t =
+  match Unix.accept t.lfd with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    -> ()
+  | cl_fd, _ ->
+    (match connect_upstream t.upstream_addr with
+     | exception e ->
+       (try Unix.close cl_fd with Unix.Unix_error _ -> ());
+       log t "upstream connect failed: %s" (Printexc.to_string e)
+     | up_fd ->
+       let id = t.next_conn in
+       t.next_conn <- id + 1;
+       let c =
+         { cn_id = id;
+           cl_fd;
+           up_fd;
+           c2s = make_dir t ~conn_id:id ~dirno:1 "c>s" t.cfg;
+           s2c = make_dir t ~conn_id:id ~dirno:2 "s>c" t.cfg;
+           cn_open = true
+         }
+       in
+       t.conns <- c :: t.conns;
+       log t "conn %d open (reset@%d/%d corrupt@%d/%d)" id c.c2s.next_reset
+         c.s2c.next_reset c.c2s.next_corrupt c.s2c.next_corrupt)
+
+(* Forward one chunk from [src] to [dst], applying the direction's fault
+   schedule.  Returns false when the connection must die (EOF, error, or
+   an injected reset). *)
+let forward t c d ~src ~dst =
+  let buf = Bytes.create t.cfg.chunk in
+  match Unix.read src buf 0 t.cfg.chunk with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    -> true
+  | exception Unix.Unix_error _ -> false
+  | 0 -> false
+  | n ->
+    (* corrupt every scheduled ordinal that falls inside this chunk *)
+    while d.next_corrupt < d.sent + n do
+      Bytes.set buf (d.next_corrupt - d.sent) '\000';
+      t.corruptions <- t.corruptions + 1;
+      log t "conn %d %s: corrupt byte %d" c.cn_id d.tag d.next_corrupt;
+      d.next_corrupt <- d.next_corrupt + draw_interval d.sched t.cfg.corrupt_after
+    done;
+    let cut =
+      if d.next_reset < d.sent + n then begin
+        (* forward the prefix, then kill the connection mid-message *)
+        let keep = d.next_reset - d.sent in
+        t.resets <- t.resets + 1;
+        log t "conn %d %s: reset at byte %d" c.cn_id d.tag d.next_reset;
+        Some keep
+      end
+      else None
+    in
+    let len = match cut with Some keep -> keep | None -> n in
+    let ok =
+      len = 0
+      || (match write_all dst buf len with
+          | () -> true
+          | exception Unix.Unix_error _ -> false)
+    in
+    d.sent <- d.sent + n;
+    if ok && cut = None && t.cfg.max_delay > 0.0 && X.int d.jrng 4 = 0 then begin
+      let frac = float_of_int (X.int d.jrng 1000) /. 1000.0 in
+      Unix.sleepf (t.cfg.max_delay *. frac)
+    end;
+    ok && cut = None
+
+let step ?(timeout = 0.2) t =
+  let fds =
+    t.lfd
+    :: List.concat_map
+         (fun c -> if c.cn_open then [ c.cl_fd; c.up_fd ] else [])
+         t.conns
+  in
+  match Unix.select fds [] [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | readable, _, _ ->
+    if List.memq t.lfd readable then accept_conn t;
+    List.iter
+      (fun c ->
+        if c.cn_open && List.memq c.cl_fd readable then
+          if not (forward t c c.c2s ~src:c.cl_fd ~dst:c.up_fd) then
+            close_conn c;
+        if c.cn_open && List.memq c.up_fd readable then
+          if not (forward t c c.s2c ~src:c.up_fd ~dst:c.cl_fd) then
+            close_conn c)
+      t.conns;
+    t.conns <- List.filter (fun c -> c.cn_open) t.conns
+
+let request_stop t = t.stop <- true
+
+let close t =
+  List.iter (fun c -> close_conn c) t.conns;
+  t.conns <- [];
+  (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+  match t.listen_addr with
+  | Client.Unix_sock path ->
+    (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Client.Tcp _ -> ()
+
+let resets t = t.resets
+let corruptions t = t.corruptions
+
+let run t =
+  let self = t in
+  let stop_handler = Sys.Signal_handle (fun _ -> request_stop self) in
+  let prev_term = Sys.signal Sys.sigterm stop_handler in
+  let prev_int = Sys.signal Sys.sigint stop_handler in
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  log t "proxy %s -> %s (seed %d)" t.cfg.listen t.cfg.upstream t.cfg.seed;
+  (try
+     while not t.stop do
+       step t
+     done
+   with e ->
+     close t;
+     Sys.set_signal Sys.sigterm prev_term;
+     Sys.set_signal Sys.sigint prev_int;
+     Sys.set_signal Sys.sigpipe prev_pipe;
+     raise e);
+  log t "proxy stopping: %d reset(s), %d corruption(s)" t.resets t.corruptions;
+  close t;
+  Sys.set_signal Sys.sigterm prev_term;
+  Sys.set_signal Sys.sigint prev_int;
+  Sys.set_signal Sys.sigpipe prev_pipe

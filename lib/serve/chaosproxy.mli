@@ -1,0 +1,58 @@
+(** Seeded transport-chaos proxy for the benchmark service.
+
+    A tiny single-threaded TCP/Unix-socket proxy that sits between a
+    client and the daemon and injects transport failures: forwarding in
+    small chunks (partial frames), bounded random delays, mid-message
+    connection resets, and byte corruption (NUL bytes — never valid
+    frame JSON, so corruption always surfaces as a detectable protocol
+    error, not silently altered data).
+
+    Fault schedules are drawn from {!Sb_util.Xorshift} streams keyed on
+    the seed, the connection ordinal and the direction, and fire on
+    absolute byte ordinals — a given seed replays the same faults
+    regardless of how the kernel chunks reads.  The CI chaos-soak gate
+    runs the full multi-client soak through this proxy with fixed
+    seeds. *)
+
+type config = {
+  listen : string;  (** address to accept clients on ({!Client.addr} syntax) *)
+  upstream : string;  (** the real server's address *)
+  seed : int;  (** fault-schedule seed *)
+  reset_after : int * int;
+      (** (min, max) bytes forwarded between injected connection resets,
+          per direction; [(0, 0)] (or max [<= 0]) disables resets *)
+  corrupt_after : int * int;
+      (** (min, max) bytes between injected NUL corruptions; [(0, 0)]
+          disables *)
+  max_delay : float;  (** upper bound of injected per-chunk delays, seconds;
+                          [0] disables *)
+  chunk : int;  (** max bytes forwarded per read — small values force
+                    partial frames *)
+  verbose : bool;
+}
+
+val default_config : config
+(** No faults, 256-byte chunks, seed 1; [listen]/[upstream] must be
+    set. *)
+
+type t
+
+val create : config -> t
+(** Binds the listener (replacing a stale Unix socket file).  Raises
+    [Invalid_argument] on bad addresses. *)
+
+val run : t -> unit
+(** Serve until SIGTERM/SIGINT (handled gracefully), then close every
+    connection and the listener. *)
+
+val step : ?timeout:float -> t -> unit
+(** One select-loop iteration, for in-process tests. *)
+
+val request_stop : t -> unit
+val close : t -> unit
+
+val resets : t -> int
+(** Connection resets injected so far. *)
+
+val corruptions : t -> int
+(** Bytes corrupted so far. *)

@@ -28,44 +28,57 @@ let addr_to_string = function
   | Unix_sock p -> "unix:" ^ p
   | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
 
+(* ------------------------------------------------------------------ *)
+(* Typed errors                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type error =
+  | Connect_failed of { addr : string; detail : string }
+  | Server_gone of { addr : string; detail : string }
+  | Protocol_error of string
+  | Server_error of string
+
+let error_message = function
+  | Connect_failed { addr; detail } ->
+    Printf.sprintf "cannot connect to %s: %s" addr detail
+  | Server_gone { addr; detail } ->
+    Printf.sprintf "lost the server at %s: %s" addr detail
+  | Protocol_error msg -> msg
+  | Server_error msg -> msg
+
 type t = {
   fd : Unix.file_descr;
   addr : addr;
   mutable pending : Buffer.t;  (* bytes read past the last frame *)
+  mutable session : string option;  (* server-assigned, from the hello *)
+  mutable heartbeat : float;  (* hello contract; <= 0 = no heartbeats *)
+  mutable miss_limit : int;
+  mutable last_heard : float;  (* last byte seen from the server *)
+  mutable last_ping : float;  (* last ping we sent *)
+  mutable ping_seq : int;
 }
 
-let connect_addr addr =
-  try
-    let fd =
-      match addr with
-      | Unix_sock path ->
-        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        Unix.connect fd (Unix.ADDR_UNIX path);
-        fd
-      | Tcp (host, port) ->
-        let ip =
-          try Unix.inet_addr_of_string host
-          with Failure _ -> (
-            match Unix.gethostbyname host with
-            | { Unix.h_addr_list = [||]; _ } -> raise Not_found
-            | h -> h.Unix.h_addr_list.(0))
-        in
-        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-        Unix.connect fd (Unix.ADDR_INET (ip, port));
-        fd
-    in
-    Ok { fd; addr; pending = Buffer.create 256 }
-  with
-  | Unix.Unix_error (e, _, _) ->
-    Error
-      (Printf.sprintf "cannot connect to %s: %s" (addr_to_string addr)
-         (Unix.error_message e))
-  | Not_found ->
-    Error (Printf.sprintf "cannot resolve host in %s" (addr_to_string addr))
+let session t = t.session
+let heartbeat t = t.heartbeat
+let addr t = addr_to_string t.addr
 
-let connect s = Result.bind (addr_of_string s) connect_addr
+(* EPIPE/ECONNRESET/ECONNREFUSED and friends surface as typed
+   [Server_gone]/[Connect_failed] values naming the address — the CLI maps
+   them to distinct exit codes and the resilient client to reconnects —
+   never as an uncaught exception backtrace. *)
+let gone t e detail_prefix =
+  Server_gone
+    {
+      addr = addr_to_string t.addr;
+      detail = Printf.sprintf "%s: %s" detail_prefix (Unix.error_message e);
+    }
 
-let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let gone_eof t detail =
+  Server_gone { addr = addr_to_string t.addr; detail }
+
+(* ------------------------------------------------------------------ *)
+(* Raw framing                                                          *)
+(* ------------------------------------------------------------------ *)
 
 let send t req =
   let data = Protocol.frame (Protocol.request_to_json req) in
@@ -73,37 +86,173 @@ let send t req =
   let rec go off =
     if off < n then
       match Unix.write_substring t.fd data off (n - off) with
-      | 0 -> Error "server closed the connection"
+      | 0 -> Error (gone_eof t "server closed the connection")
       | w -> go (off + w)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-      | exception Unix.Unix_error (e, _, _) ->
-        Error (Printf.sprintf "write failed: %s" (Unix.error_message e))
+      | exception
+          Unix.Unix_error
+            ((Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNREFUSED) as e, _, _) ->
+        Error (gone t e "write failed")
+      | exception Unix.Unix_error (e, _, _) -> Error (gone t e "write failed")
     else Ok ()
   in
   go 0
 
+let take_line t =
+  let data = Buffer.contents t.pending in
+  match String.index_opt data '\n' with
+  | Some nl ->
+    let line = String.sub data 0 nl in
+    Buffer.clear t.pending;
+    Buffer.add_substring t.pending data (nl + 1) (String.length data - nl - 1);
+    Some line
+  | None -> None
+
+(* One protocol frame, heartbeat-aware: while blocked waiting for the
+   server, send a ping every half interval, and declare the server gone —
+   in bounded time — once it has been silent for [heartbeat * miss_limit]
+   seconds.  Pong frames are consumed transparently (their bytes already
+   proved liveness); with no heartbeat contract this degrades to a plain
+   blocking read. *)
 let read_frame t =
   let buf = Bytes.create 65536 in
-  let rec take_line () =
-    let data = Buffer.contents t.pending in
-    match String.index_opt data '\n' with
-    | Some nl ->
-      let line = String.sub data 0 nl in
-      Buffer.clear t.pending;
-      Buffer.add_substring t.pending data (nl + 1)
-        (String.length data - nl - 1);
-      Ok line
-    | None -> (
-      match Unix.read t.fd buf 0 (Bytes.length buf) with
-      | 0 -> Error "server closed the connection"
-      | n ->
-        Buffer.add_subbytes t.pending buf 0 n;
-        take_line ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> take_line ())
+  let rec next_line () =
+    match take_line t with
+    | Some line -> Ok line
+    | None ->
+      let now = Unix.gettimeofday () in
+      let tmo =
+        if t.heartbeat > 0.0 then begin
+          let dead =
+            t.last_heard +. (t.heartbeat *. float_of_int (max 1 t.miss_limit))
+          in
+          if now >= dead then
+            Error
+              (gone_eof t
+                 (Printf.sprintf
+                    "unresponsive for %.1fs (%d heartbeats missed)"
+                    (now -. t.last_heard) (max 1 t.miss_limit)))
+          else begin
+            let ping_due = t.last_ping +. (t.heartbeat /. 2.0) in
+            if now >= ping_due then begin
+              t.last_ping <- now;
+              t.ping_seq <- t.ping_seq + 1;
+              match send t (Protocol.Ping { seq = t.ping_seq }) with
+              | Ok () -> Ok (min (dead -. now) (t.heartbeat /. 2.0))
+              | Error e -> Error e
+            end
+            else Ok (min (dead -. now) (ping_due -. now))
+          end
+        end
+        else Ok (-1.0)
+      in
+      (match tmo with
+      | Error e -> Error e
+      | Ok tmo -> (
+        match Unix.select [ t.fd ] [] [] tmo with
+        | [], _, _ -> next_line ()
+        | _ :: _, _, _ -> (
+          match Unix.read t.fd buf 0 (Bytes.length buf) with
+          | 0 -> Error (gone_eof t "server closed the connection")
+          | n ->
+            t.last_heard <- Unix.gettimeofday ();
+            Buffer.add_subbytes t.pending buf 0 n;
+            next_line ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> next_line ()
+          | exception
+              Unix.Unix_error
+                ((Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNREFUSED) as e, _, _)
+            ->
+            Error (gone t e "read failed")
+          | exception Unix.Unix_error (e, _, _) ->
+            Error (gone t e "read failed"))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> next_line ()
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (gone t e "select failed")))
   in
-  match take_line () with
-  | Error _ as e -> e
-  | Ok line -> Protocol.response_of_line line
+  let rec frame () =
+    match next_line () with
+    | Error _ as e -> e
+    | Ok line -> (
+      match Protocol.response_of_line line with
+      | Error msg -> Error (Protocol_error msg)
+      | Ok (Protocol.Pong _) -> frame ()
+      | Ok resp -> Ok resp)
+  in
+  frame ()
+
+(* ------------------------------------------------------------------ *)
+(* Connection                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let connect_addr addr =
+  let fail detail = Error (Connect_failed { addr = addr_to_string addr; detail }) in
+  match
+    match addr with
+    | Unix_sock path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+      fd
+    | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+          | h -> h.Unix.h_addr_list.(0))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (ip, port))
+       with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+      fd
+  with
+  | exception Unix.Unix_error (e, _, _) -> fail (Unix.error_message e)
+  | exception Not_found -> fail "cannot resolve host"
+  | fd -> (
+    let now = Unix.gettimeofday () in
+    let t =
+      {
+        fd;
+        addr;
+        pending = Buffer.create 256;
+        session = None;
+        heartbeat = 0.0;
+        miss_limit = 0;
+        last_heard = now;
+        last_ping = now;
+        ping_seq = 0;
+      }
+    in
+    (* the session handshake: the first frame of every v2 connection is the
+       server's hello.  Bound the wait so connecting to something that is
+       not a simbench server fails in seconds, not forever. *)
+    t.heartbeat <- 10.0;
+    t.miss_limit <- 1;
+    match read_frame t with
+    | Ok (Protocol.Hello { session; heartbeat; miss_limit }) ->
+      t.session <- Some session;
+      t.heartbeat <- heartbeat;
+      t.miss_limit <- miss_limit;
+      Ok t
+    | Ok _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      fail "server did not open with a hello frame (old protocol?)"
+    | Error (Protocol_error msg) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      fail (Printf.sprintf "bad hello frame: %s" msg)
+    | Error e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      fail
+        (Printf.sprintf "no hello frame from the server (%s)"
+           (error_message e)))
+
+let connect s =
+  match addr_of_string s with
+  | Error detail -> Error (Connect_failed { addr = s; detail })
+  | Ok a -> connect_addr a
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* High-level verbs                                                     *)
@@ -117,8 +266,9 @@ type job_end =
 (* Stream one job: send the submission, call [on_row] per row, return how
    the job ended.  [cancel_after], when set, sends a cancel frame as soon
    as that many rows have arrived — the [--cancel N] test hook. *)
-let submit ?cancel_after ?(on_row = fun ~cached:_ _ -> ()) t ~id ~cells =
-  match send t (Protocol.Submit { id; cells }) with
+let submit ?cancel_after ?(resume = false)
+    ?(on_row = fun ~key:_ ~cached:_ _ -> ()) t ~id ~cells =
+  match send t (Protocol.Submit { id; cells; resume }) with
   | Error _ as e -> e
   | Ok () ->
     let seen = ref 0 in
@@ -127,10 +277,10 @@ let submit ?cancel_after ?(on_row = fun ~cached:_ _ -> ()) t ~id ~cells =
       match read_frame t with
       | Error _ as e -> e
       | Ok (Protocol.Ack _) -> loop ()
-      | Ok (Protocol.Row { id = rid; cached; cell }) ->
+      | Ok (Protocol.Row { id = rid; key; cached; cell }) ->
         if rid = id then begin
           incr seen;
-          on_row ~cached cell;
+          on_row ~key ~cached cell;
           (match cancel_after with
           | Some n when !seen >= n && not !cancel_sent -> (
             cancel_sent := true;
@@ -144,9 +294,20 @@ let submit ?cancel_after ?(on_row = fun ~cached:_ _ -> ()) t ~id ~cells =
         if rid = id then Ok (Completed { rows; failed }) else loop ()
       | Ok (Protocol.Cancelled { id = rid; dropped }) ->
         if rid = id then Ok (Was_cancelled { dropped }) else loop ()
-      | Ok (Protocol.Error_msg { message; _ }) -> Error message
+      | Ok (Protocol.Error_msg { id = eid; message }) ->
+        (* an error naming this job is a rejection; an untagged error means
+           the server could not even parse a frame of ours (garbled in
+           transit) — a transport-level failure the resilient layer
+           retries, not a verdict on the job *)
+        if eid = Some id then Error (Server_error message)
+        else if eid = None then
+          Error (Protocol_error ("server rejected a frame: " ^ message))
+        else loop ()
       | Ok (Protocol.Bye { reason }) -> Ok (Server_bye reason)
-      | Ok (Protocol.Status_report _) | Ok (Protocol.Run_dump _) -> loop ()
+      | Ok (Protocol.Hello _)
+      | Ok (Protocol.Pong _)
+      | Ok (Protocol.Status_report _)
+      | Ok (Protocol.Run_dump _) -> loop ()
     in
     loop ()
 
@@ -159,9 +320,9 @@ let cancel t ~id =
       | Error _ as e -> e
       | Ok (Protocol.Cancelled { id = rid; dropped }) when rid = id ->
         Ok dropped
-      | Ok (Protocol.Error_msg { message; _ }) -> Error message
+      | Ok (Protocol.Error_msg { message; _ }) -> Error (Server_error message)
       | Ok (Protocol.Bye { reason }) ->
-        Error ("server shut down: " ^ reason)
+        Error (Server_error ("server shut down: " ^ reason))
       | Ok _ -> loop ()
     in
     loop ()
@@ -174,9 +335,9 @@ let status t =
       match read_frame t with
       | Error _ as e -> e
       | Ok (Protocol.Status_report payload) -> Ok payload
-      | Ok (Protocol.Error_msg { message; _ }) -> Error message
+      | Ok (Protocol.Error_msg { message; _ }) -> Error (Server_error message)
       | Ok (Protocol.Bye { reason }) ->
-        Error ("server shut down: " ^ reason)
+        Error (Server_error ("server shut down: " ^ reason))
       | Ok _ -> loop ()
     in
     loop ()
@@ -189,9 +350,9 @@ let dump t =
       match read_frame t with
       | Error _ as e -> e
       | Ok (Protocol.Run_dump { source; cells }) -> Ok (source, cells)
-      | Ok (Protocol.Error_msg { message; _ }) -> Error message
+      | Ok (Protocol.Error_msg { message; _ }) -> Error (Server_error message)
       | Ok (Protocol.Bye { reason }) ->
-        Error ("server shut down: " ^ reason)
+        Error (Server_error ("server shut down: " ^ reason))
       | Ok _ -> loop ()
     in
     loop ()

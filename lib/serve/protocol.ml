@@ -1,6 +1,11 @@
 module Json = Sb_util.Json
 
-let schema = "simbench-serve-json-1"
+let schema = "simbench-serve-json-2"
+
+(* The previous wire schema, rejected with a migration hint rather than the
+   generic unsupported-schema error: -2 added hello/session frames,
+   ping/pong heartbeats, row content-address keys and submit resume. *)
+let schema_v1 = "simbench-serve-json-1"
 
 (* ------------------------------------------------------------------ *)
 (* Cell specs                                                           *)
@@ -199,8 +204,9 @@ let row_of_json j =
 (* ------------------------------------------------------------------ *)
 
 type request =
-  | Submit of { id : string; cells : cell_spec list }
+  | Submit of { id : string; cells : cell_spec list; resume : bool }
   | Cancel of { id : string }
+  | Ping of { seq : int }
   | Status
   | Dump
   | Shutdown
@@ -208,15 +214,17 @@ type request =
 let tagged fields = Json.Obj (("schema", Json.String schema) :: fields)
 
 let request_to_json = function
-  | Submit { id; cells } ->
+  | Submit { id; cells; resume } ->
     tagged
-      [
-        ("op", Json.String "submit");
-        ("id", Json.String id);
-        ("cells", Json.List (List.map spec_to_json cells));
-      ]
+      ([
+         ("op", Json.String "submit");
+         ("id", Json.String id);
+         ("cells", Json.List (List.map spec_to_json cells));
+       ]
+      @ if resume then [ ("resume", Json.Bool true) ] else [])
   | Cancel { id } ->
     tagged [ ("op", Json.String "cancel"); ("id", Json.String id) ]
+  | Ping { seq } -> tagged [ ("op", Json.String "ping"); ("seq", Json.Int seq) ]
   | Status -> tagged [ ("op", Json.String "status") ]
   | Dump -> tagged [ ("op", Json.String "dump") ]
   | Shutdown -> tagged [ ("op", Json.String "shutdown") ]
@@ -224,6 +232,13 @@ let request_to_json = function
 let check_schema j =
   match Option.bind (Json.member "schema" j) Json.string_opt with
   | Some s when s = schema -> Ok ()
+  | Some s when s = schema_v1 ->
+    Error
+      (Printf.sprintf
+         "unsupported schema %S: protocol 2 adds session hello frames, \
+          ping/pong heartbeats, row content-address keys and resumable \
+          submissions — upgrade the client (this server speaks %S)"
+         s schema)
   | Some s ->
     Error
       (Printf.sprintf "unsupported schema %S (this server speaks %S)" s schema)
@@ -248,10 +263,16 @@ let request_of_json j =
   | "submit" ->
     let* id = id_of j in
     let* cells = specs_of_json j in
-    Ok (Submit { id; cells })
+    let resume =
+      match Json.member "resume" j with Some (Json.Bool b) -> b | _ -> false
+    in
+    Ok (Submit { id; cells; resume })
   | "cancel" ->
     let* id = id_of j in
     Ok (Cancel { id })
+  | "ping" ->
+    let* seq = int_field j "seq" in
+    Ok (Ping { seq })
   | "status" -> Ok Status
   | "dump" -> Ok Dump
   | "shutdown" -> Ok Shutdown
@@ -267,16 +288,26 @@ let request_of_line line =
 (* ------------------------------------------------------------------ *)
 
 type response =
+  | Hello of { session : string; heartbeat : float; miss_limit : int }
   | Ack of { id : string; cells : int }
-  | Row of { id : string; cached : bool; cell : Json.t }
+  | Row of { id : string; key : string; cached : bool; cell : Json.t }
   | Job_done of { id : string; rows : int; failed : int }
   | Cancelled of { id : string; dropped : int }
+  | Pong of { seq : int }
   | Status_report of Json.t
   | Run_dump of { source : string; cells : Json.t list }
   | Error_msg of { id : string option; message : string }
   | Bye of { reason : string }
 
 let response_to_json = function
+  | Hello { session; heartbeat; miss_limit } ->
+    tagged
+      [
+        ("op", Json.String "hello");
+        ("session", Json.String session);
+        ("heartbeat", Json.Float heartbeat);
+        ("miss_limit", Json.Int miss_limit);
+      ]
   | Ack { id; cells } ->
     tagged
       [
@@ -284,14 +315,16 @@ let response_to_json = function
         ("id", Json.String id);
         ("cells", Json.Int cells);
       ]
-  | Row { id; cached; cell } ->
+  | Row { id; key; cached; cell } ->
     tagged
       [
         ("op", Json.String "row");
         ("id", Json.String id);
+        ("key", Json.String key);
         ("cached", Json.Bool cached);
         ("cell", cell);
       ]
+  | Pong { seq } -> tagged [ ("op", Json.String "pong"); ("seq", Json.Int seq) ]
   | Job_done { id; rows; failed } ->
     tagged
       [
@@ -327,12 +360,21 @@ let response_of_json j =
   let* () = check_schema j in
   let* op = op_of j in
   match op with
+  | "hello" ->
+    let* session = str_field j "session" in
+    let* heartbeat = float_field j "heartbeat" in
+    let* miss_limit = int_field j "miss_limit" in
+    Ok (Hello { session; heartbeat; miss_limit })
   | "ack" ->
     let* id = id_of j in
     let* cells = int_field j "cells" in
     Ok (Ack { id; cells })
+  | "pong" ->
+    let* seq = int_field j "seq" in
+    Ok (Pong { seq })
   | "row" ->
     let* id = id_of j in
+    let* key = str_field j "key" in
     let cached =
       match Json.member "cached" j with Some (Json.Bool b) -> b | _ -> false
     in
@@ -341,7 +383,7 @@ let response_of_json j =
       | Some c -> Ok c
       | None -> Error "row response: missing \"cell\""
     in
-    Ok (Row { id; cached; cell })
+    Ok (Row { id; key; cached; cell })
   | "done" ->
     let* id = id_of j in
     let* rows = int_field j "rows" in

@@ -1,11 +1,22 @@
 (** Wire protocol of the benchmark service: newline-delimited JSON frames,
-    schema [simbench-serve-json-1].
+    schema [simbench-serve-json-2].
 
     Every frame — request or response — is one JSON object on one line,
     carrying a ["schema"] field; frames with a different schema value are
     rejected before any other field is inspected, so old clients get one
-    clear error instead of a field-by-field parse failure.  Malformed JSON
-    is reported with {!Sb_util.Json}'s line/column positions.
+    clear error instead of a field-by-field parse failure (the retired
+    [-1] schema gets a dedicated migration message naming what changed).
+    Malformed JSON is reported with {!Sb_util.Json}'s line/column
+    positions.
+
+    Protocol 2 adds the resilience layer: the server opens every
+    connection with a [hello] frame carrying a server-assigned session id
+    and its heartbeat contract; clients send [ping] frames answered by
+    [pong] so both sides detect a dead peer in bounded time; every [row]
+    frame carries the cell's content-address [key] so a reconnecting
+    client can resume exactly the cells it has not yet received; and
+    [submit] frames may be flagged [resume] so reconnections are counted
+    by the server.
 
     Row cells reuse the exact JSON shape of [bench/main.exe --json] cells,
     so rows streamed from a server feed straight into
@@ -15,7 +26,11 @@
 module Json = Sb_util.Json
 
 val schema : string
-(** ["simbench-serve-json-1"]. *)
+(** ["simbench-serve-json-2"]. *)
+
+val schema_v1 : string
+(** The retired ["simbench-serve-json-1"], rejected with a migration
+    message. *)
 
 (** {2 Cell specs} *)
 
@@ -56,8 +71,11 @@ val row_of_json : Json.t -> (Sb_report.Experiments.row, string) result
 (** {2 Requests (client to server)} *)
 
 type request =
-  | Submit of { id : string; cells : cell_spec list }
+  | Submit of { id : string; cells : cell_spec list; resume : bool }
+      (** [resume] marks a re-submission after a reconnect (counted by the
+          server; the content-addressed store guarantees no re-runs) *)
   | Cancel of { id : string }
+  | Ping of { seq : int }  (** heartbeat; the server echoes [Pong seq] *)
   | Status
   | Dump  (** every row the server has produced or loaded, as a run *)
   | Shutdown
@@ -72,14 +90,21 @@ val request_of_line : string -> (request, string) result
 (** {2 Responses (server to client)} *)
 
 type response =
+  | Hello of { session : string; heartbeat : float; miss_limit : int }
+      (** first frame of every connection: the server-assigned session id
+          and the heartbeat contract — the server drops a client silent
+          for more than [heartbeat *. miss_limit] seconds, and a client
+          should declare the server gone on the same budget *)
   | Ack of { id : string; cells : int }  (** job accepted, cells validated *)
-  | Row of { id : string; cached : bool; cell : Json.t }
-      (** one result row; [cached] when it was served without running a
-          simulation (persistent cache hit or coalesced with an in-flight
-          computation) *)
+  | Row of { id : string; key : string; cached : bool; cell : Json.t }
+      (** one result row; [key] is the cell's {!spec_key} content address
+          (what a resuming client checks off), [cached] when it was served
+          without running a simulation (persistent cache hit or coalesced
+          with an in-flight computation) *)
   | Job_done of { id : string; rows : int; failed : int }
   | Cancelled of { id : string; dropped : int }
       (** [dropped] cells were abandoned before running *)
+  | Pong of { seq : int }  (** heartbeat echo *)
   | Status_report of Json.t
   | Run_dump of { source : string; cells : Json.t list }
   | Error_msg of { id : string option; message : string }

@@ -1,0 +1,51 @@
+(** Self-healing submission client: reconnect, jittered exponential
+    backoff, idempotent resume.
+
+    Wraps a {!Client} job submission in a retry loop.  When the
+    transport dies mid-stream (server killed, connection reset, garbled
+    frame) the client reconnects — backing off exponentially with
+    seeded jitter, within a bounded retry budget — and re-submits only
+    the cells whose rows it has not yet received, flagged
+    [resume:true] under the same job id.  Rows are checked off a
+    content-address key multiset, so duplicate deliveries are dropped
+    and counted, never surfaced twice; rows received after a reconnect
+    carry [retried:true].  The server's content-addressed store answers
+    the already-computed cells of a resumed job from cache, so no cell
+    is ever simulated twice on a client's account. *)
+
+module Json = Sb_util.Json
+
+type config = {
+  retries : int;  (** reconnect budget for the whole job *)
+  backoff : float;  (** first reconnect delay, seconds *)
+  backoff_max : float;  (** delay ceiling *)
+  jitter : float;  (** +/- fraction applied to each delay, in [0,1] *)
+  seed : int;  (** jitter RNG seed (deterministic backoff sequences) *)
+}
+
+val default_config : config
+(** 5 retries, 0.25 s doubling to 5 s, 25 % jitter. *)
+
+type stats = {
+  st_reconnects : int;  (** reconnect attempts made *)
+  st_rows_retried : int;  (** rows received after a reconnect *)
+  st_duplicates : int;  (** duplicate rows dropped *)
+}
+
+type outcome = { ended : Client.job_end; stats : stats }
+
+val submit :
+  ?cfg:config ->
+  ?on_event:(string -> unit) ->
+  ?on_row:(key:string -> cached:bool -> retried:bool -> Json.t -> unit) ->
+  addr:string ->
+  id:string ->
+  cells:Protocol.cell_spec list ->
+  unit ->
+  (outcome, Client.error) result
+(** Submit one job, surviving transport failures.  [on_event] receives a
+    human line per reconnect decision.  [on_row] streams each distinct
+    row exactly once; [retried] is true for rows delivered after at
+    least one reconnect.  The returned error is the last failure once
+    the retry budget is exhausted, or the first non-retryable one
+    ({!Client.Server_error} — the server rejected the job itself). *)

@@ -14,6 +14,8 @@ type config = {
   deadline : float option;
   window : int;  (* 0 = derive from jobs *)
   max_buffer : int;
+  heartbeat : float;  (* expected client liveness interval; <= 0 disables *)
+  miss_limit : int;  (* missed intervals before a client is dropped *)
   verbose : bool;
 }
 
@@ -26,6 +28,8 @@ let default_config =
     deadline = None;
     window = 0;
     max_buffer = 1 lsl 20;
+    heartbeat = 10.0;
+    miss_limit = 3;
     verbose = false;
   }
 
@@ -44,6 +48,9 @@ type counters = {
   mutable c_coalesced : int;  (* cells attached to an in-flight computation *)
   mutable c_cancelled : int;  (* cells dropped by cancel/disconnect *)
   mutable c_clients_total : int;
+  mutable c_reconnects : int;  (* submissions flagged resume=true *)
+  mutable c_heartbeats_missed : int;  (* silent heartbeat intervals seen *)
+  mutable c_clients_dropped : int;  (* clients dropped for missed heartbeats *)
 }
 
 type waiter = { w_client : int; w_job : string }
@@ -66,6 +73,7 @@ type job = {
 
 type client = {
   cl_id : int;
+  cl_session : string;  (* server-assigned, announced in the hello frame *)
   cl_fd : Unix.file_descr;
   cl_in : Buffer.t;  (* partial inbound frame *)
   cl_out : Buffer.t;  (* outbound bytes not yet written *)
@@ -74,6 +82,8 @@ type client = {
   cl_jobs : (string, job) Hashtbl.t;
   mutable cl_order : string list;  (* job ids, submission order *)
   mutable cl_closing : bool;  (* [Bye] queued: flush, then close *)
+  mutable cl_last_heard : float;  (* last inbound byte, for liveness *)
+  mutable cl_missed : int;  (* silent heartbeat intervals in a row *)
 }
 
 type t = {
@@ -133,6 +143,8 @@ let create cfg =
   if cfg.unix_path = None && cfg.tcp_port = None then
     invalid_arg "Serve.create: need a unix socket path or a TCP port";
   if cfg.jobs < 1 then invalid_arg "Serve.create: jobs must be >= 1";
+  if cfg.heartbeat > 0.0 && cfg.miss_limit < 1 then
+    invalid_arg "Serve.create: miss_limit must be >= 1";
   install_signal_handlers ();
   let listeners =
     (match cfg.unix_path with Some p -> [ listen_unix p ] | None -> [])
@@ -164,6 +176,9 @@ let create cfg =
         c_coalesced = 0;
         c_cancelled = 0;
         c_clients_total = 0;
+        c_reconnects = 0;
+        c_heartbeats_missed = 0;
+        c_clients_dropped = 0;
       };
     read_buf = Bytes.create 65536;
     next_client = 0;
@@ -249,7 +264,7 @@ let maybe_finish t c j =
     c.cl_order <- List.filter (fun id -> id <> j.j_id) c.cl_order
   end
 
-let deliver t w ~cached ~json ~failed =
+let deliver t w ~key ~cached ~json ~failed =
   match Hashtbl.find_opt t.clients w.w_client with
   | None -> ()
   | Some c -> (
@@ -261,7 +276,7 @@ let deliver t w ~cached ~json ~failed =
       if failed then j.j_failed <- j.j_failed + 1 else j.j_rows <- j.j_rows + 1;
       t.cnt.c_rows <- t.cnt.c_rows + 1;
       if failed then t.cnt.c_rows_failed <- t.cnt.c_rows_failed + 1;
-      send t c (Protocol.Row { id = j.j_id; cached; cell = json });
+      send t c (Protocol.Row { id = j.j_id; key; cached; cell = json });
       maybe_finish t c j)
 
 let on_outcome t key ~live outcome =
@@ -286,7 +301,7 @@ let on_outcome t key ~live outcome =
     let json = Protocol.row_to_json row in
     if not failed then Hashtbl.replace t.produced key json;
     List.iteri
-      (fun i w -> deliver t w ~cached:(cached || i > 0) ~json ~failed)
+      (fun i w -> deliver t w ~key ~cached:(cached || i > 0) ~json ~failed)
       fl.f_waiters
 
 (* ------------------------------------------------------------------ *)
@@ -301,7 +316,7 @@ let dispatch_cell t c j sp =
   match Hashtbl.find_opt t.produced key with
   | Some json ->
     t.cnt.c_cache_hits <- t.cnt.c_cache_hits + 1;
-    deliver t w ~cached:true ~json ~failed:false
+    deliver t w ~key ~cached:true ~json ~failed:false
   | None -> (
     match Hashtbl.find_opt t.flights key with
     | Some fl ->
@@ -383,6 +398,10 @@ let status_json t =
             ("deduplicated", Json.Int (cnt.c_cache_hits + cnt.c_coalesced));
             ("cancelled_cells", Json.Int cnt.c_cancelled);
             ("clients_total", Json.Int cnt.c_clients_total);
+            ("reconnects", Json.Int cnt.c_reconnects);
+            ("heartbeats_missed", Json.Int cnt.c_heartbeats_missed);
+            ("clients_dropped", Json.Int cnt.c_clients_dropped);
+            ("fsck_evictions", Json.Int (Cache.evictions ()));
           ] );
       ( "pool",
         Json.Obj
@@ -408,9 +427,11 @@ let status_json t =
                   Json.Obj
                     [
                       ("id", Json.Int c.cl_id);
+                      ("session", Json.String c.cl_session);
                       ("inflight", Json.Int c.cl_inflight);
                       ("jobs", Json.Int (Hashtbl.length c.cl_jobs));
                       ("buffered_bytes", Json.Int (out_pending c));
+                      ("heartbeats_missed", Json.Int c.cl_missed);
                     ]
                   :: acc)
                 t.clients [])) );
@@ -433,13 +454,48 @@ let begin_shutdown t ~reason =
     (* queued flights are abandoned (their waiters get cancelled rows);
        running workers finish and still populate the cache *)
     Hashtbl.iter (fun _ fl -> Pool.cancel fl.f_token) t.flights;
+    (* window-held cells never reached the scheduler, but their clients
+       still get a cancelled row per cell — every submitted cell is
+       answered, so a draining shutdown never strands a job *)
     Hashtbl.iter
       (fun _ c ->
         Hashtbl.iter
           (fun _ j ->
-            t.cnt.c_cancelled <- t.cnt.c_cancelled + Queue.length j.j_pending;
+            let pending = Queue.length j.j_pending in
+            t.cnt.c_cancelled <- t.cnt.c_cancelled + pending;
+            Queue.iter
+              (fun sp ->
+                let row =
+                  Compute.failure_row sp
+                    {
+                      Pool.fl_label = Protocol.spec_label sp;
+                      fl_kind = Pool.Cancelled;
+                      fl_attempts = 0;
+                      fl_detail = reason;
+                    }
+                in
+                j.j_failed <- j.j_failed + 1;
+                t.cnt.c_rows <- t.cnt.c_rows + 1;
+                t.cnt.c_rows_failed <- t.cnt.c_rows_failed + 1;
+                send t c
+                  (Protocol.Row
+                     {
+                       id = j.j_id;
+                       key = Protocol.spec_key sp;
+                       cached = false;
+                       cell = Protocol.row_to_json row;
+                     }))
+              j.j_pending;
             Queue.clear j.j_pending)
-          c.cl_jobs)
+          c.cl_jobs;
+        (* with the queues gone, jobs whose flights were all delivered
+           can finish right away *)
+        List.iter
+          (fun id ->
+            match Hashtbl.find_opt c.cl_jobs id with
+            | Some j -> maybe_finish t c j
+            | None -> ())
+          c.cl_order)
       t.clients
   end
 
@@ -470,7 +526,12 @@ let close t =
 (* Inbound frames                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let handle_submit t c ~id ~cells =
+let handle_submit t c ~id ~cells ~resume =
+  if resume then begin
+    t.cnt.c_reconnects <- t.cnt.c_reconnects + 1;
+    log t "client %d (%s) resumed job %s after a reconnect" c.cl_id
+      c.cl_session id
+  end;
   if t.shutting_down then
     send t c
       (Protocol.Error_msg { id = Some id; message = "server is shutting down" })
@@ -564,8 +625,10 @@ let handle_cancel t c ~id =
 let handle_line t c line =
   match Protocol.request_of_line line with
   | Error message -> send t c (Protocol.Error_msg { id = None; message })
-  | Ok (Protocol.Submit { id; cells }) -> handle_submit t c ~id ~cells
+  | Ok (Protocol.Submit { id; cells; resume }) ->
+    handle_submit t c ~id ~cells ~resume
   | Ok (Protocol.Cancel { id }) -> handle_cancel t c ~id
+  | Ok (Protocol.Ping { seq }) -> send t c (Protocol.Pong { seq })
   | Ok Protocol.Status -> send t c (Protocol.Status_report (status_json t))
   | Ok Protocol.Dump ->
     send t c (Protocol.Run_dump { source = "serve"; cells = dump_cells t })
@@ -597,10 +660,43 @@ let read_client t c =
   match Unix.read c.cl_fd t.read_buf 0 (Bytes.length t.read_buf) with
   | 0 -> drop_client t c
   | n ->
+    c.cl_last_heard <- Unix.gettimeofday ();
+    c.cl_missed <- 0;
     Buffer.add_subbytes c.cl_in t.read_buf 0 n;
     process_input t c
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error _ -> drop_client t c
+
+(* Liveness: any inbound byte counts as a heartbeat.  A client silent for a
+   whole interval accrues one miss; [miss_limit] misses in a row and it is
+   dropped — its queued cells are cancelled exactly as on a disconnect, so
+   a wedged client cannot pin flights (or their backpressure window)
+   forever. *)
+let check_heartbeats t =
+  if t.cfg.heartbeat > 0.0 then begin
+    let now = Unix.gettimeofday () in
+    let doomed = ref [] in
+    Hashtbl.iter
+      (fun _ c ->
+        if not c.cl_closing then begin
+          let silent = now -. c.cl_last_heard in
+          if silent > t.cfg.heartbeat *. float_of_int (c.cl_missed + 1) then begin
+            c.cl_missed <- c.cl_missed + 1;
+            t.cnt.c_heartbeats_missed <- t.cnt.c_heartbeats_missed + 1;
+            log t "client %d (%s) missed heartbeat %d/%d" c.cl_id c.cl_session
+              c.cl_missed t.cfg.miss_limit;
+            if c.cl_missed >= t.cfg.miss_limit then doomed := c :: !doomed
+          end
+        end)
+      t.clients;
+    List.iter
+      (fun c ->
+        t.cnt.c_clients_dropped <- t.cnt.c_clients_dropped + 1;
+        log t "client %d (%s) dropped: %d heartbeats missed" c.cl_id
+          c.cl_session c.cl_missed;
+        drop_client t c)
+      !doomed
+  end
 
 let accept_clients t lfd =
   let continue = ref true in
@@ -611,9 +707,11 @@ let accept_clients t lfd =
       let id = t.next_client in
       t.next_client <- id + 1;
       t.cnt.c_clients_total <- t.cnt.c_clients_total + 1;
-      Hashtbl.replace t.clients id
+      let session = Printf.sprintf "s%d-%d" (Unix.getpid ()) id in
+      let c =
         {
           cl_id = id;
+          cl_session = session;
           cl_fd = fd;
           cl_in = Buffer.create 256;
           cl_out = Buffer.create 1024;
@@ -622,8 +720,21 @@ let accept_clients t lfd =
           cl_jobs = Hashtbl.create 4;
           cl_order = [];
           cl_closing = false;
-        };
-      log t "client %d connected" id
+          cl_last_heard = Unix.gettimeofday ();
+          cl_missed = 0;
+        }
+      in
+      Hashtbl.replace t.clients id c;
+      (* the session handshake: every connection opens with the server's
+         hello naming the assigned session and the heartbeat contract *)
+      send t c
+        (Protocol.Hello
+           {
+             session;
+             heartbeat = t.cfg.heartbeat;
+             miss_limit = t.cfg.miss_limit;
+           });
+      log t "client %d connected (session %s)" id session
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
       continue := false
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -662,6 +773,7 @@ let step ?(timeout = 0.2) t =
   (* worker pipes: pump ignores fds it does not own, and also promotes due
      retries / kills deadline overruns even with nothing readable *)
   Pool.Sched.pump t.sched ~readable;
+  check_heartbeats t;
   let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.clients [] in
   List.iter
     (fun c ->

@@ -34,12 +34,20 @@ type config = {
   deadline : float option;  (** per-cell wall-clock budget, seconds *)
   window : int;  (** max in-flight cells per client; 0 = [2 * jobs] *)
   max_buffer : int;  (** per-client outbound watermark, bytes *)
+  heartbeat : float;
+      (** client-liveness interval announced in the hello frame: any
+          inbound byte counts as a heartbeat, a client silent for one
+          whole interval accrues a miss; [<= 0] disables dropping *)
+  miss_limit : int;
+      (** consecutive missed intervals before a silent client is dropped
+          (its queued cells cancelled exactly as on a disconnect) *)
   verbose : bool;  (** log connections/jobs to stderr *)
 }
 
 val default_config : config
 (** No listeners (callers must set one), [jobs = 1], no cache, no
-    deadline, derived window, 1 MiB watermark, quiet. *)
+    deadline, derived window, 1 MiB watermark, 10 s heartbeat with 3
+    misses allowed, quiet. *)
 
 type t
 

@@ -285,6 +285,106 @@ let test_cache_rejects_corruption () =
   Alcotest.(check (option int)) "corrupt is a miss" None (Cache.load cache ~key:"deadbeef");
   rm_rf dir
 
+(* ------------------------------------------------------------------ *)
+(* Fsck                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Fsck = Sb_jobs.Fsck
+
+let fsck_counts r =
+  (r.Fsck.ok, r.Fsck.truncated, r.Fsck.key_mismatch, r.Fsck.stale_tmp,
+   r.Fsck.live_tmp)
+
+let test_fsck_classifies_damage () =
+  let dir = tmp_dir "sb_jobs_fsck" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let cache = Cache.create ~dir in
+  Cache.store cache ~key:"good" 1;
+  Cache.store cache ~key:"torn" 2;
+  Cache.store cache ~key:"moved" 3;
+  (* tear one entry *)
+  let oc = open_out (Filename.concat dir "sb_torn.cache") in
+  output_string oc "garbage";
+  close_out oc;
+  (* put another under the wrong name *)
+  Sys.rename
+    (Filename.concat dir "sb_moved.cache")
+    (Filename.concat dir "sb_elsewhere.cache");
+  (* a temp file whose writer is long gone, and one whose writer lives *)
+  let touch name =
+    let oc = open_out (Filename.concat dir name) in
+    close_out oc
+  in
+  touch "sb_x.cache.tmp.999999999";
+  touch (Printf.sprintf "sb_y.cache.tmp.%d" (Unix.getpid ()));
+  (* and a file fsck must never classify (no sb_ prefix) *)
+  touch "README";
+  (match Fsck.scan ~dir () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    let ok, truncated, mismatch, stale, live = fsck_counts r in
+    Alcotest.(check int) "ok entries" 1 ok;
+    Alcotest.(check int) "truncated" 1 truncated;
+    Alcotest.(check int) "key mismatch" 1 mismatch;
+    Alcotest.(check int) "stale tmp" 1 stale;
+    Alcotest.(check int) "live tmp" 1 live;
+    Alcotest.(check bool) "dirty store is not clean" false (Fsck.clean r);
+    Alcotest.(check int) "nothing removed without repair" 0 r.Fsck.repaired);
+  (* a dry scan removed nothing *)
+  Alcotest.(check bool) "torn file still there" true
+    (Sys.file_exists (Filename.concat dir "sb_torn.cache"));
+  (* repair evicts exactly the damage *)
+  (match Fsck.scan ~repair:true ~dir () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check int) "three repaired" 3 r.Fsck.repaired;
+    Alcotest.(check int) "none unrepairable" 0 r.Fsck.unrepairable);
+  Alcotest.(check bool) "good entry survived" true
+    (Sys.file_exists (Filename.concat dir "sb_good.cache"));
+  Alcotest.(check bool) "live tmp survived" true
+    (Sys.file_exists
+       (Filename.concat dir (Printf.sprintf "sb_y.cache.tmp.%d" (Unix.getpid ()))));
+  Alcotest.(check bool) "unrelated file untouched" true
+    (Sys.file_exists (Filename.concat dir "README"));
+  Alcotest.(check bool) "torn file evicted" false
+    (Sys.file_exists (Filename.concat dir "sb_torn.cache"));
+  (* after repair the store scans clean, and the good entry still loads *)
+  (match Fsck.scan ~dir () with
+  | Error e -> Alcotest.fail e
+  | Ok r -> Alcotest.(check bool) "clean after repair" true (Fsck.clean r));
+  Alcotest.(check (option int)) "good entry still loads" (Some 1)
+    (Cache.load cache ~key:"good")
+
+let test_fsck_json_report () =
+  let dir = tmp_dir "sb_jobs_fsck_json" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let cache = Cache.create ~dir in
+  Cache.store cache ~key:"fine" 9;
+  let oc = open_out (Filename.concat dir "sb_bad.cache") in
+  output_string oc "x";
+  close_out oc;
+  match Fsck.scan ~dir () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    let j = Fsck.report_to_json r in
+    let int_field name =
+      match Option.bind (Sb_util.Json.member name j) Sb_util.Json.int_opt with
+      | Some n -> n
+      | None -> Alcotest.fail ("missing field " ^ name)
+    in
+    Alcotest.(check int) "ok count" 1 (int_field "ok");
+    Alcotest.(check int) "truncated count" 1 (int_field "truncated");
+    (match Sb_util.Json.member "clean" j with
+    | Some (Sb_util.Json.Bool false) -> ()
+    | _ -> Alcotest.fail "clean must be false");
+    (* only the damaged entries are listed *)
+    match Sb_util.Json.member "entries" j with
+    | Some (Sb_util.Json.List [ Sb_util.Json.Obj fields ]) ->
+      (match List.assoc_opt "verdict" fields with
+      | Some (Sb_util.Json.String "truncated") -> ()
+      | _ -> Alcotest.fail "expected a truncated verdict")
+    | _ -> Alcotest.fail "expected exactly one listed entry"
+
 let test_fingerprint_moves_with_knobs () =
   let base_config = Experiments.quick_config in
   let fp ?(config = base_config) ?(arch = Sb_isa.Arch_sig.Sba)
@@ -500,6 +600,8 @@ let () =
         [
           Alcotest.test_case "hit without fork" `Quick test_cache_hit_without_fork;
           Alcotest.test_case "corruption is a miss" `Quick test_cache_rejects_corruption;
+          Alcotest.test_case "fsck classifies damage" `Quick test_fsck_classifies_damage;
+          Alcotest.test_case "fsck json report" `Quick test_fsck_json_report;
           Alcotest.test_case "fingerprint knobs" `Quick test_fingerprint_moves_with_knobs;
         ] );
       ( "cancellation",

@@ -114,8 +114,10 @@ let test_row_round_trip () =
 let test_request_round_trip () =
   let reqs =
     [
-      Protocol.Submit { id = "j1"; cells = [ spec ~iters:9 () ] };
+      Protocol.Submit { id = "j1"; cells = [ spec ~iters:9 () ]; resume = false };
+      Protocol.Submit { id = "j1"; cells = [ spec ~iters:9 () ]; resume = true };
       Protocol.Cancel { id = "j1" };
+      Protocol.Ping { seq = 42 };
       Protocol.Status;
       Protocol.Dump;
       Protocol.Shutdown;
@@ -133,9 +135,16 @@ let test_request_round_trip () =
 let test_response_round_trip () =
   let resps =
     [
+      Protocol.Hello { session = "s1-7"; heartbeat = 10.0; miss_limit = 3 };
       Protocol.Ack { id = "j"; cells = 3 };
       Protocol.Row
-        { id = "j"; cached = true; cell = Json.Obj [ ("cell", Json.String "x") ] };
+        {
+          id = "j";
+          key = "abc123";
+          cached = true;
+          cell = Json.Obj [ ("cell", Json.String "x") ];
+        };
+      Protocol.Pong { seq = 42 };
       Protocol.Job_done { id = "j"; rows = 2; failed = 1 };
       Protocol.Cancelled { id = "j"; dropped = 4 };
       Protocol.Status_report (Json.Obj [ ("clients", Json.Int 1) ]);
@@ -182,11 +191,32 @@ let test_schema_version_rejected () =
   | Ok _ -> Alcotest.fail "accepted an untagged frame"
   | Error msg -> check_contains "missing schema" msg "schema"
 
+let test_v1_schema_migration_error () =
+  (* the retired protocol 1 gets a dedicated migration message, not a
+     generic mismatch *)
+  let frame =
+    Json.to_string
+      (Json.Obj
+         [
+           ("schema", Json.String Protocol.schema_v1);
+           ("op", Json.String "status");
+         ])
+  in
+  match Protocol.request_of_line frame with
+  | Ok _ -> Alcotest.fail "accepted protocol 1"
+  | Error msg ->
+    check_contains "names the old schema" msg Protocol.schema_v1;
+    check_contains "tells what changed" msg "heartbeats";
+    check_contains "points at the upgrade" msg "upgrade the client"
+
 (* ------------------------------------------------------------------ *)
 (* In-process server harness                                            *)
 (* ------------------------------------------------------------------ *)
 
-let with_server ?(jobs = 1) ?(window = 0) ?cache_dir f =
+(* in-process tclients are raw sockets that never ping, so the harness
+   disables heartbeat dropping by default; the heartbeat tests opt in *)
+let with_server ?(jobs = 1) ?(window = 0) ?(heartbeat = 0.0) ?(miss_limit = 3)
+    ?cache_dir f =
   let dir = tmp_dir "sb_serve" in
   let path = Filename.concat dir "s.sock" in
   let cfg =
@@ -195,6 +225,8 @@ let with_server ?(jobs = 1) ?(window = 0) ?cache_dir f =
       Serve.unix_path = Some path;
       jobs;
       window;
+      heartbeat;
+      miss_limit;
       cache_dir;
     }
   in
@@ -208,15 +240,11 @@ let with_server ?(jobs = 1) ?(window = 0) ?cache_dir f =
 type tclient = {
   fd : Unix.file_descr;
   partial : Buffer.t;
+  mutable session : string;  (* from the hello frame *)
   mutable frames : Protocol.response list;  (* arrival order *)
 }
 
-let tconnect server path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.connect fd (Unix.ADDR_UNIX path);
-  Unix.set_nonblock fd;
-  Serve.step ~timeout:0.01 server;
-  { fd; partial = Buffer.create 256; frames = [] }
+let submit ?(resume = false) id cells = Protocol.Submit { id; cells; resume }
 
 let tclose tc = try Unix.close tc.fd with Unix.Unix_error _ -> ()
 
@@ -254,6 +282,27 @@ let tread tc =
   in
   split 0
 
+let tconnect server path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Unix.set_nonblock fd;
+  let tc = { fd; partial = Buffer.create 256; session = ""; frames = [] } in
+  (* every connection opens with the server's hello; consume it so the
+     tests below see only the frames they provoked *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec hello () =
+    Serve.step ~timeout:0.01 server;
+    tread tc;
+    match tc.frames with
+    | Protocol.Hello { session; _ } :: rest ->
+      tc.session <- session;
+      tc.frames <- rest
+    | [] when Unix.gettimeofday () < deadline -> hello ()
+    | _ -> Alcotest.fail "expected a hello frame first"
+  in
+  hello ();
+  tc
+
 let wait_for ?(timeout = 60.0) ?(read = true) server tc pred what =
   let deadline = Unix.gettimeofday () +. timeout in
   let rec go () =
@@ -271,7 +320,7 @@ let wait_for ?(timeout = 60.0) ?(read = true) server tc pred what =
 let rows_of tc id =
   List.filter_map
     (function
-      | Protocol.Row { id = rid; cached; cell } when rid = id ->
+      | Protocol.Row { id = rid; key = _; cached; cell } when rid = id ->
         Some (cached, cell)
       | _ -> None)
     tc.frames
@@ -309,7 +358,7 @@ let test_submit_streams_rows () =
   with_server ~jobs:2 (fun server path ->
       let tc = tconnect server path in
       Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
-      tsend tc (Protocol.Submit { id = "j1"; cells = quick_cells });
+      tsend tc (submit "j1" quick_cells);
       wait_for server tc (is_done "j1") "job j1 done";
       let rows = rows_of tc "j1" in
       Alcotest.(check int) "one row per cell" 2 (List.length rows);
@@ -329,10 +378,10 @@ let test_identical_jobs_deduplicate () =
   with_server ~jobs:2 (fun server path ->
       let tc = tconnect server path in
       Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
-      tsend tc (Protocol.Submit { id = "a"; cells = quick_cells });
+      tsend tc (submit "a" quick_cells);
       wait_for server tc (is_done "a") "job a done";
       Alcotest.(check int) "cold run simulated" 2 (counter server "simulated");
-      tsend tc (Protocol.Submit { id = "b"; cells = quick_cells });
+      tsend tc (submit "b" quick_cells);
       wait_for server tc (is_done "b") "job b done";
       let rows = rows_of tc "b" in
       Alcotest.(check int) "full row set again" 2 (List.length rows);
@@ -354,8 +403,8 @@ let test_two_clients_share_results () =
       (* same cells submitted by both clients back to back: the second
          client's cells either coalesce onto the in-flight computation or
          hit the store — never a second simulation *)
-      tsend a (Protocol.Submit { id = "j"; cells = quick_cells });
-      tsend b (Protocol.Submit { id = "j"; cells = quick_cells });
+      tsend a (submit "j" quick_cells);
+      tsend b (submit "j" quick_cells);
       wait_for server a (is_done "j") "client a done";
       wait_for server b (is_done "j") "client b done";
       Alcotest.(check int) "each client got all rows (a)" 2
@@ -373,7 +422,7 @@ let test_window_bounds_inflight () =
       let tc = tconnect server path in
       Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
       let cells = List.map (fun i -> spec ~iters:(20 + i) ()) [ 0; 1; 2; 3 ] in
-      tsend tc (Protocol.Submit { id = "w"; cells });
+      tsend tc (submit "w" cells);
       (* the client reads nothing: the server may buffer rows, but must
          never have more than [window] of this client's cells in flight *)
       let max_seen = ref 0 in
@@ -404,7 +453,7 @@ let test_cancel_mid_run () =
       let tc = tconnect server path in
       Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
       let cells = List.map (fun i -> spec ~iters:(50 + i) ()) [ 0; 1; 2; 3 ] in
-      tsend tc (Protocol.Submit { id = "c"; cells });
+      tsend tc (submit "c" cells);
       wait_for server tc
         (function Protocol.Row { id = "c"; _ } -> true | _ -> false)
         "first row";
@@ -428,7 +477,7 @@ let test_cancel_mid_run () =
         (counter server "cancelled_cells" >= 1);
       (* resubmitting the same cells works, and previously-finished cells
          come back from the store *)
-      tsend tc (Protocol.Submit { id = "c2"; cells });
+      tsend tc (submit "c2" cells);
       wait_for server tc (is_done "c2") "resubmission done";
       let rows = rows_of tc "c2" in
       Alcotest.(check int) "complete row set after cancel" 4
@@ -447,7 +496,7 @@ let test_bad_jobs_rejected_atomically () =
       Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
       (* unknown bench: the whole job is rejected, nothing runs *)
       tsend tc
-        (Protocol.Submit { id = "bad"; cells = [ spec (); spec ~bench:"Nope" () ] });
+        (submit "bad" [ spec (); spec ~bench:"Nope" () ]);
       wait_for server tc is_error "rejection";
       (match List.find_opt is_error tc.frames with
       | Some (Protocol.Error_msg { id; message }) ->
@@ -478,12 +527,12 @@ let test_shutdown_drains () =
   with_server ~jobs:1 (fun server path ->
       let tc = tconnect server path in
       Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
-      tsend tc (Protocol.Submit { id = "s"; cells = quick_cells });
+      tsend tc (submit "s" quick_cells);
       wait_for server tc (is_done "s") "job done";
       Serve.begin_shutdown server ~reason:"test";
       Alcotest.(check bool) "shutting down" true (Serve.shutting_down server);
       (* new submissions are refused *)
-      tsend tc (Protocol.Submit { id = "late"; cells = quick_cells });
+      tsend tc (submit "late" quick_cells);
       wait_for server tc is_error "late submission refused";
       match List.find_opt is_error tc.frames with
       | Some (Protocol.Error_msg { message; _ }) ->
@@ -497,7 +546,7 @@ let test_persistent_cache_across_servers () =
   with_server ~jobs:1 ~cache_dir:cache (fun server path ->
       let tc = tconnect server path in
       Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
-      tsend tc (Protocol.Submit { id = "p"; cells = quick_cells });
+      tsend tc (submit "p" quick_cells);
       wait_for server tc (is_done "p") "first server done";
       first_simulated := counter server "simulated");
   Alcotest.(check int) "first server simulated both" 2 !first_simulated;
@@ -505,7 +554,7 @@ let test_persistent_cache_across_servers () =
   with_server ~jobs:1 ~cache_dir:cache (fun server path ->
       let tc = tconnect server path in
       Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
-      tsend tc (Protocol.Submit { id = "p2"; cells = quick_cells });
+      tsend tc (submit "p2" quick_cells);
       wait_for server tc (is_done "p2") "second server done";
       Alcotest.(check int) "second server simulated nothing" 0
         (counter server "simulated");
@@ -513,6 +562,335 @@ let test_persistent_cache_across_servers () =
         (fun (cached, _) ->
           Alcotest.(check bool) "rows marked cached" true cached)
         (rows_of tc "p2"))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol 2: sessions, heartbeats, resume                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_hello_assigns_sessions () =
+  with_server (fun server path ->
+      let a = tconnect server path in
+      let b = tconnect server path in
+      Fun.protect ~finally:(fun () -> tclose a; tclose b) @@ fun () ->
+      Alcotest.(check bool) "session a non-empty" true (a.session <> "");
+      Alcotest.(check bool) "session b non-empty" true (b.session <> "");
+      Alcotest.(check bool) "sessions unique" true (a.session <> b.session))
+
+let test_ping_pong () =
+  with_server (fun server path ->
+      let tc = tconnect server path in
+      Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
+      tsend tc (Protocol.Ping { seq = 7 });
+      wait_for server tc
+        (function Protocol.Pong { seq } -> seq = 7 | _ -> false)
+        "pong 7")
+
+let test_heartbeat_drops_silent_client () =
+  with_server ~heartbeat:0.05 ~miss_limit:2 (fun server path ->
+      let tc = tconnect server path in
+      Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
+      Alcotest.(check int) "client connected" 1 (Serve.client_count server);
+      (* send nothing: the server must drop us within the contract *)
+      let deadline = Unix.gettimeofday () +. 30.0 in
+      while Serve.client_count server > 0 && Unix.gettimeofday () < deadline do
+        Serve.step ~timeout:0.02 server
+      done;
+      Alcotest.(check int) "silent client dropped" 0
+        (Serve.client_count server);
+      Alcotest.(check int) "drop counted" 1 (counter server "clients_dropped");
+      Alcotest.(check bool)
+        "misses counted" true
+        (counter server "heartbeats_missed" >= 2))
+
+let test_activity_is_heartbeat () =
+  (* a client busy pinging is never dropped, however long the job *)
+  with_server ~heartbeat:0.08 ~miss_limit:2 (fun server path ->
+      let tc = tconnect server path in
+      Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
+      let stop = Unix.gettimeofday () +. 0.6 in
+      let seq = ref 0 in
+      while Unix.gettimeofday () < stop do
+        incr seq;
+        tsend tc (Protocol.Ping { seq = !seq });
+        Serve.step ~timeout:0.02 server;
+        tread tc
+      done;
+      Alcotest.(check int) "still connected" 1 (Serve.client_count server);
+      Alcotest.(check int) "never dropped" 0 (counter server "clients_dropped"))
+
+let test_resume_dedups_after_disconnect () =
+  let cache = tmp_dir "sb_serve_resume" in
+  Fun.protect ~finally:(fun () -> rm_rf cache) @@ fun () ->
+  with_server ~jobs:1 ~cache_dir:cache (fun server path ->
+      let tc = tconnect server path in
+      tsend tc (submit "r" quick_cells);
+      wait_for server tc (is_done "r") "first pass done";
+      Alcotest.(check int) "cold run simulated" 2 (counter server "simulated");
+      (* the client vanishes mid-session and comes back, resuming the
+         same job id: everything is served from the store, nothing is
+         simulated again, and the reconnect is counted *)
+      tclose tc;
+      Serve.step ~timeout:0.02 server;
+      let tc2 = tconnect server path in
+      Fun.protect ~finally:(fun () -> tclose tc2) @@ fun () ->
+      tsend tc2 (submit ~resume:true "r" quick_cells);
+      wait_for server tc2 (is_done "r") "resumed job done";
+      let rows = rows_of tc2 "r" in
+      Alcotest.(check int) "full row set on resume" 2 (List.length rows);
+      List.iter
+        (fun (cached, _) ->
+          Alcotest.(check bool) "resume served from store" true cached)
+        rows;
+      Alcotest.(check int) "nothing re-simulated" 2
+        (counter server "simulated");
+      Alcotest.(check int) "reconnect counted" 1 (counter server "reconnects"))
+
+let test_row_keys_match_spec_keys () =
+  with_server (fun server path ->
+      let tc = tconnect server path in
+      Fun.protect ~finally:(fun () -> tclose tc) @@ fun () ->
+      tsend tc (submit "k" quick_cells);
+      wait_for server tc (is_done "k") "job done";
+      let expect =
+        List.map
+          (fun sp ->
+            Protocol.spec_key
+              {
+                sp with
+                Protocol.sp_engine =
+                  Simbench.Engines.canonical_name sp.Protocol.sp_engine;
+              })
+          quick_cells
+      in
+      let got =
+        List.filter_map
+          (function
+            | Protocol.Row { id = "k"; key; _ } -> Some key
+            | _ -> None)
+          tc.frames
+      in
+      Alcotest.(check (slist string compare))
+        "row keys are the specs' content addresses" expect got)
+
+(* ------------------------------------------------------------------ *)
+(* Real daemons: signals, restarts, transport chaos                     *)
+(* ------------------------------------------------------------------ *)
+
+let fork_daemon ?(jobs = 1) ?cache_dir ~path () =
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let cfg =
+         {
+           Serve.default_config with
+           Serve.unix_path = Some path;
+           jobs;
+           cache_dir;
+           heartbeat = 5.0;
+         }
+       in
+       Serve.run (Serve.create cfg)
+     with _ -> ());
+    Unix._exit 0
+  | pid -> pid
+
+let reap pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let wait_path ?(timeout = 30.0) path =
+  let deadline = Unix.gettimeofday () +. timeout in
+  while (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.02
+  done;
+  if not (Sys.file_exists path) then
+    Alcotest.fail ("socket never appeared: " ^ path)
+
+let connect_retry ?(timeout = 30.0) path =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    match Sb_serve.Client.connect ("unix:" ^ path) with
+    | Ok c -> c
+    | Error e ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail (Sb_serve.Client.error_message e)
+      else begin
+        Unix.sleepf 0.05;
+        go ()
+      end
+  in
+  go ()
+
+let test_sigint_drains_gracefully () =
+  let dir = tmp_dir "sb_sigint" in
+  let path = Filename.concat dir "d.sock" in
+  let pid = fork_daemon ~jobs:1 ~path () in
+  Fun.protect
+    ~finally:(fun () ->
+      reap pid;
+      rm_rf dir)
+  @@ fun () ->
+  wait_path path;
+  let conn = connect_retry path in
+  Fun.protect ~finally:(fun () -> Sb_serve.Client.close conn) @@ fun () ->
+  let cells = List.map (fun i -> spec ~iters:(60 + i) ()) [ 0; 1; 2 ] in
+  let statuses = ref [] in
+  let interrupted = ref false in
+  let on_row ~key:_ ~cached:_ cell =
+    statuses := row_status cell :: !statuses;
+    if not !interrupted then begin
+      (* SIGINT the daemon after the first row: queued cells must come
+         back as cancelled rows, the running worker finishes, and the
+         daemon still exits 0 with its socket unlinked *)
+      interrupted := true;
+      Unix.kill pid Sys.sigint
+    end
+  in
+  (match Sb_serve.Client.submit ~on_row conn ~id:"sig" ~cells with
+  | Ok (Sb_serve.Client.Completed { rows; failed }) ->
+    Alcotest.(check int) "every cell answered" 3 (rows + failed);
+    Alcotest.(check bool) "cancellations reported as failures" true (failed >= 1)
+  | Ok _ -> Alcotest.fail "expected a completed job"
+  | Error e -> Alcotest.fail (Sb_serve.Client.error_message e));
+  Alcotest.(check bool)
+    "queued cells came back cancelled" true
+    (List.mem "cancelled" !statuses);
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> Alcotest.fail "daemon did not exit 0 after SIGINT");
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path)
+
+let test_resilient_survives_server_restart () =
+  let dir = tmp_dir "sb_resil" in
+  let path = Filename.concat dir "d.sock" in
+  let cache = Filename.concat dir "cache" in
+  let pid1 = fork_daemon ~path ~cache_dir:cache () in
+  let pid2 = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      reap pid1;
+      Option.iter reap !pid2;
+      rm_rf cache;
+      rm_rf dir)
+  @@ fun () ->
+  wait_path path;
+  let cells = [ spec ~iters:33 (); spec ~iters:44 (); spec ~iters:55 () ] in
+  let seen = Hashtbl.create 8 in
+  let restarted = ref false in
+  let on_row ~key ~cached:_ ~retried:_ _cell =
+    Hashtbl.replace seen key
+      (1 + try Hashtbl.find seen key with Not_found -> 0);
+    if not !restarted then begin
+      (* SIGKILL the daemon after the first row — no graceful anything —
+         then start a fresh one on the same socket and store.  The
+         resilient client must reconnect and finish; the already-done
+         cell must come from the persistent store *)
+      restarted := true;
+      (try Unix.kill pid1 Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid1) with Unix.Unix_error _ -> ());
+      pid2 := Some (fork_daemon ~path ~cache_dir:cache ())
+    end
+  in
+  let cfg =
+    {
+      Sb_serve.Resilient.default_config with
+      Sb_serve.Resilient.retries = 10;
+      backoff = 0.05;
+      seed = 11;
+    }
+  in
+  match
+    Sb_serve.Resilient.submit ~cfg ~on_row ~addr:("unix:" ^ path) ~id:"resil"
+      ~cells ()
+  with
+  | Error e -> Alcotest.fail (Sb_serve.Client.error_message e)
+  | Ok { Sb_serve.Resilient.ended; stats } ->
+    (match ended with
+    | Sb_serve.Client.Completed { rows; failed } ->
+      Alcotest.(check int) "whole job's rows" 3 rows;
+      Alcotest.(check int) "none failed" 0 failed
+    | _ -> Alcotest.fail "expected a completed job");
+    Alcotest.(check bool)
+      "reconnected at least once" true
+      (stats.Sb_serve.Resilient.st_reconnects >= 1);
+    Alcotest.(check int) "no duplicates surfaced" 0
+      stats.Sb_serve.Resilient.st_duplicates;
+    Alcotest.(check int) "every key exactly once" 3 (Hashtbl.length seen);
+    Hashtbl.iter
+      (fun _ n -> Alcotest.(check int) "delivered once" 1 n)
+      seen
+
+let test_chaos_proxy_recovery () =
+  let dir = tmp_dir "sb_chaos" in
+  let spath = Filename.concat dir "srv.sock" in
+  let ppath = Filename.concat dir "proxy.sock" in
+  let cache = Filename.concat dir "cache" in
+  let dpid = fork_daemon ~path:spath ~cache_dir:cache () in
+  let ppid = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      reap dpid;
+      Option.iter reap !ppid;
+      rm_rf cache;
+      rm_rf dir)
+  @@ fun () ->
+  wait_path spath;
+  ppid :=
+    Some
+      (match Unix.fork () with
+      | 0 ->
+        (try
+           let cfg =
+             {
+               Sb_serve.Chaosproxy.default_config with
+               Sb_serve.Chaosproxy.listen = "unix:" ^ ppath;
+               upstream = "unix:" ^ spath;
+               seed = 3;
+               reset_after = (900, 1800);
+               chunk = 64;
+             }
+           in
+           Sb_serve.Chaosproxy.run (Sb_serve.Chaosproxy.create cfg)
+         with _ -> ());
+        Unix._exit 0
+      | pid -> pid);
+  wait_path ppath;
+  let cells = List.map (fun i -> spec ~iters:(30 + i) ()) [ 0; 1; 2; 3 ] in
+  let seen = Hashtbl.create 8 in
+  let on_row ~key ~cached:_ ~retried:_ _cell =
+    Hashtbl.replace seen key
+      (1 + try Hashtbl.find seen key with Not_found -> 0)
+  in
+  let cfg =
+    {
+      Sb_serve.Resilient.default_config with
+      Sb_serve.Resilient.retries = 15;
+      backoff = 0.02;
+      seed = 5;
+    }
+  in
+  match
+    Sb_serve.Resilient.submit ~cfg ~on_row ~addr:("unix:" ^ ppath) ~id:"chaos"
+      ~cells ()
+  with
+  | Error e -> Alcotest.fail (Sb_serve.Client.error_message e)
+  | Ok { Sb_serve.Resilient.ended; stats } ->
+    (match ended with
+    | Sb_serve.Client.Completed { rows; failed } ->
+      Alcotest.(check int) "complete row set through chaos" 4 rows;
+      Alcotest.(check int) "none failed" 0 failed
+    | _ -> Alcotest.fail "expected a completed job");
+    Alcotest.(check int) "no duplicates surfaced" 0
+      stats.Sb_serve.Resilient.st_duplicates;
+    Alcotest.(check int) "every key exactly once" 4 (Hashtbl.length seen);
+    Hashtbl.iter
+      (fun _ n -> Alcotest.(check int) "delivered once" 1 n)
+      seen;
+    (* with resets every <= 1800 bytes per direction, a multi-row job
+       cannot have sailed through untouched *)
+    Alcotest.(check bool)
+      "the proxy actually hurt us" true
+      (stats.Sb_serve.Resilient.st_reconnects >= 1)
 
 let () =
   Random.self_init ();
@@ -530,6 +908,8 @@ let () =
             test_malformed_frame_has_position;
           Alcotest.test_case "schema version rejected" `Quick
             test_schema_version_rejected;
+          Alcotest.test_case "v1 migration error" `Quick
+            test_v1_schema_migration_error;
         ] );
       ( "daemon",
         [
@@ -547,5 +927,25 @@ let () =
           Alcotest.test_case "shutdown drains" `Quick test_shutdown_drains;
           Alcotest.test_case "persistent cache across servers" `Quick
             test_persistent_cache_across_servers;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "hello assigns sessions" `Quick
+            test_hello_assigns_sessions;
+          Alcotest.test_case "ping pong" `Quick test_ping_pong;
+          Alcotest.test_case "heartbeat drops silent client" `Quick
+            test_heartbeat_drops_silent_client;
+          Alcotest.test_case "activity is heartbeat" `Quick
+            test_activity_is_heartbeat;
+          Alcotest.test_case "resume dedups after disconnect" `Quick
+            test_resume_dedups_after_disconnect;
+          Alcotest.test_case "row keys match spec keys" `Quick
+            test_row_keys_match_spec_keys;
+          Alcotest.test_case "sigint drains gracefully" `Quick
+            test_sigint_drains_gracefully;
+          Alcotest.test_case "resilient survives server restart" `Quick
+            test_resilient_survives_server_restart;
+          Alcotest.test_case "chaos proxy recovery" `Quick
+            test_chaos_proxy_recovery;
         ] );
     ]
